@@ -1,0 +1,62 @@
+// Shared helpers for the figure-reproduction harnesses: steady-state
+// timing, table formatting, and standard workloads.
+//
+// Each bench binary regenerates one table or figure of the paper
+// (DESIGN.md §4 maps experiment -> binary); it prints the same rows or
+// series the paper reports, plus the paper's claimed values for
+// side-by-side comparison where applicable.
+#pragma once
+
+#include <algorithm>
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/timer.h"
+
+namespace vran::bench {
+
+/// Median-of-runs wall-clock measurement of `fn` (called once per run).
+inline double measure_seconds(const std::function<void()>& fn, int runs = 9,
+                              int warmup = 2) {
+  for (int i = 0; i < warmup; ++i) fn();
+  std::vector<double> t(static_cast<std::size_t>(runs));
+  for (auto& v : t) {
+    Stopwatch sw;
+    fn();
+    v = sw.seconds();
+  }
+  std::sort(t.begin(), t.end());
+  return t[t.size() / 2];
+}
+
+/// Repeat `fn` until ~`budget_seconds` elapse; returns (calls, seconds).
+struct ThroughputResult {
+  std::uint64_t calls = 0;
+  double seconds = 0;
+};
+inline ThroughputResult measure_throughput(const std::function<void()>& fn,
+                                           double budget_seconds = 0.5) {
+  fn();  // warmup
+  ThroughputResult r;
+  Stopwatch sw;
+  while (sw.seconds() < budget_seconds) {
+    fn();
+    ++r.calls;
+  }
+  r.seconds = sw.seconds();
+  return r;
+}
+
+inline void print_header(const char* title) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", title);
+  std::printf("================================================================\n");
+}
+
+inline void print_rule() {
+  std::printf("----------------------------------------------------------------\n");
+}
+
+}  // namespace vran::bench

@@ -1,0 +1,58 @@
+// Figure 7: IPC, memory bound and core bound per instruction class on the
+// wimpy vs beefy server.
+//
+// Paper shape: larger caches eliminate the memory bound but core bound
+// *grows* to take its place, so overall backend bound barely moves —
+// the motivation for attacking port utilization instead of cache size.
+// Class bands: _mm_adds/_mm_subs IPC ~2.5-2.8, _mm_max ~2.2 (dependency
+// chain), _mm_extract ~1.5 with backend ~55%, scalar OFDM ~3.8.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "sim/kernels.h"
+#include "sim/port_sim.h"
+
+using namespace vran;
+using namespace vran::sim;
+
+int main() {
+  bench::print_header(
+      "Fig. 7 — IPC / memory bound / core bound, wimpy vs beefy (port model)");
+
+  const PortSimulator wimpy(paper_machine(wimpy_cache()));
+  const PortSimulator beefy(paper_machine(beefy_cache()));
+
+  // Working set sized between the two machines' L2 capacities so the
+  // cache upgrade is visible (turbo-decoder-like footprint).
+  const std::size_t ws = 512 * 1024;
+  const std::size_t n = 1 << 16;
+
+  struct Row {
+    const char* name;
+    Trace trace;
+  };
+  const Row rows[] = {
+      {"_mm_adds (vec calc)", trace_vec_elementwise(IsaLevel::kSse41, n, ws)},
+      {"_mm_subs (vec calc)", trace_vec_elementwise(IsaLevel::kSse41, n, ws)},
+      {"_mm_max (dep chain)", trace_vec_max_chain(IsaLevel::kSse41, n, ws)},
+      {"_mm_extract (move)", trace_vec_extract(IsaLevel::kSse41, n, ws)},
+      {"do_ofdm (scalar)", trace_ofdm(512, 8)},
+  };
+
+  std::printf("%-22s | %6s %6s %6s | %6s %6s %6s\n", "",
+              "w.IPC", "w.mem", "w.core", "b.IPC", "b.mem", "b.core");
+  bench::print_rule();
+  for (const auto& r : rows) {
+    const auto tw = wimpy.run(r.trace);
+    const auto tb = beefy.run(r.trace);
+    std::printf("%-22s | %6.2f %5.1f%% %5.1f%% | %6.2f %5.1f%% %5.1f%%\n",
+                r.name, tw.ipc, 100 * tw.memory_bound, 100 * tw.core_bound,
+                tb.ipc, 100 * tb.memory_bound, 100 * tb.core_bound);
+  }
+  bench::print_rule();
+  std::printf(
+      "paper shape: beefy eliminates memory bound; core bound grows or\n"
+      "holds, so SIMD classes keep their backend stalls. Bands: adds/subs\n"
+      "IPC ~2.5-2.8, max ~2.2, extract ~1.5 (be ~55%%), scalar ~3.8\n");
+  return 0;
+}

@@ -1,0 +1,109 @@
+// Figure 13: per-packet processing time for UDP and TCP across packet
+// sizes, original mechanism vs APCM.
+//
+// Median per-packet vRAN processing time (the synthetic AWGN channel —
+// a testbed artifact with no paper counterpart — is excluded). Paper
+// shape: APCM cuts packet processing time at every size for both
+// protocols, by ~12% (SSE128) to ~20% (AVX512) on the authors' testbed;
+// the reduction here is bounded by the data-arrangement share of THIS
+// pipeline (see EXPERIMENTS.md).
+#include <algorithm>
+#include <cstdio>
+#include <utility>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "net/pktgen.h"
+#include "pipeline/pipeline.h"
+
+using namespace vran;
+
+namespace {
+
+struct Timing {
+  double median_us = 0;
+  double arrange_us = 0;
+};
+
+/// Measure both mechanisms interleaved packet-by-packet so OS jitter
+/// lands on both alike (paired comparison).
+std::pair<Timing, Timing> run_flow_pair(net::L4Proto proto, int size,
+                                        IsaLevel isa, int packets) {
+  pipeline::PipelineConfig cfg;
+  cfg.isa = isa;
+  cfg.snr_db = 24.0;
+  cfg.arrange_method = arrange::Method::kExtract;
+  pipeline::UplinkPipeline orig(cfg);
+  cfg.arrange_method = arrange::Method::kApcm;
+  pipeline::UplinkPipeline apcm(cfg);
+
+  net::FlowConfig fc;
+  fc.proto = proto;
+  fc.packet_bytes = size;
+  net::PacketGenerator gen_a(fc), gen_b(fc);
+
+  for (int i = 0; i < 3; ++i) {
+    orig.send_packet(gen_a.next());
+    apcm.send_packet(gen_b.next());
+  }
+  std::vector<double> lat_o, lat_a;
+  double arr_o = 0, arr_a = 0;
+  int n_o = 0, n_a = 0;
+  for (int i = 0; i < packets; ++i) {
+    const auto ro = orig.send_packet(gen_a.next());
+    const auto ra = apcm.send_packet(gen_b.next());
+    if (ro.delivered) {
+      lat_o.push_back(ro.latency_seconds - ro.channel_seconds);
+      arr_o += ro.arrange_seconds;
+      ++n_o;
+    }
+    if (ra.delivered) {
+      lat_a.push_back(ra.latency_seconds - ra.channel_seconds);
+      arr_a += ra.arrange_seconds;
+      ++n_a;
+    }
+  }
+  const auto median_us = [](std::vector<double>& v) {
+    if (v.empty()) return 0.0;
+    std::sort(v.begin(), v.end());
+    return v[v.size() / 2] * 1e6;
+  };
+  Timing to, ta;
+  to.median_us = median_us(lat_o);
+  ta.median_us = median_us(lat_a);
+  to.arrange_us = n_o ? arr_o / n_o * 1e6 : 0;
+  ta.arrange_us = n_a ? arr_a / n_a * 1e6 : 0;
+  return {to, ta};
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header(
+      "Fig. 13 — Per-packet processing time, UDP & TCP, original vs APCM");
+
+  const IsaLevel isa = best_isa();
+  std::printf("ISA: %s (median of 41 packets, channel excluded)\n\n",
+              isa_name(isa));
+  std::printf("%-5s %6s %14s %12s %10s %16s\n", "proto", "bytes",
+              "original_us", "apcm_us", "reduction", "arrange o->a us");
+  bench::print_rule();
+
+  for (auto proto : {net::L4Proto::kUdp, net::L4Proto::kTcp}) {
+    for (int size : {64, 128, 256, 512, 1024, 1500}) {
+      const auto [orig, apcm] = run_flow_pair(proto, size, isa, 41);
+      std::printf("%-5s %6d %14.1f %12.1f %9.1f%% %8.1f -> %5.1f\n",
+                  proto == net::L4Proto::kUdp ? "UDP" : "TCP", size,
+                  orig.median_us, apcm.median_us,
+                  100 * (orig.median_us - apcm.median_us) / orig.median_us,
+                  orig.arrange_us, apcm.arrange_us);
+    }
+  }
+  bench::print_rule();
+  std::printf(
+      "paper shape: APCM reduces per-packet time for both protocols at\n"
+      "every size (paper: -12%% SSE128 to -20%% AVX512; this pipeline's\n"
+      "arrangement share bounds the end-to-end reduction — the arrange\n"
+      "columns isolate the mechanism's own speedup)\n");
+  return 0;
+}

@@ -1,0 +1,83 @@
+// Figure 14: data-arrangement vs calculation processing time at the
+// standard 1500-byte packet size, original vs APCM, for 128/256/512-bit
+// registers — measured on the real kernels.
+//
+// Paper claims reproduced here:
+//  * original arrangement gets SLOWER as registers widen (+2.2% at 256,
+//    +6.4% more at 512) because of vextracti128 / vextracti32x8+reload;
+//  * APCM arrangement time drops 67% / 82% / 92% vs original;
+//  * APCM halves per width step (-49% at 256, -51% more at 512).
+#include <cstdio>
+
+#include "arrange/arrange.h"
+#include "bench/bench_util.h"
+#include "common/aligned.h"
+#include "common/rng.h"
+
+using namespace vran;
+using namespace vran::arrange;
+
+int main() {
+  bench::print_header(
+      "Fig. 14 — Arrangement vs calculation time at 1500 B (measured)");
+
+  // 1500-byte packet -> ~12k-bit TB -> two K=6144-ish code blocks; the
+  // arrangement workload is the decoder input stream of triples.
+  const std::size_t n = 2 * (6144 + 4);
+  AlignedVector<std::int16_t> src(3 * n);
+  Xoshiro256 rng(3);
+  for (auto& v : src) v = static_cast<std::int16_t>(rng.next());
+  AlignedVector<std::int16_t> s(n), p1(n), p2(n);
+
+  double base_sse = 0;
+  double apcm_prev = 0, ext_prev = 0;
+
+  std::printf("%-10s %-9s %12s %16s %18s\n", "isa", "method", "time_us",
+              "vs orig (same w)", "vs same method -1w");
+  bench::print_rule();
+  for (auto isa : {IsaLevel::kSse41, IsaLevel::kAvx2, IsaLevel::kAvx512}) {
+    if (isa > best_isa()) {
+      std::printf("%-10s (unavailable on this CPU)\n", isa_name(isa));
+      continue;
+    }
+    double t_ext = 0, t_apcm = 0;
+    for (auto method : {Method::kExtract, Method::kApcm}) {
+      Options opt;
+      opt.method = method;
+      opt.isa = isa;
+      opt.order = method == Method::kApcm ? Order::kBatched
+                                          : Order::kCanonical;
+      const double sec = bench::measure_seconds(
+          [&] { deinterleave3_i16(src, s, p1, p2, opt); }, 15, 3);
+      (method == Method::kExtract ? t_ext : t_apcm) = sec;
+    }
+    if (isa == IsaLevel::kSse41) base_sse = t_ext;
+
+    const auto vs_prev = [](double cur, double prev) {
+      return prev > 0 ? 100.0 * (cur - prev) / prev : 0.0;
+    };
+    std::printf("%-10s %-9s %12.2f %15s %17s\n", isa_name(isa), "extract",
+                t_ext * 1e6, "-",
+                ext_prev > 0
+                    ? (std::to_string(vs_prev(t_ext, ext_prev)).substr(0, 5) +
+                       "%")
+                          .c_str()
+                    : "-");
+    std::printf("%-10s %-9s %12.2f %14.1f%% %17s\n", isa_name(isa), "apcm",
+                t_apcm * 1e6, -100.0 * (t_ext - t_apcm) / t_ext,
+                apcm_prev > 0
+                    ? (std::to_string(vs_prev(t_apcm, apcm_prev)).substr(0, 6) +
+                       "%")
+                          .c_str()
+                    : "-");
+    ext_prev = t_ext;
+    apcm_prev = t_apcm;
+  }
+  bench::print_rule();
+  std::printf("(baseline SSE extract = %.2f us)\n", base_sse * 1e6);
+  std::printf(
+      "paper: APCM arrangement time -67%% / -82%% / -92%% vs original at\n"
+      "128/256/512 bit; original +2.2%% at 256, +6.4%% more at 512; APCM\n"
+      "-49%% at 256, -51%% more at 512\n");
+  return 0;
+}

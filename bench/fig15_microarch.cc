@@ -1,0 +1,42 @@
+// Figure 15: top-down metrics and IPC of the data arrangement, original
+// vs APCM, per register width (port model).
+//
+// Paper values: retiring 55.6/52/48 % -> 97/96/95 %, backend bound
+// 44.4/48.2/52 % -> 3/4/5 %, IPC 1.2/1.1/1.05 -> 3.6/3.5/3.3.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "sim/kernels.h"
+#include "sim/port_sim.h"
+
+using namespace vran;
+using namespace vran::sim;
+
+int main() {
+  bench::print_header(
+      "Fig. 15 — Arrangement top-down + IPC, original vs APCM (port model)");
+
+  const PortSimulator psim(paper_machine(beefy_cache()));
+  const std::size_t n = 1 << 15;
+
+  std::printf("%-10s %-9s %6s %9s %6s %6s %8s\n", "isa", "method", "IPC",
+              "retiring", "fe", "bs", "backend");
+  bench::print_rule();
+  for (auto isa : {IsaLevel::kSse41, IsaLevel::kAvx2, IsaLevel::kAvx512}) {
+    for (auto method : {arrange::Method::kExtract, arrange::Method::kApcm}) {
+      const auto order = method == arrange::Method::kApcm
+                             ? arrange::Order::kBatched
+                             : arrange::Order::kCanonical;
+      const auto td = psim.run(trace_arrange(method, isa, order, n));
+      std::printf("%-10s %-9s %6.2f %8.1f%% %5.1f%% %5.1f%% %7.1f%%\n",
+                  isa_name(isa), arrange::method_name(method), td.ipc,
+                  100 * td.retiring, 100 * td.frontend,
+                  100 * td.bad_speculation, 100 * td.backend);
+    }
+  }
+  bench::print_rule();
+  std::printf(
+      "paper: retiring 55.6/52/48%% -> 97/96/95%%; backend 44.4/48.2/52%%\n"
+      "-> 3/4/5%%; IPC 1.2/1.1/1.05 -> 3.6/3.5/3.3 (128/256/512 bit)\n");
+  return 0;
+}

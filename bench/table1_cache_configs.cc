@@ -1,0 +1,42 @@
+// Table 1: wimpy vs beefy node cache hierarchies. Prints the paper's
+// machine-total values and the per-core values the port model uses.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "sim/machine.h"
+
+using namespace vran;
+
+int main() {
+  bench::print_header("Table 1 — Cache size in wimpy and beefy node");
+
+  struct Row {
+    const char* level;
+    int wimpy_total_kb;
+    int beefy_total_kb;
+  };
+  const Row paper[] = {
+      {"L1 cache", 384, 1152},
+      {"L2 cache", 1536, 18432},
+      {"L3 cache", 12288, 25344},
+  };
+  std::printf("paper totals (whole package):\n");
+  std::printf("%-10s %12s %12s\n", "", "Wimpy Node", "Beefy Node");
+  for (const auto& r : paper) {
+    std::printf("%-10s %10d KB %10d KB\n", r.level, r.wimpy_total_kb,
+                r.beefy_total_kb);
+  }
+
+  const auto w = sim::wimpy_cache();
+  const auto b = sim::beefy_cache();
+  std::printf("\nport-model per-core values (totals / core count, L1 = data "
+              "half):\n");
+  std::printf("%-10s %12s %12s\n", "", w.name.c_str(), b.name.c_str());
+  std::printf("%-10s %9zu KB %9zu KB\n", "L1d", w.l1_bytes / 1024,
+              b.l1_bytes / 1024);
+  std::printf("%-10s %9zu KB %9zu KB\n", "L2", w.l2_bytes / 1024,
+              b.l2_bytes / 1024);
+  std::printf("%-10s %9zu KB %9zu KB\n", "L3", w.l3_bytes / 1024,
+              b.l3_bytes / 1024);
+  return 0;
+}

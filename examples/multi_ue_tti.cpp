@@ -1,0 +1,71 @@
+// Multi-UE TTI simulation: a round-robin MAC scheduler grants PRBs to
+// several backlogged UEs each TTI; every grant is announced via a DCI
+// message and carried through the downlink PHY. Shows the control plane
+// (scheduler + DCI) and data plane working together.
+//
+// Usage: ./examples/multi_ue_tti [ttis] [ues]
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+
+#include "mac/scheduler.h"
+#include "net/pktgen.h"
+#include "pipeline/pipeline.h"
+
+int main(int argc, char** argv) {
+  using namespace vran;
+
+  const int ttis = argc > 1 ? std::atoi(argv[1]) : 20;
+  const int n_ues = argc > 2 ? std::atoi(argv[2]) : 3;
+
+  mac::RoundRobinScheduler sched(25);
+  std::map<std::uint16_t, std::uint32_t> backlog;
+  for (int u = 0; u < n_ues; ++u) {
+    const std::uint16_t rnti = static_cast<std::uint16_t>(0x100 + u);
+    sched.add_ue({rnti, 14 + 2 * u, 0});
+    backlog[rnti] = 4000 + 2000u * static_cast<std::uint32_t>(u);
+  }
+
+  // One downlink pipeline per UE (each UE has its own RNTI/scrambling).
+  std::map<std::uint16_t, pipeline::DownlinkPipeline> pipes;
+  std::map<std::uint16_t, net::PacketGenerator> gens;
+  for (int u = 0; u < n_ues; ++u) {
+    const std::uint16_t rnti = static_cast<std::uint16_t>(0x100 + u);
+    pipeline::PipelineConfig cfg;
+    cfg.rnti = rnti;
+    cfg.mcs = 14 + 2 * u;
+    cfg.snr_db = 24.0;
+    cfg.isa = best_isa();
+    pipes.emplace(rnti, pipeline::DownlinkPipeline(cfg));
+    net::FlowConfig fc;
+    fc.packet_bytes = 600;
+    fc.seed = rnti;
+    gens.emplace(rnti, net::PacketGenerator(fc));
+  }
+
+  std::printf("%-5s %-8s %-10s %-8s %-10s %-9s\n", "tti", "rnti", "prbs",
+              "tbs", "delivered", "backlog");
+  int total_grants = 0, total_delivered = 0;
+  for (int tti = 0; tti < ttis; ++tti) {
+    for (auto& [rnti, b] : backlog) sched.report_backlog(rnti, b);
+    const auto grants = sched.schedule_tti(tti);
+    for (const auto& g : grants) {
+      ++total_grants;
+      auto& pipe = pipes.at(g.rnti);
+      const auto pkt = gens.at(g.rnti).next();
+      const auto res = pipe.send_packet(pkt);
+      const auto served = static_cast<std::uint32_t>(g.tbs_bits / 8);
+      auto& b = backlog.at(g.rnti);
+      b -= std::min(b, served);
+      total_delivered += res.delivered ? 1 : 0;
+      std::printf("%-5d 0x%04x   %2d@%-6d %-8d %-10s %-9u\n", tti, g.rnti,
+                  g.dci.rb_len, g.dci.rb_start, g.tbs_bits,
+                  res.delivered ? "yes" : "NO", b);
+    }
+    // Trickle of new data keeps the cell busy.
+    for (auto& [rnti, b] : backlog) b += 700;
+  }
+  std::printf("\n%d grants issued, %d packets delivered\n", total_grants,
+              total_delivered);
+  return total_delivered > 0 ? 0 : 1;
+}

@@ -1,0 +1,54 @@
+// Uplink BER/BLER sweep: runs the full UE -> eNB pipeline (MAC, CRC,
+// segmentation, turbo, rate matching, scrambling, QAM, OFDM, AWGN) over
+// an SNR range and prints the waterfall — the classic link-level
+// experiment, exercising every substrate in the repository.
+//
+// Usage: ./examples/uplink_ber [mcs] [packets_per_point]
+#include <cstdio>
+#include <cstdlib>
+
+#include "net/pktgen.h"
+#include "pipeline/pipeline.h"
+
+int main(int argc, char** argv) {
+  using namespace vran;
+
+  const int mcs = argc > 1 ? std::atoi(argv[1]) : 20;
+  const int packets = argc > 2 ? std::atoi(argv[2]) : 20;
+
+  std::printf("uplink BLER waterfall, MCS %d, %d packets per point\n", mcs,
+              packets);
+  std::printf("%8s %10s %12s %12s\n", "SNR dB", "BLER", "mean iters",
+              "latency us");
+
+  for (double snr = 6.0; snr <= 26.0; snr += 2.0) {
+    pipeline::PipelineConfig cfg;
+    cfg.mcs = mcs;
+    cfg.snr_db = snr;
+    cfg.isa = best_isa();
+    cfg.noise_seed = static_cast<std::uint64_t>(snr * 100);
+    pipeline::UplinkPipeline ul(cfg);
+
+    net::FlowConfig fc;
+    fc.packet_bytes = 1024;
+    net::PacketGenerator gen(fc);
+
+    int failures = 0;
+    double iters = 0, latency = 0;
+    for (int i = 0; i < packets; ++i) {
+      const auto res = ul.send_packet(gen.next());
+      failures += res.delivered ? 0 : 1;
+      iters += res.turbo_iterations;
+      latency += res.latency_seconds;
+    }
+    std::printf("%8.1f %10.3f %12.2f %12.1f\n", snr,
+                double(failures) / packets, iters / packets,
+                latency / packets * 1e6);
+    if (failures == 0 && snr > 14.0) {
+      // Waterfall cleared; a couple more points suffice.
+    }
+  }
+  std::printf("\nexpected: BLER cliff between ~10 and ~18 dB depending on "
+              "MCS;\niterations drop toward 1 as SNR rises\n");
+  return 0;
+}

@@ -1,0 +1,268 @@
+// Public entry points: validation, runtime ISA dispatch, tail handling,
+// and the batch-permutation bookkeeping shared with tests and the port
+// simulator.
+#include "arrange/arrange.h"
+
+#include <stdexcept>
+#include <string>
+
+#include "arrange/arrange_internal.h"
+#include "common/aligned.h"
+
+namespace vran::arrange {
+
+namespace in = internal;
+
+const char* method_name(Method m) {
+  switch (m) {
+    case Method::kScalar: return "scalar";
+    case Method::kExtract: return "extract";
+    case Method::kApcm: return "apcm";
+  }
+  return "unknown";
+}
+
+const char* order_name(Order o) {
+  return o == Order::kCanonical ? "canonical" : "batched";
+}
+
+const char* rotation_name(Rotation r) {
+  return r == Rotation::kInRegister ? "in-register" : "offset-mimic";
+}
+
+int batch_lanes(IsaLevel isa) {
+  switch (isa) {
+    case IsaLevel::kScalar: return 8;  // batched order defined as SSE-sized
+    case IsaLevel::kSse41: return 8;
+    case IsaLevel::kAvx2: return 16;
+    case IsaLevel::kAvx512: return 32;
+  }
+  return 8;
+}
+
+std::vector<int> batch_sigma(int lanes) { return batch_sigma_cluster(lanes, 0); }
+
+std::vector<int> batch_sigma_cluster(int lanes, int cluster) {
+  if (lanes % 3 == 0) {
+    throw std::invalid_argument("batch_sigma: lane count divisible by 3");
+  }
+  if (cluster < 0 || cluster > 2) {
+    throw std::invalid_argument("batch_sigma_cluster: cluster out of range");
+  }
+  std::vector<int> sigma(static_cast<std::size_t>(lanes));
+  for (int l = 0; l < lanes; ++l) {
+    sigma[static_cast<std::size_t>(l)] =
+        in::congregated_index(cluster, l, lanes);
+  }
+  return sigma;
+}
+
+std::size_t batched_to_canonical(std::size_t pos, std::size_t n, int lanes) {
+  if (pos >= n) throw std::out_of_range("batched_to_canonical");
+  const std::size_t L = static_cast<std::size_t>(lanes);
+  const std::size_t full = (n / L) * L;
+  if (pos >= full) return pos;  // scalar tail is canonical
+  const std::size_t batch = pos / L;
+  const auto sigma = batch_sigma(lanes);
+  return batch * L + static_cast<std::size_t>(sigma[pos % L]);
+}
+
+namespace {
+
+void validate3(std::span<const std::int16_t> src, std::span<std::int16_t> s,
+               std::span<std::int16_t> p1, std::span<std::int16_t> p2,
+               const Options& opt) {
+  const std::size_t n = s.size();
+  if (p1.size() != n || p2.size() != n || src.size() != 3 * n) {
+    throw std::invalid_argument(
+        "deinterleave3_i16: src must be 3*n, outputs n each");
+  }
+  if (opt.method != Method::kScalar && opt.isa != IsaLevel::kScalar) {
+    if (opt.isa > best_isa()) {
+      throw std::invalid_argument(std::string("ISA not available on CPU: ") +
+                                  isa_name(opt.isa));
+    }
+    if (!is_aligned(src.data()) || !is_aligned(s.data()) ||
+        !is_aligned(p1.data()) || !is_aligned(p2.data())) {
+      throw std::invalid_argument(
+          "deinterleave3_i16: SIMD paths require 64-byte aligned spans");
+    }
+  }
+}
+
+}  // namespace
+
+void deinterleave3_i16(std::span<const std::int16_t> src,
+                       std::span<std::int16_t> s, std::span<std::int16_t> p1,
+                       std::span<std::int16_t> p2, const Options& opt) {
+  validate3(src, s, p1, p2, opt);
+  const std::size_t n = s.size();
+
+  if (opt.method == Method::kScalar || opt.isa == IsaLevel::kScalar) {
+    if (opt.order == Order::kBatched) {
+      in::scalar_deinterleave3_batched(src.data(), n, s.data(), p1.data(),
+                                       p2.data(), batch_lanes(opt.isa),
+                                       opt.rotation);
+    } else {
+      in::scalar_deinterleave3(src.data(), n, s.data(), p1.data(), p2.data());
+    }
+    return;
+  }
+
+  std::size_t done = 0;
+  if (opt.method == Method::kExtract) {
+    // The extract mechanism is inherently canonical (each element is
+    // scattered to its natural slot); Order::kBatched is meaningless here
+    // and rejected to avoid silently returning a different layout.
+    if (opt.order == Order::kBatched) {
+      throw std::invalid_argument(
+          "deinterleave3_i16: extract method produces canonical order only");
+    }
+    switch (opt.isa) {
+      case IsaLevel::kSse41:
+        done = in::sse_extract3(src.data(), n, s.data(), p1.data(), p2.data());
+        break;
+      case IsaLevel::kAvx2:
+        done =
+            in::avx2_extract3(src.data(), n, s.data(), p1.data(), p2.data());
+        break;
+      case IsaLevel::kAvx512:
+        done =
+            in::avx512_extract3(src.data(), n, s.data(), p1.data(), p2.data());
+        break;
+      default: break;
+    }
+  } else {  // kApcm
+    switch (opt.isa) {
+      case IsaLevel::kSse41:
+        done = in::sse_apcm3(src.data(), n, s.data(), p1.data(), p2.data(),
+                             opt.order, opt.rotation);
+        break;
+      case IsaLevel::kAvx2:
+        done = in::avx2_apcm3(src.data(), n, s.data(), p1.data(), p2.data(),
+                              opt.order, opt.rotation);
+        break;
+      case IsaLevel::kAvx512:
+        done = in::avx512_apcm3(src.data(), n, s.data(), p1.data(), p2.data(),
+                                opt.order, opt.rotation);
+        break;
+      default: break;
+    }
+  }
+
+  // Scalar tail — always canonical (batched order only covers full batches).
+  in::scalar_deinterleave3(src.data() + 3 * done, n - done, s.data() + done,
+                           p1.data() + done, p2.data() + done);
+}
+
+void interleave3_i16(std::span<const std::int16_t> s,
+                     std::span<const std::int16_t> p1,
+                     std::span<const std::int16_t> p2,
+                     std::span<std::int16_t> dst) {
+  const std::size_t n = s.size();
+  if (p1.size() != n || p2.size() != n || dst.size() != 3 * n) {
+    throw std::invalid_argument(
+        "interleave3_i16: dst must be 3*n, inputs n each");
+  }
+  for (std::size_t k = 0; k < n; ++k) {
+    dst[3 * k] = s[k];
+    dst[3 * k + 1] = p1[k];
+    dst[3 * k + 2] = p2[k];
+  }
+}
+
+void deinterleave2_i16(std::span<const std::int16_t> src,
+                       std::span<std::int16_t> a, std::span<std::int16_t> b,
+                       Method method, IsaLevel isa) {
+  const std::size_t n = a.size();
+  if (b.size() != n || src.size() != 2 * n) {
+    throw std::invalid_argument(
+        "deinterleave2_i16: src must be 2*n, outputs n each");
+  }
+  if (method == Method::kScalar || isa == IsaLevel::kScalar) {
+    in::scalar_deinterleave2(src.data(), n, a.data(), b.data());
+    return;
+  }
+  if (isa > best_isa()) {
+    throw std::invalid_argument(std::string("ISA not available on CPU: ") +
+                                isa_name(isa));
+  }
+  if (!is_aligned(src.data()) || !is_aligned(a.data()) ||
+      !is_aligned(b.data())) {
+    throw std::invalid_argument(
+        "deinterleave2_i16: SIMD paths require 64-byte aligned spans");
+  }
+
+  std::size_t done = 0;
+  if (method == Method::kExtract) {
+    switch (isa) {
+      case IsaLevel::kSse41:
+        done = in::sse_extract2(src.data(), n, a.data(), b.data());
+        break;
+      case IsaLevel::kAvx2:
+        done = in::avx2_extract2(src.data(), n, a.data(), b.data());
+        break;
+      case IsaLevel::kAvx512:
+        done = in::avx512_extract2(src.data(), n, a.data(), b.data());
+        break;
+      default: break;
+    }
+  } else {
+    switch (isa) {
+      case IsaLevel::kSse41:
+        done = in::sse_apcm2(src.data(), n, a.data(), b.data());
+        break;
+      case IsaLevel::kAvx2:
+        done = in::avx2_apcm2(src.data(), n, a.data(), b.data());
+        break;
+      case IsaLevel::kAvx512:
+        done = in::avx512_apcm2(src.data(), n, a.data(), b.data());
+        break;
+      default: break;
+    }
+  }
+  in::scalar_deinterleave2(src.data() + 2 * done, n - done, a.data() + done,
+                           b.data() + done);
+}
+
+BatchOpCounts batch_op_counts(Method method, IsaLevel isa, Order order) {
+  BatchOpCounts c;
+  const int lanes = batch_lanes(isa);
+  const int bits = register_bits(isa);
+  switch (method) {
+    case Method::kScalar:
+      // 3*lanes scalar loads + 3*lanes scalar stores (by 16-bit element).
+      c.loads = 3 * lanes;
+      c.stores = 3 * lanes;
+      c.store_bits = 16;
+      break;
+    case Method::kExtract:
+      c.loads = 3;
+      c.stores = 3 * lanes;   // one pextrw-store per element
+      c.store_bits = 16;
+      if (isa == IsaLevel::kAvx2) {
+        c.vec_alu = 3;        // vextracti128 per register
+      } else if (isa == IsaLevel::kAvx512) {
+        c.vec_alu = 3 * (2 + 2);  // 2x vextracti32x8 + 2x vextracti128
+        c.reload_loads = 3;       // vmovdqa64 reload per register (§5.2)
+      }
+      break;
+    case Method::kApcm:
+      c.loads = 3;
+      if (order == Order::kCanonical) {
+        // Fused: 15 and/or + one inverse permute per output register
+        // (which also performs the alignment); AVX2's cross-lane 16-bit
+        // permute costs 4 ops.
+        c.vec_alu = 15 + ((isa == IsaLevel::kAvx2) ? 3 * 4 : 3);
+      } else {
+        c.vec_alu = 15 + 2;  // 9 and + 6 or + 2 alignment rotations
+        if (isa == IsaLevel::kAvx2) c.vec_alu += 2;  // rotations are 2-op
+      }
+      c.stores = 3;
+      c.store_bits = bits;
+      break;
+  }
+  return c;
+}
+
+}  // namespace vran::arrange

@@ -1,0 +1,139 @@
+// Data arrangement — the paper's core subject (§4.2, §5).
+//
+// The turbo decoder consumes three int16 LLR streams per trellis step:
+// systematic (S1), parity-1 (YP1) and parity-2 (YP2). After demodulation
+// and de-rate-matching they arrive as one triple-interleaved stream
+//   [s0 p0 q0 s1 p1 q1 s2 p2 q2 ...]
+// and the *data arrangement process* de-interleaves them into three
+// SIMD-friendly arrays.
+//
+// Two mechanisms are implemented, exactly as the paper describes:
+//
+//  * Method::kExtract — the original OAI mechanism (§5.2): per-element
+//    `pextrw` extraction; AVX2 additionally needs `vextracti128` to reach
+//    the upper half, AVX-512 needs `vextracti32x8` plus a `vmovdqa64`
+//    reload. Only store ports do useful work; each store moves 16 bits of
+//    a 128/256/512-bit path (12.5 % / 6.25 % / 3.125 % utilization).
+//
+//  * Method::kApcm — the paper's Arithmetic Ports Consciousness Mechanism
+//    (§5.1): masked `vpand`/`vpor` batching on the (otherwise idle) vector
+//    ALU ports samples each cluster out of 3 registers and congregates it
+//    into one register; a one/two-lane left rotation aligns the clusters;
+//    three full-width stores then move 3 whole registers to L1. Per batch
+//    of L triples: 3 loads + 15 and/or + 2 alignment ops + 3 stores
+//    (the paper's "17 instructions / 5.7 cycles" at any register width).
+//
+// APCM's natural output order within one batch is a fixed permutation
+// (the paper's Fig. 10 step 3: S1_1 S1_4 S1_7 S1_2 ...). Order::kBatched
+// keeps it (paper-faithful; consumers index through batch_sigma());
+// alignment between the three clusters is then either a real in-register
+// rotation (Rotation::kInRegister) or skipped entirely per the paper's
+// Fig. 12 offset mimic (Rotation::kOffsetMimic — consumers use
+// batch_sigma_cluster()). Order::kCanonical replaces rotation + layout
+// fix-up with one fused inverse shuffle per output register (1 uop on
+// SSE/AVX-512, 4 on AVX2 — see DESIGN.md ablations) so the arrays come
+// out in natural order. Every combination is bit-exact against the
+// scalar reference in the test suite.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/cpu_features.h"
+
+namespace vran::arrange {
+
+/// Arrangement mechanism.
+enum class Method : std::uint8_t {
+  kScalar = 0,   ///< portable reference loop
+  kExtract = 1,  ///< original OAI-style per-element extraction (§5.2)
+  kApcm = 2,     ///< paper's contribution: mask/or batching on ALU ports
+};
+
+/// Output element order (see file comment).
+enum class Order : std::uint8_t {
+  kCanonical = 0,  ///< natural index order
+  kBatched = 1,    ///< APCM congregation order (paper Fig. 10 step 4)
+};
+
+/// Alignment strategy for APCM's step 4 (only meaningful with
+/// Order::kBatched; canonical order folds the alignment into its
+/// inverse-permutation shuffle at no extra cost).
+enum class Rotation : std::uint8_t {
+  kInRegister = 0,  ///< palignr / vpermw rotation, all clusters share sigma
+  kOffsetMimic = 1, ///< paper Fig. 12: skip the rotation; each cluster's
+                    ///< batch keeps its own permutation and consumers
+                    ///< index through batch_sigma_cluster()
+};
+
+const char* method_name(Method m);
+const char* order_name(Order o);
+const char* rotation_name(Rotation r);
+
+/// Number of triples one APCM batch covers at a given ISA tier — equal to
+/// the int16 lane count of one register (8 / 16 / 32). Scalar pretends to
+/// be SSE-sized so Order::kBatched is well defined on every tier.
+int batch_lanes(IsaLevel isa);
+
+/// The batch permutation sigma: in batched order, output lane `l` of a
+/// batch holds the element whose canonical within-batch index is
+/// `sigma[l]`. All three clusters share the same sigma after alignment.
+/// sigma depends only on the lane count L (= batch_lanes).
+std::vector<int> batch_sigma(int lanes);
+
+/// Per-cluster permutation BEFORE alignment — the layout the rotation
+/// mimic stores (cluster 0 equals batch_sigma; clusters 1/2 are its
+/// right-rotations).
+std::vector<int> batch_sigma_cluster(int lanes, int cluster);
+
+/// Map a batched-order output position to its canonical index, for a
+/// stream of `n` triples arranged with batch size L. Positions in the
+/// final partial batch (the scalar tail) are canonical.
+std::size_t batched_to_canonical(std::size_t pos, std::size_t n, int lanes);
+
+/// Options for deinterleave3_i16.
+struct Options {
+  Method method = Method::kApcm;
+  IsaLevel isa = IsaLevel::kSse41;
+  Order order = Order::kCanonical;
+  Rotation rotation = Rotation::kInRegister;
+};
+
+/// De-interleave `src` (3*n int16, triple-interleaved) into s/p1/p2 (n
+/// each). SIMD paths require 64-byte aligned spans (AlignedVector data)
+/// and throw std::invalid_argument otherwise, or on size mismatch, or if
+/// `opt.isa` exceeds the executing CPU's capabilities.
+void deinterleave3_i16(std::span<const std::int16_t> src,
+                       std::span<std::int16_t> s, std::span<std::int16_t> p1,
+                       std::span<std::int16_t> p2, const Options& opt);
+
+/// Inverse of deinterleave3_i16 (canonical order): build the triple-
+/// interleaved stream. Encoder-side utility; scalar (not a hotspot —
+/// the paper's hotspot is decode-side arrangement).
+void interleave3_i16(std::span<const std::int16_t> s,
+                     std::span<const std::int16_t> p1,
+                     std::span<const std::int16_t> p2,
+                     std::span<std::int16_t> dst);
+
+/// Stride-2 (I/Q) de-interleave — the paper's "generalize to other SIMD
+/// applications" (§4.2 end). Same Method semantics; APCM uses mask +
+/// lane-shift + or. Canonical order only.
+void deinterleave2_i16(std::span<const std::int16_t> src,
+                       std::span<std::int16_t> i, std::span<std::int16_t> q,
+                       Method method, IsaLevel isa);
+
+/// Per-call instruction-count model of one full batch, used by the port
+/// simulator's trace generators and by Fig. 8's analytic bandwidth check.
+struct BatchOpCounts {
+  int loads = 0;        ///< full-register loads
+  int vec_alu = 0;      ///< and/or/shift/shuffle ops (ALU / shuffle ports)
+  int stores = 0;       ///< stores; `store_bits` wide each
+  int store_bits = 0;   ///< width of each store in bits
+  int reload_loads = 0; ///< AVX-512 extract path's vmovdqa64 reloads (§5.2)
+};
+
+/// Op counts for one batch of `batch_lanes(isa)` triples under `method`.
+BatchOpCounts batch_op_counts(Method method, IsaLevel isa, Order order);
+
+}  // namespace vran::arrange

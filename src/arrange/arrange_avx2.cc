@@ -1,0 +1,238 @@
+// 256-bit (ymm) arrangement kernels.
+//
+// Extract path: ymm has no direct upper-half word extraction, so — exactly
+// as the paper's §5.2 describes — the lower 128 bits are drained with
+// `pextrw`, then `vextracti128` moves the upper half down and the drain
+// repeats. This is why the original mechanism gets *slower* at 256 bit
+// (Fig. 14's +2.2 % CPU time).
+//
+// APCM path: identical 15-op mask/or schedule (residue_mult = 2 at L = 16),
+// cross-lane rotations via vperm2i128 + vpalignr, canonical fix-up via
+// vpermq + 2x vpshufb + vpor (AVX2 lacks vpermw; see DESIGN.md ablation).
+#include <immintrin.h>
+
+#include "arrange/arrange_internal.h"
+
+namespace vran::arrange::internal {
+
+namespace {
+
+constexpr int kL = 16;  // int16 lanes per ymm
+
+alignas(32) constexpr auto kMasks = make_lane_masks3<kL>();
+
+/// Split a 16-lane pick pattern into the two per-128-bit-lane pshufb
+/// patterns of the vpermq/pshufb/pshufb/por canonicalization: pattern A
+/// picks lanes whose source is in the same ymm half, pattern B picks from
+/// the half-swapped register. Unselected lanes emit 0x80 (zero).
+struct SplitShuffle {
+  std::array<std::uint8_t, 32> same;
+  std::array<std::uint8_t, 32> swapped;
+};
+
+constexpr SplitShuffle make_split_shuffle(const std::array<int, kL>& pick) {
+  std::array<int, kL> same{};
+  std::array<int, kL> swapped{};
+  for (int l = 0; l < kL; ++l) {
+    const int src = pick[l];
+    const bool same_half = (l / 8) == (src / 8);
+    same[l] = same_half ? src % 8 : -1;
+    swapped[l] = same_half ? -1 : src % 8;
+  }
+  // pshufb on ymm works per 128-bit lane with lane-local byte indices, so
+  // the 8-lane sub-patterns map directly.
+  SplitShuffle out{};
+  for (int half = 0; half < 2; ++half) {
+    for (int l = 0; l < 8; ++l) {
+      const int s = same[half * 8 + l];
+      const int w = swapped[half * 8 + l];
+      for (int byte = 0; byte < 2; ++byte) {
+        out.same[16 * half + 2 * l + byte] =
+            s < 0 ? 0x80 : static_cast<std::uint8_t>(2 * s + byte);
+        out.swapped[16 * half + 2 * l + byte] =
+            w < 0 ? 0x80 : static_cast<std::uint8_t>(2 * w + byte);
+      }
+    }
+  }
+  return out;
+}
+
+// Fused per-cluster canonicalization (alignment folded in).
+alignas(32) constexpr std::array<SplitShuffle, 3> kCanon = {
+    make_split_shuffle(invert<kL>(make_sigma_cluster<kL>(0))),
+    make_split_shuffle(invert<kL>(make_sigma_cluster<kL>(1))),
+    make_split_shuffle(invert<kL>(make_sigma_cluster<kL>(2)))};
+
+inline __m256i load_mask(int k) {
+  return _mm256_load_si256(reinterpret_cast<const __m256i*>(kMasks[k].data()));
+}
+
+/// Left rotate by K 16-bit lanes across the full 256-bit register:
+/// out[l] = in[(l + K) mod 16].
+template <int K>
+inline __m256i rotate_lanes(__m256i v) {
+  const __m256i swap = _mm256_permute2x128_si256(v, v, 0x01);
+  return _mm256_alignr_epi8(swap, v, 2 * K);
+}
+
+/// Arbitrary cross-lane 16-bit permutation (4 ops).
+inline __m256i permute_lanes(__m256i v, const SplitShuffle& pat) {
+  const __m256i swap = _mm256_permute4x64_epi64(v, 0x4E);
+  const __m256i a = _mm256_shuffle_epi8(
+      v, _mm256_load_si256(reinterpret_cast<const __m256i*>(pat.same.data())));
+  const __m256i b = _mm256_shuffle_epi8(
+      swap,
+      _mm256_load_si256(reinterpret_cast<const __m256i*>(pat.swapped.data())));
+  return _mm256_or_si256(a, b);
+}
+
+inline void extract_store8(__m128i v, const std::size_t base, std::int16_t* s,
+                           std::int16_t* p1, std::int16_t* p2) {
+  std::int16_t* const dst[3] = {s, p1, p2};
+  const auto put = [&](int lane, int w) {
+    const std::size_t f = base + static_cast<std::size_t>(lane);
+    dst[f % 3][f / 3] = static_cast<std::int16_t>(w);
+  };
+  put(0, _mm_extract_epi16(v, 0));
+  put(1, _mm_extract_epi16(v, 1));
+  put(2, _mm_extract_epi16(v, 2));
+  put(3, _mm_extract_epi16(v, 3));
+  put(4, _mm_extract_epi16(v, 4));
+  put(5, _mm_extract_epi16(v, 5));
+  put(6, _mm_extract_epi16(v, 6));
+  put(7, _mm_extract_epi16(v, 7));
+}
+
+}  // namespace
+
+std::size_t avx2_extract3(const std::int16_t* src, std::size_t n,
+                          std::int16_t* s, std::int16_t* p1,
+                          std::int16_t* p2) {
+  const std::size_t batches = n / kL;
+  for (std::size_t b = 0; b < batches; ++b) {
+    const std::int16_t* blk = src + 3 * kL * b;
+    for (int j = 0; j < 3; ++j) {
+      const __m256i v =
+          _mm256_load_si256(reinterpret_cast<const __m256i*>(blk + kL * j));
+      const std::size_t base = 3 * kL * b + static_cast<std::size_t>(kL * j);
+      extract_store8(_mm256_castsi256_si128(v), base, s, p1, p2);
+      // The upper half must first be moved down (vextracti128) before any
+      // word can be extracted — the paper's 256-bit penalty.
+      extract_store8(_mm256_extracti128_si256(v, 1), base + 8, s, p1, p2);
+    }
+  }
+  return batches * kL;
+}
+
+std::size_t avx2_apcm3(const std::int16_t* src, std::size_t n, std::int16_t* s,
+                       std::int16_t* p1, std::int16_t* p2, Order order,
+                       Rotation rotation) {
+  const __m256i m0 = load_mask(0);
+  const __m256i m1 = load_mask(1);
+  const __m256i m2 = load_mask(2);
+  const bool canonical = order == Order::kCanonical;
+  const bool rotate = rotation == Rotation::kInRegister;
+
+  const std::size_t batches = n / kL;
+  for (std::size_t b = 0; b < batches; ++b) {
+    const std::int16_t* blk = src + 3 * kL * b;
+    const __m256i r0 =
+        _mm256_load_si256(reinterpret_cast<const __m256i*>(blk));
+    const __m256i r1 =
+        _mm256_load_si256(reinterpret_cast<const __m256i*>(blk + kL));
+    const __m256i r2 =
+        _mm256_load_si256(reinterpret_cast<const __m256i*>(blk + 2 * kL));
+
+    // residue_mult(16) = 2: cluster c register j selects mask (c + 2j) % 3.
+    __m256i vs = _mm256_or_si256(
+        _mm256_or_si256(_mm256_and_si256(r0, m0), _mm256_and_si256(r1, m2)),
+        _mm256_and_si256(r2, m1));
+    __m256i vp = _mm256_or_si256(
+        _mm256_or_si256(_mm256_and_si256(r0, m1), _mm256_and_si256(r1, m0)),
+        _mm256_and_si256(r2, m2));
+    __m256i vq = _mm256_or_si256(
+        _mm256_or_si256(_mm256_and_si256(r0, m2), _mm256_and_si256(r1, m1)),
+        _mm256_and_si256(r2, m0));
+
+    if (canonical) {
+      vs = permute_lanes(vs, kCanon[0]);
+      vp = permute_lanes(vp, kCanon[1]);
+      vq = permute_lanes(vq, kCanon[2]);
+    } else if (rotate) {
+      vp = rotate_lanes<1>(vp);
+      vq = rotate_lanes<2>(vq);
+    }
+
+    _mm256_store_si256(reinterpret_cast<__m256i*>(s + kL * b), vs);
+    _mm256_store_si256(reinterpret_cast<__m256i*>(p1 + kL * b), vp);
+    _mm256_store_si256(reinterpret_cast<__m256i*>(p2 + kL * b), vq);
+  }
+  return batches * kL;
+}
+
+std::size_t avx2_extract2(const std::int16_t* src, std::size_t n,
+                          std::int16_t* a, std::int16_t* b) {
+  const std::size_t regs = (2 * n) / kL;  // 8 pairs per ymm
+  for (std::size_t r = 0; r < regs; ++r) {
+    const __m256i v =
+        _mm256_load_si256(reinterpret_cast<const __m256i*>(src + kL * r));
+    const __m128i lo = _mm256_castsi256_si128(v);
+    const __m128i hi = _mm256_extracti128_si256(v, 1);
+    const std::size_t base = 8 * r;
+    const auto drain = [&](__m128i x, std::size_t at) {
+      a[at + 0] = static_cast<std::int16_t>(_mm_extract_epi16(x, 0));
+      b[at + 0] = static_cast<std::int16_t>(_mm_extract_epi16(x, 1));
+      a[at + 1] = static_cast<std::int16_t>(_mm_extract_epi16(x, 2));
+      b[at + 1] = static_cast<std::int16_t>(_mm_extract_epi16(x, 3));
+      a[at + 2] = static_cast<std::int16_t>(_mm_extract_epi16(x, 4));
+      b[at + 2] = static_cast<std::int16_t>(_mm_extract_epi16(x, 5));
+      a[at + 3] = static_cast<std::int16_t>(_mm_extract_epi16(x, 6));
+      b[at + 3] = static_cast<std::int16_t>(_mm_extract_epi16(x, 7));
+    };
+    drain(lo, base);
+    drain(hi, base + 4);
+  }
+  return regs * 8;
+}
+
+std::size_t avx2_apcm2(const std::int16_t* src, std::size_t n, std::int16_t* a,
+                       std::int16_t* b) {
+  // Even-lane mask + one-lane shift + or, then a fixed cross-lane
+  // canonicalization permute — same structure as the SSE kernel, at 16
+  // lanes. Batched order after or: [x0 x8 x1 x9 ... ] per half-interleave;
+  // derive pick programmatically.
+  alignas(32) static constexpr std::uint16_t kEven[kL] = {
+      0xFFFF, 0, 0xFFFF, 0, 0xFFFF, 0, 0xFFFF, 0,
+      0xFFFF, 0, 0xFFFF, 0, 0xFFFF, 0, 0xFFFF, 0};
+  // After a_lo | (a_hi << 1 lane): lane 2t   = a[t]      (t = 0..7)
+  //                                lane 2t+1 = a[8 + t]
+  // canonical[l] = batched[pick[l]]: pick[t] = 2t, pick[8+t] = 2t+1.
+  constexpr std::array<int, kL> kPick = {0, 2, 4,  6,  8,  10, 12, 14,
+                                         1, 3, 5,  7,  9,  11, 13, 15};
+  alignas(32) static constexpr SplitShuffle kFix = make_split_shuffle(kPick);
+
+  const __m256i even =
+      _mm256_load_si256(reinterpret_cast<const __m256i*>(kEven));
+
+  const std::size_t batches = n / kL;  // 16 pairs per 2-register batch
+  for (std::size_t bi = 0; bi < batches; ++bi) {
+    const std::int16_t* blk = src + 2 * kL * bi;
+    const __m256i r0 =
+        _mm256_load_si256(reinterpret_cast<const __m256i*>(blk));
+    const __m256i r1 =
+        _mm256_load_si256(reinterpret_cast<const __m256i*>(blk + kL));
+    const __m256i a_lo = _mm256_and_si256(r0, even);
+    const __m256i a_hi = _mm256_slli_epi32(_mm256_and_si256(r1, even), 16);
+    const __m256i b_lo = _mm256_srli_epi32(_mm256_andnot_si256(even, r0), 16);
+    const __m256i b_hi = _mm256_andnot_si256(even, r1);
+    __m256i va = _mm256_or_si256(a_lo, a_hi);
+    __m256i vb = _mm256_or_si256(b_lo, b_hi);
+    va = permute_lanes(va, kFix);
+    vb = permute_lanes(vb, kFix);
+    _mm256_store_si256(reinterpret_cast<__m256i*>(a + kL * bi), va);
+    _mm256_store_si256(reinterpret_cast<__m256i*>(b + kL * bi), vb);
+  }
+  return batches * kL;
+}
+
+}  // namespace vran::arrange::internal

@@ -1,0 +1,170 @@
+// Internal shared machinery for the arrangement kernels: the cluster/lane
+// residue algebra behind the APCM mask schedule, constexpr mask and
+// shuffle-pattern generators, and the scalar kernels every SIMD path
+// falls back to for stream tails.
+//
+// Residue algebra. One APCM batch loads 3 registers of L int16 lanes
+// (L in {8,16,32}); flattened element f = L*j + l of register j, lane l,
+// belongs to cluster c = f mod 3 (0 = S1, 1 = YP1, 2 = YP2) and has
+// canonical within-batch index (f - c) / 3. Because gcd(L,3) = 1, cluster
+// c occupies lanes l ≡ (c + j*mult) (mod 3) of register j, where
+// mult = (-L) mod 3. Hence three lane masks (l mod 3 == 0/1/2) suffice to
+// sample any cluster from any register, and OR-ing the three samples
+// congregates a full cluster into one register — the paper's Fig. 10
+// steps 2-3. Rotating cluster c's register left by c lanes aligns all
+// three to a common permutation sigma (step 4).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+
+#include "arrange/arrange.h"
+
+namespace vran::arrange::internal {
+
+/// mult = (-L) mod 3; the residue step between consecutive registers.
+constexpr int residue_mult(int lanes) { return (3 - lanes % 3) % 3; }
+
+/// Lane-residue the mask for cluster `c` in register `j` must select.
+constexpr int mask_residue(int cluster, int reg, int lanes) {
+  return (cluster + reg * residue_mult(lanes)) % 3;
+}
+
+/// Register j contributing to cluster c at lane l (inverse of the above).
+constexpr int source_reg(int cluster, int lane, int lanes) {
+  const int mult = residue_mult(lanes);
+  const int inv = (mult == 1) ? 1 : 2;  // inverse of mult mod 3
+  return (((lane - cluster) % 3 + 3) * inv) % 3;
+}
+
+/// Canonical within-batch index held (pre-rotation) by lane l of the
+/// congregated register for cluster c.
+constexpr int congregated_index(int cluster, int lane, int lanes) {
+  const int j = source_reg(cluster, lane, lanes);
+  return (lanes * j + lane - cluster) / 3;
+}
+
+/// sigma[l] for cluster 0 == the shared batch permutation after alignment.
+template <int L>
+constexpr std::array<int, L> make_sigma() {
+  std::array<int, L> s{};
+  for (int l = 0; l < L; ++l) s[l] = congregated_index(0, l, L);
+  return s;
+}
+
+/// Pre-alignment permutation of cluster c (the rotation-mimic layout).
+template <int L>
+constexpr std::array<int, L> make_sigma_cluster(int c) {
+  std::array<int, L> s{};
+  for (int l = 0; l < L; ++l) s[l] = congregated_index(c, l, L);
+  return s;
+}
+
+/// Inverse permutation.
+template <int L>
+constexpr std::array<int, L> invert(const std::array<int, L>& p) {
+  std::array<int, L> inv{};
+  for (int l = 0; l < L; ++l) inv[p[l]] = l;
+  return inv;
+}
+
+/// 16-bit lane mask constants: mask k selects lanes l with l mod 3 == k.
+template <int L>
+constexpr std::array<std::array<std::uint16_t, L>, 3> make_lane_masks3() {
+  std::array<std::array<std::uint16_t, L>, 3> m{};
+  for (int k = 0; k < 3; ++k)
+    for (int l = 0; l < L; ++l) m[k][l] = (l % 3 == k) ? 0xFFFFu : 0u;
+  return m;
+}
+
+/// Byte-level pshufb pattern moving 16-bit lane src[l] -> dst lane l, i.e.
+/// dst[l] = src[pick[l]]; pick[l] == -1 emits 0x80 (zero the lane).
+template <int L>
+constexpr std::array<std::uint8_t, 2 * L> make_pshufb(
+    const std::array<int, L>& pick) {
+  std::array<std::uint8_t, 2 * L> b{};
+  for (int l = 0; l < L; ++l) {
+    if (pick[l] < 0) {
+      b[2 * l] = 0x80;
+      b[2 * l + 1] = 0x80;
+    } else {
+      b[2 * l] = static_cast<std::uint8_t>(2 * pick[l]);
+      b[2 * l + 1] = static_cast<std::uint8_t>(2 * pick[l] + 1);
+    }
+  }
+  return b;
+}
+
+// ---------------------------------------------------------------------------
+// Scalar kernels (also the reference implementations for tests).
+// ---------------------------------------------------------------------------
+
+/// Canonical scalar de-interleave of `n` triples.
+inline void scalar_deinterleave3(const std::int16_t* src, std::size_t n,
+                                 std::int16_t* s, std::int16_t* p1,
+                                 std::int16_t* p2) {
+  for (std::size_t k = 0; k < n; ++k) {
+    s[k] = src[3 * k];
+    p1[k] = src[3 * k + 1];
+    p2[k] = src[3 * k + 2];
+  }
+}
+
+/// Batched-order scalar de-interleave: full batches of `lanes` triples in
+/// sigma order (shared sigma for kInRegister, per-cluster sigma for the
+/// offset mimic), canonical tail. Emulates the SIMD batched layout
+/// exactly.
+void scalar_deinterleave3_batched(const std::int16_t* src, std::size_t n,
+                                  std::int16_t* s, std::int16_t* p1,
+                                  std::int16_t* p2, int lanes,
+                                  Rotation rotation);
+
+/// Scalar stride-2 split.
+inline void scalar_deinterleave2(const std::int16_t* src, std::size_t n,
+                                 std::int16_t* a, std::int16_t* b) {
+  for (std::size_t k = 0; k < n; ++k) {
+    a[k] = src[2 * k];
+    b[k] = src[2 * k + 1];
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Per-ISA kernel entry points. Each processes the maximal whole number of
+// batches and returns the count of triples consumed; the dispatcher
+// finishes the tail with the scalar kernel. Implemented in arrange_sse.cc,
+// arrange_avx2.cc, arrange_avx512.cc (dedicated -m flags per TU).
+// ---------------------------------------------------------------------------
+
+std::size_t sse_extract3(const std::int16_t* src, std::size_t n,
+                         std::int16_t* s, std::int16_t* p1, std::int16_t* p2);
+std::size_t sse_apcm3(const std::int16_t* src, std::size_t n, std::int16_t* s,
+                      std::int16_t* p1, std::int16_t* p2, Order order,
+                      Rotation rotation);
+std::size_t sse_apcm2(const std::int16_t* src, std::size_t n, std::int16_t* a,
+                      std::int16_t* b);
+std::size_t sse_extract2(const std::int16_t* src, std::size_t n,
+                         std::int16_t* a, std::int16_t* b);
+
+std::size_t avx2_extract3(const std::int16_t* src, std::size_t n,
+                          std::int16_t* s, std::int16_t* p1, std::int16_t* p2);
+std::size_t avx2_apcm3(const std::int16_t* src, std::size_t n, std::int16_t* s,
+                       std::int16_t* p1, std::int16_t* p2, Order order,
+                       Rotation rotation);
+std::size_t avx2_apcm2(const std::int16_t* src, std::size_t n, std::int16_t* a,
+                       std::int16_t* b);
+std::size_t avx2_extract2(const std::int16_t* src, std::size_t n,
+                          std::int16_t* a, std::int16_t* b);
+
+std::size_t avx512_extract3(const std::int16_t* src, std::size_t n,
+                            std::int16_t* s, std::int16_t* p1,
+                            std::int16_t* p2);
+std::size_t avx512_apcm3(const std::int16_t* src, std::size_t n,
+                         std::int16_t* s, std::int16_t* p1, std::int16_t* p2,
+                         Order order, Rotation rotation);
+std::size_t avx512_apcm2(const std::int16_t* src, std::size_t n,
+                         std::int16_t* a, std::int16_t* b);
+std::size_t avx512_extract2(const std::int16_t* src, std::size_t n,
+                            std::int16_t* a, std::int16_t* b);
+
+}  // namespace vran::arrange::internal

@@ -1,0 +1,211 @@
+// 128-bit (xmm) arrangement kernels.
+//
+// Extract path: the original OAI mechanism — 8x `pextrw` per register,
+// scattering 16-bit values to the three destination arrays through the
+// store ports only (paper §5.2, 12.5 % of the register<->L1 path per op).
+//
+// APCM path: 3 aligned loads, 9 `pand` + 6 `por` (the mask schedule from
+// arrange_internal.h), 2 `palignr` rotations, then 3 full-width aligned
+// stores — the paper's 17-instruction batch (Fig. 10/11).
+#include <immintrin.h>
+
+#include "arrange/arrange_internal.h"
+
+namespace vran::arrange::internal {
+
+namespace {
+
+constexpr int kL = 8;  // int16 lanes per xmm
+
+alignas(16) constexpr auto kMasks = make_lane_masks3<kL>();
+// Fused canonicalization: one pshufb per output undoes BOTH the
+// congregation permutation and the cluster misalignment (the explicit
+// rotation is only needed when keeping the batched layout).
+alignas(16) constexpr std::array<std::array<std::uint8_t, 2 * kL>, 3>
+    kCanonShuffle = {make_pshufb<kL>(invert<kL>(make_sigma_cluster<kL>(0))),
+                     make_pshufb<kL>(invert<kL>(make_sigma_cluster<kL>(1))),
+                     make_pshufb<kL>(invert<kL>(make_sigma_cluster<kL>(2)))};
+
+inline __m128i load_mask(int k) {
+  return _mm_load_si128(reinterpret_cast<const __m128i*>(kMasks[k].data()));
+}
+
+/// dst[l] = src[(l + k) mod 8] — left rotate by k 16-bit lanes.
+template <int K>
+inline __m128i rotate_lanes(__m128i v) {
+  return _mm_alignr_epi8(v, v, 2 * K);
+}
+
+inline void extract_store8(__m128i v, const std::size_t base,
+                           std::int16_t* s, std::int16_t* p1,
+                           std::int16_t* p2) {
+  // base = flattened index of lane 0. Each extracted word goes to the
+  // destination its (index mod 3) selects — the OAI scatter pattern.
+  std::int16_t* const dst[3] = {s, p1, p2};
+  const auto put = [&](int lane, int w) {
+    const std::size_t f = base + static_cast<std::size_t>(lane);
+    dst[f % 3][f / 3] = static_cast<std::int16_t>(w);
+  };
+  put(0, _mm_extract_epi16(v, 0));
+  put(1, _mm_extract_epi16(v, 1));
+  put(2, _mm_extract_epi16(v, 2));
+  put(3, _mm_extract_epi16(v, 3));
+  put(4, _mm_extract_epi16(v, 4));
+  put(5, _mm_extract_epi16(v, 5));
+  put(6, _mm_extract_epi16(v, 6));
+  put(7, _mm_extract_epi16(v, 7));
+}
+
+}  // namespace
+
+std::size_t sse_extract3(const std::int16_t* src, std::size_t n,
+                         std::int16_t* s, std::int16_t* p1, std::int16_t* p2) {
+  const std::size_t batches = n / kL;
+  for (std::size_t b = 0; b < batches; ++b) {
+    const std::int16_t* blk = src + 3 * kL * b;
+    for (int j = 0; j < 3; ++j) {
+      const __m128i v =
+          _mm_load_si128(reinterpret_cast<const __m128i*>(blk + kL * j));
+      extract_store8(v, 3 * kL * b + static_cast<std::size_t>(kL * j), s, p1,
+                     p2);
+    }
+  }
+  return batches * kL;
+}
+
+std::size_t sse_apcm3(const std::int16_t* src, std::size_t n, std::int16_t* s,
+                      std::int16_t* p1, std::int16_t* p2, Order order,
+                      Rotation rotation) {
+  const __m128i m0 = load_mask(0);
+  const __m128i m1 = load_mask(1);
+  const __m128i m2 = load_mask(2);
+  const __m128i canon0 = _mm_load_si128(
+      reinterpret_cast<const __m128i*>(kCanonShuffle[0].data()));
+  const __m128i canon1 = _mm_load_si128(
+      reinterpret_cast<const __m128i*>(kCanonShuffle[1].data()));
+  const __m128i canon2 = _mm_load_si128(
+      reinterpret_cast<const __m128i*>(kCanonShuffle[2].data()));
+  const bool canonical = order == Order::kCanonical;
+  const bool rotate = rotation == Rotation::kInRegister;
+
+  const std::size_t batches = n / kL;
+  for (std::size_t b = 0; b < batches; ++b) {
+    const std::int16_t* blk = src + 3 * kL * b;
+    const __m128i r0 = _mm_load_si128(reinterpret_cast<const __m128i*>(blk));
+    const __m128i r1 =
+        _mm_load_si128(reinterpret_cast<const __m128i*>(blk + kL));
+    const __m128i r2 =
+        _mm_load_si128(reinterpret_cast<const __m128i*>(blk + 2 * kL));
+
+    // Congregate: mask residue for cluster c, register j is (c + j) mod 3
+    // at L = 8 (residue_mult = 1).
+    __m128i vs = _mm_or_si128(
+        _mm_or_si128(_mm_and_si128(r0, m0), _mm_and_si128(r1, m1)),
+        _mm_and_si128(r2, m2));
+    __m128i vp = _mm_or_si128(
+        _mm_or_si128(_mm_and_si128(r0, m1), _mm_and_si128(r1, m2)),
+        _mm_and_si128(r2, m0));
+    __m128i vq = _mm_or_si128(
+        _mm_or_si128(_mm_and_si128(r0, m2), _mm_and_si128(r1, m0)),
+        _mm_and_si128(r2, m1));
+
+    if (canonical) {
+      // Alignment folds into the per-cluster inverse shuffles for free.
+      vs = _mm_shuffle_epi8(vs, canon0);
+      vp = _mm_shuffle_epi8(vp, canon1);
+      vq = _mm_shuffle_epi8(vq, canon2);
+    } else if (rotate) {
+      // Align YP1 / YP2 to S1's permutation (Fig. 10 step 4); the
+      // offset-mimic variant skips this and lets consumers index via
+      // batch_sigma_cluster (paper Fig. 12).
+      vp = rotate_lanes<1>(vp);
+      vq = rotate_lanes<2>(vq);
+    }
+
+    _mm_store_si128(reinterpret_cast<__m128i*>(s + kL * b), vs);
+    _mm_store_si128(reinterpret_cast<__m128i*>(p1 + kL * b), vp);
+    _mm_store_si128(reinterpret_cast<__m128i*>(p2 + kL * b), vq);
+  }
+  return batches * kL;
+}
+
+std::size_t sse_extract2(const std::int16_t* src, std::size_t n,
+                         std::int16_t* a, std::int16_t* b) {
+  const std::size_t pairs_per_reg = kL / 2;  // 4 pairs per xmm
+  const std::size_t regs = (2 * n) / kL;
+  for (std::size_t r = 0; r < regs; ++r) {
+    const __m128i v =
+        _mm_load_si128(reinterpret_cast<const __m128i*>(src + kL * r));
+    const std::size_t base = pairs_per_reg * r;
+    a[base + 0] = static_cast<std::int16_t>(_mm_extract_epi16(v, 0));
+    b[base + 0] = static_cast<std::int16_t>(_mm_extract_epi16(v, 1));
+    a[base + 1] = static_cast<std::int16_t>(_mm_extract_epi16(v, 2));
+    b[base + 1] = static_cast<std::int16_t>(_mm_extract_epi16(v, 3));
+    a[base + 2] = static_cast<std::int16_t>(_mm_extract_epi16(v, 4));
+    b[base + 2] = static_cast<std::int16_t>(_mm_extract_epi16(v, 5));
+    a[base + 3] = static_cast<std::int16_t>(_mm_extract_epi16(v, 6));
+    b[base + 3] = static_cast<std::int16_t>(_mm_extract_epi16(v, 7));
+  }
+  return regs * pairs_per_reg;
+}
+
+std::size_t sse_apcm2(const std::int16_t* src, std::size_t n, std::int16_t* a,
+                      std::int16_t* b) {
+  // Stride-2 APCM: mask even lanes of both registers, shift the second
+  // register's contribution up one lane, OR, and undo the resulting
+  // even/odd interleave with one pshufb per output (canonical order).
+  alignas(16) static constexpr std::uint16_t kEven[kL] = {
+      0xFFFF, 0, 0xFFFF, 0, 0xFFFF, 0, 0xFFFF, 0};
+  // Post or: [a0 a4 a1 a5 a2 a6 a3 a7] -> canonical pick = [0,2,4,6,1,3,5,7]
+  constexpr std::array<int, kL> kPick = {0, 2, 4, 6, 1, 3, 5, 7};
+  alignas(16) static constexpr auto kFix = make_pshufb<kL>(kPick);
+
+  const __m128i even =
+      _mm_load_si128(reinterpret_cast<const __m128i*>(kEven));
+  const __m128i fix =
+      _mm_load_si128(reinterpret_cast<const __m128i*>(kFix.data()));
+
+  const std::size_t batches = n / kL;  // 8 pairs per 2-register batch
+  for (std::size_t bi = 0; bi < batches; ++bi) {
+    const std::int16_t* blk = src + 2 * kL * bi;
+    const __m128i r0 = _mm_load_si128(reinterpret_cast<const __m128i*>(blk));
+    const __m128i r1 =
+        _mm_load_si128(reinterpret_cast<const __m128i*>(blk + kL));
+    const __m128i a_lo = _mm_and_si128(r0, even);
+    const __m128i a_hi = _mm_slli_si128(_mm_and_si128(r1, even), 2);
+    const __m128i b_lo = _mm_srli_si128(_mm_andnot_si128(even, r0), 2);
+    const __m128i b_hi = _mm_andnot_si128(even, r1);
+    __m128i va = _mm_or_si128(a_lo, a_hi);  // [a0 a4 a1 a5 a2 a6 a3 a7]
+    __m128i vb = _mm_or_si128(b_lo, b_hi);  // [b0 b4 b1 b5 b2 b6 b3 b7]
+    va = _mm_shuffle_epi8(va, fix);
+    vb = _mm_shuffle_epi8(vb, fix);
+    _mm_store_si128(reinterpret_cast<__m128i*>(a + kL * bi), va);
+    _mm_store_si128(reinterpret_cast<__m128i*>(b + kL * bi), vb);
+  }
+  return batches * kL;
+}
+
+void scalar_deinterleave3_batched(const std::int16_t* src, std::size_t n,
+                                  std::int16_t* s, std::int16_t* p1,
+                                  std::int16_t* p2, int lanes,
+                                  Rotation rotation) {
+  const bool mimic = rotation == Rotation::kOffsetMimic;
+  const auto sig0 = batch_sigma_cluster(lanes, 0);
+  const auto sig1 = mimic ? batch_sigma_cluster(lanes, 1) : sig0;
+  const auto sig2 = mimic ? batch_sigma_cluster(lanes, 2) : sig0;
+  const std::size_t L = static_cast<std::size_t>(lanes);
+  const std::size_t batches = n / L;
+  for (std::size_t b = 0; b < batches; ++b) {
+    const std::int16_t* blk = src + 3 * L * b;
+    for (std::size_t l = 0; l < L; ++l) {
+      s[L * b + l] = blk[3 * static_cast<std::size_t>(sig0[l])];
+      p1[L * b + l] = blk[3 * static_cast<std::size_t>(sig1[l]) + 1];
+      p2[L * b + l] = blk[3 * static_cast<std::size_t>(sig2[l]) + 2];
+    }
+  }
+  const std::size_t done = batches * L;
+  scalar_deinterleave3(src + 3 * done, n - done, s + done, p1 + done,
+                       p2 + done);
+}
+
+}  // namespace vran::arrange::internal

@@ -1,0 +1,63 @@
+// Cache-line / vector-register aligned storage.
+//
+// Every SIMD kernel in this library requires (and asserts) 64-byte aligned
+// buffers so that aligned load/store forms (`vmovdqa64` etc., as in the
+// paper's §5.2) can be used on every tier up to AVX-512.
+#pragma once
+
+#include <cstddef>
+#include <cstdlib>
+#include <limits>
+#include <memory>
+#include <new>
+#include <vector>
+
+namespace vran {
+
+inline constexpr std::size_t kVectorAlign = 64;
+
+/// Minimal C++17 aligned allocator; usable with std::vector.
+template <typename T, std::size_t Align = kVectorAlign>
+struct AlignedAllocator {
+  using value_type = T;
+
+  // Explicit rebind: the non-type Align parameter defeats the automatic
+  // allocator_traits rebind, which only handles type-only parameter packs.
+  template <typename U>
+  struct rebind {
+    using other = AlignedAllocator<U, Align>;
+  };
+
+  AlignedAllocator() noexcept = default;
+  template <typename U>
+  AlignedAllocator(const AlignedAllocator<U, Align>&) noexcept {}
+
+  T* allocate(std::size_t n) {
+    if (n > std::numeric_limits<std::size_t>::max() / sizeof(T)) {
+      throw std::bad_alloc();
+    }
+    void* p = ::operator new(n * sizeof(T), std::align_val_t(Align));
+    return static_cast<T*>(p);
+  }
+
+  void deallocate(T* p, std::size_t) noexcept {
+    ::operator delete(p, std::align_val_t(Align));
+  }
+
+  template <typename U>
+  bool operator==(const AlignedAllocator<U, Align>&) const noexcept {
+    return true;
+  }
+};
+
+/// std::vector with 64-byte aligned storage — the default container for
+/// LLR streams and SIMD working sets throughout the library.
+template <typename T>
+using AlignedVector = std::vector<T, AlignedAllocator<T>>;
+
+/// True when `p` is aligned to `align` bytes.
+inline bool is_aligned(const void* p, std::size_t align = kVectorAlign) {
+  return (reinterpret_cast<std::uintptr_t>(p) % align) == 0;
+}
+
+}  // namespace vran

@@ -1,0 +1,50 @@
+#include "common/bitio.h"
+
+#include <stdexcept>
+
+namespace vran {
+
+std::vector<std::uint8_t> unpack_bits(std::span<const std::uint8_t> bytes) {
+  return unpack_bits(bytes, bytes.size() * 8);
+}
+
+std::vector<std::uint8_t> unpack_bits(std::span<const std::uint8_t> bytes,
+                                      std::size_t nbits) {
+  if (nbits > bytes.size() * 8) {
+    throw std::invalid_argument("unpack_bits: nbits exceeds input");
+  }
+  std::vector<std::uint8_t> bits(nbits);
+  for (std::size_t i = 0; i < nbits; ++i) {
+    bits[i] = (bytes[i / 8] >> (7 - (i % 8))) & 1u;
+  }
+  return bits;
+}
+
+std::vector<std::uint8_t> pack_bits(std::span<const std::uint8_t> bits) {
+  std::vector<std::uint8_t> bytes((bits.size() + 7) / 8, 0);
+  for (std::size_t i = 0; i < bits.size(); ++i) {
+    if (bits[i] & 1u) bytes[i / 8] |= static_cast<std::uint8_t>(1u << (7 - (i % 8)));
+  }
+  return bytes;
+}
+
+void append_bits(std::vector<std::uint8_t>& bits, std::uint32_t value,
+                 int width) {
+  for (int b = width - 1; b >= 0; --b) {
+    bits.push_back(static_cast<std::uint8_t>((value >> b) & 1u));
+  }
+}
+
+std::uint32_t read_bits(std::span<const std::uint8_t> bits, std::size_t& pos,
+                        int width) {
+  if (pos + static_cast<std::size_t>(width) > bits.size()) {
+    throw std::out_of_range("read_bits: past end of bit stream");
+  }
+  std::uint32_t v = 0;
+  for (int b = 0; b < width; ++b) {
+    v = (v << 1) | (bits[pos++] & 1u);
+  }
+  return v;
+}
+
+}  // namespace vran

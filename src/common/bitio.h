@@ -1,0 +1,33 @@
+// Bit-level packing utilities shared by CRC, channel coding and the MAC
+// PDU codecs. Bits travel through the PHY as one byte per bit (0/1), the
+// layout OAI uses between channel-coding stages; these helpers convert to
+// and from packed bytes at the MAC boundary.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace vran {
+
+/// Expand packed bytes (MSB first) into one-bit-per-byte form.
+std::vector<std::uint8_t> unpack_bits(std::span<const std::uint8_t> bytes);
+
+/// Expand only the first `nbits` bits.
+std::vector<std::uint8_t> unpack_bits(std::span<const std::uint8_t> bytes,
+                                      std::size_t nbits);
+
+/// Pack one-bit-per-byte values (each 0 or 1, MSB first) into bytes. The
+/// tail is zero-padded to a byte boundary.
+std::vector<std::uint8_t> pack_bits(std::span<const std::uint8_t> bits);
+
+/// Append `width` bits of `value` (MSB first) to `bits`.
+void append_bits(std::vector<std::uint8_t>& bits, std::uint32_t value,
+                 int width);
+
+/// Read `width` bits (MSB first) starting at `pos`; advances `pos`.
+std::uint32_t read_bits(std::span<const std::uint8_t> bits, std::size_t& pos,
+                        int width);
+
+}  // namespace vran

@@ -1,0 +1,61 @@
+#include "common/cpu_features.h"
+
+#include <cpuid.h>
+
+#include <stdexcept>
+
+namespace vran {
+
+const char* isa_name(IsaLevel isa) {
+  switch (isa) {
+    case IsaLevel::kScalar: return "scalar";
+    case IsaLevel::kSse41: return "sse128";
+    case IsaLevel::kAvx2: return "avx256";
+    case IsaLevel::kAvx512: return "avx512";
+  }
+  return "unknown";
+}
+
+IsaLevel isa_from_name(const std::string& name) {
+  if (name == "scalar") return IsaLevel::kScalar;
+  if (name == "sse128" || name == "sse" || name == "sse41") return IsaLevel::kSse41;
+  if (name == "avx256" || name == "avx2") return IsaLevel::kAvx2;
+  if (name == "avx512") return IsaLevel::kAvx512;
+  throw std::invalid_argument("unknown ISA name: " + name);
+}
+
+IsaLevel CpuFeatures::best() const {
+  if (avx512f && avx512bw && avx512vl && avx512dq) return IsaLevel::kAvx512;
+  if (avx2) return IsaLevel::kAvx2;
+  if (sse41) return IsaLevel::kSse41;
+  return IsaLevel::kScalar;
+}
+
+namespace {
+
+CpuFeatures probe() {
+  CpuFeatures f;
+  unsigned eax = 0, ebx = 0, ecx = 0, edx = 0;
+  if (__get_cpuid(1, &eax, &ebx, &ecx, &edx)) {
+    f.sse41 = (ecx >> 19) & 1u;
+  }
+  if (__get_cpuid_count(7, 0, &eax, &ebx, &ecx, &edx)) {
+    f.avx2 = (ebx >> 5) & 1u;
+    f.avx512f = (ebx >> 16) & 1u;
+    f.avx512dq = (ebx >> 17) & 1u;
+    f.avx512bw = (ebx >> 30) & 1u;
+    f.avx512vl = (ebx >> 31) & 1u;
+  }
+  return f;
+}
+
+}  // namespace
+
+const CpuFeatures& cpu_features() {
+  static const CpuFeatures f = probe();
+  return f;
+}
+
+IsaLevel best_isa() { return cpu_features().best(); }
+
+}  // namespace vran

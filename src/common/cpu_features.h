@@ -1,0 +1,61 @@
+// CPUID-based runtime ISA feature detection.
+//
+// All SIMD kernels in this library are compiled into dedicated translation
+// units with per-file ISA flags and selected at runtime through this probe,
+// so a binary built on an AVX-512 host still runs on an SSE4-only one.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace vran {
+
+/// ISA tiers used by the dispatching kernels. Ordered: a higher tier
+/// implies every lower tier is also usable.
+enum class IsaLevel : std::uint8_t {
+  kScalar = 0,   ///< no SIMD kernels (reference paths only)
+  kSse41 = 1,    ///< SSE2..SSE4.1, 128-bit xmm
+  kAvx2 = 2,     ///< AVX2, 256-bit ymm
+  kAvx512 = 3,   ///< AVX-512 F/BW/VL/DQ, 512-bit zmm
+};
+
+/// Bit width of the vector registers at a given ISA tier (scalar -> 64,
+/// the width of a general-purpose register).
+constexpr int register_bits(IsaLevel isa) {
+  switch (isa) {
+    case IsaLevel::kScalar: return 64;
+    case IsaLevel::kSse41: return 128;
+    case IsaLevel::kAvx2: return 256;
+    case IsaLevel::kAvx512: return 512;
+  }
+  return 64;
+}
+
+/// Short lowercase name ("scalar", "sse128", "avx256", "avx512"), matching
+/// the labels the paper uses in its figures.
+const char* isa_name(IsaLevel isa);
+
+/// Parse an `isa_name` string back to a level; throws std::invalid_argument
+/// on unknown names.
+IsaLevel isa_from_name(const std::string& name);
+
+/// Feature flags discovered via CPUID.
+struct CpuFeatures {
+  bool sse41 = false;
+  bool avx2 = false;
+  bool avx512f = false;
+  bool avx512bw = false;
+  bool avx512vl = false;
+  bool avx512dq = false;
+
+  /// Highest tier whose full feature set is present.
+  IsaLevel best() const;
+};
+
+/// Probe the executing CPU once; cached after the first call. Thread-safe.
+const CpuFeatures& cpu_features();
+
+/// Convenience: highest usable tier on this machine.
+IsaLevel best_isa();
+
+}  // namespace vran

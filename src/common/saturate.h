@@ -1,0 +1,37 @@
+// Saturating fixed-point helpers for int16 LLR arithmetic.
+//
+// The turbo decoder and demappers work on Q-format int16 log-likelihood
+// ratios; all scalar reference paths must saturate exactly like the packed
+// SIMD instructions (`paddsw`, `psubsw`) so that scalar and vector kernels
+// are bit-identical.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+
+namespace vran {
+
+/// int16 saturating add, semantics of `paddsw`.
+constexpr std::int16_t sat_add16(std::int16_t a, std::int16_t b) {
+  const int s = int{a} + int{b};
+  return static_cast<std::int16_t>(std::clamp(s, -32768, 32767));
+}
+
+/// int16 saturating subtract, semantics of `psubsw`.
+constexpr std::int16_t sat_sub16(std::int16_t a, std::int16_t b) {
+  const int s = int{a} - int{b};
+  return static_cast<std::int16_t>(std::clamp(s, -32768, 32767));
+}
+
+/// int8 saturating add, semantics of `paddsb`.
+constexpr std::int8_t sat_add8(std::int8_t a, std::int8_t b) {
+  const int s = int{a} + int{b};
+  return static_cast<std::int8_t>(std::clamp(s, -128, 127));
+}
+
+/// Clamp a wide accumulator into int16 range.
+constexpr std::int16_t sat_narrow16(int v) {
+  return static_cast<std::int16_t>(std::clamp(v, -32768, 32767));
+}
+
+}  // namespace vran

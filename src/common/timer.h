@@ -1,0 +1,77 @@
+// Wall-clock and cycle timers for the benchmark harnesses.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+#if defined(__x86_64__) || defined(_M_X64)
+#include <x86intrin.h>
+#endif
+
+namespace vran {
+
+/// Serializing TSC read (rdtscp) — cycle-granularity timing of kernels.
+inline std::uint64_t rdtsc() {
+#if defined(__x86_64__) || defined(_M_X64)
+  unsigned aux = 0;
+  return __rdtscp(&aux);
+#else
+  return static_cast<std::uint64_t>(
+      std::chrono::steady_clock::now().time_since_epoch().count());
+#endif
+}
+
+/// Monotonic wall-clock stopwatch.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(clock::now()) {}
+
+  void reset() { start_ = clock::now(); }
+
+  double seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+  double millis() const { return seconds() * 1e3; }
+  double micros() const { return seconds() * 1e6; }
+  double nanos() const { return seconds() * 1e9; }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+/// Accumulating per-module CPU-time meter used by the pipeline to produce
+/// the paper's per-module CPU-share figures (Figs. 3 and 4).
+class TimeAccumulator {
+ public:
+  void add(double seconds) {
+    total_ += seconds;
+    ++count_;
+  }
+  double total_seconds() const { return total_; }
+  std::uint64_t count() const { return count_; }
+  double mean_seconds() const { return count_ ? total_ / double(count_) : 0.0; }
+  void reset() {
+    total_ = 0.0;
+    count_ = 0;
+  }
+
+ private:
+  double total_ = 0.0;
+  std::uint64_t count_ = 0;
+};
+
+/// RAII scope timer feeding a TimeAccumulator.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(TimeAccumulator& acc) : acc_(acc) {}
+  ~ScopedTimer() { acc_.add(sw_.seconds()); }
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  TimeAccumulator& acc_;
+  Stopwatch sw_;
+};
+
+}  // namespace vran

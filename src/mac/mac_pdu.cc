@@ -1,0 +1,36 @@
+#include "mac/mac_pdu.h"
+
+#include <stdexcept>
+
+namespace vran::mac {
+
+std::vector<std::uint8_t> mac_build_pdu(const MacSdu& sdu,
+                                        std::size_t tb_bytes) {
+  if (sdu.data.size() + kMacHeaderBytes > tb_bytes) {
+    throw std::invalid_argument("mac_build_pdu: SDU does not fit TB");
+  }
+  if (sdu.data.size() > 0xFFFFFF) {
+    throw std::invalid_argument("mac_build_pdu: SDU too large");
+  }
+  std::vector<std::uint8_t> pdu(tb_bytes, 0);
+  pdu[0] = sdu.lcid;
+  pdu[1] = static_cast<std::uint8_t>(sdu.data.size() >> 16);
+  pdu[2] = static_cast<std::uint8_t>(sdu.data.size() >> 8);
+  pdu[3] = static_cast<std::uint8_t>(sdu.data.size());
+  std::copy(sdu.data.begin(), sdu.data.end(), pdu.begin() + kMacHeaderBytes);
+  return pdu;
+}
+
+std::optional<MacSdu> mac_parse_pdu(std::span<const std::uint8_t> pdu) {
+  if (pdu.size() < kMacHeaderBytes) return std::nullopt;
+  const std::size_t len = (std::size_t{pdu[1]} << 16) |
+                          (std::size_t{pdu[2]} << 8) | std::size_t{pdu[3]};
+  if (len + kMacHeaderBytes > pdu.size()) return std::nullopt;
+  MacSdu sdu;
+  sdu.lcid = pdu[0];
+  sdu.data.assign(pdu.begin() + kMacHeaderBytes,
+                  pdu.begin() + kMacHeaderBytes + static_cast<std::ptrdiff_t>(len));
+  return sdu;
+}
+
+}  // namespace vran::mac

@@ -1,0 +1,32 @@
+// Minimal MAC PDU framing: a 4-byte header (logical channel id + 24-bit
+// SDU length) followed by the SDU and zero padding to the transport-block
+// size. Enough structure for the pipeline to carry real IP packets
+// through the PHY and recover them intact on the far side.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+namespace vran::mac {
+
+struct MacSdu {
+  std::uint8_t lcid = 0;
+  std::vector<std::uint8_t> data;
+
+  friend bool operator==(const MacSdu&, const MacSdu&) = default;
+};
+
+inline constexpr int kMacHeaderBytes = 4;
+
+/// Build a MAC PDU of exactly `tb_bytes` (throws if the SDU + header do
+/// not fit).
+std::vector<std::uint8_t> mac_build_pdu(const MacSdu& sdu,
+                                        std::size_t tb_bytes);
+
+/// Parse a PDU; nullopt when the header is inconsistent with the PDU
+/// size.
+std::optional<MacSdu> mac_parse_pdu(std::span<const std::uint8_t> pdu);
+
+}  // namespace vran::mac

@@ -1,0 +1,106 @@
+#include "mac/rlc.h"
+
+#include <stdexcept>
+
+namespace vran::mac {
+
+std::vector<RlcSegment> rlc_segment(std::span<const std::uint8_t> sdu,
+                                    std::uint16_t sdu_id,
+                                    std::size_t max_segment_bytes) {
+  if (max_segment_bytes <= kRlcHeaderBytes) {
+    throw std::invalid_argument("rlc_segment: budget below header size");
+  }
+  const std::size_t chunk = max_segment_bytes - kRlcHeaderBytes;
+  const std::size_t total = sdu.empty() ? 1 : (sdu.size() + chunk - 1) / chunk;
+  if (total > 255) {
+    throw std::invalid_argument("rlc_segment: SDU needs > 255 segments");
+  }
+  std::vector<RlcSegment> out;
+  out.reserve(total);
+  for (std::size_t i = 0; i < total; ++i) {
+    RlcSegment seg;
+    seg.sdu_id = sdu_id;
+    seg.index = static_cast<std::uint8_t>(i);
+    seg.total = static_cast<std::uint8_t>(total);
+    const std::size_t at = i * chunk;
+    const std::size_t take = std::min(chunk, sdu.size() - at);
+    seg.payload.assign(sdu.begin() + static_cast<std::ptrdiff_t>(at),
+                       sdu.begin() + static_cast<std::ptrdiff_t>(at + take));
+    out.push_back(std::move(seg));
+  }
+  return out;
+}
+
+std::vector<std::uint8_t> rlc_serialize(const RlcSegment& seg) {
+  if (seg.payload.size() > 0xFFFF) {
+    throw std::invalid_argument("rlc_serialize: payload too large");
+  }
+  std::vector<std::uint8_t> out;
+  out.reserve(kRlcHeaderBytes + seg.payload.size());
+  out.push_back(static_cast<std::uint8_t>(seg.sdu_id >> 8));
+  out.push_back(static_cast<std::uint8_t>(seg.sdu_id));
+  out.push_back(seg.index);
+  out.push_back(seg.total);
+  out.push_back(static_cast<std::uint8_t>(seg.payload.size() >> 8));
+  out.push_back(static_cast<std::uint8_t>(seg.payload.size()));
+  out.insert(out.end(), seg.payload.begin(), seg.payload.end());
+  return out;
+}
+
+std::optional<RlcSegment> rlc_parse(std::span<const std::uint8_t> bytes) {
+  if (bytes.size() < kRlcHeaderBytes) return std::nullopt;
+  RlcSegment seg;
+  seg.sdu_id = static_cast<std::uint16_t>((bytes[0] << 8) | bytes[1]);
+  seg.index = bytes[2];
+  seg.total = bytes[3];
+  const std::size_t len = static_cast<std::size_t>((bytes[4] << 8) | bytes[5]);
+  if (seg.total == 0 || seg.index >= seg.total ||
+      kRlcHeaderBytes + len > bytes.size()) {
+    return std::nullopt;
+  }
+  seg.payload.assign(bytes.begin() + kRlcHeaderBytes,
+                     bytes.begin() + kRlcHeaderBytes +
+                         static_cast<std::ptrdiff_t>(len));
+  return seg;
+}
+
+RlcReassembler::RlcReassembler(std::size_t max_pending)
+    : max_pending_(max_pending) {}
+
+std::optional<std::vector<std::uint8_t>> RlcReassembler::push(
+    const RlcSegment& seg) {
+  if (seg.total == 0 || seg.index >= seg.total) {
+    ++discarded_;
+    return std::nullopt;
+  }
+  auto it = pending_.find(seg.sdu_id);
+  if (it == pending_.end()) {
+    if (pending_.size() >= max_pending_) {
+      // Evict the oldest partial SDU (lowest id) — bounded memory, as a
+      // real UM RLC entity does via its reassembly window.
+      discarded_ += pending_.begin()->second.received;
+      pending_.erase(pending_.begin());
+    }
+    Partial p;
+    p.pieces.resize(seg.total);
+    it = pending_.emplace(seg.sdu_id, std::move(p)).first;
+  }
+  Partial& p = it->second;
+  if (p.pieces.size() != seg.total ||
+      !p.pieces[seg.index].empty()) {
+    ++discarded_;  // inconsistent total or duplicate segment
+    return std::nullopt;
+  }
+  p.pieces[seg.index] = seg.payload;
+  ++p.received;
+  if (p.received < p.pieces.size()) return std::nullopt;
+
+  std::vector<std::uint8_t> sdu;
+  for (const auto& piece : p.pieces) {
+    sdu.insert(sdu.end(), piece.begin(), piece.end());
+  }
+  pending_.erase(it);
+  return sdu;
+}
+
+}  // namespace vran::mac

@@ -1,0 +1,58 @@
+// RLC-lite (unacknowledged mode): segmentation and in-order reassembly
+// of SDUs across transport blocks, so packets larger than one TTI's TBS
+// still traverse the PHY. Each segment carries a 6-byte header: SDU id,
+// segment index, total segments, and segment length.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <span>
+#include <vector>
+
+namespace vran::mac {
+
+inline constexpr int kRlcHeaderBytes = 6;
+
+struct RlcSegment {
+  std::uint16_t sdu_id = 0;
+  std::uint8_t index = 0;
+  std::uint8_t total = 0;
+  std::vector<std::uint8_t> payload;
+};
+
+/// Split an SDU into segments whose serialized size (header + payload)
+/// fits `max_segment_bytes`. Throws if the SDU needs more than 255
+/// segments or the budget cannot fit any payload.
+std::vector<RlcSegment> rlc_segment(std::span<const std::uint8_t> sdu,
+                                    std::uint16_t sdu_id,
+                                    std::size_t max_segment_bytes);
+
+/// Serialize / parse one segment.
+std::vector<std::uint8_t> rlc_serialize(const RlcSegment& seg);
+std::optional<RlcSegment> rlc_parse(std::span<const std::uint8_t> bytes);
+
+/// Receive-side reassembly across (possibly interleaved) SDUs. Completed
+/// SDUs pop out of `push`; incomplete state is bounded by `max_pending`.
+class RlcReassembler {
+ public:
+  explicit RlcReassembler(std::size_t max_pending = 16);
+
+  /// Feed one segment; returns the completed SDU when this segment was
+  /// the last missing piece.
+  std::optional<std::vector<std::uint8_t>> push(const RlcSegment& seg);
+
+  std::size_t pending() const { return pending_.size(); }
+  std::uint64_t discarded() const { return discarded_; }
+
+ private:
+  struct Partial {
+    std::vector<std::vector<std::uint8_t>> pieces;
+    std::size_t received = 0;
+  };
+  std::size_t max_pending_;
+  std::map<std::uint16_t, Partial> pending_;
+  std::uint64_t discarded_ = 0;
+};
+
+}  // namespace vran::mac

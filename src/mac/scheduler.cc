@@ -1,0 +1,89 @@
+#include "mac/scheduler.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "mac/tbs_tables.h"
+#include "mac/mac_pdu.h"
+
+namespace vran::mac {
+
+RoundRobinScheduler::RoundRobinScheduler(int total_prb)
+    : total_prb_(total_prb) {
+  if (total_prb <= 0) {
+    throw std::invalid_argument("scheduler: total_prb <= 0");
+  }
+}
+
+void RoundRobinScheduler::add_ue(const UeContext& ue) {
+  for (const auto& u : ues_) {
+    if (u.rnti == ue.rnti) {
+      throw std::invalid_argument("scheduler: duplicate RNTI");
+    }
+  }
+  ues_.push_back(ue);
+}
+
+bool RoundRobinScheduler::remove_ue(std::uint16_t rnti) {
+  const auto it = std::find_if(ues_.begin(), ues_.end(),
+                               [&](const UeContext& u) { return u.rnti == rnti; });
+  if (it == ues_.end()) return false;
+  ues_.erase(it);
+  if (next_ >= ues_.size()) next_ = 0;
+  return true;
+}
+
+void RoundRobinScheduler::report_backlog(std::uint16_t rnti,
+                                         std::uint32_t bytes) {
+  for (auto& u : ues_) {
+    if (u.rnti == rnti) {
+      u.backlog_bytes = bytes;
+      return;
+    }
+  }
+  throw std::invalid_argument("scheduler: unknown RNTI");
+}
+
+std::vector<Grant> RoundRobinScheduler::schedule_tti(int tti) {
+  std::vector<Grant> grants;
+  if (ues_.empty()) return grants;
+
+  int prb_free = total_prb_;
+  int rb_start = 0;
+  for (std::size_t visited = 0; visited < ues_.size() && prb_free > 0;
+       ++visited) {
+    UeContext& ue = ues_[(next_ + visited) % ues_.size()];
+    if (ue.backlog_bytes == 0) continue;
+
+    const int want_bits =
+        static_cast<int>(std::min<std::uint32_t>(ue.backlog_bytes, 9000)) * 8;
+    int n_prb;
+    try {
+      n_prb = prbs_for_payload(want_bits + 8 * kMacHeaderBytes, ue.mcs,
+                               prb_free);
+    } catch (const std::out_of_range&) {
+      n_prb = prb_free;  // give everything we have
+    }
+
+    Grant g;
+    g.rnti = ue.rnti;
+    g.tbs_bits = transport_block_bits(ue.mcs, n_prb);
+    g.dci.rb_start = static_cast<std::uint8_t>(rb_start);
+    g.dci.rb_len = static_cast<std::uint8_t>(n_prb);
+    g.dci.mcs = static_cast<std::uint8_t>(ue.mcs);
+    g.dci.harq_id = static_cast<std::uint8_t>(tti % 8);
+    g.dci.ndi = 1;
+    g.dci.rv = 0;
+    grants.push_back(g);
+
+    const std::uint32_t served =
+        static_cast<std::uint32_t>(g.tbs_bits / 8 - kMacHeaderBytes);
+    ue.backlog_bytes -= std::min(ue.backlog_bytes, served);
+    prb_free -= n_prb;
+    rb_start += n_prb;
+  }
+  next_ = ues_.empty() ? 0 : (next_ + 1) % ues_.size();
+  return grants;
+}
+
+}  // namespace vran::mac

@@ -1,0 +1,46 @@
+// Round-robin uplink grant scheduler over a 25-PRB (5 MHz) carrier —
+// the control-plane companion of the pipeline's data plane. Issues
+// per-TTI grants (PRB range, MCS, HARQ metadata) that the pipeline turns
+// into DCI messages.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "phy/dci/dci.h"
+
+namespace vran::mac {
+
+struct UeContext {
+  std::uint16_t rnti = 0;
+  int mcs = 10;
+  std::uint32_t backlog_bytes = 0;  ///< pending uplink data
+};
+
+struct Grant {
+  std::uint16_t rnti = 0;
+  phy::DciPayload dci;
+  int tbs_bits = 0;
+};
+
+class RoundRobinScheduler {
+ public:
+  explicit RoundRobinScheduler(int total_prb = 25);
+
+  void add_ue(const UeContext& ue);
+  bool remove_ue(std::uint16_t rnti);
+  void report_backlog(std::uint16_t rnti, std::uint32_t bytes);
+
+  /// Schedule one TTI: grants PRBs to backlogged UEs in round-robin
+  /// order, sizing each grant to its backlog, until PRBs run out.
+  std::vector<Grant> schedule_tti(int tti);
+
+  std::size_t num_ues() const { return ues_.size(); }
+
+ private:
+  int total_prb_;
+  std::vector<UeContext> ues_;
+  std::size_t next_ = 0;
+};
+
+}  // namespace vran::mac

@@ -1,0 +1,50 @@
+#include "mac/tbs_tables.h"
+
+#include <stdexcept>
+
+namespace vran::mac {
+
+McsEntry mcs_entry(int mcs) {
+  if (mcs < 0 || mcs >= kNumMcs) {
+    throw std::invalid_argument("mcs_entry: index out of range");
+  }
+  // Piecewise map: 0-9 QPSK, 10-16 16QAM, 17-28 64QAM, code rate rising
+  // roughly linearly within each band (cf. 36.213 Table 7.1.7.1-1).
+  // Band boundaries keep spectral efficiency (bits x rate) monotone
+  // non-decreasing across the QPSK->16QAM and 16QAM->64QAM steps.
+  McsEntry e;
+  if (mcs <= 9) {
+    e.modulation_bits = 2;
+    e.code_rate = 0.12 + 0.065 * mcs;
+  } else if (mcs <= 16) {
+    e.modulation_bits = 4;
+    e.code_rate = 0.36 + 0.05 * (mcs - 10);
+  } else {
+    e.modulation_bits = 6;
+    e.code_rate = 0.45 + 0.042 * (mcs - 17);
+  }
+  return e;
+}
+
+int allocation_coded_bits(int mcs, int n_prb) {
+  if (n_prb <= 0) throw std::invalid_argument("allocation_coded_bits: n_prb");
+  const auto e = mcs_entry(mcs);
+  return kRePerPrb * n_prb * e.modulation_bits;
+}
+
+int transport_block_bits(int mcs, int n_prb) {
+  const auto e = mcs_entry(mcs);
+  const int coded = allocation_coded_bits(mcs, n_prb);
+  int tbs = static_cast<int>(coded * e.code_rate);
+  tbs -= tbs % 8;  // byte aligned
+  return tbs < 16 ? 16 : tbs;
+}
+
+int prbs_for_payload(int payload_bits, int mcs, int max_prb) {
+  for (int n = 1; n <= max_prb; ++n) {
+    if (transport_block_bits(mcs, n) >= payload_bits + 24) return n;
+  }
+  throw std::out_of_range("prbs_for_payload: payload too large");
+}
+
+}  // namespace vran::mac

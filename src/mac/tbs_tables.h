@@ -1,0 +1,38 @@
+// Transport-block sizing: MCS -> modulation order + code-rate targets and
+// a TBS computation for a PRB allocation. The mapping follows the spirit
+// of 36.213 Table 7.1.7 (exact table entries are not reproduced; sizes
+// are derived from spectral efficiency and rounded to byte-aligned
+// values), which is sufficient for the paper's experiments — they sweep
+// packet sizes, not MCS corner cases.
+#pragma once
+
+#include <cstdint>
+
+namespace vran::mac {
+
+struct McsEntry {
+  int modulation_bits = 2;   ///< 2 = QPSK, 4 = 16QAM, 6 = 64QAM
+  double code_rate = 0.3;    ///< target information rate
+};
+
+inline constexpr int kNumMcs = 29;
+
+/// MCS index 0..28 -> modulation + approximate code rate.
+McsEntry mcs_entry(int mcs);
+
+/// Resource elements per PRB pair available for PUSCH data (12
+/// subcarriers x 14 symbols minus reference-signal overhead).
+inline constexpr int kRePerPrb = 12 * (14 - 2);
+
+/// Transport block size in bits for an allocation of `n_prb` PRBs at
+/// `mcs`, rounded down to a whole number of bytes (>= 16 bits).
+int transport_block_bits(int mcs, int n_prb);
+
+/// Coded (rate-matched) bits the allocation can carry.
+int allocation_coded_bits(int mcs, int n_prb);
+
+/// Smallest PRB count whose TBS fits `payload_bits` (+24-bit TB CRC);
+/// throws std::out_of_range if above `max_prb`.
+int prbs_for_payload(int payload_bits, int mcs, int max_prb);
+
+}  // namespace vran::mac

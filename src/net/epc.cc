@@ -1,0 +1,78 @@
+#include "net/epc.h"
+
+#include <stdexcept>
+
+namespace vran::net {
+
+void EpcUserPlane::add_bearer(const Bearer& bearer) {
+  if (by_uplink_teid_.count(bearer.teid_uplink) != 0 ||
+      by_ue_ip_.count(bearer.ue_ip) != 0) {
+    throw std::invalid_argument("EpcUserPlane: duplicate bearer");
+  }
+  by_uplink_teid_[bearer.teid_uplink] = bearer;
+  by_ue_ip_[bearer.ue_ip] = bearer;
+}
+
+bool EpcUserPlane::remove_bearer(std::uint32_t teid_uplink) {
+  const auto it = by_uplink_teid_.find(teid_uplink);
+  if (it == by_uplink_teid_.end()) return false;
+  by_ue_ip_.erase(it->second.ue_ip);
+  by_uplink_teid_.erase(it);
+  return true;
+}
+
+EpcResult EpcUserPlane::handle_uplink(
+    std::span<const std::uint8_t> gtpu_packet) {
+  EpcResult res;
+  const auto gtpu = gtpu_decapsulate(gtpu_packet);
+  if (!gtpu.has_value()) {
+    ++counters_.dropped;
+    return res;
+  }
+  const auto it = by_uplink_teid_.find(gtpu->header.teid);
+  if (it == by_uplink_teid_.end()) {
+    ++counters_.dropped;
+    return res;  // unknown tunnel
+  }
+  const auto inner = parse_packet(gtpu->inner);
+  if (!inner.has_value() || inner->ip.src != it->second.ue_ip) {
+    ++counters_.dropped;
+    return res;  // malformed or spoofed source
+  }
+  ++counters_.uplink_packets;
+
+  // P-GW routing: packets for other known UEs hairpin back downlink.
+  const auto dst = by_ue_ip_.find(inner->ip.dst);
+  if (dst != by_ue_ip_.end()) {
+    res.route = EpcRoute::kDownlink;
+    res.teid = dst->second.teid_downlink;
+    res.packet = gtpu_encapsulate(dst->second.teid_downlink, gtpu->inner);
+    ++counters_.downlink_packets;
+    return res;
+  }
+  res.route = EpcRoute::kInternet;
+  res.packet = gtpu->inner;
+  return res;
+}
+
+EpcResult EpcUserPlane::handle_downlink(
+    std::span<const std::uint8_t> ip_packet) {
+  EpcResult res;
+  const auto inner = parse_packet(ip_packet);
+  if (!inner.has_value()) {
+    ++counters_.dropped;
+    return res;
+  }
+  const auto it = by_ue_ip_.find(inner->ip.dst);
+  if (it == by_ue_ip_.end()) {
+    ++counters_.dropped;
+    return res;  // no bearer for this address
+  }
+  ++counters_.downlink_packets;
+  res.route = EpcRoute::kDownlink;
+  res.teid = it->second.teid_downlink;
+  res.packet = gtpu_encapsulate(it->second.teid_downlink, ip_packet);
+  return res;
+}
+
+}  // namespace vran::net

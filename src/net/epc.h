@@ -1,0 +1,71 @@
+// Minimal EPC user-plane: the S-GW/P-GW pair of the paper's Figure 1.
+//
+// The S-GW terminates GTP-U tunnels from eNBs (keyed by TEID) and hands
+// inner IP packets to the P-GW, which applies a simple routing decision
+// (known UE addresses route downlink back through their tunnel; anything
+// else egresses toward the internet). Enough user-plane behaviour to
+// close the E2E loop of the testbed: UE -> eNB -> S-GW -> P-GW -> ...
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "net/gtpu.h"
+#include "net/packet.h"
+
+namespace vran::net {
+
+/// One UE's user-plane session.
+struct Bearer {
+  std::uint32_t teid_uplink = 0;    ///< eNB -> S-GW tunnel id
+  std::uint32_t teid_downlink = 0;  ///< S-GW -> eNB tunnel id
+  std::uint32_t ue_ip = 0;          ///< UE's assigned address
+};
+
+/// Where the P-GW decided a packet goes.
+enum class EpcRoute : std::uint8_t {
+  kInternet,   ///< uplink egress toward the external network
+  kDownlink,   ///< destined to a known UE: re-tunnelled toward its eNB
+  kDropped,    ///< malformed, unknown tunnel, or spoofed source
+};
+
+struct EpcResult {
+  EpcRoute route = EpcRoute::kDropped;
+  std::vector<std::uint8_t> packet;  ///< egress bytes (inner IP packet for
+                                     ///< kInternet, GTP-U for kDownlink)
+  std::uint32_t teid = 0;            ///< downlink tunnel when kDownlink
+};
+
+class EpcUserPlane {
+ public:
+  /// Register a bearer; throws on duplicate TEID or UE IP.
+  void add_bearer(const Bearer& bearer);
+  bool remove_bearer(std::uint32_t teid_uplink);
+  std::size_t num_bearers() const { return by_uplink_teid_.size(); }
+
+  /// Uplink entry point: a GTP-U packet arriving from an eNB. Verifies
+  /// the tunnel, decapsulates, checks the inner source address against
+  /// the bearer (anti-spoofing), then routes.
+  EpcResult handle_uplink(std::span<const std::uint8_t> gtpu_packet);
+
+  /// Downlink entry point: an IP packet arriving from the internet for
+  /// some address; tunnelled toward the owning UE's eNB if known.
+  EpcResult handle_downlink(std::span<const std::uint8_t> ip_packet);
+
+  struct Counters {
+    std::uint64_t uplink_packets = 0;
+    std::uint64_t downlink_packets = 0;
+    std::uint64_t dropped = 0;
+  };
+  const Counters& counters() const { return counters_; }
+
+ private:
+  std::map<std::uint32_t, Bearer> by_uplink_teid_;
+  std::map<std::uint32_t, Bearer> by_ue_ip_;
+  Counters counters_;
+};
+
+}  // namespace vran::net

@@ -1,0 +1,41 @@
+#include "net/gtpu.h"
+
+#include <stdexcept>
+
+namespace vran::net {
+
+std::vector<std::uint8_t> gtpu_encapsulate(
+    std::uint32_t teid, std::span<const std::uint8_t> inner) {
+  if (inner.size() > 0xFFFF) {
+    throw std::invalid_argument("gtpu_encapsulate: payload too large");
+  }
+  std::vector<std::uint8_t> out(kGtpuHeaderBytes + inner.size());
+  out[0] = 0x30;  // version 1, protocol type GTP, no options
+  out[1] = kGtpuGpdu;
+  out[2] = static_cast<std::uint8_t>(inner.size() >> 8);
+  out[3] = static_cast<std::uint8_t>(inner.size());
+  out[4] = static_cast<std::uint8_t>(teid >> 24);
+  out[5] = static_cast<std::uint8_t>(teid >> 16);
+  out[6] = static_cast<std::uint8_t>(teid >> 8);
+  out[7] = static_cast<std::uint8_t>(teid);
+  std::copy(inner.begin(), inner.end(), out.begin() + kGtpuHeaderBytes);
+  return out;
+}
+
+std::optional<GtpuPacket> gtpu_decapsulate(
+    std::span<const std::uint8_t> bytes) {
+  if (bytes.size() < kGtpuHeaderBytes) return std::nullopt;
+  if (bytes[0] != 0x30 || bytes[1] != kGtpuGpdu) return std::nullopt;
+  GtpuPacket p;
+  p.header.length = static_cast<std::uint16_t>((bytes[2] << 8) | bytes[3]);
+  p.header.teid = (std::uint32_t{bytes[4]} << 24) |
+                  (std::uint32_t{bytes[5]} << 16) |
+                  (std::uint32_t{bytes[6]} << 8) | std::uint32_t{bytes[7]};
+  if (static_cast<std::size_t>(p.header.length) + kGtpuHeaderBytes != bytes.size()) {
+    return std::nullopt;
+  }
+  p.inner.assign(bytes.begin() + kGtpuHeaderBytes, bytes.end());
+  return p;
+}
+
+}  // namespace vran::net

@@ -1,0 +1,32 @@
+// Minimal GTP-U (GPRS Tunnelling Protocol, user plane) encapsulation —
+// the S1-U leg between eNB and S-GW in the paper's Figure 1 topology.
+// Fixed 8-byte header, message type G-PDU (0xFF).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+namespace vran::net {
+
+inline constexpr int kGtpuHeaderBytes = 8;
+inline constexpr std::uint8_t kGtpuGpdu = 0xFF;
+
+struct GtpuHeader {
+  std::uint32_t teid = 0;
+  std::uint16_t length = 0;  ///< payload bytes (excludes this header)
+};
+
+/// Wrap an inner IP packet in a GTP-U G-PDU.
+std::vector<std::uint8_t> gtpu_encapsulate(std::uint32_t teid,
+                                           std::span<const std::uint8_t> inner);
+
+/// Unwrap; nullopt on malformed header / length mismatch.
+struct GtpuPacket {
+  GtpuHeader header;
+  std::vector<std::uint8_t> inner;
+};
+std::optional<GtpuPacket> gtpu_decapsulate(std::span<const std::uint8_t> bytes);
+
+}  // namespace vran::net

@@ -1,0 +1,83 @@
+#include "net/mempool.h"
+
+#include <stdexcept>
+
+namespace vran::net {
+
+PacketPool::PacketPool(std::size_t buf_size, std::size_t count)
+    : buf_size_(buf_size),
+      count_(count),
+      storage_(buf_size * count),
+      in_use_(count, false) {
+  if (buf_size == 0 || count == 0) {
+    throw std::invalid_argument("PacketPool: zero size");
+  }
+  free_.reserve(count);
+  for (std::size_t i = count; i-- > 0;) {
+    free_.push_back(static_cast<std::uint32_t>(i));
+  }
+}
+
+std::optional<PacketBuf> PacketPool::alloc() {
+  if (free_.empty()) return std::nullopt;
+  const std::uint32_t idx = free_.back();
+  free_.pop_back();
+  in_use_[idx] = true;
+  return PacketBuf{idx, 0};
+}
+
+void PacketPool::free(PacketBuf buf) {
+  if (buf.index >= count_ || !in_use_[buf.index]) {
+    throw std::invalid_argument("PacketPool::free: invalid or double free");
+  }
+  in_use_[buf.index] = false;
+  free_.push_back(buf.index);
+}
+
+std::span<std::uint8_t> PacketPool::data(PacketBuf buf) {
+  if (buf.index >= count_) throw std::out_of_range("PacketPool::data");
+  return std::span(storage_).subspan(buf.index * buf_size_, buf_size_);
+}
+
+std::span<const std::uint8_t> PacketPool::data(PacketBuf buf) const {
+  if (buf.index >= count_) throw std::out_of_range("PacketPool::data");
+  return std::span(storage_).subspan(buf.index * buf_size_, buf_size_);
+}
+
+SpscRing::SpscRing(std::size_t capacity_pow2)
+    : mask_(capacity_pow2 - 1), slots_(capacity_pow2) {
+  if (capacity_pow2 == 0 || (capacity_pow2 & mask_) != 0) {
+    throw std::invalid_argument("SpscRing: capacity must be a power of two");
+  }
+}
+
+bool SpscRing::push(PacketBuf buf) {
+  const std::size_t tail = tail_.load(std::memory_order_relaxed);
+  const std::size_t head = head_.load(std::memory_order_acquire);
+  if (tail - head > mask_) return false;  // full (one slot reserved)
+  slots_[tail & mask_] = buf;
+  tail_.store(tail + 1, std::memory_order_release);
+  return true;
+}
+
+std::optional<PacketBuf> SpscRing::pop() {
+  const std::size_t head = head_.load(std::memory_order_relaxed);
+  const std::size_t tail = tail_.load(std::memory_order_acquire);
+  if (head == tail) return std::nullopt;
+  const PacketBuf buf = slots_[head & mask_];
+  head_.store(head + 1, std::memory_order_release);
+  return buf;
+}
+
+bool SpscRing::empty() const {
+  return head_.load(std::memory_order_acquire) ==
+         tail_.load(std::memory_order_acquire);
+}
+
+bool SpscRing::full() const {
+  return tail_.load(std::memory_order_acquire) -
+             head_.load(std::memory_order_acquire) >
+         mask_;
+}
+
+}  // namespace vran::net

@@ -1,0 +1,70 @@
+// DPDK-style fixed-size packet buffer pool and single-producer /
+// single-consumer ring. Kernel-bypass stacks pre-allocate all packet
+// memory and pass index handles through lock-free rings; these two
+// classes reproduce that data path in-process (see DESIGN.md
+// substitutions).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "common/aligned.h"
+
+namespace vran::net {
+
+/// Handle to one packet buffer inside a PacketPool.
+struct PacketBuf {
+  std::uint32_t index = 0;
+  std::uint32_t length = 0;
+};
+
+class PacketPool {
+ public:
+  PacketPool(std::size_t buf_size, std::size_t count);
+
+  std::size_t buffer_size() const { return buf_size_; }
+  std::size_t capacity() const { return count_; }
+  std::size_t available() const { return free_.size(); }
+
+  /// Allocate a buffer; nullopt when exhausted (caller applies
+  /// backpressure, as a NIC driver would).
+  std::optional<PacketBuf> alloc();
+  void free(PacketBuf buf);
+
+  std::span<std::uint8_t> data(PacketBuf buf);
+  std::span<const std::uint8_t> data(PacketBuf buf) const;
+
+ private:
+  std::size_t buf_size_;
+  std::size_t count_;
+  AlignedVector<std::uint8_t> storage_;
+  std::vector<std::uint32_t> free_;
+  std::vector<bool> in_use_;
+};
+
+/// Lock-free single-producer single-consumer ring of packet handles,
+/// power-of-two capacity.
+class SpscRing {
+ public:
+  explicit SpscRing(std::size_t capacity_pow2);
+
+  bool push(PacketBuf buf);
+  std::optional<PacketBuf> pop();
+
+  /// All slots are usable (free-running counters disambiguate full vs
+  /// empty, unlike index-wrapping rings that sacrifice one slot).
+  std::size_t capacity() const { return slots_.size(); }
+  bool empty() const;
+  bool full() const;
+
+ private:
+  std::size_t mask_;
+  std::vector<PacketBuf> slots_;
+  alignas(64) std::atomic<std::size_t> head_{0};  // consumer
+  alignas(64) std::atomic<std::size_t> tail_{0};  // producer
+};
+
+}  // namespace vran::net

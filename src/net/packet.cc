@@ -1,0 +1,188 @@
+#include "net/packet.h"
+
+#include <stdexcept>
+
+namespace vran::net {
+
+namespace {
+
+void put16(std::vector<std::uint8_t>& v, std::size_t at, std::uint16_t x) {
+  v[at] = static_cast<std::uint8_t>(x >> 8);
+  v[at + 1] = static_cast<std::uint8_t>(x);
+}
+
+void put32(std::vector<std::uint8_t>& v, std::size_t at, std::uint32_t x) {
+  v[at] = static_cast<std::uint8_t>(x >> 24);
+  v[at + 1] = static_cast<std::uint8_t>(x >> 16);
+  v[at + 2] = static_cast<std::uint8_t>(x >> 8);
+  v[at + 3] = static_cast<std::uint8_t>(x);
+}
+
+std::uint16_t get16(std::span<const std::uint8_t> v, std::size_t at) {
+  return static_cast<std::uint16_t>((v[at] << 8) | v[at + 1]);
+}
+
+std::uint32_t get32(std::span<const std::uint8_t> v, std::size_t at) {
+  return (std::uint32_t{v[at]} << 24) | (std::uint32_t{v[at + 1]} << 16) |
+         (std::uint32_t{v[at + 2]} << 8) | std::uint32_t{v[at + 3]};
+}
+
+/// Pseudo-header checksum seed for UDP/TCP.
+std::uint32_t pseudo_header_sum(const Ipv4Header& ip, L4Proto proto,
+                                std::size_t l4_len) {
+  std::uint32_t s = 0;
+  s += (ip.src >> 16) + (ip.src & 0xFFFF);
+  s += (ip.dst >> 16) + (ip.dst & 0xFFFF);
+  s += static_cast<std::uint32_t>(proto);
+  s += static_cast<std::uint32_t>(l4_len);
+  return s;
+}
+
+std::uint16_t finish_checksum(std::uint32_t sum,
+                              std::span<const std::uint8_t> data) {
+  for (std::size_t i = 0; i + 1 < data.size(); i += 2) {
+    sum += static_cast<std::uint32_t>((data[i] << 8) | data[i + 1]);
+  }
+  if (data.size() % 2) sum += static_cast<std::uint32_t>(data.back() << 8);
+  while (sum >> 16) sum = (sum & 0xFFFF) + (sum >> 16);
+  return static_cast<std::uint16_t>(~sum);
+}
+
+void write_ipv4(std::vector<std::uint8_t>& pkt, const Ipv4Header& ip) {
+  pkt[0] = 0x45;  // v4, IHL 5
+  pkt[1] = 0;
+  put16(pkt, 2, ip.total_length);
+  put16(pkt, 4, ip.id);
+  put16(pkt, 6, 0x4000);  // DF
+  pkt[8] = ip.ttl;
+  pkt[9] = static_cast<std::uint8_t>(ip.proto);
+  put16(pkt, 10, 0);  // checksum placeholder
+  put32(pkt, 12, ip.src);
+  put32(pkt, 16, ip.dst);
+  const std::uint16_t csum = internet_checksum(
+      std::span(pkt).first(static_cast<std::size_t>(kIpv4HeaderBytes)));
+  put16(pkt, 10, csum);
+}
+
+}  // namespace
+
+std::uint16_t internet_checksum(std::span<const std::uint8_t> data) {
+  return finish_checksum(0, data);
+}
+
+std::vector<std::uint8_t> build_udp_packet(
+    const Ipv4Header& ip_in, const UdpHeader& udp_in,
+    std::span<const std::uint8_t> payload) {
+  const std::size_t l4_len = kUdpHeaderBytes + payload.size();
+  if (l4_len > 0xFFFF - kIpv4HeaderBytes) {
+    throw std::invalid_argument("build_udp_packet: payload too large");
+  }
+  Ipv4Header ip = ip_in;
+  ip.proto = L4Proto::kUdp;
+  ip.total_length = static_cast<std::uint16_t>(kIpv4HeaderBytes + l4_len);
+
+  std::vector<std::uint8_t> pkt(static_cast<std::size_t>(ip.total_length), 0);
+  write_ipv4(pkt, ip);
+
+  const std::size_t u = kIpv4HeaderBytes;
+  put16(pkt, u, udp_in.src_port);
+  put16(pkt, u + 2, udp_in.dst_port);
+  put16(pkt, u + 4, static_cast<std::uint16_t>(l4_len));
+  put16(pkt, u + 6, 0);
+  std::copy(payload.begin(), payload.end(),
+            pkt.begin() + static_cast<std::ptrdiff_t>(u + kUdpHeaderBytes));
+  const std::uint16_t csum = finish_checksum(
+      pseudo_header_sum(ip, L4Proto::kUdp, l4_len),
+      std::span(pkt).subspan(u));
+  // RFC 768: transmitted zero checksum means "none"; use 0xFFFF instead.
+  put16(pkt, u + 6, csum == 0 ? 0xFFFF : csum);
+  return pkt;
+}
+
+std::vector<std::uint8_t> build_tcp_packet(
+    const Ipv4Header& ip_in, const TcpHeader& tcp,
+    std::span<const std::uint8_t> payload) {
+  const std::size_t l4_len = kTcpHeaderBytes + payload.size();
+  if (l4_len > 0xFFFF - kIpv4HeaderBytes) {
+    throw std::invalid_argument("build_tcp_packet: payload too large");
+  }
+  Ipv4Header ip = ip_in;
+  ip.proto = L4Proto::kTcp;
+  ip.total_length = static_cast<std::uint16_t>(kIpv4HeaderBytes + l4_len);
+
+  std::vector<std::uint8_t> pkt(static_cast<std::size_t>(ip.total_length), 0);
+  write_ipv4(pkt, ip);
+
+  const std::size_t t = kIpv4HeaderBytes;
+  put16(pkt, t, tcp.src_port);
+  put16(pkt, t + 2, tcp.dst_port);
+  put32(pkt, t + 4, tcp.seq);
+  put32(pkt, t + 8, tcp.ack);
+  pkt[t + 12] = 0x50;  // data offset 5 words
+  pkt[t + 13] = tcp.flags;
+  put16(pkt, t + 14, tcp.window);
+  put16(pkt, t + 16, 0);  // checksum placeholder
+  std::copy(payload.begin(), payload.end(),
+            pkt.begin() + static_cast<std::ptrdiff_t>(t + kTcpHeaderBytes));
+  const std::uint16_t csum = finish_checksum(
+      pseudo_header_sum(ip, L4Proto::kTcp, l4_len), std::span(pkt).subspan(t));
+  put16(pkt, t + 16, csum);
+  return pkt;
+}
+
+std::optional<ParsedPacket> parse_packet(std::span<const std::uint8_t> bytes) {
+  if (bytes.size() < kIpv4HeaderBytes) return std::nullopt;
+  if (bytes[0] != 0x45) return std::nullopt;
+  if (internet_checksum(bytes.first(kIpv4HeaderBytes)) != 0) {
+    return std::nullopt;
+  }
+  ParsedPacket out;
+  out.ip.total_length = get16(bytes, 2);
+  if (out.ip.total_length > bytes.size() ||
+      out.ip.total_length < kIpv4HeaderBytes) {
+    return std::nullopt;
+  }
+  out.ip.id = get16(bytes, 4);
+  out.ip.ttl = bytes[8];
+  out.ip.src = get32(bytes, 12);
+  out.ip.dst = get32(bytes, 16);
+
+  const std::span<const std::uint8_t> l4 =
+      bytes.subspan(kIpv4HeaderBytes,
+                    static_cast<std::size_t>(out.ip.total_length) -
+                        kIpv4HeaderBytes);
+  const std::uint32_t seed =
+      pseudo_header_sum(out.ip, static_cast<L4Proto>(bytes[9]), l4.size());
+
+  if (bytes[9] == static_cast<std::uint8_t>(L4Proto::kUdp)) {
+    if (l4.size() < kUdpHeaderBytes) return std::nullopt;
+    out.proto = L4Proto::kUdp;
+    out.udp.src_port = get16(l4, 0);
+    out.udp.dst_port = get16(l4, 2);
+    out.udp.length = get16(l4, 4);
+    if (out.udp.length != l4.size()) return std::nullopt;
+    if (get16(l4, 6) != 0) {  // checksum present
+      std::uint32_t s = seed;
+      if (finish_checksum(s, l4) != 0) return std::nullopt;
+    }
+    out.payload.assign(l4.begin() + kUdpHeaderBytes, l4.end());
+    return out;
+  }
+  if (bytes[9] == static_cast<std::uint8_t>(L4Proto::kTcp)) {
+    if (l4.size() < kTcpHeaderBytes) return std::nullopt;
+    out.proto = L4Proto::kTcp;
+    out.tcp.src_port = get16(l4, 0);
+    out.tcp.dst_port = get16(l4, 2);
+    out.tcp.seq = get32(l4, 4);
+    out.tcp.ack = get32(l4, 8);
+    if ((l4[12] >> 4) != 5) return std::nullopt;  // no options supported
+    out.tcp.flags = l4[13];
+    out.tcp.window = get16(l4, 14);
+    if (finish_checksum(seed, l4) != 0) return std::nullopt;
+    out.payload.assign(l4.begin() + kTcpHeaderBytes, l4.end());
+    return out;
+  }
+  return std::nullopt;
+}
+
+}  // namespace vran::net

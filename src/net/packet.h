@@ -1,0 +1,71 @@
+// IPv4 / UDP / TCP header construction and parsing with standard internet
+// checksums. Together with the mempool/ring this substitutes the paper's
+// DPDK + NIC path (see DESIGN.md): Fig. 13 needs controlled-size UDP and
+// TCP packets flowing through the vRAN pipeline, which these codecs
+// provide in-process.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+namespace vran::net {
+
+inline constexpr int kIpv4HeaderBytes = 20;
+inline constexpr int kUdpHeaderBytes = 8;
+inline constexpr int kTcpHeaderBytes = 20;
+
+enum class L4Proto : std::uint8_t { kUdp = 17, kTcp = 6 };
+
+struct Ipv4Header {
+  std::uint32_t src = 0;
+  std::uint32_t dst = 0;
+  std::uint16_t total_length = 0;
+  std::uint16_t id = 0;
+  std::uint8_t ttl = 64;
+  L4Proto proto = L4Proto::kUdp;
+};
+
+struct UdpHeader {
+  std::uint16_t src_port = 0;
+  std::uint16_t dst_port = 0;
+  std::uint16_t length = 0;  // header + payload
+};
+
+struct TcpHeader {
+  std::uint16_t src_port = 0;
+  std::uint16_t dst_port = 0;
+  std::uint32_t seq = 0;
+  std::uint32_t ack = 0;
+  std::uint8_t flags = 0x18;  // PSH|ACK
+  std::uint16_t window = 65535;
+};
+
+/// RFC 1071 internet checksum over a byte range (padded with one zero
+/// byte when the length is odd).
+std::uint16_t internet_checksum(std::span<const std::uint8_t> data);
+
+/// Build a full IPv4/UDP datagram around `payload`.
+std::vector<std::uint8_t> build_udp_packet(const Ipv4Header& ip,
+                                           const UdpHeader& udp,
+                                           std::span<const std::uint8_t> payload);
+
+/// Build a full IPv4/TCP segment around `payload`.
+std::vector<std::uint8_t> build_tcp_packet(const Ipv4Header& ip,
+                                           const TcpHeader& tcp,
+                                           std::span<const std::uint8_t> payload);
+
+struct ParsedPacket {
+  Ipv4Header ip;
+  L4Proto proto = L4Proto::kUdp;
+  UdpHeader udp;   // valid when proto == kUdp
+  TcpHeader tcp;   // valid when proto == kTcp
+  std::vector<std::uint8_t> payload;
+};
+
+/// Parse and checksum-verify a packet; nullopt on malformed input or
+/// checksum failure.
+std::optional<ParsedPacket> parse_packet(std::span<const std::uint8_t> bytes);
+
+}  // namespace vran::net

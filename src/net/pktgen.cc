@@ -1,0 +1,76 @@
+#include "net/pktgen.h"
+
+#include <stdexcept>
+
+namespace vran::net {
+
+namespace {
+constexpr int kSeqBytes = 4;
+
+/// Position-dependent pattern byte: verifiable without shared RNG state.
+std::uint8_t pattern_byte(std::uint32_t seq, std::size_t i) {
+  return static_cast<std::uint8_t>((seq * 131u + i * 7u + 0x5A) & 0xFF);
+}
+}  // namespace
+
+PacketGenerator::PacketGenerator(FlowConfig cfg)
+    : cfg_(cfg), rng_(cfg.seed) {
+  if (payload_bytes() < kSeqBytes) {
+    throw std::invalid_argument("PacketGenerator: packet too small");
+  }
+}
+
+int PacketGenerator::payload_bytes() const {
+  const int l4 = cfg_.proto == L4Proto::kUdp ? kUdpHeaderBytes
+                                             : kTcpHeaderBytes;
+  return cfg_.packet_bytes - kIpv4HeaderBytes - l4;
+}
+
+std::vector<std::uint8_t> PacketGenerator::next() {
+  const int n = payload_bytes();
+  std::vector<std::uint8_t> payload(static_cast<std::size_t>(n));
+  payload[0] = static_cast<std::uint8_t>(seq_ >> 24);
+  payload[1] = static_cast<std::uint8_t>(seq_ >> 16);
+  payload[2] = static_cast<std::uint8_t>(seq_ >> 8);
+  payload[3] = static_cast<std::uint8_t>(seq_);
+  for (std::size_t i = kSeqBytes; i < payload.size(); ++i) {
+    payload[i] = pattern_byte(seq_, i);
+  }
+
+  Ipv4Header ip;
+  ip.src = cfg_.src_ip;
+  ip.dst = cfg_.dst_ip;
+  ip.id = static_cast<std::uint16_t>(seq_);
+
+  std::vector<std::uint8_t> pkt;
+  if (cfg_.proto == L4Proto::kUdp) {
+    UdpHeader udp;
+    udp.src_port = cfg_.src_port;
+    udp.dst_port = cfg_.dst_port;
+    pkt = build_udp_packet(ip, udp, payload);
+  } else {
+    TcpHeader tcp;
+    tcp.src_port = cfg_.src_port;
+    tcp.dst_port = cfg_.dst_port;
+    tcp.seq = seq_ * static_cast<std::uint32_t>(n);
+    pkt = build_tcp_packet(ip, tcp, payload);
+  }
+  ++seq_;
+  return pkt;
+}
+
+std::int64_t PacketGenerator::verify(std::span<const std::uint8_t> packet) {
+  const auto parsed = parse_packet(packet);
+  if (!parsed.has_value()) return -1;
+  const auto& pl = parsed->payload;
+  if (pl.size() < kSeqBytes) return -1;
+  const std::uint32_t seq = (std::uint32_t{pl[0]} << 24) |
+                            (std::uint32_t{pl[1]} << 16) |
+                            (std::uint32_t{pl[2]} << 8) | std::uint32_t{pl[3]};
+  for (std::size_t i = kSeqBytes; i < pl.size(); ++i) {
+    if (pl[i] != pattern_byte(seq, i)) return -1;
+  }
+  return seq;
+}
+
+}  // namespace vran::net

@@ -1,0 +1,48 @@
+// Deterministic synthetic traffic generator: substitutes the paper's
+// Huawei Honor 8 UE as the traffic source. Emits UDP or TCP packets with
+// configurable payload sizes and a verifiable payload pattern so the
+// pipeline's far end can detect corruption.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "net/packet.h"
+
+namespace vran::net {
+
+struct FlowConfig {
+  std::uint32_t src_ip = 0x0A000001;   // 10.0.0.1 (UE)
+  std::uint32_t dst_ip = 0x08080808;   // upstream server
+  std::uint16_t src_port = 40000;
+  std::uint16_t dst_port = 5201;
+  L4Proto proto = L4Proto::kUdp;
+  /// Total on-the-wire packet size (IP header included).
+  int packet_bytes = 1500;
+  std::uint64_t seed = 7;
+};
+
+class PacketGenerator {
+ public:
+  explicit PacketGenerator(FlowConfig cfg);
+
+  const FlowConfig& config() const { return cfg_; }
+  int payload_bytes() const;
+
+  /// Next packet in the flow (sequence numbers advance).
+  std::vector<std::uint8_t> next();
+
+  /// Verify a received packet: parses, checks the 4-byte sequence prefix
+  /// + pattern bytes. Returns the sequence number or -1.
+  static std::int64_t verify(std::span<const std::uint8_t> packet);
+
+  std::uint32_t packets_emitted() const { return seq_; }
+
+ private:
+  FlowConfig cfg_;
+  std::uint32_t seq_ = 0;
+  Xoshiro256 rng_;
+};
+
+}  // namespace vran::net

@@ -1,0 +1,46 @@
+#include "phy/channel/channel.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "common/saturate.h"
+
+namespace vran::phy {
+
+AwgnChannel::AwgnChannel(double snr_db, std::uint64_t seed)
+    : snr_db_(snr_db), n0_(std::pow(10.0, -snr_db / 10.0)), rng_(seed) {}
+
+void AwgnChannel::apply(std::span<Cf> samples) {
+  const double sigma = std::sqrt(n0_ / 2.0);
+  for (auto& s : samples) {
+    s += Cf(static_cast<float>(sigma * rng_.gaussian()),
+            static_cast<float>(sigma * rng_.gaussian()));
+  }
+}
+
+void AwgnChannel::apply(std::span<IqSample> symbols) {
+  const double sigma = std::sqrt(n0_ / 2.0) * kIqScale;
+  for (auto& s : symbols) {
+    const int i = int(s.i) + int(std::lround(sigma * rng_.gaussian()));
+    const int q = int(s.q) + int(std::lround(sigma * rng_.gaussian()));
+    s.i = sat_narrow16(i);
+    s.q = sat_narrow16(q);
+  }
+}
+
+void ErrorStats::add_block(std::span<const std::uint8_t> tx,
+                           std::span<const std::uint8_t> rx) {
+  if (tx.size() != rx.size()) {
+    throw std::invalid_argument("ErrorStats: block size mismatch");
+  }
+  std::uint64_t errs = 0;
+  for (std::size_t i = 0; i < tx.size(); ++i) {
+    errs += ((tx[i] ^ rx[i]) & 1u);
+  }
+  bits += tx.size();
+  bit_errors += errs;
+  blocks += 1;
+  block_errors += (errs != 0);
+}
+
+}  // namespace vran::phy

@@ -1,0 +1,123 @@
+#include "phy/crc/crc.h"
+
+#include <array>
+#include <stdexcept>
+
+namespace vran::phy {
+
+namespace {
+
+// 36.212 §5.1.1 generator polynomials (leading term dropped).
+constexpr std::uint32_t kPoly24A = 0x864CFB;  // D^24+D^23+D^18+D^17+D^14+...
+constexpr std::uint32_t kPoly24B = 0x800063;  // D^24+D^23+D^6+D^5+D+1
+constexpr std::uint32_t kPoly16 = 0x1021;     // CCITT
+constexpr std::uint32_t kPoly8 = 0x9B;        // D^8+D^7+D^4+D^3+D+1
+
+struct Table {
+  std::array<std::uint32_t, 256> t;
+};
+
+Table make_table(std::uint32_t poly, int len) {
+  Table out{};
+  const std::uint32_t top = 1u << (len - 1);
+  const std::uint32_t mask = (len == 32) ? 0xFFFFFFFFu : ((1u << len) - 1);
+  for (std::uint32_t byte = 0; byte < 256; ++byte) {
+    std::uint32_t r = byte << (len - 8);
+    for (int bit = 0; bit < 8; ++bit) {
+      r = (r & top) ? ((r << 1) ^ poly) : (r << 1);
+    }
+    out.t[byte] = r & mask;
+  }
+  return out;
+}
+
+const Table& table_for(CrcType t) {
+  static const Table t24a = make_table(kPoly24A, 24);
+  static const Table t24b = make_table(kPoly24B, 24);
+  static const Table t16 = make_table(kPoly16, 16);
+  static const Table t8 = make_table(kPoly8, 8);
+  switch (t) {
+    case CrcType::k24A: return t24a;
+    case CrcType::k24B: return t24b;
+    case CrcType::k16: return t16;
+    case CrcType::k8: return t8;
+  }
+  throw std::invalid_argument("unknown CRC type");
+}
+
+}  // namespace
+
+std::uint32_t crc_polynomial(CrcType t) {
+  switch (t) {
+    case CrcType::k24A: return kPoly24A;
+    case CrcType::k24B: return kPoly24B;
+    case CrcType::k16: return kPoly16;
+    case CrcType::k8: return kPoly8;
+  }
+  throw std::invalid_argument("unknown CRC type");
+}
+
+std::uint32_t crc_bits(std::span<const std::uint8_t> bits, CrcType t) {
+  const int len = crc_length(t);
+  const std::uint32_t poly = crc_polynomial(t);
+  const std::uint32_t top = 1u << (len - 1);
+  const std::uint32_t mask = (1u << len) - 1;
+  std::uint32_t r = 0;
+  for (const std::uint8_t b : bits) {
+    const std::uint32_t in = b & 1u;
+    const bool x = ((r & top) != 0) ^ (in != 0);
+    r <<= 1;
+    if (x) r ^= poly;
+    r &= mask;
+  }
+  return r;
+}
+
+std::uint32_t crc_bytes(std::span<const std::uint8_t> bytes, CrcType t) {
+  const int len = crc_length(t);
+  const auto& tab = table_for(t).t;
+  const std::uint32_t mask = (1u << len) - 1;
+  std::uint32_t r = 0;
+  for (const std::uint8_t byte : bytes) {
+    const std::uint32_t idx = ((r >> (len - 8)) ^ byte) & 0xFFu;
+    r = ((r << 8) ^ tab[idx]) & mask;
+  }
+  return r;
+}
+
+void crc_attach(std::vector<std::uint8_t>& bits, CrcType t) {
+  const std::uint32_t r = crc_bits(bits, t);
+  const int len = crc_length(t);
+  for (int b = len - 1; b >= 0; --b) {
+    bits.push_back(static_cast<std::uint8_t>((r >> b) & 1u));
+  }
+}
+
+bool crc_check(std::span<const std::uint8_t> bits_with_crc, CrcType t) {
+  if (bits_with_crc.size() < static_cast<std::size_t>(crc_length(t))) {
+    return false;
+  }
+  return crc_bits(bits_with_crc, t) == 0;
+}
+
+void crc16_attach_masked(std::vector<std::uint8_t>& bits, std::uint16_t rnti) {
+  std::uint32_t r = crc_bits(bits, CrcType::k16);
+  r ^= rnti;
+  for (int b = 15; b >= 0; --b) {
+    bits.push_back(static_cast<std::uint8_t>((r >> b) & 1u));
+  }
+}
+
+bool crc16_check_masked(std::span<const std::uint8_t> bits_with_crc,
+                        std::uint16_t rnti) {
+  if (bits_with_crc.size() < 16) return false;
+  const std::size_t n = bits_with_crc.size() - 16;
+  const std::uint32_t want = crc_bits(bits_with_crc.first(n), CrcType::k16);
+  std::uint32_t got = 0;
+  for (std::size_t i = 0; i < 16; ++i) {
+    got = (got << 1) | (bits_with_crc[n + i] & 1u);
+  }
+  return (want ^ got) == rnti;
+}
+
+}  // namespace vran::phy

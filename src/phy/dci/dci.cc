@@ -1,0 +1,200 @@
+#include "phy/dci/dci.h"
+
+#include <algorithm>
+#include <array>
+#include <limits>
+#include <stdexcept>
+
+#include "common/bitio.h"
+#include "phy/crc/crc.h"
+
+namespace vran::phy {
+
+namespace {
+
+/// Parity of the 7 taps selected by generator g on (input bit << 6 | state).
+inline int conv_output(std::uint32_t g, std::uint32_t window) {
+  return __builtin_popcount(g & window) & 1;
+}
+
+/// State convention: state = previous 6 input bits, newest in bit 5.
+/// Window for the generators: bit 6 = current input, bits 5..0 = state.
+struct ConvTables {
+  // next_state[state][u], out[state][u][stream]
+  std::array<std::array<std::uint8_t, 2>, kConvStates> next;
+  std::array<std::array<std::array<std::uint8_t, 3>, 2>, kConvStates> out;
+};
+
+ConvTables make_conv_tables() {
+  ConvTables t{};
+  for (int s = 0; s < kConvStates; ++s) {
+    for (int u = 0; u < 2; ++u) {
+      const std::uint32_t window =
+          (static_cast<std::uint32_t>(u) << 6) | static_cast<std::uint32_t>(s);
+      for (int g = 0; g < 3; ++g) {
+        t.out[static_cast<std::size_t>(s)][static_cast<std::size_t>(u)]
+             [static_cast<std::size_t>(g)] =
+            static_cast<std::uint8_t>(conv_output(kConvG[g], window));
+      }
+      t.next[static_cast<std::size_t>(s)][static_cast<std::size_t>(u)] =
+          static_cast<std::uint8_t>(((u << 5) | (s >> 1)) & 0x3F);
+    }
+  }
+  return t;
+}
+
+const ConvTables& conv_tables() {
+  static const ConvTables t = make_conv_tables();
+  return t;
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> tbcc_encode(std::span<const std::uint8_t> bits) {
+  const std::size_t L = bits.size();
+  if (L < static_cast<std::size_t>(kConvK - 1)) {
+    throw std::invalid_argument("tbcc_encode: message shorter than K-1");
+  }
+  const auto& t = conv_tables();
+  // Tail-biting: initial state = last 6 bits, bit order such that the
+  // first shifted-out bit is bits[L-6].
+  int state = 0;
+  for (int i = 0; i < 6; ++i) {
+    state |= (bits[L - 1 - static_cast<std::size_t>(i)] & 1) << (5 - i);
+  }
+  std::vector<std::uint8_t> out(3 * L);
+  for (std::size_t k = 0; k < L; ++k) {
+    const int u = bits[k] & 1;
+    for (int g = 0; g < 3; ++g) {
+      out[static_cast<std::size_t>(g) * L + k] =
+          t.out[static_cast<std::size_t>(state)][static_cast<std::size_t>(u)]
+               [static_cast<std::size_t>(g)];
+    }
+    state = t.next[static_cast<std::size_t>(state)][static_cast<std::size_t>(u)];
+  }
+  return out;
+}
+
+std::vector<std::uint8_t> tbcc_decode(std::span<const std::int16_t> llr,
+                                      int wrap_passes) {
+  if (llr.size() % 3 != 0) {
+    throw std::invalid_argument("tbcc_decode: LLR count not divisible by 3");
+  }
+  if (wrap_passes < 1) wrap_passes = 1;
+  const std::size_t L = llr.size() / 3;
+  const auto& t = conv_tables();
+
+  using Metric = std::int64_t;
+  constexpr Metric kFloor = std::numeric_limits<std::int32_t>::min();
+  std::array<Metric, kConvStates> pm{};
+  pm.fill(0);  // tail-biting: all start states equally likely
+
+  // survivors[pass*L + k][state] = predecessor state * 2 + input bit.
+  std::vector<std::array<std::uint8_t, kConvStates>> surv(
+      static_cast<std::size_t>(wrap_passes) * L);
+
+  std::array<Metric, kConvStates> nm{};
+  for (int pass = 0; pass < wrap_passes; ++pass) {
+    for (std::size_t k = 0; k < L; ++k) {
+      nm.fill(kFloor);
+      auto& sv = surv[static_cast<std::size_t>(pass) * L + k];
+      for (int s = 0; s < kConvStates; ++s) {
+        for (int u = 0; u < 2; ++u) {
+          const int ns = t.next[static_cast<std::size_t>(s)][static_cast<std::size_t>(u)];
+          Metric m = pm[static_cast<std::size_t>(s)];
+          for (int g = 0; g < 3; ++g) {
+            const std::int16_t l =
+                llr[static_cast<std::size_t>(g) * L + k];
+            const int bit = t.out[static_cast<std::size_t>(s)]
+                                 [static_cast<std::size_t>(u)]
+                                 [static_cast<std::size_t>(g)];
+            m += bit ? Metric{l} : Metric{-l};
+          }
+          if (m > nm[static_cast<std::size_t>(ns)]) {
+            nm[static_cast<std::size_t>(ns)] = m;
+            sv[static_cast<std::size_t>(ns)] =
+                static_cast<std::uint8_t>((s << 1) | u);
+          }
+        }
+      }
+      pm = nm;
+      // Normalize to avoid unbounded growth on long wraps.
+      const Metric mx = *std::max_element(pm.begin(), pm.end());
+      for (auto& v : pm) v -= mx;
+    }
+  }
+
+  // Traceback from the best final state across the last full pass.
+  int state = static_cast<int>(
+      std::max_element(pm.begin(), pm.end()) - pm.begin());
+  std::vector<std::uint8_t> bits(L);
+  const std::size_t last = static_cast<std::size_t>(wrap_passes) * L;
+  // Walk back L steps of the final pass to land on the decision window.
+  for (std::size_t step = last; step-- > last - L;) {
+    const std::uint8_t rec = surv[step][static_cast<std::size_t>(state)];
+    bits[step - (last - L)] = rec & 1;
+    state = rec >> 1;
+  }
+  return bits;
+}
+
+std::vector<std::uint8_t> dci_pack(const DciPayload& p) {
+  std::vector<std::uint8_t> bits;
+  bits.reserve(kDciPayloadBits);
+  vran::append_bits(bits, p.rb_start, 7);
+  vran::append_bits(bits, p.rb_len, 7);
+  vran::append_bits(bits, p.mcs, 5);
+  vran::append_bits(bits, p.harq_id, 3);
+  vran::append_bits(bits, p.ndi, 1);
+  vran::append_bits(bits, p.rv, 2);
+  vran::append_bits(bits, p.tpc, 2);
+  return bits;
+}
+
+DciPayload dci_unpack(std::span<const std::uint8_t> bits) {
+  if (bits.size() < kDciPayloadBits) {
+    throw std::invalid_argument("dci_unpack: too few bits");
+  }
+  std::size_t pos = 0;
+  DciPayload p;
+  p.rb_start = static_cast<std::uint8_t>(vran::read_bits(bits, pos, 7));
+  p.rb_len = static_cast<std::uint8_t>(vran::read_bits(bits, pos, 7));
+  p.mcs = static_cast<std::uint8_t>(vran::read_bits(bits, pos, 5));
+  p.harq_id = static_cast<std::uint8_t>(vran::read_bits(bits, pos, 3));
+  p.ndi = static_cast<std::uint8_t>(vran::read_bits(bits, pos, 1));
+  p.rv = static_cast<std::uint8_t>(vran::read_bits(bits, pos, 2));
+  p.tpc = static_cast<std::uint8_t>(vran::read_bits(bits, pos, 2));
+  return p;
+}
+
+std::vector<std::uint8_t> dci_encode(const DciPayload& p, std::uint16_t rnti,
+                                     int e) {
+  auto bits = dci_pack(p);
+  crc16_attach_masked(bits, rnti);
+  const auto coded = tbcc_encode(bits);
+  if (e <= 0) throw std::invalid_argument("dci_encode: e <= 0");
+  std::vector<std::uint8_t> out(static_cast<std::size_t>(e));
+  for (int i = 0; i < e; ++i) {
+    out[static_cast<std::size_t>(i)] =
+        coded[static_cast<std::size_t>(i) % coded.size()];
+  }
+  return out;
+}
+
+std::optional<DciPayload> dci_decode(std::span<const std::int16_t> llr,
+                                     std::uint16_t rnti) {
+  const std::size_t coded =
+      static_cast<std::size_t>(dci_coded_bits(kDciPayloadBits));
+  // Undo the circular repetition by soft-combining.
+  std::vector<std::int16_t> acc(coded, 0);
+  for (std::size_t i = 0; i < llr.size(); ++i) {
+    const std::size_t j = i % coded;
+    const int v = int(acc[j]) + int(llr[i]);
+    acc[j] = static_cast<std::int16_t>(std::clamp(v, -32768, 32767));
+  }
+  const auto bits = tbcc_decode(acc);
+  if (!crc16_check_masked(bits, rnti)) return std::nullopt;
+  return dci_unpack(std::span(bits).first(kDciPayloadBits));
+}
+
+}  // namespace vran::phy

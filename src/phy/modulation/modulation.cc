@@ -1,0 +1,248 @@
+#include "phy/modulation/modulation.h"
+
+#include <array>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "common/saturate.h"
+
+namespace vran::phy {
+
+const char* modulation_name(Modulation m) {
+  switch (m) {
+    case Modulation::kQpsk: return "QPSK";
+    case Modulation::k16Qam: return "16QAM";
+    case Modulation::k64Qam: return "64QAM";
+  }
+  return "unknown";
+}
+
+namespace {
+
+std::int16_t q12(double v) {
+  return static_cast<std::int16_t>(std::lround(v * kIqScale));
+}
+
+/// 36.211 §7.1.2: QPSK point for bits (b0, b1).
+IqSample qpsk_point(int b0, int b1) {
+  const double a = 1.0 / std::sqrt(2.0);
+  return {q12((1 - 2 * b0) * a), q12((1 - 2 * b1) * a)};
+}
+
+/// §7.1.3: 16QAM, bits (b0..b3); amplitude from (b2, b3).
+IqSample qam16_point(int b0, int b1, int b2, int b3) {
+  const double a = 1.0 / std::sqrt(10.0);
+  const double i = (1 - 2 * b0) * (2 - (1 - 2 * b2)) * a;
+  const double q = (1 - 2 * b1) * (2 - (1 - 2 * b3)) * a;
+  return {q12(i), q12(q)};
+}
+
+/// §7.1.4: 64QAM, bits (b0..b5).
+IqSample qam64_point(int b0, int b1, int b2, int b3, int b4, int b5) {
+  const double a = 1.0 / std::sqrt(42.0);
+  const double i =
+      (1 - 2 * b0) * (4 - (1 - 2 * b2) * (2 - (1 - 2 * b4))) * a;
+  const double q =
+      (1 - 2 * b1) * (4 - (1 - 2 * b3) * (2 - (1 - 2 * b5))) * a;
+  return {q12(i), q12(q)};
+}
+
+template <int Bits>
+std::array<IqSample, (1 << Bits)> make_table() {
+  std::array<IqSample, (1 << Bits)> t{};
+  for (int g = 0; g < (1 << Bits); ++g) {
+    const auto bit = [g](int idx) { return (g >> (Bits - 1 - idx)) & 1; };
+    if constexpr (Bits == 2) {
+      t[static_cast<std::size_t>(g)] = qpsk_point(bit(0), bit(1));
+    } else if constexpr (Bits == 4) {
+      t[static_cast<std::size_t>(g)] =
+          qam16_point(bit(0), bit(1), bit(2), bit(3));
+    } else {
+      t[static_cast<std::size_t>(g)] =
+          qam64_point(bit(0), bit(1), bit(2), bit(3), bit(4), bit(5));
+    }
+  }
+  return t;
+}
+
+const std::array<IqSample, 4> kQpsk = make_table<2>();
+const std::array<IqSample, 16> k16Qam = make_table<4>();
+const std::array<IqSample, 64> k64Qam = make_table<6>();
+
+}  // namespace
+
+std::span<const IqSample> constellation(Modulation m) {
+  switch (m) {
+    case Modulation::kQpsk: return kQpsk;
+    case Modulation::k16Qam: return k16Qam;
+    case Modulation::k64Qam: return k64Qam;
+  }
+  throw std::invalid_argument("unknown modulation");
+}
+
+std::vector<IqSample> modulate(std::span<const std::uint8_t> bits,
+                               Modulation m) {
+  const int bps = bits_per_symbol(m);
+  if (bits.size() % static_cast<std::size_t>(bps) != 0) {
+    throw std::invalid_argument("modulate: bits not divisible by symbol size");
+  }
+  const auto table = constellation(m);
+  std::vector<IqSample> out(bits.size() / static_cast<std::size_t>(bps));
+  for (std::size_t s = 0; s < out.size(); ++s) {
+    int g = 0;
+    for (int b = 0; b < bps; ++b) {
+      g = (g << 1) | (bits[s * static_cast<std::size_t>(bps) +
+                           static_cast<std::size_t>(b)] &
+                      1);
+    }
+    out[s] = table[static_cast<std::size_t>(g)];
+  }
+  return out;
+}
+
+AlignedVector<std::int16_t> demodulate_llr_exhaustive(
+    std::span<const IqSample> symbols, Modulation m, double n0_q12,
+    double llr_scale) {
+  if (n0_q12 <= 0) throw std::invalid_argument("demodulate_llr: n0 <= 0");
+  const int bps = bits_per_symbol(m);
+  const auto table = constellation(m);
+  AlignedVector<std::int16_t> llr(symbols.size() *
+                                  static_cast<std::size_t>(bps));
+
+  for (std::size_t s = 0; s < symbols.size(); ++s) {
+    const std::int32_t yi = symbols[s].i;
+    const std::int32_t yq = symbols[s].q;
+    // Exact integer squared distances (coordinates are Q12 int16, so the
+    // per-axis square fits int32 and the 2-D sum fits int64).
+    std::int64_t d0[6], d1[6];
+    for (int b = 0; b < bps; ++b) {
+      d0[b] = std::numeric_limits<std::int64_t>::max();
+      d1[b] = d0[b];
+    }
+    for (std::size_t g = 0; g < table.size(); ++g) {
+      const std::int64_t di = yi - table[g].i;
+      const std::int64_t dq = yq - table[g].q;
+      const std::int64_t dist = di * di + dq * dq;
+      for (int b = 0; b < bps; ++b) {
+        const bool one = ((g >> (bps - 1 - b)) & 1u) != 0;
+        std::int64_t& slot = one ? d1[b] : d0[b];
+        if (dist < slot) slot = dist;
+      }
+    }
+    for (int b = 0; b < bps; ++b) {
+      // Positive when bit 1 is more likely.
+      const double l = double(d0[b] - d1[b]) / n0_q12 * llr_scale;
+      llr[s * static_cast<std::size_t>(bps) + static_cast<std::size_t>(b)] =
+          sat_narrow16(static_cast<int>(std::lround(
+              std::clamp(l, -32768.0, 32767.0))));
+    }
+  }
+  return llr;
+}
+
+namespace {
+
+/// Per-axis level table for Gray square QAM: levels[g] is the axis
+/// coordinate for the axis bit group g (MSB = sign bit), in Q12.
+struct AxisTable {
+  int bits = 1;            // axis bits (1 / 2 / 3)
+  std::int16_t level[8];   // 2^bits entries
+};
+
+AxisTable axis_table(Modulation m) {
+  AxisTable t;
+  t.bits = bits_per_symbol(m) / 2;
+  const auto pts = constellation(m);
+  // The I coordinate depends only on the even-position bits
+  // (b0, b2, b4); sweep them with the odd bits fixed at zero.
+  for (int g = 0; g < (1 << t.bits); ++g) {
+    std::size_t idx = 0;
+    for (int j = 0; j < t.bits; ++j) {
+      const int bit = (g >> (t.bits - 1 - j)) & 1;
+      idx |= static_cast<std::size_t>(bit)
+             << (bits_per_symbol(m) - 1 - 2 * j);
+    }
+    t.level[g] = pts[idx].i;
+  }
+  return t;
+}
+
+/// Max-log LLRs for one axis: out[j] for axis bit j of observation y.
+/// Integer distances keep this bit-identical to the exhaustive search
+/// (the other axis contributes the same additive constant to both
+/// hypotheses, which cancels in the difference).
+inline void axis_llrs(const AxisTable& t, std::int32_t y,
+                      double inv_n0_scale, std::int16_t* out) {
+  std::int64_t d0[3], d1[3];
+  for (int j = 0; j < t.bits; ++j) {
+    d0[j] = std::numeric_limits<std::int64_t>::max();
+    d1[j] = d0[j];
+  }
+  for (int g = 0; g < (1 << t.bits); ++g) {
+    const std::int64_t diff = y - t.level[g];
+    const std::int64_t d = diff * diff;
+    for (int j = 0; j < t.bits; ++j) {
+      const bool one = ((g >> (t.bits - 1 - j)) & 1) != 0;
+      std::int64_t& slot = one ? d1[j] : d0[j];
+      if (d < slot) slot = d;
+    }
+  }
+  for (int j = 0; j < t.bits; ++j) {
+    const double l = double(d0[j] - d1[j]) * inv_n0_scale;
+    out[j] = sat_narrow16(
+        static_cast<int>(std::lround(std::clamp(l, -32768.0, 32767.0))));
+  }
+}
+
+}  // namespace
+
+AlignedVector<std::int16_t> demodulate_llr(std::span<const IqSample> symbols,
+                                           Modulation m, double n0_q12,
+                                           double llr_scale) {
+  if (n0_q12 <= 0) throw std::invalid_argument("demodulate_llr: n0 <= 0");
+  const int bps = bits_per_symbol(m);
+  const AxisTable table = axis_table(m);
+  const double inv = llr_scale / n0_q12;
+  AlignedVector<std::int16_t> llr(symbols.size() *
+                                  static_cast<std::size_t>(bps));
+  std::int16_t li[3], lq[3];
+  for (std::size_t s = 0; s < symbols.size(); ++s) {
+    axis_llrs(table, symbols[s].i, inv, li);
+    axis_llrs(table, symbols[s].q, inv, lq);
+    std::int16_t* out = llr.data() + s * static_cast<std::size_t>(bps);
+    for (int j = 0; j < table.bits; ++j) {
+      out[2 * j] = li[j];      // even bit positions ride on I
+      out[2 * j + 1] = lq[j];  // odd bit positions on Q
+    }
+  }
+  return llr;
+}
+
+std::vector<std::uint8_t> demodulate_hard(std::span<const IqSample> symbols,
+                                          Modulation m) {
+  const int bps = bits_per_symbol(m);
+  const auto table = constellation(m);
+  std::vector<std::uint8_t> bits(symbols.size() *
+                                 static_cast<std::size_t>(bps));
+  for (std::size_t s = 0; s < symbols.size(); ++s) {
+    double best = std::numeric_limits<double>::infinity();
+    std::size_t arg = 0;
+    for (std::size_t g = 0; g < table.size(); ++g) {
+      const double di = double(symbols[s].i) - table[g].i;
+      const double dq = double(symbols[s].q) - table[g].q;
+      const double dist = di * di + dq * dq;
+      if (dist < best) {
+        best = dist;
+        arg = g;
+      }
+    }
+    for (int b = 0; b < bps; ++b) {
+      bits[s * static_cast<std::size_t>(bps) + static_cast<std::size_t>(b)] =
+          static_cast<std::uint8_t>((arg >> (bps - 1 - b)) & 1u);
+    }
+  }
+  return bits;
+}
+
+}  // namespace vran::phy

@@ -1,0 +1,95 @@
+#include "phy/ofdm/fft.h"
+
+#include <cmath>
+#include <map>
+#include <numbers>
+#include <stdexcept>
+
+namespace vran::phy {
+
+FftPlan::FftPlan(std::size_t n) : n_(n) {
+  if (n == 0 || (n & (n - 1)) != 0) {
+    throw std::invalid_argument("FftPlan: size must be a power of two");
+  }
+  bitrev_.resize(n);
+  std::size_t bits = 0;
+  while ((1u << bits) < n) ++bits;
+  for (std::size_t i = 0; i < n; ++i) {
+    std::size_t r = 0;
+    for (std::size_t b = 0; b < bits; ++b) {
+      if (i & (std::size_t{1} << b)) r |= std::size_t{1} << (bits - 1 - b);
+    }
+    bitrev_[i] = r;
+  }
+  twiddle_.resize(n / 2);
+  for (std::size_t k = 0; k < n / 2; ++k) {
+    const double ang = -2.0 * std::numbers::pi * double(k) / double(n);
+    twiddle_[k] = Cf(static_cast<float>(std::cos(ang)),
+                     static_cast<float>(std::sin(ang)));
+  }
+}
+
+void FftPlan::transform(std::span<Cf> data, bool inverse) const {
+  if (data.size() != n_) throw std::invalid_argument("FFT size mismatch");
+  for (std::size_t i = 0; i < n_; ++i) {
+    const std::size_t j = bitrev_[i];
+    if (i < j) std::swap(data[i], data[j]);
+  }
+  for (std::size_t len = 2; len <= n_; len <<= 1) {
+    const std::size_t half = len >> 1;
+    const std::size_t step = n_ / len;
+    for (std::size_t start = 0; start < n_; start += len) {
+      for (std::size_t k = 0; k < half; ++k) {
+        // Explicit float butterfly: std::complex operator* carries
+        // NaN/Inf fix-up branches that triple the cost of the hot loop.
+        const Cf w = twiddle_[k * step];
+        const float wr = w.real();
+        const float wi = inverse ? -w.imag() : w.imag();
+        const Cf x = data[start + k + half];
+        const float vr = x.real() * wr - x.imag() * wi;
+        const float vi = x.real() * wi + x.imag() * wr;
+        const Cf u = data[start + k];
+        data[start + k] = Cf(u.real() + vr, u.imag() + vi);
+        data[start + k + half] = Cf(u.real() - vr, u.imag() - vi);
+      }
+    }
+  }
+  if (inverse) {
+    const float inv = 1.0f / static_cast<float>(n_);
+    for (auto& x : data) x *= inv;
+  }
+}
+
+void FftPlan::forward(std::span<Cf> data) const { transform(data, false); }
+void FftPlan::inverse(std::span<Cf> data) const { transform(data, true); }
+
+namespace {
+const FftPlan& cached_plan(std::size_t n) {
+  static thread_local std::map<std::size_t, FftPlan> plans;
+  auto it = plans.find(n);
+  if (it == plans.end()) it = plans.emplace(n, FftPlan(n)).first;
+  return it->second;
+}
+}  // namespace
+
+void fft_forward(std::span<Cf> data) { cached_plan(data.size()).forward(data); }
+void fft_inverse(std::span<Cf> data) { cached_plan(data.size()).inverse(data); }
+
+std::vector<Cf> dft_reference(std::span<const Cf> in, bool inverse) {
+  const std::size_t n = in.size();
+  std::vector<Cf> out(n);
+  const double sign = inverse ? 2.0 : -2.0;
+  for (std::size_t k = 0; k < n; ++k) {
+    std::complex<double> acc = 0;
+    for (std::size_t t = 0; t < n; ++t) {
+      const double ang = sign * std::numbers::pi * double(k * t) / double(n);
+      acc += std::complex<double>(in[t]) *
+             std::complex<double>(std::cos(ang), std::sin(ang));
+    }
+    if (inverse) acc /= double(n);
+    out[k] = Cf(static_cast<float>(acc.real()), static_cast<float>(acc.imag()));
+  }
+  return out;
+}
+
+}  // namespace vran::phy

@@ -1,0 +1,111 @@
+#include "phy/ofdm/ofdm.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace vran::phy {
+
+OfdmModulator::OfdmModulator(OfdmConfig cfg)
+    : cfg_(cfg), plan_(static_cast<std::size_t>(cfg.nfft)) {
+  if (cfg_.used_subcarriers % 2 != 0 || cfg_.used_subcarriers >= cfg_.nfft) {
+    throw std::invalid_argument("OfdmModulator: bad subcarrier count");
+  }
+  if (cfg_.cp_len < 0 || cfg_.cp_len >= cfg_.nfft) {
+    throw std::invalid_argument("OfdmModulator: bad CP length");
+  }
+}
+
+std::vector<Cf> OfdmModulator::modulate_symbol(
+    std::span<const IqSample> res) const {
+  const int nsc = cfg_.used_subcarriers;
+  if (res.size() != static_cast<std::size_t>(nsc)) {
+    throw std::invalid_argument("modulate_symbol: RE count mismatch");
+  }
+  const std::size_t n = static_cast<std::size_t>(cfg_.nfft);
+  std::vector<Cf> grid(n, Cf{0.0f, 0.0f});
+  // Subcarriers -nsc/2..-1 and +1..+nsc/2 around DC (DC unused).
+  const int half = nsc / 2;
+  for (int k = 0; k < half; ++k) {
+    // positive frequencies: bins 1..half  <- REs half..nsc-1
+    grid[static_cast<std::size_t>(1 + k)] =
+        Cf(res[static_cast<std::size_t>(half + k)].i * cfg_.iq_scale,
+           res[static_cast<std::size_t>(half + k)].q * cfg_.iq_scale);
+    // negative frequencies: bins nfft-half..nfft-1 <- REs 0..half-1
+    grid[n - static_cast<std::size_t>(half) + static_cast<std::size_t>(k)] =
+        Cf(res[static_cast<std::size_t>(k)].i * cfg_.iq_scale,
+           res[static_cast<std::size_t>(k)].q * cfg_.iq_scale);
+  }
+  plan_.inverse(grid);
+
+  std::vector<Cf> out;
+  out.reserve(static_cast<std::size_t>(ofdm_symbol_samples(cfg_)));
+  out.insert(out.end(), grid.end() - cfg_.cp_len, grid.end());
+  out.insert(out.end(), grid.begin(), grid.end());
+  return out;
+}
+
+std::vector<IqSample> OfdmModulator::demodulate_symbol(
+    std::span<const Cf> time) const {
+  if (time.size() != static_cast<std::size_t>(ofdm_symbol_samples(cfg_))) {
+    throw std::invalid_argument("demodulate_symbol: sample count mismatch");
+  }
+  const std::size_t n = static_cast<std::size_t>(cfg_.nfft);
+  std::vector<Cf> grid(time.begin() + cfg_.cp_len, time.end());
+  plan_.forward(grid);
+
+  const int nsc = cfg_.used_subcarriers;
+  const int half = nsc / 2;
+  const float unscale = 1.0f / cfg_.iq_scale;
+  std::vector<IqSample> res(static_cast<std::size_t>(nsc));
+  const auto to_q12 = [unscale](Cf v) {
+    const auto clamp = [](float x) {
+      return static_cast<std::int16_t>(
+          std::lround(std::fmin(std::fmax(x, -32768.0f), 32767.0f)));
+    };
+    return IqSample{clamp(v.real() * unscale), clamp(v.imag() * unscale)};
+  };
+  for (int k = 0; k < half; ++k) {
+    res[static_cast<std::size_t>(half + k)] =
+        to_q12(grid[static_cast<std::size_t>(1 + k)]);
+    res[static_cast<std::size_t>(k)] = to_q12(
+        grid[n - static_cast<std::size_t>(half) + static_cast<std::size_t>(k)]);
+  }
+  return res;
+}
+
+std::vector<Cf> OfdmModulator::modulate(std::span<const IqSample> res) const {
+  const std::size_t cap = static_cast<std::size_t>(ofdm_symbol_capacity(cfg_));
+  std::vector<Cf> out;
+  for (std::size_t at = 0; at < res.size(); at += cap) {
+    const std::size_t take = std::min(cap, res.size() - at);
+    std::vector<IqSample> sym(res.begin() + static_cast<std::ptrdiff_t>(at),
+                              res.begin() + static_cast<std::ptrdiff_t>(at + take));
+    sym.resize(cap);  // zero-pad the final symbol
+    const auto t = modulate_symbol(sym);
+    out.insert(out.end(), t.begin(), t.end());
+  }
+  return out;
+}
+
+std::vector<IqSample> OfdmModulator::demodulate(std::span<const Cf> time,
+                                                std::size_t re_count) const {
+  const std::size_t cap = static_cast<std::size_t>(ofdm_symbol_capacity(cfg_));
+  const std::size_t samples =
+      static_cast<std::size_t>(ofdm_symbol_samples(cfg_));
+  if (time.size() % samples != 0) {
+    throw std::invalid_argument("demodulate: partial OFDM symbol");
+  }
+  std::vector<IqSample> res;
+  for (std::size_t at = 0; at < time.size(); at += samples) {
+    const auto sym = demodulate_symbol(time.subspan(at, samples));
+    res.insert(res.end(), sym.begin(), sym.end());
+  }
+  if (res.size() < re_count) {
+    throw std::invalid_argument("demodulate: fewer REs than requested");
+  }
+  res.resize(re_count);
+  (void)cap;
+  return res;
+}
+
+}  // namespace vran::phy

@@ -1,0 +1,55 @@
+// OFDM symbol (de)modulation: subcarrier mapping around DC, IFFT + cyclic
+// prefix on transmit; CP removal, FFT and subcarrier extraction on
+// receive. Geometry follows LTE 5 MHz FDD (the paper's testbed
+// configuration): 25 PRBs = 300 used subcarriers, 512-point FFT.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "phy/modulation/modulation.h"
+#include "phy/ofdm/fft.h"
+
+namespace vran::phy {
+
+struct OfdmConfig {
+  int nfft = 512;        ///< FFT size
+  int used_subcarriers = 300;  ///< must be even and < nfft
+  int cp_len = 36;       ///< cyclic-prefix samples (normal CP, 5 MHz)
+  float iq_scale = 1.0f / 4096.0f;  ///< Q12 int16 -> float conversion
+};
+
+/// Samples per OFDM symbol on the wire.
+constexpr int ofdm_symbol_samples(const OfdmConfig& c) {
+  return c.nfft + c.cp_len;
+}
+/// Data-carrying resource elements per OFDM symbol.
+constexpr int ofdm_symbol_capacity(const OfdmConfig& c) {
+  return c.used_subcarriers;
+}
+
+class OfdmModulator {
+ public:
+  explicit OfdmModulator(OfdmConfig cfg);
+
+  const OfdmConfig& config() const { return cfg_; }
+
+  /// Map `used_subcarriers` QAM samples onto one OFDM symbol (IFFT + CP).
+  /// Output is nfft + cp_len complex time samples.
+  std::vector<Cf> modulate_symbol(std::span<const IqSample> res) const;
+
+  /// Inverse: strip CP, FFT, extract the used subcarriers back to Q12.
+  std::vector<IqSample> demodulate_symbol(std::span<const Cf> time) const;
+
+  /// Multi-symbol convenience: pads the final symbol with zero REs.
+  std::vector<Cf> modulate(std::span<const IqSample> res) const;
+  std::vector<IqSample> demodulate(std::span<const Cf> time,
+                                   std::size_t re_count) const;
+
+ private:
+  OfdmConfig cfg_;
+  FftPlan plan_;
+};
+
+}  // namespace vran::phy

@@ -1,0 +1,149 @@
+#include "phy/ratematch/rate_match.h"
+
+#include <array>
+#include <stdexcept>
+
+#include "common/saturate.h"
+
+namespace vran::phy {
+
+namespace {
+
+// 36.212 Table 5.1.4-1 inter-column permutation for turbo-coded channels.
+constexpr std::array<int, 32> kColPerm = {
+    0, 16, 8,  24, 4, 20, 12, 28, 2, 18, 10, 26, 6, 22, 14, 30,
+    1, 17, 9,  25, 5, 21, 13, 29, 3, 19, 11, 27, 7, 23, 15, 31};
+
+}  // namespace
+
+std::span<const int> subblock_column_permutation() { return kColPerm; }
+
+SubblockGeometry subblock_geometry(int d) {
+  if (d <= 0) throw std::invalid_argument("subblock_geometry: d <= 0");
+  SubblockGeometry g;
+  g.d = d;
+  g.rows = (d + 31) / 32;
+  g.kp = 32 * g.rows;
+  g.nulls = g.kp - d;
+  return g;
+}
+
+SubblockMap subblock_map(int d) {
+  SubblockMap m;
+  m.geo = subblock_geometry(d);
+  const int R = m.geo.rows;
+  const int kp = m.geo.kp;
+
+  // Streams 0 and 1: write the null-padded stream y (nulls first) row by
+  // row into an R x 32 matrix, permute columns, read column by column.
+  m.v0_src.resize(static_cast<std::size_t>(kp));
+  int out = 0;
+  for (int c = 0; c < 32; ++c) {
+    const int col = kColPerm[static_cast<std::size_t>(c)];
+    for (int r = 0; r < R; ++r) {
+      m.v0_src[static_cast<std::size_t>(out++)] = r * 32 + col;
+    }
+  }
+
+  // Stream 2: pi(k) = (P[k / R] + 32*(k mod R) + 1) mod kp.
+  m.v2_src.resize(static_cast<std::size_t>(kp));
+  for (int k = 0; k < kp; ++k) {
+    const int col = kColPerm[static_cast<std::size_t>(k / R)];
+    m.v2_src[static_cast<std::size_t>(k)] = (col + 32 * (k % R) + 1) % kp;
+  }
+  return m;
+}
+
+RateMatcher::RateMatcher(int k) : k_(k), map_(subblock_map(k + kTurboTail)) {
+  const int kp = map_.geo.kp;
+  const int nulls = map_.geo.nulls;
+  // Flatten the circular buffer: w[j] = v0[j] for j < kp, then
+  // w[kp + 2t] = v1[t], w[kp + 2t + 1] = v2[t]. Record, for each w
+  // position, the flat d-stream index (3*pos + stream) or -1 for nulls.
+  w_src_.assign(static_cast<std::size_t>(3 * kp), -1);
+  const auto y_to_d = [nulls](int y) { return y - nulls; };  // <0 means null
+  for (int j = 0; j < kp; ++j) {
+    const int d0 = y_to_d(map_.v0_src[static_cast<std::size_t>(j)]);
+    if (d0 >= 0) w_src_[static_cast<std::size_t>(j)] = 3 * d0 + 0;
+    const int d1 = y_to_d(map_.v0_src[static_cast<std::size_t>(j)]);
+    if (d1 >= 0) w_src_[static_cast<std::size_t>(kp + 2 * j)] = 3 * d1 + 1;
+    const int d2 = y_to_d(map_.v2_src[static_cast<std::size_t>(j)]);
+    if (d2 >= 0) w_src_[static_cast<std::size_t>(kp + 2 * j + 1)] = 3 * d2 + 2;
+  }
+}
+
+int RateMatcher::usable_size() const {
+  int n = 0;
+  for (const auto s : w_src_) n += (s >= 0);
+  return n;
+}
+
+int RateMatcher::k0(int rv) const {
+  if (rv < 0 || rv > 3) throw std::invalid_argument("rv out of range");
+  const int R = map_.geo.rows;
+  const int ncb = 3 * map_.geo.kp;
+  return R * (2 * ((ncb + 8 * R - 1) / (8 * R)) * rv + 2);
+}
+
+std::vector<std::uint8_t> RateMatcher::match(const TurboCodeword& cw, int e,
+                                             int rv) const {
+  const std::size_t d = static_cast<std::size_t>(k_) + kTurboTail;
+  if (cw.d0.size() != d || cw.d1.size() != d || cw.d2.size() != d) {
+    throw std::invalid_argument("RateMatcher::match: codeword size mismatch");
+  }
+  if (e <= 0) throw std::invalid_argument("RateMatcher::match: e <= 0");
+
+  const int ncb = 3 * map_.geo.kp;
+  const int start = k0(rv);
+  std::vector<std::uint8_t> out;
+  out.reserve(static_cast<std::size_t>(e));
+  const std::uint8_t* streams[3] = {cw.d0.data(), cw.d1.data(), cw.d2.data()};
+  for (int j = 0; static_cast<int>(out.size()) < e; ++j) {
+    const int w = (start + j) % ncb;
+    const std::int32_t src = w_src_[static_cast<std::size_t>(w)];
+    if (src < 0) continue;  // pruned null
+    out.push_back(streams[src % 3][src / 3]);
+  }
+  return out;
+}
+
+void RateMatcher::dematch_accumulate(std::span<const std::int16_t> llr,
+                                     int rv,
+                                     std::span<std::int16_t> w_llr) const {
+  const int ncb = 3 * map_.geo.kp;
+  if (w_llr.size() != static_cast<std::size_t>(ncb)) {
+    throw std::invalid_argument("dematch_accumulate: w_llr size mismatch");
+  }
+  const int start = k0(rv);
+  std::size_t used = 0;
+  for (int j = 0; used < llr.size(); ++j) {
+    const int w = (start + j) % ncb;
+    if (w_src_[static_cast<std::size_t>(w)] < 0) continue;
+    w_llr[static_cast<std::size_t>(w)] =
+        sat_add16(w_llr[static_cast<std::size_t>(w)], llr[used++]);
+  }
+}
+
+AlignedVector<std::int16_t> RateMatcher::buffer_to_triples(
+    std::span<const std::int16_t> w_llr) const {
+  const int ncb = 3 * map_.geo.kp;
+  if (w_llr.size() != static_cast<std::size_t>(ncb)) {
+    throw std::invalid_argument("buffer_to_triples: size mismatch");
+  }
+  const std::size_t d = static_cast<std::size_t>(k_) + kTurboTail;
+  AlignedVector<std::int16_t> triples(3 * d, 0);
+  for (int w = 0; w < ncb; ++w) {
+    const std::int32_t src = w_src_[static_cast<std::size_t>(w)];
+    if (src >= 0) triples[static_cast<std::size_t>(src)] = w_llr[static_cast<std::size_t>(w)];
+  }
+  return triples;
+}
+
+AlignedVector<std::int16_t> RateMatcher::dematch(
+    std::span<const std::int16_t> llr, int rv) const {
+  AlignedVector<std::int16_t> w(static_cast<std::size_t>(3 * map_.geo.kp), 0);
+  dematch_accumulate(llr, rv, w);
+  return buffer_to_triples(w);
+}
+
+}  // namespace vran::phy

@@ -1,0 +1,68 @@
+#include "phy/scramble/scrambler.h"
+
+namespace vran::phy {
+
+namespace {
+
+constexpr int kNc = 1600;
+
+inline std::uint32_t step_x1(std::uint32_t x1) {
+  // x1(n+31) = (x1(n+3) + x1(n)) mod 2; register keeps bits n..n+30.
+  const std::uint32_t nb = ((x1 >> 3) ^ x1) & 1u;
+  return (x1 >> 1) | (nb << 30);
+}
+
+inline std::uint32_t step_x2(std::uint32_t x2) {
+  // x2(n+31) = (x2(n+3) + x2(n+2) + x2(n+1) + x2(n)) mod 2.
+  const std::uint32_t nb = ((x2 >> 3) ^ (x2 >> 2) ^ (x2 >> 1) ^ x2) & 1u;
+  return (x2 >> 1) | (nb << 30);
+}
+
+}  // namespace
+
+GoldSequence::GoldSequence(std::uint32_t c_init)
+    : x1_(1u), x2_(c_init & 0x7FFFFFFFu) {
+  for (int i = 0; i < kNc; ++i) {
+    x1_ = step_x1(x1_);
+    x2_ = step_x2(x2_);
+  }
+}
+
+std::uint8_t GoldSequence::next() {
+  const std::uint8_t c = static_cast<std::uint8_t>((x1_ ^ x2_) & 1u);
+  x1_ = step_x1(x1_);
+  x2_ = step_x2(x2_);
+  return c;
+}
+
+void GoldSequence::generate(std::span<std::uint8_t> out) {
+  for (auto& b : out) b = next();
+}
+
+std::vector<std::uint8_t> gold_sequence(std::uint32_t c_init, std::size_t n) {
+  std::vector<std::uint8_t> seq(n);
+  GoldSequence g(c_init);
+  g.generate(seq);
+  return seq;
+}
+
+std::uint32_t pusch_c_init(std::uint16_t rnti, int q, int ns, int cell_id) {
+  return (static_cast<std::uint32_t>(rnti) << 14) |
+         (static_cast<std::uint32_t>(q & 1) << 13) |
+         (static_cast<std::uint32_t>((ns / 2) & 0xF) << 9) |
+         static_cast<std::uint32_t>(cell_id & 0x1FF);
+}
+
+void scramble_bits(std::span<std::uint8_t> bits, std::uint32_t c_init) {
+  GoldSequence g(c_init);
+  for (auto& b : bits) b ^= g.next();
+}
+
+void descramble_llr(std::span<std::int16_t> llr, std::uint32_t c_init) {
+  GoldSequence g(c_init);
+  for (auto& v : llr) {
+    if (g.next()) v = static_cast<std::int16_t>(v == -32768 ? 32767 : -v);
+  }
+}
+
+}  // namespace vran::phy

@@ -1,0 +1,46 @@
+// 3GPP TS 36.212 §5.1.2 code-block segmentation and concatenation.
+//
+// Transport blocks longer than Z = 6144 bits are split into C code
+// blocks, each sized to a legal QPP interleaver K, with filler bits
+// prepended to the first block and a CRC24B appended to every block when
+// C > 1.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace vran::phy {
+
+inline constexpr int kMaxCodeBlock = 6144;
+
+struct SegmentationPlan {
+  int b = 0;        ///< input bits (incl. transport-block CRC)
+  int c = 0;        ///< number of code blocks
+  int k_plus = 0;   ///< larger block size
+  int k_minus = 0;  ///< smaller block size (0 when unused)
+  int c_plus = 0;   ///< blocks of size k_plus
+  int c_minus = 0;  ///< blocks of size k_minus
+  int f = 0;        ///< filler bits in the first block
+
+  /// K of block `i` (0-based; k_minus blocks come first, per 36.212).
+  int block_size(int i) const { return i < c_minus ? k_minus : k_plus; }
+  /// Payload bits of block `i` (K minus filler minus CRC24B when C > 1).
+  int payload_bits(int i) const;
+};
+
+/// Compute the plan for `b` input bits (throws for b <= 0).
+SegmentationPlan make_segmentation_plan(int b);
+
+/// Split `bits` into code blocks: filler (0) bits prepended to block 0,
+/// CRC24B appended per block when the plan has C > 1.
+std::vector<std::vector<std::uint8_t>> segment_bits(
+    std::span<const std::uint8_t> bits, const SegmentationPlan& plan);
+
+/// Reassemble decoded code blocks. Returns false when any per-block
+/// CRC24B fails (C > 1); `out` then holds best-effort data.
+bool desegment_bits(const std::vector<std::vector<std::uint8_t>>& blocks,
+                    const SegmentationPlan& plan,
+                    std::vector<std::uint8_t>& out);
+
+}  // namespace vran::phy

@@ -1,0 +1,108 @@
+// Runtime dispatch for the SIMD constituent MAP kernels and the full-width
+// elementwise helpers. The per-ISA kernels live in dedicated translation
+// units compiled with matching -m flags; this file is ISA-neutral.
+#include <stdexcept>
+
+#include "common/aligned.h"
+#include "phy/turbo/turbo_decoder.h"
+#include "phy/turbo/turbo_map_impl.h"
+
+namespace vran::phy::turbo_internal {
+
+// Entry points defined in turbo_map_{sse,avx2,avx512}.cc.
+void map_decode_sse(std::span<const std::int16_t>, std::span<const std::int16_t>,
+                    std::span<const std::int16_t>, const std::int16_t[3],
+                    const std::int16_t[3], std::span<std::int16_t>,
+                    std::span<std::int16_t>, std::int16_t*, std::int16_t*);
+void map_decode_avx2(std::span<const std::int16_t>,
+                     std::span<const std::int16_t>,
+                     std::span<const std::int16_t>, const std::int16_t[3],
+                     const std::int16_t[3], std::span<std::int16_t>,
+                     std::span<std::int16_t>, std::int16_t*, std::int16_t*);
+void map_decode_avx512(std::span<const std::int16_t>,
+                       std::span<const std::int16_t>,
+                       std::span<const std::int16_t>, const std::int16_t[3],
+                       const std::int16_t[3], std::span<std::int16_t>,
+                       std::span<std::int16_t>, std::int16_t*, std::int16_t*);
+void scale_extrinsic_sse(std::span<std::int16_t>);
+void scale_extrinsic_avx2(std::span<std::int16_t>);
+void scale_extrinsic_avx512(std::span<std::int16_t>);
+void sat_add_sse(std::span<const std::int16_t>, std::span<const std::int16_t>,
+                 std::span<std::int16_t>);
+void sat_add_avx2(std::span<const std::int16_t>, std::span<const std::int16_t>,
+                  std::span<std::int16_t>);
+void sat_add_avx512(std::span<const std::int16_t>,
+                    std::span<const std::int16_t>, std::span<std::int16_t>);
+
+namespace {
+
+void check_isa(IsaLevel isa) {
+  if (isa > best_isa()) {
+    throw std::invalid_argument("turbo SIMD: ISA not available on this CPU");
+  }
+}
+
+std::int16_t* gs_workspace(std::size_t k) {
+  // 3K: gamma-systematic array plus the two step-major transposes the
+  // windowed kernels build (see turbo_map_impl.h).
+  static thread_local AlignedVector<std::int16_t> ws;
+  if (ws.size() < 3 * k) ws.resize(3 * k);
+  return ws.data();
+}
+
+}  // namespace
+
+void map_decode_simd(IsaLevel isa, std::span<const std::int16_t> sys,
+                     std::span<const std::int16_t> par,
+                     std::span<const std::int16_t> apr,
+                     const std::int16_t sys_tail[3],
+                     const std::int16_t par_tail[3],
+                     std::span<std::int16_t> ext, std::span<std::int16_t> lall,
+                     std::int16_t* alpha_workspace) {
+  check_isa(isa);
+  std::int16_t* gs = gs_workspace(sys.size());
+  switch (isa) {
+    case IsaLevel::kSse41:
+      map_decode_sse(sys, par, apr, sys_tail, par_tail, ext, lall,
+                     alpha_workspace, gs);
+      return;
+    case IsaLevel::kAvx2:
+      map_decode_avx2(sys, par, apr, sys_tail, par_tail, ext, lall,
+                      alpha_workspace, gs);
+      return;
+    case IsaLevel::kAvx512:
+      map_decode_avx512(sys, par, apr, sys_tail, par_tail, ext, lall,
+                        alpha_workspace, gs);
+      return;
+    case IsaLevel::kScalar: break;
+  }
+  map_decode_scalar(sys, par, apr, sys_tail, par_tail, ext, lall,
+                    alpha_workspace);
+}
+
+void vec_scale_extrinsic(IsaLevel isa, std::span<std::int16_t> e) {
+  switch (isa) {
+    case IsaLevel::kSse41: scale_extrinsic_sse(e); return;
+    case IsaLevel::kAvx2: check_isa(isa); scale_extrinsic_avx2(e); return;
+    case IsaLevel::kAvx512: check_isa(isa); scale_extrinsic_avx512(e); return;
+    case IsaLevel::kScalar: break;
+  }
+  for (auto& v : e) v = scale_extrinsic(v);
+}
+
+void vec_sat_add(IsaLevel isa, std::span<const std::int16_t> a,
+                 std::span<const std::int16_t> b,
+                 std::span<std::int16_t> out) {
+  if (a.size() != out.size() || b.size() != out.size()) {
+    throw std::invalid_argument("vec_sat_add: size mismatch");
+  }
+  switch (isa) {
+    case IsaLevel::kSse41: sat_add_sse(a, b, out); return;
+    case IsaLevel::kAvx2: check_isa(isa); sat_add_avx2(a, b, out); return;
+    case IsaLevel::kAvx512: check_isa(isa); sat_add_avx512(a, b, out); return;
+    case IsaLevel::kScalar: break;
+  }
+  for (std::size_t i = 0; i < out.size(); ++i) out[i] = sat_add16(a[i], b[i]);
+}
+
+}  // namespace vran::phy::turbo_internal

@@ -1,0 +1,106 @@
+#include "phy/turbo/turbo_encoder.h"
+
+#include <stdexcept>
+
+namespace vran::phy {
+
+RscStep rsc_step(int state, int u) {
+  // State register (r1, r2, r3), r1 newest; state bit layout:
+  // bit2 = r1, bit1 = r2, bit0 = r3.
+  const int r1 = (state >> 2) & 1;
+  const int r2 = (state >> 1) & 1;
+  const int r3 = state & 1;
+  const int fb = r2 ^ r3;       // g0 taps D^2, D^3
+  const int a = (u & 1) ^ fb;   // recursive input
+  const int parity = a ^ r1 ^ r3;  // g1 taps 1, D, D^3
+  const int next = (a << 2) | (r1 << 1) | r2;
+  return {next, parity};
+}
+
+namespace {
+
+/// Run one constituent encoder over `in`, appending the three termination
+/// steps. Returns parity stream (size K) plus termination record: for the
+/// final 3 steps, the transmitted systematic bit x = feedback and parity z.
+struct RscRun {
+  std::vector<std::uint8_t> parity;  // K bits
+  std::uint8_t xt[3];                // termination systematic bits
+  std::uint8_t zt[3];                // termination parity bits
+};
+
+RscRun rsc_encode(std::span<const std::uint8_t> in) {
+  RscRun run;
+  run.parity.resize(in.size());
+  int state = 0;
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    const auto [ns, p] = rsc_step(state, in[i]);
+    run.parity[i] = static_cast<std::uint8_t>(p);
+    state = ns;
+  }
+  // Termination: feed u = feedback so the register drains to zero.
+  for (int t = 0; t < 3; ++t) {
+    const int r2 = (state >> 1) & 1;
+    const int r3 = state & 1;
+    const int u = r2 ^ r3;  // makes a = 0
+    const auto [ns, p] = rsc_step(state, u);
+    run.xt[t] = static_cast<std::uint8_t>(u);
+    run.zt[t] = static_cast<std::uint8_t>(p);
+    state = ns;
+  }
+  if (state != 0) throw std::logic_error("RSC termination failed");
+  return run;
+}
+
+}  // namespace
+
+TurboEncoder::TurboEncoder(int k) : interleaver_(k) {}
+
+TurboCodeword TurboEncoder::encode(std::span<const std::uint8_t> bits) const {
+  const int k = interleaver_.size();
+  if (bits.size() != static_cast<std::size_t>(k)) {
+    throw std::invalid_argument("turbo_encode: bits.size() != K");
+  }
+
+  std::vector<std::uint8_t> interleaved(bits.size());
+  interleaver_.interleave(std::span<const std::uint8_t>(bits),
+                          std::span<std::uint8_t>(interleaved));
+
+  const RscRun e1 = rsc_encode(bits);
+  const RscRun e2 = rsc_encode(interleaved);
+
+  TurboCodeword cw;
+  cw.d0.assign(bits.begin(), bits.end());
+  cw.d1 = e1.parity;
+  cw.d2 = e2.parity;
+
+  // 36.212 §5.1.3.2.2 tail-bit multiplexing:
+  //   d0: x_K     z_{K+1}  x'_K     z'_{K+1}
+  //   d1: z_K     x_{K+2}  z'_K     x'_{K+2}
+  //   d2: x_{K+1} z_{K+2}  x'_{K+1} z'_{K+2}
+  cw.d0.push_back(e1.xt[0]);
+  cw.d0.push_back(e1.zt[1]);
+  cw.d0.push_back(e2.xt[0]);
+  cw.d0.push_back(e2.zt[1]);
+
+  cw.d1.push_back(e1.zt[0]);
+  cw.d1.push_back(e1.xt[2]);
+  cw.d1.push_back(e2.zt[0]);
+  cw.d1.push_back(e2.xt[2]);
+
+  cw.d2.push_back(e1.xt[1]);
+  cw.d2.push_back(e1.zt[2]);
+  cw.d2.push_back(e2.xt[1]);
+  cw.d2.push_back(e2.zt[2]);
+
+  return cw;
+}
+
+TurboCodeword turbo_encode(std::span<const std::uint8_t> bits) {
+  if (!qpp_size_valid(static_cast<int>(bits.size()))) {
+    throw std::invalid_argument("turbo_encode: illegal block size");
+  }
+  const TurboEncoder enc(static_cast<int>(bits.size()));
+  return enc.encode(bits);
+}
+
+}  // namespace vran::phy

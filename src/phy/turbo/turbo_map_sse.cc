@@ -1,0 +1,61 @@
+// SSE (128-bit) constituent MAP kernel: one window, bit-exact with the
+// scalar reference. Reference implementation of the VecOps contract.
+#include <immintrin.h>
+
+#include "phy/turbo/turbo_map_impl.h"
+
+namespace vran::phy::turbo_internal {
+
+namespace {
+
+struct SseOps {
+  using reg = __m128i;
+  static constexpr int kWindows = 1;
+
+  static reg load(const void* p) {
+    return _mm_load_si128(static_cast<const __m128i*>(p));
+  }
+  static void store(void* p, reg v) {
+    _mm_store_si128(static_cast<__m128i*>(p), v);
+  }
+  static reg pattern(const std::uint8_t* p) { return load(p); }
+  static reg mask(const std::uint16_t* p) { return load(p); }
+  static reg sat_add(reg a, reg b) { return _mm_adds_epi16(a, b); }
+  static reg sat_sub(reg a, reg b) { return _mm_subs_epi16(a, b); }
+  static reg max16(reg a, reg b) { return _mm_max_epi16(a, b); }
+  static reg and16(reg a, reg b) { return _mm_and_si128(a, b); }
+  static reg shuffle(reg v, reg pat) { return _mm_shuffle_epi8(v, pat); }
+  static reg spread(const std::int16_t* p) { return _mm_set1_epi16(p[0]); }
+  template <int N>
+  static reg bsrli(reg v) {
+    return _mm_srli_si128(v, N);
+  }
+  template <int N>
+  static reg srai16(reg v) {
+    return _mm_srai_epi16(v, N);
+  }
+};
+
+}  // namespace
+
+void map_decode_sse(std::span<const std::int16_t> sys,
+                    std::span<const std::int16_t> par,
+                    std::span<const std::int16_t> apr,
+                    const std::int16_t sys_tail[3],
+                    const std::int16_t par_tail[3],
+                    std::span<std::int16_t> ext, std::span<std::int16_t> lall,
+                    std::int16_t* alpha_ws, std::int16_t* gs_ws) {
+  map_decode_impl<SseOps>(sys, par, apr, sys_tail, par_tail, ext, lall,
+                          alpha_ws, gs_ws);
+}
+
+void scale_extrinsic_sse(std::span<std::int16_t> e) {
+  scale_extrinsic_impl<SseOps>(e);
+}
+
+void sat_add_sse(std::span<const std::int16_t> a,
+                 std::span<const std::int16_t> b, std::span<std::int16_t> o) {
+  sat_add_impl<SseOps>(a, b, o);
+}
+
+}  // namespace vran::phy::turbo_internal

@@ -1,0 +1,62 @@
+// Constexpr trellis tables for the 8-state LTE RSC constituent code,
+// derived mechanically from rsc_step()'s transition function so the
+// decoder tables can never drift from the encoder.
+//
+// Forward (alpha) view, per next-state ns: exactly two incoming branches,
+// indexed b in {0,1} (b = predecessor's oldest register bit r3):
+//   pred[b][ns]  — predecessor state
+//   in_u[b][ns]  — input bit on that branch
+//   in_p[b][ns]  — parity bit on that branch
+// Backward (beta) view, per state s and input u:
+//   succ[u][s]   — next state
+//   out_p[u][s]  — parity bit
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace vran::phy::turbo_internal {
+
+inline constexpr int kStates = 8;
+/// "Minus infinity" for path metrics: low enough to never win a max, high
+/// enough that saturating adds cannot wrap it into contention.
+inline constexpr std::int16_t kMetricFloor = -16384;
+
+struct TrellisTables {
+  std::array<std::array<std::uint8_t, kStates>, 2> succ;   // [u][s]
+  std::array<std::array<std::uint8_t, kStates>, 2> out_p;  // [u][s]
+  std::array<std::array<std::uint8_t, kStates>, 2> pred;   // [b][ns]
+  std::array<std::array<std::uint8_t, kStates>, 2> in_u;   // [b][ns]
+  std::array<std::array<std::uint8_t, kStates>, 2> in_p;   // [b][ns]
+};
+
+constexpr TrellisTables make_trellis() {
+  TrellisTables t{};
+  for (int s = 0; s < kStates; ++s) {
+    const int r1 = (s >> 2) & 1;
+    const int r2 = (s >> 1) & 1;
+    const int r3 = s & 1;
+    for (int u = 0; u < 2; ++u) {
+      const int fb = r2 ^ r3;
+      const int a = u ^ fb;
+      const int parity = a ^ r1 ^ r3;
+      const int ns = (a << 2) | (r1 << 1) | r2;
+      t.succ[static_cast<std::size_t>(u)][static_cast<std::size_t>(s)] =
+          static_cast<std::uint8_t>(ns);
+      t.out_p[static_cast<std::size_t>(u)][static_cast<std::size_t>(s)] =
+          static_cast<std::uint8_t>(parity);
+      // Register the same branch in the forward view: b = old r3.
+      t.pred[static_cast<std::size_t>(r3)][static_cast<std::size_t>(ns)] =
+          static_cast<std::uint8_t>(s);
+      t.in_u[static_cast<std::size_t>(r3)][static_cast<std::size_t>(ns)] =
+          static_cast<std::uint8_t>(u);
+      t.in_p[static_cast<std::size_t>(r3)][static_cast<std::size_t>(ns)] =
+          static_cast<std::uint8_t>(parity);
+    }
+  }
+  return t;
+}
+
+inline constexpr TrellisTables kTrellis = make_trellis();
+
+}  // namespace vran::phy::turbo_internal

@@ -1,0 +1,441 @@
+#include "pipeline/pipeline.h"
+
+#include <cmath>
+#include <map>
+#include <memory>
+#include <stdexcept>
+
+#include "common/bitio.h"
+#include "net/gtpu.h"
+#include "phy/crc/crc.h"
+#include "phy/turbo/turbo_encoder.h"
+
+namespace vran::pipeline {
+
+using phy::CrcType;
+using phy::Modulation;
+
+double time_domain_snr_db(double snr_db, int nfft) {
+  return snr_db + 10.0 * std::log10(double(nfft));
+}
+
+void StageTimes::reset() { *this = StageTimes{}; }
+
+std::vector<StageTimes::Entry> StageTimes::entries() const {
+  std::vector<Entry> out;
+  const auto add = [&](const char* name, const TimeAccumulator& acc) {
+    if (acc.count() > 0) out.push_back({name, acc.total_seconds()});
+  };
+  add("MAC", mac);
+  add("CRC+segmentation", crc_segmentation);
+  add("Turbo encoding", turbo_encode);
+  add("Rate matching", rate_match);
+  add("Scrambling", scramble);
+  add("Modulation", modulation);
+  add("OFDM (tx)", ofdm);
+  add("Channel", channel);
+  add("OFDM (rx)", ofdm_rx);
+  add("Demodulation", demodulation);
+  add("Descrambling", descramble);
+  add("Rate dematch", rate_dematch);
+  add("Data arrangement", arrange);
+  add("Turbo decoding", turbo_decode);
+  add("Desegmentation", desegmentation);
+  add("GTP-U", gtpu);
+  add("DCI", dci);
+  return out;
+}
+
+namespace {
+
+Modulation mod_of(int mcs) {
+  switch (mac::mcs_entry(mcs).modulation_bits) {
+    case 2: return Modulation::kQpsk;
+    case 4: return Modulation::k16Qam;
+    default: return Modulation::k64Qam;
+  }
+}
+
+/// Per-K object caches so steady-state packets are allocation-light.
+/// Decoders are keyed by every config dimension that changes behaviour so
+/// benches comparing arrangement methods or ISAs never share a decoder.
+struct CodecCache {
+  using DecoderKey = std::tuple<int, int, int, int, bool>;
+  std::map<int, std::unique_ptr<phy::TurboEncoder>> encoders;
+  std::map<int, std::unique_ptr<phy::RateMatcher>> matchers;
+  std::map<DecoderKey, std::unique_ptr<phy::TurboDecoder>> decoders;
+
+  phy::TurboEncoder& encoder(int k) {
+    auto& e = encoders[k];
+    if (!e) e = std::make_unique<phy::TurboEncoder>(k);
+    return *e;
+  }
+  phy::RateMatcher& matcher(int k) {
+    auto& m = matchers[k];
+    if (!m) m = std::make_unique<phy::RateMatcher>(k);
+    return *m;
+  }
+  phy::TurboDecoder& decoder(int k, const PipelineConfig& cfg, bool multi) {
+    const DecoderKey key{k, static_cast<int>(cfg.arrange_method),
+                         static_cast<int>(cfg.isa),
+                         cfg.max_turbo_iterations, multi};
+    auto& d = decoders[key];
+    if (!d) {
+      phy::TurboDecodeConfig tc;
+      tc.max_iterations = cfg.max_turbo_iterations;
+      tc.crc = multi ? CrcType::k24B : CrcType::k24A;
+      tc.arrange_method = cfg.arrange_method;
+      tc.isa = cfg.isa;
+      tc.simd = cfg.isa != IsaLevel::kScalar;
+      d = std::make_unique<phy::TurboDecoder>(k, tc);
+    }
+    return *d;
+  }
+};
+
+CodecCache& cache() {
+  static thread_local CodecCache c;
+  return c;
+}
+
+/// A prepared transport block: segmentation plan + per-block turbo
+/// codewords; transmittable at any redundancy version.
+struct PreparedTb {
+  phy::SegmentationPlan plan;
+  std::vector<phy::TurboCodeword> codewords;
+  int e_per_block = 0;
+};
+
+PreparedTb prepare_tb(std::span<const std::uint8_t> pdu,
+                      const PipelineConfig& cfg, StageTimes& t, int n_prb) {
+  PreparedTb out;
+  std::vector<std::vector<std::uint8_t>> blocks;
+  {
+    ScopedTimer st(t.crc_segmentation);
+    auto bits = unpack_bits(pdu);
+    phy::crc_attach(bits, CrcType::k24A);
+    out.plan = phy::make_segmentation_plan(static_cast<int>(bits.size()));
+    blocks = phy::segment_bits(bits, out.plan);
+  }
+  const int g = mac::allocation_coded_bits(cfg.mcs, n_prb);
+  const int qm = mac::mcs_entry(cfg.mcs).modulation_bits;
+  out.e_per_block = (g / out.plan.c / qm) * qm;
+  out.codewords.reserve(static_cast<std::size_t>(out.plan.c));
+  for (int i = 0; i < out.plan.c; ++i) {
+    const int k = out.plan.block_size(i);
+    ScopedTimer st(t.turbo_encode);
+    out.codewords.push_back(
+        cache().encoder(k).encode(blocks[static_cast<std::size_t>(i)]));
+  }
+  return out;
+}
+
+/// One transmission of a prepared TB at redundancy version `rv`.
+struct EncodedTb {
+  std::vector<phy::Cf> time;
+  const PreparedTb* tb = nullptr;
+  phy::SegmentationPlan plan;  // copy for the decode side
+  int e_per_block = 0;
+  int rv = 0;
+  std::size_t n_symbols = 0;
+};
+
+EncodedTb phy_transmit(const PreparedTb& tb, const PipelineConfig& cfg,
+                       std::uint32_t tti, StageTimes& t,
+                       const phy::OfdmModulator& ofdm, int rv) {
+  EncodedTb out;
+  out.tb = &tb;
+  out.plan = tb.plan;
+  out.e_per_block = tb.e_per_block;
+  out.rv = rv;
+
+  std::vector<std::uint8_t> coded;
+  coded.reserve(static_cast<std::size_t>(tb.e_per_block) *
+                tb.codewords.size());
+  for (int i = 0; i < tb.plan.c; ++i) {
+    const int k = tb.plan.block_size(i);
+    ScopedTimer st(t.rate_match);
+    const auto e = cache().matcher(k).match(
+        tb.codewords[static_cast<std::size_t>(i)], tb.e_per_block, rv);
+    coded.insert(coded.end(), e.begin(), e.end());
+  }
+
+  {
+    ScopedTimer st(t.scramble);
+    phy::scramble_bits(coded, phy::pusch_c_init(cfg.rnti, 0,
+                                                static_cast<int>(tti % 20),
+                                                cfg.cell_id));
+  }
+
+  std::vector<phy::IqSample> symbols;
+  {
+    ScopedTimer st(t.modulation);
+    symbols = phy::modulate(coded, mod_of(cfg.mcs));
+  }
+  out.n_symbols = symbols.size();
+
+  {
+    ScopedTimer st(t.ofdm);
+    out.time = ofdm.modulate(symbols);
+  }
+  return out;
+}
+
+/// Receive-side HARQ state: one soft circular buffer per code block,
+/// combined across transmissions.
+struct HarqBuffers {
+  std::vector<AlignedVector<std::int16_t>> w;  ///< per-block soft buffer
+
+  void prepare(const phy::SegmentationPlan& plan) {
+    w.resize(static_cast<std::size_t>(plan.c));
+    for (int i = 0; i < plan.c; ++i) {
+      const int k = plan.block_size(i);
+      auto& buf = w[static_cast<std::size_t>(i)];
+      const auto need =
+          static_cast<std::size_t>(cache().matcher(k).buffer_size());
+      buf.assign(need, 0);
+    }
+  }
+};
+
+/// Inverse direction: time samples back to a MAC PDU.
+struct DecodedTb {
+  bool crc_ok = false;
+  int turbo_iterations = 0;
+  double arrange_seconds = 0;
+  std::vector<std::uint8_t> pdu;
+};
+
+DecodedTb phy_decode(const EncodedTb& enc, const PipelineConfig& cfg,
+                     std::uint32_t tti, StageTimes& t,
+                     const phy::OfdmModulator& ofdm, HarqBuffers* harq) {
+  DecodedTb out;
+
+  std::vector<phy::IqSample> symbols;
+  {
+    ScopedTimer st(t.ofdm_rx);
+    symbols = ofdm.demodulate(enc.time, enc.n_symbols);
+  }
+
+  AlignedVector<std::int16_t> llr;
+  {
+    ScopedTimer st(t.demodulation);
+    const double n0_re =
+        cfg.with_channel ? std::pow(10.0, -cfg.snr_db / 10.0) : 0.01;
+    llr = phy::demodulate_llr(symbols, mod_of(cfg.mcs),
+                              n0_re * phy::kIqScale * phy::kIqScale);
+  }
+
+  {
+    ScopedTimer st(t.descramble);
+    phy::descramble_llr(llr, phy::pusch_c_init(cfg.rnti, 0,
+                                               static_cast<int>(tti % 20),
+                                               cfg.cell_id));
+  }
+
+  // Per-block de-rate-match + turbo decode.
+  const bool multi = enc.plan.c > 1;
+  std::vector<std::vector<std::uint8_t>> blocks(
+      static_cast<std::size_t>(enc.plan.c));
+  bool all_ok = true;
+  int max_iters = 0;
+  for (int i = 0; i < enc.plan.c; ++i) {
+    const int k = enc.plan.block_size(i);
+    AlignedVector<std::int16_t> triples;
+    {
+      ScopedTimer st(t.rate_dematch);
+      const auto slice = std::span<const std::int16_t>(llr).subspan(
+          static_cast<std::size_t>(i) *
+              static_cast<std::size_t>(enc.e_per_block),
+          static_cast<std::size_t>(enc.e_per_block));
+      if (harq != nullptr) {
+        // Soft-combine this transmission into the persistent buffer.
+        auto& w = harq->w[static_cast<std::size_t>(i)];
+        cache().matcher(k).dematch_accumulate(slice, enc.rv, w);
+        triples = cache().matcher(k).buffer_to_triples(w);
+      } else {
+        triples = cache().matcher(k).dematch(slice, enc.rv);
+      }
+    }
+    auto& dec = cache().decoder(k, cfg, multi);
+    blocks[static_cast<std::size_t>(i)].resize(static_cast<std::size_t>(k));
+    const auto res = dec.decode(triples, blocks[static_cast<std::size_t>(i)]);
+    t.arrange.add(res.arrange_seconds);
+    t.turbo_decode.add(res.compute_seconds);
+    out.arrange_seconds += res.arrange_seconds;
+    all_ok = all_ok && res.crc_ok;
+    max_iters = std::max(max_iters, res.iterations);
+  }
+  out.turbo_iterations = max_iters;
+
+  // Desegment + TB CRC.
+  {
+    ScopedTimer st(t.desegmentation);
+    std::vector<std::uint8_t> bits;
+    const bool seg_ok = phy::desegment_bits(blocks, enc.plan, bits);
+    const bool tb_ok = phy::crc_check(bits, CrcType::k24A);
+    out.crc_ok = (multi ? (seg_ok && all_ok) : true) && tb_ok;
+    if (bits.size() >= 24) {
+      bits.resize(bits.size() - 24);  // strip TB CRC
+      out.pdu = pack_bits(bits);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+UplinkPipeline::UplinkPipeline(PipelineConfig cfg)
+    : cfg_(cfg),
+      ofdm_(cfg.ofdm),
+      channel_(time_domain_snr_db(cfg.snr_db, cfg.ofdm.nfft),
+               cfg.noise_seed) {}
+
+PacketResult UplinkPipeline::send_packet(
+    std::span<const std::uint8_t> ip_packet) {
+  Stopwatch total;
+  PacketResult res;
+  const std::uint32_t tti = tti_++;
+
+  // UE MAC: size the transport block to the packet.
+  std::vector<std::uint8_t> pdu;
+  int n_prb = 0;
+  {
+    ScopedTimer st(times_.mac);
+    const int payload_bits =
+        static_cast<int>(ip_packet.size() + mac::kMacHeaderBytes) * 8;
+    n_prb = mac::prbs_for_payload(payload_bits, cfg_.mcs, cfg_.max_prb);
+    const int tbs = mac::transport_block_bits(cfg_.mcs, n_prb);
+    mac::MacSdu sdu;
+    sdu.lcid = 1;
+    sdu.data.assign(ip_packet.begin(), ip_packet.end());
+    pdu = mac::mac_build_pdu(sdu, static_cast<std::size_t>(tbs / 8));
+  }
+  res.tb_bytes = pdu.size();
+
+  const auto tb = prepare_tb(pdu, cfg_, times_, n_prb);
+  res.code_blocks = static_cast<std::size_t>(tb.plan.c);
+
+  // HARQ loop: rv sequence 0 -> 2 -> 3 -> 1, soft-combining at the
+  // receiver until the transport block passes CRC or attempts run out.
+  static constexpr int kRvSeq[4] = {0, 2, 3, 1};
+  HarqBuffers harq;
+  const bool use_harq = cfg_.harq_max_tx > 1;
+  if (use_harq) harq.prepare(tb.plan);
+
+  DecodedTb dec;
+  for (int tx = 0; tx < std::max(1, cfg_.harq_max_tx); ++tx) {
+    res.transmissions = tx + 1;
+    auto enc = phy_transmit(tb, cfg_, tti, times_, ofdm_, kRvSeq[tx % 4]);
+    if (cfg_.with_channel) {
+      Stopwatch csw;
+      ScopedTimer st(times_.channel);
+      channel_.apply(std::span<phy::Cf>(enc.time));
+      res.channel_seconds += csw.seconds();
+    }
+    dec = phy_decode(enc, cfg_, tti, times_, ofdm_,
+                     use_harq ? &harq : nullptr);
+    res.arrange_seconds += dec.arrange_seconds;
+    if (dec.crc_ok) break;
+  }
+  res.crc_ok = dec.crc_ok;
+  res.turbo_iterations = dec.turbo_iterations;
+
+  // eNB MAC + GTP-U toward the EPC.
+  if (dec.crc_ok) {
+    std::optional<mac::MacSdu> sdu;
+    {
+      ScopedTimer st(times_.mac);
+      sdu = mac::mac_parse_pdu(dec.pdu);
+    }
+    if (sdu.has_value()) {
+      ScopedTimer st(times_.gtpu);
+      res.egress = net::gtpu_encapsulate(cfg_.teid, sdu->data);
+      res.delivered = true;
+    }
+  }
+  res.latency_seconds = total.seconds();
+  return res;
+}
+
+DownlinkPipeline::DownlinkPipeline(PipelineConfig cfg)
+    : cfg_(cfg),
+      ofdm_(cfg.ofdm),
+      channel_(time_domain_snr_db(cfg.snr_db, cfg.ofdm.nfft),
+               cfg.noise_seed + 1) {}
+
+PacketResult DownlinkPipeline::send_packet(
+    std::span<const std::uint8_t> ip_packet) {
+  Stopwatch total;
+  PacketResult res;
+  const std::uint32_t tti = tti_++;
+
+  // eNB: de-encapsulate from the EPC side and build the MAC PDU.
+  std::vector<std::uint8_t> pdu;
+  int n_prb = 0;
+  {
+    ScopedTimer st(times_.mac);
+    const int payload_bits =
+        static_cast<int>(ip_packet.size() + mac::kMacHeaderBytes) * 8;
+    n_prb = mac::prbs_for_payload(payload_bits, cfg_.mcs, cfg_.max_prb);
+    const int tbs = mac::transport_block_bits(cfg_.mcs, n_prb);
+    mac::MacSdu sdu;
+    sdu.lcid = 2;
+    sdu.data.assign(ip_packet.begin(), ip_packet.end());
+    pdu = mac::mac_build_pdu(sdu, static_cast<std::size_t>(tbs / 8));
+  }
+  res.tb_bytes = pdu.size();
+
+  // DCI grant on the control channel (encode at eNB, decode at UE).
+  {
+    ScopedTimer st(times_.dci);
+    phy::DciPayload grant;
+    grant.rb_start = 0;
+    grant.rb_len = static_cast<std::uint8_t>(n_prb);
+    grant.mcs = static_cast<std::uint8_t>(cfg_.mcs);
+    grant.harq_id = static_cast<std::uint8_t>(tti % 8);
+    const auto dci_bits = phy::dci_encode(grant, cfg_.rnti, 288);
+    std::vector<std::int16_t> dci_llr(dci_bits.size());
+    for (std::size_t i = 0; i < dci_bits.size(); ++i) {
+      dci_llr[i] = dci_bits[i] ? 60 : -60;
+    }
+    const auto got = phy::dci_decode(dci_llr, cfg_.rnti);
+    if (!got.has_value() || got->rb_len != grant.rb_len) {
+      res.latency_seconds = total.seconds();
+      return res;  // control channel failure: no data transmission
+    }
+  }
+
+  const auto tb = prepare_tb(pdu, cfg_, times_, n_prb);
+  res.code_blocks = static_cast<std::size_t>(tb.plan.c);
+  res.transmissions = 1;
+  auto enc = phy_transmit(tb, cfg_, tti, times_, ofdm_, /*rv=*/0);
+
+  if (cfg_.with_channel) {
+    Stopwatch csw;
+    ScopedTimer st(times_.channel);
+    channel_.apply(std::span<phy::Cf>(enc.time));
+    res.channel_seconds = csw.seconds();
+  }
+
+  const auto dec = phy_decode(enc, cfg_, tti, times_, ofdm_, nullptr);
+  res.crc_ok = dec.crc_ok;
+  res.turbo_iterations = dec.turbo_iterations;
+  res.arrange_seconds = dec.arrange_seconds;
+
+  if (dec.crc_ok) {
+    std::optional<mac::MacSdu> sdu;
+    {
+      ScopedTimer st(times_.mac);
+      sdu = mac::mac_parse_pdu(dec.pdu);
+    }
+    if (sdu.has_value()) {
+      res.egress = sdu->data;  // delivered to the UE's IP stack
+      res.delivered = true;
+    }
+  }
+  res.latency_seconds = total.seconds();
+  return res;
+}
+
+}  // namespace vran::pipeline

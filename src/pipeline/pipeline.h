@@ -1,0 +1,142 @@
+// End-to-end vRAN pipelines (the paper's Figure 1 path).
+//
+// Uplink: UE-side encode (MAC PDU -> TB CRC -> segmentation -> turbo ->
+// rate matching -> scrambling -> modulation -> OFDM) -> AWGN channel ->
+// eNB-side decode (OFDM -> soft demap -> descramble -> de-rate-match ->
+// *data arrangement* -> turbo decode -> desegmentation -> MAC parse) ->
+// GTP-U encapsulation toward the EPC. Downlink runs the same chain in
+// the opposite direction plus a DCI grant per TTI.
+//
+// Every stage is timed into a named accumulator so the benches can
+// reproduce the paper's per-module CPU-share figures, and the turbo
+// decoder's data-arrangement mechanism is taken from the config — the
+// APCM-vs-extract comparison of Figs. 13/14 is a one-field change.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "arrange/arrange.h"
+#include "common/cpu_features.h"
+#include "common/timer.h"
+#include "mac/mac_pdu.h"
+#include "mac/tbs_tables.h"
+#include "phy/channel/channel.h"
+#include "phy/dci/dci.h"
+#include "phy/modulation/modulation.h"
+#include "phy/ofdm/ofdm.h"
+#include "phy/ratematch/rate_match.h"
+#include "phy/scramble/scrambler.h"
+#include "phy/segmentation/segmentation.h"
+#include "phy/turbo/turbo_decoder.h"
+
+namespace vran::pipeline {
+
+struct PipelineConfig {
+  /// Default sized so a 1500-byte packet fits one 25-PRB transport block.
+  int mcs = 20;
+  int max_prb = 25;  ///< 5 MHz carrier
+  double snr_db = 18.0;
+  IsaLevel isa = IsaLevel::kSse41;
+  arrange::Method arrange_method = arrange::Method::kApcm;
+  std::uint16_t rnti = 0x1234;
+  int cell_id = 1;
+  std::uint32_t teid = 0xAB;
+  int max_turbo_iterations = 6;
+  /// HARQ: maximum transmissions per transport block (1 = no
+  /// retransmission). Retransmissions cycle redundancy versions
+  /// 0 -> 2 -> 3 -> 1 and soft-combine in the circular buffer.
+  int harq_max_tx = 1;
+  bool with_channel = true;   ///< false = wire the samples straight through
+  std::uint64_t noise_seed = 99;
+  phy::OfdmConfig ofdm;
+};
+
+/// Named per-stage CPU-time accumulators.
+struct StageTimes {
+  TimeAccumulator mac;
+  TimeAccumulator crc_segmentation;
+  TimeAccumulator turbo_encode;
+  TimeAccumulator rate_match;
+  TimeAccumulator scramble;
+  TimeAccumulator modulation;
+  TimeAccumulator ofdm;
+  TimeAccumulator channel;
+  TimeAccumulator ofdm_rx;
+  TimeAccumulator demodulation;
+  TimeAccumulator descramble;
+  TimeAccumulator rate_dematch;
+  TimeAccumulator arrange;      ///< the paper's data-arrangement process
+  TimeAccumulator turbo_decode; ///< MAP iterations (excl. arrangement)
+  TimeAccumulator desegmentation;
+  TimeAccumulator gtpu;
+  TimeAccumulator dci;
+
+  struct Entry {
+    std::string name;
+    double seconds;
+  };
+  /// Non-zero stages, transmit-to-receive order.
+  std::vector<Entry> entries() const;
+  void reset();
+};
+
+struct PacketResult {
+  bool delivered = false;
+  bool crc_ok = false;
+  int transmissions = 0;  ///< HARQ attempts used
+  int turbo_iterations = 0;
+  double latency_seconds = 0;      ///< whole-pipeline processing time
+  double channel_seconds = 0;      ///< synthetic-channel share (testbed
+                                   ///< artifact, not vRAN processing)
+  double arrange_seconds = 0;      ///< data-arrangement share
+  std::size_t tb_bytes = 0;
+  std::size_t code_blocks = 0;
+  std::vector<std::uint8_t> egress;  ///< GTP-U packet handed to the EPC
+};
+
+class UplinkPipeline {
+ public:
+  explicit UplinkPipeline(PipelineConfig cfg);
+
+  const PipelineConfig& config() const { return cfg_; }
+  StageTimes& times() { return times_; }
+
+  /// Carry one IP packet UE -> eNB -> EPC. Transport-block geometry is
+  /// derived from the packet size and the configured MCS.
+  PacketResult send_packet(std::span<const std::uint8_t> ip_packet);
+
+ private:
+  PipelineConfig cfg_;
+  StageTimes times_;
+  phy::OfdmModulator ofdm_;
+  phy::AwgnChannel channel_;
+  std::uint32_t tti_ = 0;
+};
+
+/// Downlink: eNB encodes (with a DCI grant), UE decodes.
+class DownlinkPipeline {
+ public:
+  explicit DownlinkPipeline(PipelineConfig cfg);
+
+  const PipelineConfig& config() const { return cfg_; }
+  StageTimes& times() { return times_; }
+
+  PacketResult send_packet(std::span<const std::uint8_t> ip_packet);
+
+ private:
+  PipelineConfig cfg_;
+  StageTimes times_;
+  phy::OfdmModulator ofdm_;
+  phy::AwgnChannel channel_;
+  std::uint32_t tti_ = 0;
+};
+
+/// Time-domain SNR that yields `snr_db` per resource element after the
+/// receive FFT (forward FFT gain = nfft with this library's conventions).
+double time_domain_snr_db(double snr_db, int nfft);
+
+}  // namespace vran::pipeline

@@ -1,0 +1,444 @@
+#include "sim/kernels.h"
+
+#include <stdexcept>
+
+namespace vran::sim {
+
+namespace {
+
+using arrange::Method;
+using arrange::Order;
+
+int reg_bytes(IsaLevel isa) { return register_bits(isa) / 8; }
+
+}  // namespace
+
+int lanes_of(IsaLevel isa) { return register_bits(isa) / 16; }
+
+Trace trace_arrange(Method method, IsaLevel isa, Order order,
+                    std::size_t n_triples) {
+  Trace t;
+  t.register_bits = register_bits(isa);
+  t.working_set_bytes = 3 * n_triples * 2 * 2;  // src + three dst arrays
+  const int L = lanes_of(isa);
+  const std::size_t batches = n_triples / static_cast<std::size_t>(L);
+  const std::uint16_t rb = static_cast<std::uint16_t>(reg_bytes(isa));
+
+  if (method == Method::kExtract) {
+    for (std::size_t b = 0; b < batches; ++b) {
+      for (int r = 0; r < 3; ++r) {
+        const std::int32_t ld = t.emit(UopClass::kLoad, -1, -1, rb);
+        if (isa == IsaLevel::kSse41 || isa == IsaLevel::kScalar) {
+          for (int e = 0; e < L; ++e) {
+            t.emit(UopClass::kStoreNarrow, ld, -1, 2);  // pextrw-to-mem
+          }
+        } else if (isa == IsaLevel::kAvx2) {
+          for (int e = 0; e < 8; ++e) t.emit(UopClass::kStoreNarrow, ld, -1, 2);
+          const std::int32_t xt = t.emit(UopClass::kVecShuffle, ld);
+          for (int e = 0; e < 8; ++e) t.emit(UopClass::kStoreNarrow, xt, -1, 2);
+        } else {  // AVX-512, §5.2: extract low ymm, drain, reload, extract hi
+          const std::int32_t lo = t.emit(UopClass::kVecShuffle, ld);
+          for (int e = 0; e < 8; ++e) t.emit(UopClass::kStoreNarrow, lo, -1, 2);
+          const std::int32_t lox = t.emit(UopClass::kVecShuffle, lo);
+          for (int e = 0; e < 8; ++e)
+            t.emit(UopClass::kStoreNarrow, lox, -1, 2);
+          const std::int32_t rl = t.emit(UopClass::kLoad, -1, -1, rb);  // reload
+          const std::int32_t hi = t.emit(UopClass::kVecShuffle, rl);
+          for (int e = 0; e < 8; ++e) t.emit(UopClass::kStoreNarrow, hi, -1, 2);
+          const std::int32_t hix = t.emit(UopClass::kVecShuffle, hi);
+          for (int e = 0; e < 8; ++e)
+            t.emit(UopClass::kStoreNarrow, hix, -1, 2);
+        }
+      }
+    }
+    return t;
+  }
+
+  if (method == Method::kApcm) {
+    for (std::size_t b = 0; b < batches; ++b) {
+      const std::int32_t r0 = t.emit(UopClass::kLoad, -1, -1, rb);
+      const std::int32_t r1 = t.emit(UopClass::kLoad, -1, -1, rb);
+      const std::int32_t r2 = t.emit(UopClass::kLoad, -1, -1, rb);
+      const std::int32_t regs[3] = {r0, r1, r2};
+      for (int cluster = 0; cluster < 3; ++cluster) {
+        // 3 vpand + 2 vpor per congregated register (Fig. 10 steps 2-3).
+        const std::int32_t a0 = t.emit(UopClass::kVecAlu, regs[0]);
+        const std::int32_t a1 = t.emit(UopClass::kVecAlu, regs[1]);
+        const std::int32_t a2 = t.emit(UopClass::kVecAlu, regs[2]);
+        const std::int32_t o0 = t.emit(UopClass::kVecAlu, a0, a1);
+        std::int32_t res = t.emit(UopClass::kVecAlu, o0, a2);
+        // Alignment rotation (step 4) for YP1/YP2.
+        if (cluster > 0) {
+          if (isa == IsaLevel::kAvx2) {
+            const std::int32_t sw = t.emit(UopClass::kVecShuffle, res);
+            res = t.emit(UopClass::kVecShuffle, sw, res);
+          } else {
+            res = t.emit(UopClass::kVecShuffle, res);
+          }
+        }
+        if (order == Order::kCanonical) {
+          if (isa == IsaLevel::kAvx2) {
+            const std::int32_t sw = t.emit(UopClass::kVecShuffle, res);
+            const std::int32_t pa = t.emit(UopClass::kVecShuffle, res);
+            const std::int32_t pb = t.emit(UopClass::kVecShuffle, sw);
+            res = t.emit(UopClass::kVecAlu, pa, pb);
+          } else {
+            res = t.emit(UopClass::kVecShuffle, res);
+          }
+        }
+        t.emit(UopClass::kStore, res, -1, rb);
+      }
+    }
+    return t;
+  }
+
+  // Scalar: per element one load + one narrow store.
+  for (std::size_t e = 0; e < 3 * n_triples; ++e) {
+    const std::int32_t ld = t.emit(UopClass::kLoad, -1, -1, 2);
+    t.emit(UopClass::kStoreNarrow, ld, -1, 2);
+  }
+  return t;
+}
+
+Trace trace_arrange_hypothetical(Method method, int bits,
+                                 std::size_t n_triples) {
+  if (bits < 128 || bits > 4096 || (bits % 128) != 0) {
+    throw std::invalid_argument("trace_arrange_hypothetical: bad width");
+  }
+  Trace t;
+  t.register_bits = bits;
+  t.working_set_bytes = 3 * n_triples * 2 * 2;
+  const int L = bits / 16;
+  const std::size_t batches = n_triples / static_cast<std::size_t>(L);
+  const std::uint16_t rb = static_cast<std::uint16_t>(bits / 8);
+
+  if (method == Method::kExtract) {
+    // Recursive halving down to a 128-bit lane (as vextracti32x8 does for
+    // zmm): each halving level adds one shuffle per half and, beyond 256
+    // bits, a reload of the source register (§5.2); each 128-bit leaf is
+    // drained with 8 narrow stores.
+    for (std::size_t b = 0; b < batches; ++b) {
+      for (int r = 0; r < 3; ++r) {
+        std::int32_t src = t.emit(UopClass::kLoad, -1, -1, rb);
+        const int leaves = bits / 128;
+        for (int leaf = 0; leaf < leaves; ++leaf) {
+          // Reload before extracting every upper half (width > 256).
+          if (leaf > 0 && bits > 256 && (leaf % 2) == 0) {
+            src = t.emit(UopClass::kLoad, -1, -1, rb);
+          }
+          // log2(bits/128) extraction shuffles funnel one leaf down.
+          std::int32_t cur = src;
+          for (int w = bits; w > 128; w /= 2) {
+            cur = t.emit(UopClass::kVecShuffle, cur);
+          }
+          for (int e = 0; e < 8; ++e) {
+            t.emit(UopClass::kStoreNarrow, cur, -1, 2);
+          }
+        }
+      }
+    }
+    return t;
+  }
+
+  // APCM: identical 17-op schedule at any width (gcd(L, 3) = 1 holds for
+  // every power-of-two lane count).
+  for (std::size_t b = 0; b < batches; ++b) {
+    const std::int32_t r0 = t.emit(UopClass::kLoad, -1, -1, rb);
+    const std::int32_t r1 = t.emit(UopClass::kLoad, -1, -1, rb);
+    const std::int32_t r2 = t.emit(UopClass::kLoad, -1, -1, rb);
+    const std::int32_t regs[3] = {r0, r1, r2};
+    for (int cluster = 0; cluster < 3; ++cluster) {
+      const std::int32_t a0 = t.emit(UopClass::kVecAlu, regs[0]);
+      const std::int32_t a1 = t.emit(UopClass::kVecAlu, regs[1]);
+      const std::int32_t a2 = t.emit(UopClass::kVecAlu, regs[2]);
+      const std::int32_t o0 = t.emit(UopClass::kVecAlu, a0, a1);
+      std::int32_t res = t.emit(UopClass::kVecAlu, o0, a2);
+      if (cluster > 0) res = t.emit(UopClass::kVecShuffle, res);
+      t.emit(UopClass::kStore, res, -1, rb);
+    }
+  }
+  return t;
+}
+
+Trace trace_turbo_gamma(IsaLevel isa, int k) {
+  Trace t;
+  t.register_bits = register_bits(isa);
+  t.working_set_bytes = static_cast<std::size_t>(k) * 2 * 3;
+  const int L = lanes_of(isa);
+  const std::uint16_t rb = static_cast<std::uint16_t>(reg_bytes(isa));
+  for (int i = 0; i < k; i += L) {
+    const std::int32_t a = t.emit(UopClass::kLoad, -1, -1, rb);
+    const std::int32_t b = t.emit(UopClass::kLoad, -1, -1, rb);
+    const std::int32_t s = t.emit(UopClass::kVecAlu, a, b);  // paddsw
+    t.emit(UopClass::kStore, s, -1, rb);
+  }
+  return t;
+}
+
+Trace trace_turbo_alpha_beta(IsaLevel isa, int k) {
+  // One forward + one backward recursion. The state vector is one
+  // 128-bit group; wider ISAs run k/NW steps over NW windows. Per step:
+  // 2 broadcast loads, 2 mask ands, 1 add (g0/g1 build), 2 shuffles,
+  // 2 adds, 1 max, 1 lane0 shuffle, 1 sub, 1 store — with the max->next
+  // step loop-carried dependency that limits ILP.
+  Trace t;
+  t.register_bits = register_bits(isa);
+  t.working_set_bytes =
+      static_cast<std::size_t>(k) * 2 * (2 + static_cast<std::size_t>(8));
+  const int nw = lanes_of(isa) / 8;
+  const int steps = 2 * (k / nw);  // forward + backward
+  const std::uint16_t rb = static_cast<std::uint16_t>(reg_bytes(isa));
+  std::int32_t carried = t.emit(UopClass::kVecAlu);  // initial state vector
+  for (int s = 0; s < steps; ++s) {
+    const std::int32_t gs = t.emit(UopClass::kLoad, -1, -1, 2);
+    const std::int32_t gp = t.emit(UopClass::kLoad, -1, -1, 2);
+    const std::int32_t m0 = t.emit(UopClass::kVecAlu, gs);
+    const std::int32_t m1 = t.emit(UopClass::kVecAlu, gp);
+    const std::int32_t g0 = t.emit(UopClass::kVecAlu, m0, m1);
+    const std::int32_t g1 = t.emit(UopClass::kVecAlu, m0, m1);
+    const std::int32_t p0 = t.emit(UopClass::kVecShuffle, carried);
+    const std::int32_t p1 = t.emit(UopClass::kVecShuffle, carried);
+    const std::int32_t s0 = t.emit(UopClass::kVecAlu, p0, g0);  // paddsw
+    const std::int32_t s1 = t.emit(UopClass::kVecAlu, p1, g1);
+    const std::int32_t mx = t.emit(UopClass::kVecAlu, s0, s1);  // pmaxsw
+    const std::int32_t bc = t.emit(UopClass::kVecShuffle, mx);
+    carried = t.emit(UopClass::kVecAlu, mx, bc);  // psubsw (normalize)
+    t.emit(UopClass::kStore, carried, -1, rb);
+  }
+  return t;
+}
+
+Trace trace_turbo_ext(IsaLevel isa, int k) {
+  Trace t;
+  t.register_bits = register_bits(isa);
+  t.working_set_bytes = static_cast<std::size_t>(k) * 2 * 10;
+  const int nw = lanes_of(isa) / 8;
+  const std::uint16_t rb = static_cast<std::uint16_t>(reg_bytes(isa));
+  std::int32_t beta = t.emit(UopClass::kVecAlu);
+  for (int s = 0; s < k / nw; ++s) {
+    const std::int32_t a = t.emit(UopClass::kLoad, -1, -1, rb);  // alpha_k
+    const std::int32_t gp = t.emit(UopClass::kLoad, -1, -1, 2);
+    const std::int32_t q0 = t.emit(UopClass::kVecShuffle, beta);
+    const std::int32_t q1 = t.emit(UopClass::kVecShuffle, beta);
+    std::int32_t t0 = t.emit(UopClass::kVecAlu, a, q0);
+    std::int32_t t1 = t.emit(UopClass::kVecAlu, a, q1);
+    t0 = t.emit(UopClass::kVecAlu, t0, gp);
+    t1 = t.emit(UopClass::kVecAlu, t1, gp);
+    // Horizontal max trees (3 shuffle+max pairs each).
+    for (int lvl = 0; lvl < 3; ++lvl) {
+      const std::int32_t sh0 = t.emit(UopClass::kVecShuffle, t0);
+      t0 = t.emit(UopClass::kVecAlu, t0, sh0);
+      const std::int32_t sh1 = t.emit(UopClass::kVecShuffle, t1);
+      t1 = t.emit(UopClass::kVecAlu, t1, sh1);
+    }
+    const std::int32_t ext = t.emit(UopClass::kVecAlu, t0, t1);  // psubsw
+    for (int w = 0; w < nw; ++w) {
+      t.emit(UopClass::kStoreNarrow, ext, -1, 2);  // per-window scatter
+    }
+    // Beta step (shares the chain structure).
+    const std::int32_t b0 = t.emit(UopClass::kVecShuffle, beta);
+    const std::int32_t b1 = t.emit(UopClass::kVecShuffle, beta);
+    const std::int32_t c0 = t.emit(UopClass::kVecAlu, b0, gp);
+    const std::int32_t c1 = t.emit(UopClass::kVecAlu, b1, gp);
+    const std::int32_t mx = t.emit(UopClass::kVecAlu, c0, c1);
+    const std::int32_t bc = t.emit(UopClass::kVecShuffle, mx);
+    beta = t.emit(UopClass::kVecAlu, mx, bc);
+  }
+  return t;
+}
+
+namespace {
+
+void append(Trace& dst, const Trace& src) {
+  const std::int32_t base = static_cast<std::int32_t>(dst.uops.size());
+  for (Uop u : src.uops) {
+    if (u.dep0 >= 0) u.dep0 += base;
+    if (u.dep1 >= 0) u.dep1 += base;
+    dst.uops.push_back(u);
+  }
+  dst.working_set_bytes = std::max(dst.working_set_bytes,
+                                   src.working_set_bytes);
+}
+
+}  // namespace
+
+Trace trace_turbo_decode(IsaLevel isa, int k, int iterations,
+                         Method method) {
+  Trace t;
+  t.register_bits = register_bits(isa);
+  append(t, trace_arrange(method, isa,
+                          method == Method::kApcm ? Order::kCanonical
+                                                  : Order::kCanonical,
+                          static_cast<std::size_t>(k + 4)));
+  for (int it = 0; it < iterations; ++it) {
+    for (int half = 0; half < 2; ++half) {
+      append(t, trace_turbo_gamma(isa, k));
+      append(t, trace_turbo_alpha_beta(isa, k));
+      append(t, trace_turbo_ext(isa, k));
+    }
+  }
+  // Decode working set: alpha store dominates (one register per step).
+  t.working_set_bytes = static_cast<std::size_t>(k) *
+                            static_cast<std::size_t>(reg_bytes(isa)) +
+                        static_cast<std::size_t>(k) * 2 * 6;
+  return t;
+}
+
+Trace trace_turbo_encode(int k) {
+  Trace t;
+  t.register_bits = 64;
+  t.working_set_bytes = static_cast<std::size_t>(k) * 3;
+  std::int32_t state = t.emit(UopClass::kScalarAlu);
+  for (int i = 0; i < k; ++i) {
+    const std::int32_t in = t.emit(UopClass::kLoad, -1, -1, 1);
+    const std::int32_t fb = t.emit(UopClass::kScalarAlu, state, in);
+    const std::int32_t pz = t.emit(UopClass::kScalarAlu, fb, state);
+    state = t.emit(UopClass::kScalarAlu, fb, state);
+    t.emit(UopClass::kStoreNarrow, pz, -1, 1);
+  }
+  return t;
+}
+
+Trace trace_vec_elementwise(IsaLevel isa, std::size_t n_elems,
+                            std::size_t working_set_bytes) {
+  // paddsw/psubsw stream with the short loop-carried accumulation the
+  // decoder's metric updates have (critical path 3 per 8-uop group),
+  // which is what holds the paper's measured IPC at ~2.5-2.8 rather
+  // than the 3-port ceiling.
+  Trace t;
+  t.register_bits = register_bits(isa);
+  t.working_set_bytes = working_set_bytes;
+  const std::size_t L = static_cast<std::size_t>(lanes_of(isa));
+  const std::uint16_t rb = static_cast<std::uint16_t>(reg_bytes(isa));
+  std::int32_t carried = t.emit(UopClass::kVecAlu);
+  for (std::size_t i = 0; i < n_elems; i += L) {
+    const std::int32_t a = t.emit(UopClass::kLoad, -1, -1, rb);
+    const std::int32_t x1 = t.emit(UopClass::kVecAlu, a, carried);
+    const std::int32_t x2 = t.emit(UopClass::kVecAlu, x1, a);
+    const std::int32_t y1 = t.emit(UopClass::kVecAlu, a);
+    const std::int32_t y2 = t.emit(UopClass::kVecAlu, y1);
+    const std::int32_t y3 = t.emit(UopClass::kVecAlu, a);
+    const std::int32_t z = t.emit(UopClass::kVecAlu, x2, y2);
+    carried = z;
+    t.emit(UopClass::kStore, z, -1, rb);
+    (void)y3;
+  }
+  return t;
+}
+
+Trace trace_vec_max_chain(IsaLevel isa, std::size_t n_elems,
+                          std::size_t working_set_bytes) {
+  Trace t;
+  t.register_bits = register_bits(isa);
+  t.working_set_bytes = working_set_bytes;
+  const std::size_t L = static_cast<std::size_t>(lanes_of(isa));
+  const std::uint16_t rb = static_cast<std::uint16_t>(reg_bytes(isa));
+  // pmaxsw with the decoder's two-deep loop-carried chain; alternating
+  // groups carry one extra independent op, landing IPC near the paper's
+  // measured ~2.2.
+  std::int32_t acc = t.emit(UopClass::kVecAlu);
+  bool extra = false;
+  for (std::size_t i = 0; i < n_elems; i += L) {
+    const std::int32_t a = t.emit(UopClass::kLoad, -1, -1, rb);
+    const std::int32_t u = t.emit(UopClass::kVecAlu, a);
+    if (extra) t.emit(UopClass::kVecAlu, a);
+    const std::int32_t s = t.emit(UopClass::kVecAlu, u, acc);
+    acc = t.emit(UopClass::kVecAlu, s, acc);  // loop-carried pmaxsw
+    extra = !extra;
+  }
+  t.emit(UopClass::kStore, acc, -1, rb);
+  return t;
+}
+
+Trace trace_vec_extract(IsaLevel isa, std::size_t n_elems,
+                        std::size_t working_set_bytes) {
+  Trace t = trace_arrange(Method::kExtract, isa, Order::kCanonical,
+                          n_elems / 3);
+  t.working_set_bytes = working_set_bytes;
+  return t;
+}
+
+Trace trace_ofdm(int nfft, int symbols) {
+  Trace t;
+  t.register_bits = 64;
+  t.working_set_bytes = static_cast<std::size_t>(nfft) * 8;
+  int stages = 0;
+  while ((1 << stages) < nfft) ++stages;
+  for (int s = 0; s < symbols; ++s) {
+    for (int st = 0; st < stages; ++st) {
+      for (int b = 0; b < nfft / 2; ++b) {
+        // One butterfly: two complex loads, complex multiply (4 mul +
+        // 2 add), add/sub, two stores. Independent across butterflies.
+        const std::int32_t u = t.emit(UopClass::kLoad, -1, -1, 8);
+        const std::int32_t v = t.emit(UopClass::kLoad, -1, -1, 8);
+        const std::int32_t m0 = t.emit(UopClass::kScalarAlu, v);
+        const std::int32_t m1 = t.emit(UopClass::kScalarAlu, v);
+        const std::int32_t mr = t.emit(UopClass::kScalarAlu, m0, m1);
+        const std::int32_t mi = t.emit(UopClass::kScalarAlu, m0, m1);
+        const std::int32_t o0 = t.emit(UopClass::kScalarAlu, u, mr);
+        const std::int32_t o1 = t.emit(UopClass::kScalarAlu, u, mi);
+        t.emit(UopClass::kStore, o0, -1, 8);
+        t.emit(UopClass::kStore, o1, -1, 8);
+      }
+      // Loop bookkeeping branch per stage chunk.
+      t.emit(UopClass::kBranch);
+    }
+  }
+  return t;
+}
+
+Trace trace_scramble(std::size_t n_bits) {
+  Trace t;
+  t.register_bits = 64;
+  t.working_set_bytes = n_bits;
+  std::int32_t x1 = t.emit(UopClass::kScalarAlu);
+  std::int32_t x2 = t.emit(UopClass::kScalarAlu);
+  for (std::size_t i = 0; i < n_bits; i += 8) {
+    // Word-batched LFSR steps + xor with the data stream.
+    const std::int32_t d = t.emit(UopClass::kLoad, -1, -1, 1);
+    x1 = t.emit(UopClass::kScalarAlu, x1);
+    x2 = t.emit(UopClass::kScalarAlu, x2);
+    const std::int32_t c = t.emit(UopClass::kScalarAlu, x1, x2);
+    const std::int32_t o = t.emit(UopClass::kScalarAlu, d, c);
+    t.emit(UopClass::kStoreNarrow, o, -1, 1);
+  }
+  return t;
+}
+
+Trace trace_rate_match(std::size_t e_bits) {
+  Trace t;
+  t.register_bits = 64;
+  t.working_set_bytes = e_bits * 2;
+  std::int32_t idx = t.emit(UopClass::kScalarAlu);
+  for (std::size_t i = 0; i < e_bits; ++i) {
+    idx = t.emit(UopClass::kScalarAlu, idx);         // position update
+    const std::int32_t m = t.emit(UopClass::kLoad, idx, -1, 4);  // map lookup
+    const std::int32_t d = t.emit(UopClass::kLoad, m, -1, 2);    // llr
+    const std::int32_t a = t.emit(UopClass::kScalarAlu, d);
+    t.emit(UopClass::kStoreNarrow, a, -1, 2);
+  }
+  return t;
+}
+
+Trace trace_dci(int payload_bits) {
+  Trace t;
+  t.register_bits = 64;
+  const int L = payload_bits + 16;
+  t.working_set_bytes = static_cast<std::size_t>(L) * 64 * 2;
+  for (int k = 0; k < L; ++k) {
+    const std::int32_t bm = t.emit(UopClass::kLoad, -1, -1, 2);
+    for (int s = 0; s < 64; s += 4) {
+      // Add-compare-select over 4 states per inner chunk.
+      const std::int32_t pm = t.emit(UopClass::kLoad, -1, -1, 4);
+      const std::int32_t a0 = t.emit(UopClass::kScalarAlu, pm, bm);
+      const std::int32_t a1 = t.emit(UopClass::kScalarAlu, pm, bm);
+      const std::int32_t mx = t.emit(UopClass::kScalarAlu, a0, a1);
+      t.emit(UopClass::kStoreNarrow, mx, -1, 1);
+      t.emit(UopClass::kStore, mx, -1, 4);
+    }
+    t.emit(UopClass::kBranch);
+  }
+  return t;
+}
+
+}  // namespace vran::sim

@@ -1,0 +1,72 @@
+// Trace generators: instrumented twins of every pipeline kernel.
+//
+// Each generator emits the micro-op sequence (class + dependency
+// structure) that the corresponding real kernel executes, so the port
+// model can compute its top-down profile. Dependency wiring mirrors the
+// real data flow: e.g. the alpha recursion's per-step chain is what caps
+// its IPC near the paper's measured ~2.2-2.8 for `_mm_max`-style code,
+// while elementwise gamma work issues at full vector-port width.
+#pragma once
+
+#include <cstddef>
+
+#include "arrange/arrange.h"
+#include "common/cpu_features.h"
+#include "sim/uop.h"
+
+namespace vran::sim {
+
+/// int16 lanes of one register at `isa`.
+int lanes_of(IsaLevel isa);
+
+// --- Data arrangement (the paper's §5 kernels) -----------------------------
+
+/// Original extract-based or APCM de-interleave of `n_triples` triples.
+Trace trace_arrange(arrange::Method method, IsaLevel isa,
+                    arrange::Order order, std::size_t n_triples);
+
+/// Same kernels on a hypothetical register width (any multiple of 128
+/// bits up to 4096) — the paper's next-generation/GPU-width projection.
+/// Extract models the 512-bit pattern recursively (one extra shuffle +
+/// reload level per doubling); APCM keeps the fixed 17-op batch.
+Trace trace_arrange_hypothetical(arrange::Method method, int register_bits,
+                                 std::size_t n_triples);
+
+// --- Turbo decoder phases ---------------------------------------------------
+
+/// Elementwise gamma precompute (paddsw streams) over K steps.
+Trace trace_turbo_gamma(IsaLevel isa, int k);
+/// One forward + one backward state recursion (the `_mm_max` chains).
+Trace trace_turbo_alpha_beta(IsaLevel isa, int k);
+/// Extrinsic extraction (adds + horizontal-max trees + scatter stores).
+Trace trace_turbo_ext(IsaLevel isa, int k);
+/// Full decode: arrangement + `iterations` x 2 constituent passes.
+Trace trace_turbo_decode(IsaLevel isa, int k, int iterations,
+                         arrange::Method method);
+/// Bit-level turbo encoding (scalar shift/xor stream).
+Trace trace_turbo_encode(int k);
+
+// --- Instruction-class micro-kernels (Fig. 7) -------------------------------
+
+/// Streaming `_mm_adds`/`_mm_subs`: independent elementwise vector ops.
+Trace trace_vec_elementwise(IsaLevel isa, std::size_t n_elems,
+                            std::size_t working_set_bytes);
+/// `_mm_max` with the decoder's loop-carried dependency.
+Trace trace_vec_max_chain(IsaLevel isa, std::size_t n_elems,
+                          std::size_t working_set_bytes);
+/// `_mm_extract`-style data movement (the narrow-store pattern).
+Trace trace_vec_extract(IsaLevel isa, std::size_t n_elems,
+                        std::size_t working_set_bytes);
+
+// --- Other pipeline modules --------------------------------------------------
+
+/// Scalar radix-2 FFT butterflies ("do_ofdm").
+Trace trace_ofdm(int nfft, int symbols);
+/// Gold-sequence scrambling (scalar LFSR + xor stream).
+Trace trace_scramble(std::size_t n_bits);
+/// Rate (de)matching: index arithmetic + narrow scatter stores.
+Trace trace_rate_match(std::size_t e_bits);
+/// DCI Viterbi decoding (scalar add-compare-select with branches).
+Trace trace_dci(int payload_bits);
+
+}  // namespace vran::sim

@@ -1,0 +1,67 @@
+// Machine configurations for the port model: the paper's Figure-2 port
+// abstraction plus the Table-1 wimpy/beefy cache hierarchies.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+namespace vran::sim {
+
+struct CacheConfig {
+  std::string name;
+  std::size_t l1_bytes = 0;
+  std::size_t l2_bytes = 0;
+  std::size_t l3_bytes = 0;
+};
+
+/// Per-core share of the paper's Table 1 "wimpy node" (i7-8700-class:
+/// 384 KB / 1536 KB / 12288 KB totals over 6 cores, L1 split I/D).
+CacheConfig wimpy_cache();
+
+/// Per-core share of the "beefy node" (W-2195-class: 1152 KB / 18432 KB /
+/// 25344 KB totals over 18 cores).
+CacheConfig beefy_cache();
+
+struct MachineConfig {
+  std::string name = "paper-fig2";
+  int issue_width = 4;
+  // Port counts per the paper's abstraction (§4.2): SIMD calculation on
+  // ports {0,1,2}, scalar ALU on {0,1,2,3}, loads on {4,5}, stores on
+  // {6,7}; one shuffle unit (port 2).
+  int shared_alu_ports = 4;  ///< total ALU issue capacity (ports 0-3)
+  int vec_alu_ports = 3;     ///< of which usable by SIMD calculation
+  int shuffle_ports = 1;     ///< of which usable by SIMD permutes
+  int load_ports = 2;
+  int store_ports = 2;
+
+  // Latencies (cycles). These are *effective* latencies after the
+  // overlap a real out-of-order core achieves: an L1 hit is fully hidden
+  // (1 cycle to a dependent op); outer levels charge the exposed part of
+  // their miss penalty.
+  int alu_latency = 1;
+  int shuffle_latency = 1;
+  int store_latency = 1;
+  int l1_latency = 1;
+  int l2_latency = 8;
+  int l3_latency = 30;
+  int mem_latency = 120;
+
+  /// Extra store-port occupancy of a partial-width store: a 16-bit
+  /// pextrw-store cannot be coalesced in the store buffer at line rate,
+  /// which is how the original data arrangement saturates the store path
+  /// while moving almost no data (paper §4.2).
+  int narrow_store_occupancy = 2;
+
+  /// Every Nth branch mispredicts, costing `branch_penalty` flush cycles
+  /// (attributed to bad speculation).
+  int mispredict_period = 200;
+  int branch_penalty = 15;
+
+  std::size_t cache_line_bytes = 64;
+  CacheConfig cache;
+};
+
+/// The paper's port model with a selectable cache hierarchy.
+MachineConfig paper_machine(CacheConfig cache);
+
+}  // namespace vran::sim

@@ -1,0 +1,371 @@
+#include "sim/port_sim.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <stdexcept>
+#include <vector>
+
+namespace vran::sim {
+
+const char* uop_class_name(UopClass c) {
+  switch (c) {
+    case UopClass::kScalarAlu: return "scalar_alu";
+    case UopClass::kVecAlu: return "vec_alu";
+    case UopClass::kVecShuffle: return "vec_shuffle";
+    case UopClass::kLoad: return "load";
+    case UopClass::kStore: return "store";
+    case UopClass::kStoreNarrow: return "store_narrow";
+    case UopClass::kBranch: return "branch";
+  }
+  return "unknown";
+}
+
+CacheConfig wimpy_cache() {
+  // Table 1 totals: 384 KB L1 (I+D, 6 cores), 1536 KB L2, 12288 KB L3.
+  return {"wimpy", 32 * 1024, 256 * 1024, 12 * 1024 * 1024};
+}
+
+CacheConfig beefy_cache() {
+  // Table 1 totals: 1152 KB L1 (18 cores), 18432 KB L2, 25344 KB L3.
+  return {"beefy", 32 * 1024, 1024 * 1024, 25 * 1024 * 1024};
+}
+
+MachineConfig paper_machine(CacheConfig cache) {
+  MachineConfig m;
+  m.cache = std::move(cache);
+  return m;
+}
+
+PortSimulator::PortSimulator(MachineConfig cfg) : cfg_(std::move(cfg)) {
+  if (cfg_.issue_width <= 0 || cfg_.load_ports <= 0 || cfg_.store_ports <= 0) {
+    throw std::invalid_argument("PortSimulator: bad machine config");
+  }
+}
+
+namespace {
+
+enum class Stall { kNone, kMemory, kCore, kFrontend, kBadSpec };
+
+}  // namespace
+
+TopDown PortSimulator::run(const Trace& trace) const {
+  // Out-of-order issue from a sliding window: uops enter the window in
+  // program order; each cycle any ready uop in the window may issue
+  // (up to issue_width, ports permitting). This models the reservation-
+  // station parallelism a real core uses — the paper's APCM schedule
+  // (Fig. 11, "3 instructions can be implemented in one cycle by 3
+  // parallel ports") depends on it.
+  constexpr std::size_t kWindow = 64;
+
+  const auto& uops = trace.uops;
+  const std::size_t n = uops.size();
+  TopDown out;
+  if (n == 0) return out;
+
+  // Effective load latency schedule: sequential streaming model — if the
+  // working set exceeds a level, one access per cache line pays the next
+  // level's latency.
+  int miss_latency = cfg_.l1_latency;
+  if (trace.working_set_bytes > cfg_.cache.l1_bytes) {
+    miss_latency = cfg_.l2_latency;
+  }
+  if (trace.working_set_bytes > cfg_.cache.l2_bytes) {
+    miss_latency = cfg_.l3_latency;
+  }
+  if (trace.working_set_bytes > cfg_.cache.l3_bytes) {
+    miss_latency = cfg_.mem_latency;
+  }
+  const bool l1_resident = trace.working_set_bytes <= cfg_.cache.l1_bytes;
+
+  // Cycle each result becomes available; "not yet issued" = infinity so
+  // a dependant can never sneak past an unissued producer.
+  constexpr std::uint64_t kNotIssued = ~std::uint64_t{0};
+  std::vector<std::uint64_t> ready(n, kNotIssued);
+  std::vector<std::uint8_t> is_load(n, 0);  // for memory-stall attribution
+
+  // Miss-status holding registers: bounded memory-level parallelism. A
+  // load that misses needs a free MSHR; exhaustion is a memory-bound
+  // stall (the fill-buffer pressure VTune reports as L2/L3 bound).
+  constexpr int kMshrs = 8;
+  std::array<std::uint64_t, kMshrs> mshr_free{};
+
+  std::uint64_t cycle = 0;
+  std::uint64_t retired_slots = 0;
+  std::uint64_t fe_slots = 0, bs_slots = 0, mem_slots = 0, core_slots = 0;
+  std::uint64_t end_slack = 0;  // empty slots after the last uop issued
+
+  // Port busy bookkeeping.
+  std::array<std::uint64_t, 8> store_port_free{};  // up to 8 store ports
+  std::uint64_t vec_busy_cycles = 0, scalar_busy_cycles = 0;
+  std::uint64_t load_busy_cycles = 0, store_busy_cycles = 0;
+  std::uint64_t load_bytes = 0, store_bytes = 0;
+  std::uint64_t store_ops = 0;
+
+  std::uint64_t line_progress = 0;  // bytes since last line-crossing load
+  std::uint64_t branch_count = 0;
+  std::uint64_t flush_until = 0;  // bad-spec window end
+
+  const std::uint64_t width = static_cast<std::uint64_t>(cfg_.issue_width);
+
+  // Window of unissued uop indices, program order.
+  std::vector<std::size_t> window;
+  window.reserve(kWindow);
+  std::size_t next_admit = 0;
+  std::vector<std::size_t> keep;
+  keep.reserve(kWindow);
+
+  while (next_admit < n || !window.empty()) {
+    if (cycle >= (std::uint64_t{1} << 40)) {
+      throw std::runtime_error("PortSimulator: runaway trace");
+    }
+    while (window.size() < kWindow && next_admit < n) {
+      window.push_back(next_admit++);
+    }
+
+    if (cycle < flush_until) {
+      bs_slots += width;
+      ++cycle;
+      continue;
+    }
+
+    int used_shared = 0, used_vec = 0, used_shuffle = 0;
+    int used_load = 0, used_store = 0;
+    std::uint64_t issued = 0;
+    // Stall reason of the *oldest* unissued uop (top-down convention).
+    Stall oldest_stall = Stall::kNone;
+
+    keep.clear();
+    for (const std::size_t i : window) {
+      bool can_issue = issued < width;
+      Stall reason = Stall::kNone;
+      const Uop& u = uops[i];
+
+      if (can_issue) {
+        // Scoreboard: producers must be complete.
+        std::int32_t blocker = -1;
+        if (u.dep0 >= 0 && ready[static_cast<std::size_t>(u.dep0)] > cycle) {
+          blocker = u.dep0;
+        }
+        if (u.dep1 >= 0 && ready[static_cast<std::size_t>(u.dep1)] > cycle) {
+          if (blocker < 0 ||
+              ready[static_cast<std::size_t>(u.dep1)] >
+                  ready[static_cast<std::size_t>(blocker)]) {
+            blocker = u.dep1;
+          }
+        }
+        if (blocker >= 0) {
+          can_issue = false;
+          reason = is_load[static_cast<std::size_t>(blocker)] ? Stall::kMemory
+                                                              : Stall::kCore;
+        }
+      }
+
+      if (can_issue) {
+        bool ok = false;
+        bool mshr_blocked = false;
+        switch (u.cls) {
+          case UopClass::kScalarAlu:
+          case UopClass::kBranch:
+            ok = used_shared < cfg_.shared_alu_ports;
+            break;
+          case UopClass::kVecAlu:
+            ok = used_shared < cfg_.shared_alu_ports &&
+                 used_vec < cfg_.vec_alu_ports;
+            break;
+          case UopClass::kVecShuffle:
+            ok = used_shared < cfg_.shared_alu_ports &&
+                 used_vec < cfg_.vec_alu_ports &&
+                 used_shuffle < cfg_.shuffle_ports;
+            break;
+          case UopClass::kLoad: {
+            ok = used_load < cfg_.load_ports;
+            // A load about to cross a cache line in a non-resident
+            // working set needs a free MSHR.
+            if (ok && !l1_resident &&
+                line_progress + u.bytes >= cfg_.cache_line_bytes) {
+              bool have_mshr = false;
+              for (const auto m : mshr_free) {
+                if (m <= cycle) {
+                  have_mshr = true;
+                  break;
+                }
+              }
+              if (!have_mshr) {
+                ok = false;
+                mshr_blocked = true;
+              }
+            }
+            break;
+          }
+          case UopClass::kStore:
+          case UopClass::kStoreNarrow: {
+            ok = false;
+            if (used_store < cfg_.store_ports) {
+              for (int p = 0; p < cfg_.store_ports; ++p) {
+                if (store_port_free[static_cast<std::size_t>(p)] <= cycle) {
+                  ok = true;
+                  break;
+                }
+              }
+            }
+            break;
+          }
+        }
+        if (!ok) {
+          can_issue = false;
+          reason = mshr_blocked ? Stall::kMemory : Stall::kCore;
+        }
+      }
+
+      if (!can_issue) {
+        if (oldest_stall == Stall::kNone && reason != Stall::kNone) {
+          oldest_stall = reason;
+        }
+        keep.push_back(i);
+        continue;
+      }
+
+      // Issue uop i.
+      switch (u.cls) {
+        case UopClass::kScalarAlu:
+          ++used_shared;
+          ready[i] = cycle + static_cast<std::uint64_t>(cfg_.alu_latency);
+          ++scalar_busy_cycles;
+          break;
+        case UopClass::kBranch: {
+          ++used_shared;
+          ready[i] = cycle + static_cast<std::uint64_t>(cfg_.alu_latency);
+          ++scalar_busy_cycles;
+          ++branch_count;
+          if (cfg_.mispredict_period > 0 &&
+              branch_count %
+                      static_cast<std::uint64_t>(cfg_.mispredict_period) ==
+                  0) {
+            flush_until =
+                cycle + 1 + static_cast<std::uint64_t>(cfg_.branch_penalty);
+          }
+          break;
+        }
+        case UopClass::kVecAlu:
+          ++used_shared;
+          ++used_vec;
+          ready[i] = cycle + static_cast<std::uint64_t>(cfg_.alu_latency);
+          ++vec_busy_cycles;
+          break;
+        case UopClass::kVecShuffle:
+          ++used_shared;
+          ++used_vec;
+          ++used_shuffle;
+          ready[i] = cycle + static_cast<std::uint64_t>(cfg_.shuffle_latency);
+          ++vec_busy_cycles;
+          break;
+        case UopClass::kLoad: {
+          ++used_load;
+          int lat = cfg_.l1_latency;
+          if (!l1_resident) {
+            line_progress += u.bytes;
+            if (line_progress >= cfg_.cache_line_bytes) {
+              line_progress = 0;
+              lat = miss_latency;
+              // Claim the MSHR reserved during the availability check.
+              for (auto& m : mshr_free) {
+                if (m <= cycle) {
+                  m = cycle + static_cast<std::uint64_t>(lat);
+                  break;
+                }
+              }
+            }
+          }
+          ready[i] = cycle + static_cast<std::uint64_t>(lat);
+          is_load[i] = 1;
+          ++load_busy_cycles;
+          load_bytes += u.bytes;
+          break;
+        }
+        case UopClass::kStore:
+        case UopClass::kStoreNarrow: {
+          ++used_store;
+          const int occ = (u.cls == UopClass::kStoreNarrow)
+                              ? cfg_.narrow_store_occupancy
+                              : 1;
+          int best = 0;
+          for (int p = 1; p < cfg_.store_ports; ++p) {
+            if (store_port_free[static_cast<std::size_t>(p)] <
+                store_port_free[static_cast<std::size_t>(best)]) {
+              best = p;
+            }
+          }
+          store_port_free[static_cast<std::size_t>(best)] =
+              cycle + static_cast<std::uint64_t>(occ);
+          ready[i] = cycle + static_cast<std::uint64_t>(cfg_.store_latency);
+          store_busy_cycles += static_cast<std::uint64_t>(occ);
+          store_bytes += u.bytes;
+          ++store_ops;
+          break;
+        }
+      }
+      ++issued;
+    }
+    window.swap(keep);
+
+    retired_slots += issued;
+    if (issued < width) {
+      const std::uint64_t empty = width - issued;
+      if (window.empty() && next_admit >= n) {
+        end_slack += empty;  // trace exhausted, not a stall
+      } else {
+        switch (oldest_stall) {
+          case Stall::kMemory: mem_slots += empty; break;
+          case Stall::kFrontend: fe_slots += empty; break;
+          case Stall::kBadSpec: bs_slots += empty; break;
+          default: core_slots += empty; break;
+        }
+      }
+    }
+    ++cycle;
+  }
+
+  const std::uint64_t total_slots = cycle * width - end_slack;
+  out.cycles = cycle;
+  out.uops = n;
+  out.ipc = double(n) / double(cycle);
+  out.retiring = double(retired_slots) / double(total_slots);
+  out.frontend = double(fe_slots) / double(total_slots);
+  out.bad_speculation = double(bs_slots) / double(total_slots);
+  out.memory_bound = double(mem_slots) / double(total_slots);
+  out.core_bound = double(core_slots) / double(total_slots);
+  out.backend = out.memory_bound + out.core_bound;
+
+  out.vec_alu_util =
+      double(vec_busy_cycles) / double(cycle * static_cast<std::uint64_t>(
+                                                   cfg_.vec_alu_ports));
+  out.scalar_alu_util =
+      double(scalar_busy_cycles) /
+      double(cycle * static_cast<std::uint64_t>(cfg_.shared_alu_ports));
+  out.load_util = double(load_busy_cycles) /
+                  double(cycle * static_cast<std::uint64_t>(cfg_.load_ports));
+  out.store_util = double(store_busy_cycles) /
+                   double(cycle * static_cast<std::uint64_t>(cfg_.store_ports));
+  out.load_bytes_per_cycle = double(load_bytes) / double(cycle);
+  out.store_bytes_per_cycle = double(store_bytes) / double(cycle);
+  const double peak_store =
+      double(cfg_.store_ports) * double(trace.register_bits) / 8.0;
+  out.store_bw_utilization = out.store_bytes_per_cycle / peak_store;
+  out.store_width_utilization =
+      store_ops == 0 ? 0.0
+                     : double(store_bytes) / double(store_ops) /
+                           (double(trace.register_bits) / 8.0);
+  return out;
+}
+
+void print_topdown(const char* label, const TopDown& t) {
+  std::printf(
+      "%-34s ipc=%5.2f retiring=%5.1f%% fe=%4.1f%% bs=%4.1f%% be=%5.1f%% "
+      "(mem=%5.1f%% core=%5.1f%%) store_bw=%6.2fB/c (%5.1f%% of peak)\n",
+      label, t.ipc, 100 * t.retiring, 100 * t.frontend,
+      100 * t.bad_speculation, 100 * t.backend, 100 * t.memory_bound,
+      100 * t.core_bound, t.store_bytes_per_cycle,
+      100 * t.store_bw_utilization);
+}
+
+}  // namespace vran::sim

@@ -1,0 +1,75 @@
+// In-order, scoreboarded port-issue simulator producing VTune-style
+// top-down metrics (retiring / frontend / bad-speculation / backend,
+// memory- vs core-bound split), IPC, per-port-class utilization and
+// register<->L1 bandwidth — the quantities the paper reports in Figs.
+// 3-8 and 15.
+//
+// Model summary (deliberately the paper's simplified core, not a full
+// OoO model): up to `issue_width` uops issue per cycle, in order; a uop
+// waits for its producers (scoreboard) and for a free port of its class;
+// loads hit L1 unless the trace's working set exceeds a level, in which
+// case one access per cache line pays the next level's latency; narrow
+// stores occupy their port for multiple cycles. Stall slots are
+// attributed to the blocking reason:
+//   producer is an in-flight load            -> backend / memory bound
+//   producer is ALU work or no port is free  -> backend / core bound
+//   post-branch flush                        -> bad speculation
+//   decode bubble after taken branches       -> frontend
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "sim/machine.h"
+#include "sim/uop.h"
+
+namespace vran::sim {
+
+struct TopDown {
+  // Slot fractions; sum to 1.
+  double retiring = 0;
+  double frontend = 0;
+  double bad_speculation = 0;
+  double backend = 0;
+  // Backend split (fractions of all slots; memory + core = backend).
+  double memory_bound = 0;
+  double core_bound = 0;
+
+  double ipc = 0;
+  std::uint64_t cycles = 0;
+  std::uint64_t uops = 0;
+
+  // Utilization per class: busy port-cycles / (cycles * ports).
+  double vec_alu_util = 0;
+  double scalar_alu_util = 0;
+  double load_util = 0;
+  double store_util = 0;
+
+  // Register<->L1 traffic.
+  double load_bytes_per_cycle = 0;
+  double store_bytes_per_cycle = 0;
+  /// Store-path utilization vs. full-width stores on every store port
+  /// (time-based: bytes/cycle over peak).
+  double store_bw_utilization = 0;
+  /// The paper's Fig. 8b metric: average bytes per store *operation*
+  /// relative to the register width (12.5 % for pextrw on xmm).
+  double store_width_utilization = 0;
+};
+
+class PortSimulator {
+ public:
+  explicit PortSimulator(MachineConfig cfg);
+
+  const MachineConfig& config() const { return cfg_; }
+
+  /// Simulate one trace to completion.
+  TopDown run(const Trace& trace) const;
+
+ private:
+  MachineConfig cfg_;
+};
+
+/// Pretty one-line summary (used by the bench harnesses).
+void print_topdown(const char* label, const TopDown& t);
+
+}  // namespace vran::sim

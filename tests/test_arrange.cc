@@ -1,0 +1,427 @@
+// Tests for the data-arrangement kernels (the paper's core subject).
+//
+// The key property: every (method, ISA, order, length, offset) combination
+// must reproduce the scalar canonical reference exactly — APCM is a pure
+// re-scheduling of the same data movement, so any deviation is a bug.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <tuple>
+#include <vector>
+
+#include "arrange/arrange.h"
+#include "common/aligned.h"
+#include "common/cpu_features.h"
+#include "common/rng.h"
+
+namespace vran::arrange {
+namespace {
+
+using vran::AlignedVector;
+using vran::IsaLevel;
+
+AlignedVector<std::int16_t> random_stream(std::size_t len, std::uint64_t seed) {
+  AlignedVector<std::int16_t> v(len);
+  Xoshiro256 rng(seed);
+  for (auto& x : v) x = static_cast<std::int16_t>(rng.next());
+  return v;
+}
+
+bool isa_usable(IsaLevel isa) { return isa <= best_isa(); }
+
+// ---------------------------------------------------------------------------
+// Batch permutation algebra.
+// ---------------------------------------------------------------------------
+
+TEST(BatchSigma, IsAPermutation) {
+  for (int lanes : {8, 16, 32}) {
+    const auto sigma = batch_sigma(lanes);
+    std::vector<int> sorted = sigma;
+    std::sort(sorted.begin(), sorted.end());
+    std::vector<int> want(static_cast<std::size_t>(lanes));
+    std::iota(want.begin(), want.end(), 0);
+    EXPECT_EQ(sorted, want) << "lanes=" << lanes;
+  }
+}
+
+TEST(BatchSigma, MatchesPaperFigure10AtSse) {
+  // Fig. 10 step 4 (1-indexed): S1_1 S1_4 S1_7 S1_2 S1_5 S1_8 S1_3 S1_6.
+  const auto sigma = batch_sigma(8);
+  const std::vector<int> want = {0, 3, 6, 1, 4, 7, 2, 5};
+  EXPECT_EQ(sigma, want);
+}
+
+TEST(BatchSigma, RejectsMultipleOf3) {
+  EXPECT_THROW(batch_sigma(9), std::invalid_argument);
+}
+
+TEST(BatchSigma, BatchedToCanonicalCoversAll) {
+  const std::size_t n = 41;  // forces a scalar tail at every lane count
+  for (int lanes : {8, 16, 32}) {
+    std::vector<bool> hit(n, false);
+    for (std::size_t pos = 0; pos < n; ++pos) {
+      const std::size_t c = batched_to_canonical(pos, n, lanes);
+      ASSERT_LT(c, n);
+      EXPECT_FALSE(hit[c]);
+      hit[c] = true;
+    }
+    EXPECT_TRUE(std::all_of(hit.begin(), hit.end(), [](bool b) { return b; }));
+  }
+}
+
+TEST(BatchSigma, TailIsIdentity) {
+  const int lanes = 8;
+  const std::size_t n = 20;  // 2 full batches + tail of 4
+  for (std::size_t pos = 16; pos < n; ++pos) {
+    EXPECT_EQ(batched_to_canonical(pos, n, lanes), pos);
+  }
+  EXPECT_THROW(batched_to_canonical(n, n, lanes), std::out_of_range);
+}
+
+// ---------------------------------------------------------------------------
+// Equivalence sweep: every method/ISA/order/length against the reference.
+// ---------------------------------------------------------------------------
+
+struct Case {
+  Method method;
+  IsaLevel isa;
+  Order order;
+};
+
+std::string case_name(const testing::TestParamInfo<std::tuple<Case, int>>& i) {
+  const auto& [c, n] = i.param;
+  return std::string(method_name(c.method)) + "_" + isa_name(c.isa) + "_" +
+         order_name(c.order) + "_n" + std::to_string(n);
+}
+
+class Deinterleave3Sweep
+    : public testing::TestWithParam<std::tuple<Case, int>> {};
+
+TEST_P(Deinterleave3Sweep, MatchesScalarReference) {
+  const auto& [c, n_int] = GetParam();
+  if (!isa_usable(c.isa)) GTEST_SKIP() << "ISA unavailable";
+  const std::size_t n = static_cast<std::size_t>(n_int);
+
+  const auto src = random_stream(3 * n, 1000 + n);
+  AlignedVector<std::int16_t> s(n), p1(n), p2(n);
+  deinterleave3_i16(src, s, p1, p2, {c.method, c.isa, c.order});
+
+  // Reference.
+  std::vector<std::int16_t> rs(n), rp1(n), rp2(n);
+  for (std::size_t k = 0; k < n; ++k) {
+    rs[k] = src[3 * k];
+    rp1[k] = src[3 * k + 1];
+    rp2[k] = src[3 * k + 2];
+  }
+
+  const int lanes = batch_lanes(c.isa);
+  for (std::size_t pos = 0; pos < n; ++pos) {
+    const std::size_t canon = c.order == Order::kBatched
+                                  ? batched_to_canonical(pos, n, lanes)
+                                  : pos;
+    ASSERT_EQ(s[pos], rs[canon]) << "s pos=" << pos;
+    ASSERT_EQ(p1[pos], rp1[canon]) << "p1 pos=" << pos;
+    ASSERT_EQ(p2[pos], rp2[canon]) << "p2 pos=" << pos;
+  }
+}
+
+std::vector<std::tuple<Case, int>> make_cases() {
+  std::vector<std::tuple<Case, int>> out;
+  const std::vector<Case> cases = {
+      {Method::kScalar, IsaLevel::kScalar, Order::kCanonical},
+      {Method::kScalar, IsaLevel::kScalar, Order::kBatched},
+      {Method::kExtract, IsaLevel::kSse41, Order::kCanonical},
+      {Method::kExtract, IsaLevel::kAvx2, Order::kCanonical},
+      {Method::kExtract, IsaLevel::kAvx512, Order::kCanonical},
+      {Method::kApcm, IsaLevel::kSse41, Order::kCanonical},
+      {Method::kApcm, IsaLevel::kSse41, Order::kBatched},
+      {Method::kApcm, IsaLevel::kAvx2, Order::kCanonical},
+      {Method::kApcm, IsaLevel::kAvx2, Order::kBatched},
+      {Method::kApcm, IsaLevel::kAvx512, Order::kCanonical},
+      {Method::kApcm, IsaLevel::kAvx512, Order::kBatched},
+  };
+  // Lengths: zero, sub-batch, exact batches, odd tails, large.
+  const std::vector<int> lengths = {0,  1,  7,  8,  9,   15,  16,  17,
+                                    31, 32, 33, 63, 64,  96,  100, 255,
+                                    256, 1000, 6144};
+  for (const auto& c : cases)
+    for (int n : lengths) out.emplace_back(c, n);
+  return out;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllMethods, Deinterleave3Sweep,
+                         testing::ValuesIn(make_cases()), case_name);
+
+// ---------------------------------------------------------------------------
+// Round trip with interleave3.
+// ---------------------------------------------------------------------------
+
+TEST(Interleave3, RoundTripsWithDeinterleave) {
+  const std::size_t n = 123;
+  const auto s = random_stream(n, 1);
+  const auto p1 = random_stream(n, 2);
+  const auto p2 = random_stream(n, 3);
+  AlignedVector<std::int16_t> stream(3 * n);
+  interleave3_i16(s, p1, p2, stream);
+
+  AlignedVector<std::int16_t> s2(n), p12(n), p22(n);
+  deinterleave3_i16(stream, s2, p12, p22,
+                    {Method::kScalar, IsaLevel::kScalar, Order::kCanonical});
+  EXPECT_TRUE(std::equal(s.begin(), s.end(), s2.begin()));
+  EXPECT_TRUE(std::equal(p1.begin(), p1.end(), p12.begin()));
+  EXPECT_TRUE(std::equal(p2.begin(), p2.end(), p22.begin()));
+}
+
+// ---------------------------------------------------------------------------
+// Stride-2 generalization.
+// ---------------------------------------------------------------------------
+
+class Deinterleave2Sweep
+    : public testing::TestWithParam<std::tuple<Method, IsaLevel, int>> {};
+
+TEST_P(Deinterleave2Sweep, MatchesScalarReference) {
+  const auto& [method, isa, n_int] = GetParam();
+  if (!isa_usable(isa)) GTEST_SKIP() << "ISA unavailable";
+  const std::size_t n = static_cast<std::size_t>(n_int);
+
+  const auto src = random_stream(2 * n, 77 + n);
+  AlignedVector<std::int16_t> a(n), b(n);
+  deinterleave2_i16(src, a, b, method, isa);
+
+  for (std::size_t k = 0; k < n; ++k) {
+    ASSERT_EQ(a[k], src[2 * k]) << k;
+    ASSERT_EQ(b[k], src[2 * k + 1]) << k;
+  }
+}
+
+std::string stride2_case_name(
+    const testing::TestParamInfo<std::tuple<Method, IsaLevel, int>>& i) {
+  return std::string(method_name(std::get<0>(i.param))) + "_" +
+         isa_name(std::get<1>(i.param)) + "_n" +
+         std::to_string(std::get<2>(i.param));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllMethods, Deinterleave2Sweep,
+    testing::Combine(testing::Values(Method::kScalar, Method::kExtract,
+                                     Method::kApcm),
+                     testing::Values(IsaLevel::kSse41, IsaLevel::kAvx2,
+                                     IsaLevel::kAvx512),
+                     testing::Values(0, 1, 8, 15, 16, 17, 32, 33, 64, 100,
+                                     1024)),
+    stride2_case_name);
+
+// ---------------------------------------------------------------------------
+// Validation and failure injection.
+// ---------------------------------------------------------------------------
+
+TEST(Validation, SizeMismatchThrows) {
+  AlignedVector<std::int16_t> src(30), s(10), p1(10), p2(9);
+  EXPECT_THROW(deinterleave3_i16(src, s, p1, p2, {}), std::invalid_argument);
+  AlignedVector<std::int16_t> src_bad(29), p2ok(10);
+  EXPECT_THROW(deinterleave3_i16(src_bad, s, p1, p2ok, {}),
+               std::invalid_argument);
+}
+
+TEST(Validation, MisalignedSimdInputThrows) {
+  AlignedVector<std::int16_t> buf(3 * 64 + 1);
+  AlignedVector<std::int16_t> s(64), p1(64), p2(64);
+  const std::span<const std::int16_t> misaligned(buf.data() + 1, 3 * 64);
+  EXPECT_THROW(
+      deinterleave3_i16(misaligned, s, p1, p2,
+                        {Method::kApcm, IsaLevel::kSse41, Order::kCanonical}),
+      std::invalid_argument);
+}
+
+TEST(Validation, ScalarAcceptsMisaligned) {
+  AlignedVector<std::int16_t> buf(3 * 8 + 1);
+  for (std::size_t i = 0; i < buf.size(); ++i)
+    buf[i] = static_cast<std::int16_t>(i);
+  std::vector<std::int16_t> s(8), p1(8), p2(8);
+  const std::span<const std::int16_t> src(buf.data() + 1, 24);
+  deinterleave3_i16(src, s, p1, p2,
+                    {Method::kScalar, IsaLevel::kScalar, Order::kCanonical});
+  EXPECT_EQ(s[0], 1);
+  EXPECT_EQ(p1[0], 2);
+  EXPECT_EQ(p2[0], 3);
+}
+
+TEST(Validation, ExtractRejectsBatchedOrder) {
+  AlignedVector<std::int16_t> src(24), s(8), p1(8), p2(8);
+  EXPECT_THROW(
+      deinterleave3_i16(src, s, p1, p2,
+                        {Method::kExtract, IsaLevel::kSse41, Order::kBatched}),
+      std::invalid_argument);
+}
+
+TEST(Validation, Deinterleave2SizeMismatch) {
+  AlignedVector<std::int16_t> src(20), a(10), b(9);
+  EXPECT_THROW(deinterleave2_i16(src, a, b, Method::kScalar, IsaLevel::kScalar),
+               std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// Op-count model (consumed by the port simulator and Fig. 8).
+// ---------------------------------------------------------------------------
+
+TEST(OpCounts, ApcmMatchesPaperSeventeenInstructions) {
+  // §5.1: "completing batching S1, YP1 and YP2 will totally require 17
+  // instructions" (excluding loads/stores) in batched order on SSE.
+  const auto c =
+      batch_op_counts(Method::kApcm, IsaLevel::kSse41, Order::kBatched);
+  EXPECT_EQ(c.vec_alu, 17);
+  EXPECT_EQ(c.loads, 3);
+  EXPECT_EQ(c.stores, 3);
+  EXPECT_EQ(c.store_bits, 128);
+}
+
+TEST(OpCounts, ExtractStoresPerElement) {
+  for (auto isa : {IsaLevel::kSse41, IsaLevel::kAvx2, IsaLevel::kAvx512}) {
+    const auto c = batch_op_counts(Method::kExtract, isa, Order::kCanonical);
+    EXPECT_EQ(c.stores, 3 * batch_lanes(isa)) << isa_name(isa);
+    EXPECT_EQ(c.store_bits, 16);
+  }
+}
+
+TEST(OpCounts, Avx512ExtractNeedsReload) {
+  const auto c =
+      batch_op_counts(Method::kExtract, IsaLevel::kAvx512, Order::kCanonical);
+  EXPECT_EQ(c.reload_loads, 3);
+  const auto c2 =
+      batch_op_counts(Method::kExtract, IsaLevel::kAvx2, Order::kCanonical);
+  EXPECT_EQ(c2.reload_loads, 0);
+}
+
+TEST(OpCounts, ApcmStoreBandwidthRatio) {
+  // Fig. 8b: baseline uses 12.5 % / 6.25 % / 3.125 % of the store path;
+  // APCM uses 100 % (full-register stores).
+  for (auto isa : {IsaLevel::kSse41, IsaLevel::kAvx2, IsaLevel::kAvx512}) {
+    const auto apcm = batch_op_counts(Method::kApcm, isa, Order::kBatched);
+    const auto ext = batch_op_counts(Method::kExtract, isa, Order::kCanonical);
+    EXPECT_EQ(apcm.store_bits, register_bits(isa));
+    const double ext_util =
+        double(ext.store_bits) / double(register_bits(isa));
+    EXPECT_DOUBLE_EQ(ext_util, 16.0 / register_bits(isa));
+  }
+}
+
+}  // namespace
+}  // namespace vran::arrange
+
+namespace vran::arrange {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Rotation mimic (paper Fig. 12) and the alignment algebra behind it.
+// ---------------------------------------------------------------------------
+
+TEST(RotationMimic, ClusterSigmasAreRotationsOfSigma) {
+  // Rotating cluster c's congregated register left by c lanes aligns it
+  // to sigma_0: sigma_c((l + c) mod L) == sigma_0(l).
+  for (int lanes : {8, 16, 32}) {
+    const auto s0 = batch_sigma_cluster(lanes, 0);
+    for (int c = 1; c < 3; ++c) {
+      const auto sc = batch_sigma_cluster(lanes, c);
+      for (int l = 0; l < lanes; ++l) {
+        EXPECT_EQ(sc[static_cast<std::size_t>((l + c) % lanes)],
+                  s0[static_cast<std::size_t>(l)])
+            << "lanes=" << lanes << " c=" << c << " l=" << l;
+      }
+    }
+  }
+}
+
+TEST(RotationMimic, ClusterSigmasAreBijections) {
+  for (int lanes : {8, 16, 32}) {
+    for (int c = 0; c < 3; ++c) {
+      auto s = batch_sigma_cluster(lanes, c);
+      std::sort(s.begin(), s.end());
+      for (int i = 0; i < lanes; ++i) {
+        ASSERT_EQ(s[static_cast<std::size_t>(i)], i);
+      }
+    }
+  }
+  EXPECT_THROW(batch_sigma_cluster(8, 3), std::invalid_argument);
+}
+
+class MimicSweep : public testing::TestWithParam<std::tuple<IsaLevel, int>> {};
+
+TEST_P(MimicSweep, OffsetMimicLayoutMatchesClusterSigma) {
+  const auto [isa, n_int] = GetParam();
+  if (isa != IsaLevel::kScalar && isa > best_isa()) GTEST_SKIP();
+  const std::size_t n = static_cast<std::size_t>(n_int);
+
+  const auto src = random_stream(3 * n, 4000 + n);
+  AlignedVector<std::int16_t> s(n), p1(n), p2(n);
+  Options opt;
+  opt.method = isa == IsaLevel::kScalar ? Method::kScalar : Method::kApcm;
+  opt.isa = isa;
+  opt.order = Order::kBatched;
+  opt.rotation = Rotation::kOffsetMimic;
+  deinterleave3_i16(src, s, p1, p2, opt);
+
+  const int lanes = batch_lanes(isa);
+  const std::size_t L = static_cast<std::size_t>(lanes);
+  const auto sig0 = batch_sigma_cluster(lanes, 0);
+  const auto sig1 = batch_sigma_cluster(lanes, 1);
+  const auto sig2 = batch_sigma_cluster(lanes, 2);
+  const std::size_t full = (n / L) * L;
+  for (std::size_t pos = 0; pos < n; ++pos) {
+    std::size_t k0 = pos, k1 = pos, k2 = pos;
+    if (pos < full) {
+      const std::size_t base = (pos / L) * L;
+      k0 = base + static_cast<std::size_t>(sig0[pos % L]);
+      k1 = base + static_cast<std::size_t>(sig1[pos % L]);
+      k2 = base + static_cast<std::size_t>(sig2[pos % L]);
+    }
+    ASSERT_EQ(s[pos], src[3 * k0]) << pos;
+    ASSERT_EQ(p1[pos], src[3 * k1 + 1]) << pos;
+    ASSERT_EQ(p2[pos], src[3 * k2 + 2]) << pos;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllIsas, MimicSweep,
+    testing::Combine(testing::Values(IsaLevel::kScalar, IsaLevel::kSse41,
+                                     IsaLevel::kAvx2, IsaLevel::kAvx512),
+                     testing::Values(0, 8, 31, 32, 96, 1000)),
+    [](const testing::TestParamInfo<std::tuple<IsaLevel, int>>& i) {
+      return std::string(isa_name(std::get<0>(i.param))) + "_n" +
+             std::to_string(std::get<1>(i.param));
+    });
+
+TEST(RotationMimic, CanonicalOrderIgnoresRotationField) {
+  // Canonical output must be identical for both rotation settings (the
+  // alignment is folded into the canonicalization shuffle).
+  const std::size_t n = 96;
+  const auto src = random_stream(3 * n, 77);
+  AlignedVector<std::int16_t> a(n), b(n), c(n), d(n), e(n), f(n);
+  for (auto isa : {IsaLevel::kSse41, IsaLevel::kAvx2, IsaLevel::kAvx512}) {
+    if (isa > best_isa()) continue;
+    Options o1{Method::kApcm, isa, Order::kCanonical, Rotation::kInRegister};
+    Options o2{Method::kApcm, isa, Order::kCanonical, Rotation::kOffsetMimic};
+    deinterleave3_i16(src, a, b, c, o1);
+    deinterleave3_i16(src, d, e, f, o2);
+    EXPECT_TRUE(std::equal(a.begin(), a.end(), d.begin())) << isa_name(isa);
+    EXPECT_TRUE(std::equal(b.begin(), b.end(), e.begin())) << isa_name(isa);
+    EXPECT_TRUE(std::equal(c.begin(), c.end(), f.begin())) << isa_name(isa);
+  }
+}
+
+TEST(OpCounts, MimicSavesAlignmentOps) {
+  // Batched counts include 2 rotation ops that the mimic avoids; the
+  // analytic model keeps the paper's 17 (rotation included).
+  const auto batched =
+      batch_op_counts(Method::kApcm, IsaLevel::kSse41, Order::kBatched);
+  EXPECT_EQ(batched.vec_alu, 17);
+  const auto canon =
+      batch_op_counts(Method::kApcm, IsaLevel::kSse41, Order::kCanonical);
+  EXPECT_EQ(canon.vec_alu, 18);  // 15 and/or + 3 fused shuffles
+  const auto canon2 =
+      batch_op_counts(Method::kApcm, IsaLevel::kAvx2, Order::kCanonical);
+  EXPECT_EQ(canon2.vec_alu, 27);  // 15 + 3 x 4-op permute
+}
+
+}  // namespace
+}  // namespace vran::arrange

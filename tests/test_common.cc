@@ -1,0 +1,183 @@
+// Unit tests for src/common: CPU feature probing, aligned storage,
+// saturating arithmetic, bit packing and the deterministic PRNG.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <set>
+
+#include "common/aligned.h"
+#include "common/bitio.h"
+#include "common/cpu_features.h"
+#include "common/rng.h"
+#include "common/saturate.h"
+#include "common/timer.h"
+
+namespace vran {
+namespace {
+
+TEST(CpuFeatures, BestIsMonotone) {
+  const auto& f = cpu_features();
+  if (f.best() == IsaLevel::kAvx512) {
+    EXPECT_TRUE(f.avx512f && f.avx512bw && f.avx512vl && f.avx512dq);
+    EXPECT_TRUE(f.avx2);
+  }
+  if (f.best() >= IsaLevel::kAvx2) {
+    EXPECT_TRUE(f.avx2);
+  }
+  if (f.best() >= IsaLevel::kSse41) {
+    EXPECT_TRUE(f.sse41);
+  }
+}
+
+TEST(CpuFeatures, NamesRoundTrip) {
+  for (auto isa : {IsaLevel::kScalar, IsaLevel::kSse41, IsaLevel::kAvx2,
+                   IsaLevel::kAvx512}) {
+    EXPECT_EQ(isa_from_name(isa_name(isa)), isa);
+  }
+  EXPECT_THROW(isa_from_name("mmx"), std::invalid_argument);
+}
+
+TEST(CpuFeatures, RegisterBits) {
+  EXPECT_EQ(register_bits(IsaLevel::kSse41), 128);
+  EXPECT_EQ(register_bits(IsaLevel::kAvx2), 256);
+  EXPECT_EQ(register_bits(IsaLevel::kAvx512), 512);
+}
+
+TEST(Aligned, VectorIsAligned) {
+  for (std::size_t n : {1u, 7u, 64u, 1000u}) {
+    AlignedVector<std::int16_t> v(n);
+    EXPECT_TRUE(is_aligned(v.data())) << n;
+  }
+}
+
+TEST(Aligned, AllocatorEquality) {
+  AlignedAllocator<int> a;
+  AlignedAllocator<double> b;
+  EXPECT_TRUE(a == b);
+}
+
+TEST(Saturate, Add16Saturates) {
+  EXPECT_EQ(sat_add16(30000, 10000), 32767);
+  EXPECT_EQ(sat_add16(-30000, -10000), -32768);
+  EXPECT_EQ(sat_add16(100, -50), 50);
+  EXPECT_EQ(sat_add16(32767, 1), 32767);
+  EXPECT_EQ(sat_add16(-32768, -1), -32768);
+}
+
+TEST(Saturate, Sub16Saturates) {
+  EXPECT_EQ(sat_sub16(-30000, 10000), -32768);
+  EXPECT_EQ(sat_sub16(30000, -10000), 32767);
+  EXPECT_EQ(sat_sub16(5, 7), -2);
+}
+
+TEST(Saturate, Narrow16) {
+  EXPECT_EQ(sat_narrow16(1 << 20), 32767);
+  EXPECT_EQ(sat_narrow16(-(1 << 20)), -32768);
+  EXPECT_EQ(sat_narrow16(1234), 1234);
+}
+
+TEST(BitIo, PackUnpackRoundTrip) {
+  Xoshiro256 rng(7);
+  for (std::size_t nbytes : {1u, 3u, 16u, 100u}) {
+    std::vector<std::uint8_t> bytes(nbytes);
+    for (auto& b : bytes) b = static_cast<std::uint8_t>(rng.next());
+    const auto bits = unpack_bits(bytes);
+    ASSERT_EQ(bits.size(), nbytes * 8);
+    for (auto b : bits) EXPECT_LE(b, 1);
+    EXPECT_EQ(pack_bits(bits), bytes);
+  }
+}
+
+TEST(BitIo, UnpackMsbFirst) {
+  const std::uint8_t byte = 0b10110001;
+  const auto bits = unpack_bits(std::span(&byte, 1));
+  const std::vector<std::uint8_t> want = {1, 0, 1, 1, 0, 0, 0, 1};
+  EXPECT_EQ(bits, want);
+}
+
+TEST(BitIo, PartialUnpackAndBounds) {
+  const std::uint8_t byte = 0xFF;
+  EXPECT_EQ(unpack_bits(std::span(&byte, 1), 3).size(), 3u);
+  EXPECT_THROW(unpack_bits(std::span(&byte, 1), 9), std::invalid_argument);
+}
+
+TEST(BitIo, AppendReadRoundTrip) {
+  std::vector<std::uint8_t> bits;
+  append_bits(bits, 0xABC, 12);
+  append_bits(bits, 0x5, 3);
+  std::size_t pos = 0;
+  EXPECT_EQ(read_bits(bits, pos, 12), 0xABCu);
+  EXPECT_EQ(read_bits(bits, pos, 3), 0x5u);
+  EXPECT_EQ(pos, 15u);
+  EXPECT_THROW(read_bits(bits, pos, 1), std::out_of_range);
+}
+
+TEST(Rng, Deterministic) {
+  Xoshiro256 a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, SeedsDiffer) {
+  Xoshiro256 a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (a.next() == b.next());
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, UniformInRange) {
+  Xoshiro256 rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, GaussianMoments) {
+  Xoshiro256 rng(11);
+  const int n = 200000;
+  double sum = 0, sum2 = 0;
+  for (int i = 0; i < n; ++i) {
+    const double g = rng.gaussian();
+    sum += g;
+    sum2 += g * g;
+  }
+  const double mean = sum / n;
+  const double var = sum2 / n - mean * mean;
+  EXPECT_NEAR(mean, 0.0, 0.02);
+  EXPECT_NEAR(var, 1.0, 0.03);
+}
+
+TEST(Rng, BoundedStaysInBound) {
+  Xoshiro256 rng(5);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.bounded(10);
+    EXPECT_LT(v, 10u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 10u);  // all residues hit
+}
+
+TEST(Timer, StopwatchMonotone) {
+  Stopwatch sw;
+  volatile double sink = 0;
+  for (int i = 0; i < 100000; ++i) sink = sink + i;
+  EXPECT_GT(sw.seconds(), 0.0);
+  (void)sink;
+}
+
+TEST(Timer, AccumulatorMean) {
+  TimeAccumulator acc;
+  acc.add(1.0);
+  acc.add(3.0);
+  EXPECT_DOUBLE_EQ(acc.total_seconds(), 4.0);
+  EXPECT_DOUBLE_EQ(acc.mean_seconds(), 2.0);
+  EXPECT_EQ(acc.count(), 2u);
+  acc.reset();
+  EXPECT_EQ(acc.count(), 0u);
+  EXPECT_DOUBLE_EQ(acc.mean_seconds(), 0.0);
+}
+
+}  // namespace
+}  // namespace vran

@@ -1,0 +1,514 @@
+// Tests for the MAC layer (TBS, PDU framing, scheduler) and the network
+// substrate (IP/UDP/TCP codecs, GTP-U, mempool, SPSC ring, pktgen).
+#include <gtest/gtest.h>
+
+#include <set>
+#include <thread>
+
+#include "common/rng.h"
+#include "mac/mac_pdu.h"
+#include "mac/rlc.h"
+#include "mac/scheduler.h"
+#include "mac/tbs_tables.h"
+#include "net/gtpu.h"
+#include "net/mempool.h"
+#include "net/packet.h"
+#include "net/epc.h"
+#include "net/pktgen.h"
+
+namespace vran {
+namespace {
+
+// ---------------------------------------------------------------------------
+// MAC.
+// ---------------------------------------------------------------------------
+
+TEST(Tbs, MonotoneInPrbAndMcs) {
+  for (int mcs = 0; mcs < mac::kNumMcs; ++mcs) {
+    for (int prb = 1; prb < 25; ++prb) {
+      EXPECT_LE(mac::transport_block_bits(mcs, prb),
+                mac::transport_block_bits(mcs, prb + 1));
+    }
+  }
+  for (int mcs = 0; mcs + 1 < mac::kNumMcs; ++mcs) {
+    EXPECT_LE(mac::transport_block_bits(mcs, 25),
+              mac::transport_block_bits(mcs + 1, 25) + 8);
+  }
+}
+
+TEST(Tbs, ByteAlignedAndBounded) {
+  for (int mcs : {0, 10, 17, 28}) {
+    for (int prb : {1, 5, 25}) {
+      const int tbs = mac::transport_block_bits(mcs, prb);
+      EXPECT_EQ(tbs % 8, 0);
+      EXPECT_LT(tbs, mac::allocation_coded_bits(mcs, prb));
+    }
+  }
+}
+
+TEST(Tbs, PrbsForPayloadFits) {
+  const int n = mac::prbs_for_payload(4000, 12, 25);
+  EXPECT_GE(mac::transport_block_bits(12, n), 4000 + 24);
+  if (n > 1) {
+    EXPECT_LT(mac::transport_block_bits(12, n - 1), 4000 + 24);
+  }
+  EXPECT_THROW(mac::prbs_for_payload(1000000, 0, 25), std::out_of_range);
+}
+
+TEST(Tbs, RejectsBadArgs) {
+  EXPECT_THROW(mac::mcs_entry(-1), std::invalid_argument);
+  EXPECT_THROW(mac::mcs_entry(29), std::invalid_argument);
+  EXPECT_THROW(mac::allocation_coded_bits(5, 0), std::invalid_argument);
+}
+
+TEST(MacPdu, BuildParseRoundTrip) {
+  mac::MacSdu sdu;
+  sdu.lcid = 3;
+  sdu.data = {1, 2, 3, 4, 5};
+  const auto pdu = mac::mac_build_pdu(sdu, 64);
+  EXPECT_EQ(pdu.size(), 64u);
+  const auto back = mac::mac_parse_pdu(pdu);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(*back, sdu);
+}
+
+TEST(MacPdu, PaddingIsZero) {
+  mac::MacSdu sdu;
+  sdu.data = {0xFF};
+  const auto pdu = mac::mac_build_pdu(sdu, 16);
+  for (std::size_t i = 5; i < pdu.size(); ++i) EXPECT_EQ(pdu[i], 0);
+}
+
+TEST(MacPdu, RejectsOversizeAndMalformed) {
+  mac::MacSdu sdu;
+  sdu.data.resize(100);
+  EXPECT_THROW(mac::mac_build_pdu(sdu, 50), std::invalid_argument);
+  // Header claims more bytes than the PDU holds.
+  std::vector<std::uint8_t> bogus = {0, 0, 0, 200};
+  bogus.resize(20, 0);
+  EXPECT_FALSE(mac::mac_parse_pdu(bogus).has_value());
+  EXPECT_FALSE(mac::mac_parse_pdu(std::vector<std::uint8_t>{1}).has_value());
+}
+
+TEST(Scheduler, RoundRobinSharesPrbs) {
+  mac::RoundRobinScheduler sched(25);
+  sched.add_ue({0x10, 12, 200});
+  sched.add_ue({0x20, 12, 200});
+  const auto grants = sched.schedule_tti(0);
+  ASSERT_EQ(grants.size(), 2u);
+  int total_prb = 0;
+  for (const auto& g : grants) total_prb += g.dci.rb_len;
+  EXPECT_LE(total_prb, 25);
+  // Non-overlapping allocations.
+  EXPECT_EQ(grants[0].dci.rb_start + grants[0].dci.rb_len,
+            grants[1].dci.rb_start);
+}
+
+TEST(Scheduler, SkipsIdleUes) {
+  mac::RoundRobinScheduler sched(25);
+  sched.add_ue({0x10, 12, 0});
+  sched.add_ue({0x20, 12, 800});
+  const auto grants = sched.schedule_tti(0);
+  ASSERT_EQ(grants.size(), 1u);
+  EXPECT_EQ(grants[0].rnti, 0x20);
+}
+
+TEST(Scheduler, BacklogDrains) {
+  mac::RoundRobinScheduler sched(25);
+  sched.add_ue({0x10, 20, 20000});
+  int ttis = 0;
+  while (ttis < 100) {
+    const auto grants = sched.schedule_tti(ttis++);
+    if (grants.empty()) break;
+  }
+  EXPECT_LT(ttis, 40);  // drained, did not spin forever
+}
+
+TEST(Scheduler, DuplicateAndUnknownRnti) {
+  mac::RoundRobinScheduler sched(25);
+  sched.add_ue({0x10, 12, 0});
+  EXPECT_THROW(sched.add_ue({0x10, 5, 0}), std::invalid_argument);
+  EXPECT_THROW(sched.report_backlog(0x99, 10), std::invalid_argument);
+  EXPECT_TRUE(sched.remove_ue(0x10));
+  EXPECT_FALSE(sched.remove_ue(0x10));
+}
+
+// ---------------------------------------------------------------------------
+// Net: packet codecs.
+// ---------------------------------------------------------------------------
+
+TEST(Packet, UdpBuildParseRoundTrip) {
+  net::Ipv4Header ip;
+  ip.src = 0x0A000001;
+  ip.dst = 0x0A000002;
+  net::UdpHeader udp;
+  udp.src_port = 1111;
+  udp.dst_port = 2222;
+  std::vector<std::uint8_t> payload = {9, 8, 7, 6, 5};
+  const auto pkt = net::build_udp_packet(ip, udp, payload);
+  EXPECT_EQ(pkt.size(), 20u + 8u + 5u);
+
+  const auto parsed = net::parse_packet(pkt);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->proto, net::L4Proto::kUdp);
+  EXPECT_EQ(parsed->ip.src, ip.src);
+  EXPECT_EQ(parsed->udp.dst_port, 2222);
+  EXPECT_EQ(parsed->payload, payload);
+}
+
+TEST(Packet, TcpBuildParseRoundTrip) {
+  net::Ipv4Header ip;
+  ip.src = 1;
+  ip.dst = 2;
+  net::TcpHeader tcp;
+  tcp.src_port = 80;
+  tcp.dst_port = 8080;
+  tcp.seq = 12345;
+  std::vector<std::uint8_t> payload(100, 0xAB);
+  const auto pkt = net::build_tcp_packet(ip, tcp, payload);
+  const auto parsed = net::parse_packet(pkt);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->proto, net::L4Proto::kTcp);
+  EXPECT_EQ(parsed->tcp.seq, 12345u);
+  EXPECT_EQ(parsed->payload, payload);
+}
+
+TEST(Packet, CorruptionDetected) {
+  net::Ipv4Header ip;
+  ip.src = 3;
+  ip.dst = 4;
+  net::UdpHeader udp;
+  std::vector<std::uint8_t> payload(64, 1);
+  auto pkt = net::build_udp_packet(ip, udp, payload);
+  // Flip one payload byte -> UDP checksum fails.
+  auto bad = pkt;
+  bad[40] ^= 0xFF;
+  EXPECT_FALSE(net::parse_packet(bad).has_value());
+  // Flip an IP header byte -> IP checksum fails.
+  bad = pkt;
+  bad[8] ^= 1;
+  EXPECT_FALSE(net::parse_packet(bad).has_value());
+}
+
+TEST(Packet, TruncatedAndGarbageRejected) {
+  EXPECT_FALSE(net::parse_packet(std::vector<std::uint8_t>(5, 0)).has_value());
+  std::vector<std::uint8_t> junk(64, 0x42);
+  EXPECT_FALSE(net::parse_packet(junk).has_value());
+}
+
+TEST(Packet, ChecksumKnownValue) {
+  // RFC 1071 example bytes.
+  const std::vector<std::uint8_t> data = {0x00, 0x01, 0xf2, 0x03,
+                                          0xf4, 0xf5, 0xf6, 0xf7};
+  EXPECT_EQ(net::internet_checksum(data), 0xFFFFu - 0xddf2u);
+}
+
+TEST(Gtpu, EncapDecapRoundTrip) {
+  std::vector<std::uint8_t> inner(300, 0x5A);
+  const auto outer = net::gtpu_encapsulate(0xDEADBEEF, inner);
+  EXPECT_EQ(outer.size(), inner.size() + 8);
+  const auto back = net::gtpu_decapsulate(outer);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->header.teid, 0xDEADBEEFu);
+  EXPECT_EQ(back->inner, inner);
+}
+
+TEST(Gtpu, MalformedRejected) {
+  EXPECT_FALSE(net::gtpu_decapsulate(std::vector<std::uint8_t>(4, 0)).has_value());
+  auto pkt = net::gtpu_encapsulate(1, std::vector<std::uint8_t>(10, 0));
+  pkt[2] ^= 1;  // break the length field
+  EXPECT_FALSE(net::gtpu_decapsulate(pkt).has_value());
+}
+
+// ---------------------------------------------------------------------------
+// Net: mempool + ring.
+// ---------------------------------------------------------------------------
+
+TEST(Mempool, AllocFreeCycle) {
+  net::PacketPool pool(2048, 4);
+  std::vector<net::PacketBuf> bufs;
+  for (int i = 0; i < 4; ++i) {
+    auto b = pool.alloc();
+    ASSERT_TRUE(b.has_value());
+    bufs.push_back(*b);
+  }
+  EXPECT_FALSE(pool.alloc().has_value());  // exhausted
+  pool.free(bufs.back());
+  bufs.pop_back();
+  EXPECT_TRUE(pool.alloc().has_value());
+}
+
+TEST(Mempool, DoubleFreeThrows) {
+  net::PacketPool pool(64, 2);
+  const auto b = pool.alloc();
+  pool.free(*b);
+  EXPECT_THROW(pool.free(*b), std::invalid_argument);
+}
+
+TEST(Mempool, BuffersAreDistinctAndWritable) {
+  net::PacketPool pool(64, 3);
+  const auto a = pool.alloc();
+  const auto b = pool.alloc();
+  pool.data(*a)[0] = 0x11;
+  pool.data(*b)[0] = 0x22;
+  EXPECT_EQ(pool.data(*a)[0], 0x11);
+  EXPECT_EQ(pool.data(*b)[0], 0x22);
+}
+
+TEST(SpscRing, FifoOrder) {
+  net::SpscRing ring(8);
+  EXPECT_EQ(ring.capacity(), 8u);
+  for (std::uint32_t i = 0; i < 8; ++i) {
+    EXPECT_TRUE(ring.push({i, i * 10}));
+  }
+  EXPECT_TRUE(ring.full());
+  EXPECT_FALSE(ring.push({99, 0}));
+  for (std::uint32_t i = 0; i < 8; ++i) {
+    const auto b = ring.pop();
+    ASSERT_TRUE(b.has_value());
+    EXPECT_EQ(b->index, i);
+  }
+  EXPECT_TRUE(ring.empty());
+  EXPECT_FALSE(ring.pop().has_value());
+}
+
+TEST(SpscRing, RejectsNonPowerOfTwo) {
+  EXPECT_THROW(net::SpscRing(0), std::invalid_argument);
+  EXPECT_THROW(net::SpscRing(6), std::invalid_argument);
+}
+
+TEST(SpscRing, CrossThreadTransfer) {
+  net::SpscRing ring(64);
+  constexpr std::uint32_t kN = 20000;
+  std::thread producer([&] {
+    std::uint32_t i = 0;
+    while (i < kN) {
+      if (ring.push({i, 0})) ++i;
+    }
+  });
+  std::uint32_t expected = 0;
+  while (expected < kN) {
+    const auto b = ring.pop();
+    if (b.has_value()) {
+      ASSERT_EQ(b->index, expected);
+      ++expected;
+    }
+  }
+  producer.join();
+}
+
+// ---------------------------------------------------------------------------
+// Net: traffic generator.
+// ---------------------------------------------------------------------------
+
+TEST(Pktgen, EmitsRequestedSizeAndVerifies) {
+  for (auto proto : {net::L4Proto::kUdp, net::L4Proto::kTcp}) {
+    net::FlowConfig cfg;
+    cfg.proto = proto;
+    cfg.packet_bytes = 512;
+    net::PacketGenerator gen(cfg);
+    for (int i = 0; i < 5; ++i) {
+      const auto pkt = gen.next();
+      EXPECT_EQ(pkt.size(), 512u);
+      EXPECT_EQ(net::PacketGenerator::verify(pkt), i);
+    }
+  }
+}
+
+TEST(Pktgen, DetectsCorruptPayload) {
+  net::PacketGenerator gen({});
+  auto pkt = gen.next();
+  pkt[100] ^= 0x01;
+  EXPECT_EQ(net::PacketGenerator::verify(pkt), -1);
+}
+
+TEST(Pktgen, RejectsTinyPackets) {
+  net::FlowConfig cfg;
+  cfg.packet_bytes = 30;  // smaller than headers + seq
+  EXPECT_THROW(net::PacketGenerator{cfg}, std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace vran
+
+namespace vran {
+namespace {
+
+// ---------------------------------------------------------------------------
+// RLC-lite segmentation / reassembly.
+// ---------------------------------------------------------------------------
+
+TEST(Rlc, SegmentSerializeParseRoundTrip) {
+  std::vector<std::uint8_t> sdu(1000);
+  for (std::size_t i = 0; i < sdu.size(); ++i) {
+    sdu[i] = static_cast<std::uint8_t>(i * 13);
+  }
+  const auto segs = mac::rlc_segment(sdu, 42, 300);
+  ASSERT_EQ(segs.size(), 4u);  // ceil(1000 / 294)
+  for (const auto& seg : segs) {
+    const auto bytes = mac::rlc_serialize(seg);
+    EXPECT_LE(bytes.size(), 300u);
+    const auto back = mac::rlc_parse(bytes);
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(back->sdu_id, 42);
+    EXPECT_EQ(back->payload, seg.payload);
+  }
+}
+
+TEST(Rlc, ReassemblyInOrder) {
+  std::vector<std::uint8_t> sdu(777, 0x5C);
+  mac::RlcReassembler rx;
+  const auto segs = mac::rlc_segment(sdu, 7, 128);
+  for (std::size_t i = 0; i < segs.size(); ++i) {
+    const auto got = rx.push(segs[i]);
+    if (i + 1 < segs.size()) {
+      EXPECT_FALSE(got.has_value()) << i;
+    } else {
+      ASSERT_TRUE(got.has_value());
+      EXPECT_EQ(*got, sdu);
+    }
+  }
+  EXPECT_EQ(rx.pending(), 0u);
+}
+
+TEST(Rlc, ReassemblyOutOfOrderAndInterleaved) {
+  std::vector<std::uint8_t> a(500, 1), b(500, 2);
+  mac::RlcReassembler rx;
+  const auto sa = mac::rlc_segment(a, 1, 200);
+  const auto sb = mac::rlc_segment(b, 2, 200);
+  ASSERT_EQ(sa.size(), 3u);
+  // Interleave and reverse order within each SDU.
+  EXPECT_FALSE(rx.push(sa[2]).has_value());
+  EXPECT_FALSE(rx.push(sb[1]).has_value());
+  EXPECT_FALSE(rx.push(sa[0]).has_value());
+  EXPECT_FALSE(rx.push(sb[2]).has_value());
+  const auto ga = rx.push(sa[1]);
+  ASSERT_TRUE(ga.has_value());
+  EXPECT_EQ(*ga, a);
+  const auto gb = rx.push(sb[0]);
+  ASSERT_TRUE(gb.has_value());
+  EXPECT_EQ(*gb, b);
+}
+
+TEST(Rlc, DuplicateAndBogusSegmentsDiscarded) {
+  std::vector<std::uint8_t> sdu(300, 9);
+  mac::RlcReassembler rx;
+  const auto segs = mac::rlc_segment(sdu, 3, 200);
+  ASSERT_GE(segs.size(), 2u);
+  rx.push(segs[0]);
+  rx.push(segs[0]);  // duplicate
+  EXPECT_EQ(rx.discarded(), 1u);
+  mac::RlcSegment bogus;
+  bogus.total = 0;
+  EXPECT_FALSE(rx.push(bogus).has_value());
+  EXPECT_EQ(rx.discarded(), 2u);
+}
+
+TEST(Rlc, PendingBounded) {
+  mac::RlcReassembler rx(2);
+  for (std::uint16_t id = 0; id < 5; ++id) {
+    mac::RlcSegment seg;
+    seg.sdu_id = id;
+    seg.index = 0;
+    seg.total = 2;
+    seg.payload = {1};
+    rx.push(seg);
+  }
+  EXPECT_LE(rx.pending(), 2u);
+}
+
+TEST(Rlc, RejectsBadBudget) {
+  EXPECT_THROW(mac::rlc_segment(std::vector<std::uint8_t>(10, 0), 1, 6),
+               std::invalid_argument);
+  EXPECT_THROW(mac::rlc_segment(std::vector<std::uint8_t>(30000, 0), 1, 7 + 100),
+               std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// EPC user plane.
+// ---------------------------------------------------------------------------
+
+net::Bearer test_bearer(std::uint32_t n) {
+  net::Bearer b;
+  b.teid_uplink = 0x1000 + n;
+  b.teid_downlink = 0x2000 + n;
+  b.ue_ip = 0x0A000000 + n;  // 10.0.0.n
+  return b;
+}
+
+std::vector<std::uint8_t> ue_udp_packet(std::uint32_t src, std::uint32_t dst) {
+  net::Ipv4Header ip;
+  ip.src = src;
+  ip.dst = dst;
+  net::UdpHeader udp;
+  udp.src_port = 1000;
+  udp.dst_port = 2000;
+  const std::vector<std::uint8_t> payload(40, 0xEE);
+  return net::build_udp_packet(ip, udp, payload);
+}
+
+TEST(Epc, UplinkToInternet) {
+  net::EpcUserPlane epc;
+  epc.add_bearer(test_bearer(1));
+  const auto inner = ue_udp_packet(0x0A000001, 0x08080808);
+  const auto gtpu = net::gtpu_encapsulate(0x1001, inner);
+  const auto res = epc.handle_uplink(gtpu);
+  EXPECT_EQ(res.route, net::EpcRoute::kInternet);
+  EXPECT_EQ(res.packet, inner);
+  EXPECT_EQ(epc.counters().uplink_packets, 1u);
+}
+
+TEST(Epc, UplinkHairpinsToKnownUe) {
+  net::EpcUserPlane epc;
+  epc.add_bearer(test_bearer(1));
+  epc.add_bearer(test_bearer(2));
+  const auto inner = ue_udp_packet(0x0A000001, 0x0A000002);
+  const auto res = epc.handle_uplink(net::gtpu_encapsulate(0x1001, inner));
+  EXPECT_EQ(res.route, net::EpcRoute::kDownlink);
+  EXPECT_EQ(res.teid, 0x2002u);
+  const auto unwrapped = net::gtpu_decapsulate(res.packet);
+  ASSERT_TRUE(unwrapped.has_value());
+  EXPECT_EQ(unwrapped->inner, inner);
+}
+
+TEST(Epc, RejectsUnknownTunnelAndSpoofedSource) {
+  net::EpcUserPlane epc;
+  epc.add_bearer(test_bearer(1));
+  const auto inner = ue_udp_packet(0x0A000001, 0x08080808);
+  // Unknown TEID.
+  auto res = epc.handle_uplink(net::gtpu_encapsulate(0x9999, inner));
+  EXPECT_EQ(res.route, net::EpcRoute::kDropped);
+  // Spoofed source IP on a valid tunnel.
+  const auto spoofed = ue_udp_packet(0x0A0000FF, 0x08080808);
+  res = epc.handle_uplink(net::gtpu_encapsulate(0x1001, spoofed));
+  EXPECT_EQ(res.route, net::EpcRoute::kDropped);
+  EXPECT_EQ(epc.counters().dropped, 2u);
+}
+
+TEST(Epc, DownlinkTunnelsTowardUe) {
+  net::EpcUserPlane epc;
+  epc.add_bearer(test_bearer(3));
+  const auto pkt = ue_udp_packet(0x08080808, 0x0A000003);
+  const auto res = epc.handle_downlink(pkt);
+  EXPECT_EQ(res.route, net::EpcRoute::kDownlink);
+  EXPECT_EQ(res.teid, 0x2003u);
+  const auto down = epc.handle_downlink(ue_udp_packet(0x08080808, 0x0A0000AA));
+  EXPECT_EQ(down.route, net::EpcRoute::kDropped);
+}
+
+TEST(Epc, BearerLifecycle) {
+  net::EpcUserPlane epc;
+  epc.add_bearer(test_bearer(1));
+  EXPECT_THROW(epc.add_bearer(test_bearer(1)), std::invalid_argument);
+  EXPECT_EQ(epc.num_bearers(), 1u);
+  EXPECT_TRUE(epc.remove_bearer(0x1001));
+  EXPECT_FALSE(epc.remove_bearer(0x1001));
+  EXPECT_EQ(epc.num_bearers(), 0u);
+  // After removal the tunnel is gone.
+  const auto inner = ue_udp_packet(0x0A000001, 0x08080808);
+  EXPECT_EQ(epc.handle_uplink(net::gtpu_encapsulate(0x1001, inner)).route,
+            net::EpcRoute::kDropped);
+}
+
+}  // namespace
+}  // namespace vran

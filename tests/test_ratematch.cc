@@ -1,0 +1,167 @@
+// Rate matching / de-matching tests: geometry, permutation structure,
+// encode/decode round trips at several code rates and redundancy
+// versions, and HARQ-style soft combining.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/rng.h"
+#include "phy/ratematch/rate_match.h"
+#include "phy/turbo/turbo_encoder.h"
+
+namespace vran::phy {
+namespace {
+
+std::vector<std::uint8_t> random_bits(std::size_t n, std::uint64_t seed) {
+  std::vector<std::uint8_t> b(n);
+  Xoshiro256 rng(seed);
+  for (auto& x : b) x = static_cast<std::uint8_t>(rng.next() & 1);
+  return b;
+}
+
+TEST(Subblock, GeometryBasics) {
+  const auto g = subblock_geometry(44);  // K=40 stream
+  EXPECT_EQ(g.rows, 2);
+  EXPECT_EQ(g.kp, 64);
+  EXPECT_EQ(g.nulls, 20);
+  const auto g2 = subblock_geometry(6148);
+  EXPECT_EQ(g2.rows, 193);
+  EXPECT_EQ(g2.kp, 6176);
+  EXPECT_EQ(g2.nulls, 28);
+}
+
+TEST(Subblock, ColumnPermutationIsAPermutation) {
+  const auto p = subblock_column_permutation();
+  std::vector<int> s(p.begin(), p.end());
+  std::sort(s.begin(), s.end());
+  for (int i = 0; i < 32; ++i) EXPECT_EQ(s[static_cast<std::size_t>(i)], i);
+}
+
+TEST(Subblock, MapsArePermutationsOfPaddedStream) {
+  for (int d : {44, 108, 516, 6148}) {
+    const auto m = subblock_map(d);
+    for (const auto* v : {&m.v0_src, &m.v2_src}) {
+      std::vector<int> s(*v);
+      std::sort(s.begin(), s.end());
+      for (int i = 0; i < m.geo.kp; ++i) {
+        ASSERT_EQ(s[static_cast<std::size_t>(i)], i) << "d=" << d;
+      }
+    }
+  }
+}
+
+TEST(RateMatch, UsableSizeIsThreeD) {
+  // Every non-null position appears exactly once in the circular buffer.
+  const RateMatcher rm(40);
+  EXPECT_EQ(rm.usable_size(), 3 * 44);
+  EXPECT_EQ(rm.buffer_size(), 3 * 64);
+}
+
+TEST(RateMatch, K0DistinctPerRv) {
+  const RateMatcher rm(512);
+  std::vector<int> offs;
+  for (int rv = 0; rv < 4; ++rv) offs.push_back(rm.k0(rv));
+  std::sort(offs.begin(), offs.end());
+  EXPECT_TRUE(std::adjacent_find(offs.begin(), offs.end()) == offs.end());
+  EXPECT_THROW(rm.k0(4), std::invalid_argument);
+}
+
+TEST(RateMatch, FullBufferRoundTripsExactly) {
+  // E = usable size at rv 0 reproduces every d-stream bit exactly once.
+  const int k = 104;
+  const auto bits = random_bits(static_cast<std::size_t>(k), 3);
+  const auto cw = turbo_encode(bits);
+  const RateMatcher rm(k);
+  const int e = rm.usable_size();
+  const auto tx = rm.match(cw, e, 0);
+  ASSERT_EQ(tx.size(), static_cast<std::size_t>(e));
+
+  // Soft values +-7; dematch and compare signs against the codeword.
+  AlignedVector<std::int16_t> llr(tx.size());
+  for (std::size_t i = 0; i < tx.size(); ++i) {
+    llr[i] = tx[i] ? 7 : -7;
+  }
+  const auto triples = rm.dematch(llr, 0);
+  ASSERT_EQ(triples.size(), static_cast<std::size_t>(3 * (k + 4)));
+  for (int t = 0; t < k + 4; ++t) {
+    EXPECT_EQ(triples[static_cast<std::size_t>(3 * t)] > 0, cw.d0[static_cast<std::size_t>(t)] == 1);
+    EXPECT_EQ(triples[static_cast<std::size_t>(3 * t + 1)] > 0, cw.d1[static_cast<std::size_t>(t)] == 1);
+    EXPECT_EQ(triples[static_cast<std::size_t>(3 * t + 2)] > 0, cw.d2[static_cast<std::size_t>(t)] == 1);
+  }
+}
+
+TEST(RateMatch, RepetitionAccumulates) {
+  const int k = 40;
+  const auto bits = random_bits(static_cast<std::size_t>(k), 4);
+  const auto cw = turbo_encode(bits);
+  const RateMatcher rm(k);
+  const int e = 2 * rm.usable_size();  // every bit sent twice
+  const auto tx = rm.match(cw, e, 0);
+  AlignedVector<std::int16_t> llr(tx.size());
+  for (std::size_t i = 0; i < tx.size(); ++i) llr[i] = tx[i] ? 5 : -5;
+  const auto triples = rm.dematch(llr, 0);
+  // Twice-sent positions accumulate to +-10.
+  for (const auto v : triples) {
+    EXPECT_TRUE(v == 10 || v == -10) << v;
+  }
+}
+
+TEST(RateMatch, PuncturedPositionsComeBackZero) {
+  const int k = 256;
+  const auto bits = random_bits(static_cast<std::size_t>(k), 5);
+  const auto cw = turbo_encode(bits);
+  const RateMatcher rm(k);
+  const int e = rm.usable_size() / 3;  // high rate: 2/3 of bits punctured
+  const auto tx = rm.match(cw, e, 0);
+  AlignedVector<std::int16_t> llr(tx.size());
+  for (std::size_t i = 0; i < tx.size(); ++i) llr[i] = tx[i] ? 9 : -9;
+  const auto triples = rm.dematch(llr, 0);
+  const auto zeros = std::count(triples.begin(), triples.end(), 0);
+  EXPECT_EQ(zeros, static_cast<long>(triples.size()) - e);
+}
+
+TEST(RateMatch, HarqCombiningAcrossRvs) {
+  const int k = 512;
+  const auto bits = random_bits(static_cast<std::size_t>(k), 6);
+  const auto cw = turbo_encode(bits);
+  const RateMatcher rm(k);
+  const int e = rm.usable_size() / 2;
+
+  AlignedVector<std::int16_t> w(static_cast<std::size_t>(rm.buffer_size()), 0);
+  for (int rv : {0, 2}) {
+    const auto tx = rm.match(cw, e, rv);
+    AlignedVector<std::int16_t> llr(tx.size());
+    for (std::size_t i = 0; i < tx.size(); ++i) llr[i] = tx[i] ? 6 : -6;
+    rm.dematch_accumulate(llr, rv, w);
+  }
+  const auto triples = rm.buffer_to_triples(w);
+  // With two half-buffer transmissions at different offsets, most
+  // positions are covered; verify no sign contradicts the codeword.
+  int covered = 0;
+  const std::uint8_t* streams[3] = {cw.d0.data(), cw.d1.data(), cw.d2.data()};
+  for (std::size_t i = 0; i < triples.size(); ++i) {
+    if (triples[i] == 0) continue;
+    ++covered;
+    const auto bit = streams[i % 3][i / 3];
+    EXPECT_EQ(triples[i] > 0, bit == 1) << i;
+  }
+  EXPECT_GT(covered, static_cast<int>(triples.size() / 2));
+}
+
+TEST(RateMatch, InputValidation) {
+  const RateMatcher rm(40);
+  TurboCodeword bad;
+  bad.d0.resize(44);
+  bad.d1.resize(44);
+  bad.d2.resize(43);
+  EXPECT_THROW(rm.match(bad, 100, 0), std::invalid_argument);
+  const auto cw = turbo_encode(random_bits(40, 1));
+  EXPECT_THROW(rm.match(cw, 0, 0), std::invalid_argument);
+  AlignedVector<std::int16_t> w(10);
+  AlignedVector<std::int16_t> llr(5);
+  EXPECT_THROW(rm.dematch_accumulate(llr, 0, w), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace vran::phy

@@ -1,0 +1,128 @@
+// Exhaustive property sweep over every legal turbo block size: encoder
+// geometry, noiseless decode round trip, and rate-matching round trip
+// for all 188 QPP sizes. Catches table typos and per-size boundary bugs
+// (tails, window divisibility, sub-block geometry) that spot checks miss.
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "phy/ratematch/rate_match.h"
+#include "phy/turbo/qpp_interleaver.h"
+#include "phy/turbo/turbo_decoder.h"
+#include "phy/turbo/turbo_encoder.h"
+
+namespace vran::phy {
+namespace {
+
+std::vector<std::uint8_t> random_bits(std::size_t n, std::uint64_t seed) {
+  std::vector<std::uint8_t> b(n);
+  Xoshiro256 rng(seed);
+  for (auto& x : b) x = static_cast<std::uint8_t>(rng.next() & 1);
+  return b;
+}
+
+AlignedVector<std::int16_t> codeword_to_llr(const TurboCodeword& cw,
+                                            std::int16_t amp) {
+  AlignedVector<std::int16_t> llr(3 * cw.d0.size());
+  for (std::size_t t = 0; t < cw.d0.size(); ++t) {
+    llr[3 * t] = cw.d0[t] ? amp : static_cast<std::int16_t>(-amp);
+    llr[3 * t + 1] = cw.d1[t] ? amp : static_cast<std::int16_t>(-amp);
+    llr[3 * t + 2] = cw.d2[t] ? amp : static_cast<std::int16_t>(-amp);
+  }
+  return llr;
+}
+
+TEST(AllSizes, EverySizeDivisibleByEight) {
+  // The windowed SIMD decoder relies on K % 8 == 0 for all legal sizes.
+  for (const int k : qpp_block_sizes()) {
+    EXPECT_EQ(k % 8, 0) << k;
+  }
+}
+
+TEST(AllSizes, NoiselessDecodeRoundTripSse) {
+  for (const int k : qpp_block_sizes()) {
+    const auto bits = random_bits(static_cast<std::size_t>(k),
+                                  static_cast<std::uint64_t>(k));
+    const auto cw = turbo_encode(bits);
+    const auto llr = codeword_to_llr(cw, 80);
+
+    TurboDecodeConfig cfg;
+    cfg.isa = IsaLevel::kSse41;
+    cfg.max_iterations = 3;
+    TurboDecoder dec(k, cfg);
+    std::vector<std::uint8_t> out(static_cast<std::size_t>(k));
+    dec.decode(llr, out);
+    ASSERT_EQ(out, bits) << "K=" << k;
+  }
+}
+
+TEST(AllSizes, NoiselessDecodeRoundTripWidest) {
+  const IsaLevel isa = best_isa();
+  if (isa < IsaLevel::kAvx2) GTEST_SKIP() << "no wide ISA";
+  // Windowed decoding must handle every K (all are divisible by 4).
+  for (const int k : qpp_block_sizes()) {
+    const auto bits = random_bits(static_cast<std::size_t>(k),
+                                  1000 + static_cast<std::uint64_t>(k));
+    const auto cw = turbo_encode(bits);
+    const auto llr = codeword_to_llr(cw, 80);
+
+    TurboDecodeConfig cfg;
+    cfg.isa = isa;
+    cfg.max_iterations = 4;
+    TurboDecoder dec(k, cfg);
+    std::vector<std::uint8_t> out(static_cast<std::size_t>(k));
+    dec.decode(llr, out);
+    ASSERT_EQ(out, bits) << "K=" << k << " isa=" << isa_name(isa);
+  }
+}
+
+TEST(AllSizes, RateMatchFullBufferRoundTrip) {
+  for (const int k : qpp_block_sizes()) {
+    const auto bits = random_bits(static_cast<std::size_t>(k),
+                                  2000 + static_cast<std::uint64_t>(k));
+    const auto cw = turbo_encode(bits);
+    const RateMatcher rm(k);
+    ASSERT_EQ(rm.usable_size(), 3 * (k + 4)) << k;
+    const auto tx = rm.match(cw, rm.usable_size(), 0);
+
+    AlignedVector<std::int16_t> llr(tx.size());
+    for (std::size_t i = 0; i < tx.size(); ++i) llr[i] = tx[i] ? 4 : -4;
+    const auto triples = rm.dematch(llr, 0);
+    const std::uint8_t* streams[3] = {cw.d0.data(), cw.d1.data(),
+                                      cw.d2.data()};
+    for (std::size_t i = 0; i < triples.size(); ++i) {
+      ASSERT_EQ(triples[i] > 0, streams[i % 3][i / 3] == 1)
+          << "K=" << k << " i=" << i;
+    }
+  }
+}
+
+TEST(AllSizes, EncoderTailsTerminateBothConstituents) {
+  // Termination must drive both RSC encoders to state 0 regardless of
+  // content — checked indirectly: re-encoding the all-ones block of
+  // every size must be deterministic and the tails self-consistent
+  // (systematic tail bits reproduce the parity recursion).
+  for (const int k : qpp_block_sizes()) {
+    const std::vector<std::uint8_t> bits(static_cast<std::size_t>(k), 1);
+    const auto cw = turbo_encode(bits);
+    ASSERT_EQ(cw.d0.size(), static_cast<std::size_t>(k + 4)) << k;
+    // Replay encoder 1 from the tails: x_K, x_K+1, x_K+2 must drain the
+    // final state to zero through rsc_step.
+    int state = 0;
+    for (int i = 0; i < k; ++i) state = rsc_step(state, bits[static_cast<std::size_t>(i)]).next_state;
+    const std::uint8_t xt[3] = {cw.d0[static_cast<std::size_t>(k)],
+                                cw.d2[static_cast<std::size_t>(k)],
+                                cw.d1[static_cast<std::size_t>(k + 1)]};
+    const std::uint8_t zt[3] = {cw.d1[static_cast<std::size_t>(k)],
+                                cw.d0[static_cast<std::size_t>(k + 1)],
+                                cw.d2[static_cast<std::size_t>(k + 1)]};
+    for (int t = 0; t < 3; ++t) {
+      const auto [ns, p] = rsc_step(state, xt[t]);
+      EXPECT_EQ(p, zt[t]) << "K=" << k << " t=" << t;
+      state = ns;
+    }
+    EXPECT_EQ(state, 0) << "K=" << k;
+  }
+}
+
+}  // namespace
+}  // namespace vran::phy
