@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_order"
+  "../bench/ablation_order.pdb"
+  "CMakeFiles/ablation_order.dir/ablation_order.cc.o"
+  "CMakeFiles/ablation_order.dir/ablation_order.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_order.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

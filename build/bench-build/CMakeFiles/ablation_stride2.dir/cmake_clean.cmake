@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_stride2"
+  "../bench/ablation_stride2.pdb"
+  "CMakeFiles/ablation_stride2.dir/ablation_stride2.cc.o"
+  "CMakeFiles/ablation_stride2.dir/ablation_stride2.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_stride2.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

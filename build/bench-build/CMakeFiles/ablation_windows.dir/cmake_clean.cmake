@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_windows"
+  "../bench/ablation_windows.pdb"
+  "CMakeFiles/ablation_windows.dir/ablation_windows.cc.o"
+  "CMakeFiles/ablation_windows.dir/ablation_windows.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_windows.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

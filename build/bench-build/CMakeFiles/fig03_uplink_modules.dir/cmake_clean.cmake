@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig03_uplink_modules"
+  "../bench/fig03_uplink_modules.pdb"
+  "CMakeFiles/fig03_uplink_modules.dir/fig03_uplink_modules.cc.o"
+  "CMakeFiles/fig03_uplink_modules.dir/fig03_uplink_modules.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03_uplink_modules.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig04_downlink_modules"
+  "../bench/fig04_downlink_modules.pdb"
+  "CMakeFiles/fig04_downlink_modules.dir/fig04_downlink_modules.cc.o"
+  "CMakeFiles/fig04_downlink_modules.dir/fig04_downlink_modules.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_downlink_modules.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

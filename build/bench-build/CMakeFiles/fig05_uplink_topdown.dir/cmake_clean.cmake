@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig05_uplink_topdown"
+  "../bench/fig05_uplink_topdown.pdb"
+  "CMakeFiles/fig05_uplink_topdown.dir/fig05_uplink_topdown.cc.o"
+  "CMakeFiles/fig05_uplink_topdown.dir/fig05_uplink_topdown.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_uplink_topdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

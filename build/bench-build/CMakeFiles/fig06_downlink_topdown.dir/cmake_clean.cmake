@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig06_downlink_topdown"
+  "../bench/fig06_downlink_topdown.pdb"
+  "CMakeFiles/fig06_downlink_topdown.dir/fig06_downlink_topdown.cc.o"
+  "CMakeFiles/fig06_downlink_topdown.dir/fig06_downlink_topdown.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_downlink_topdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

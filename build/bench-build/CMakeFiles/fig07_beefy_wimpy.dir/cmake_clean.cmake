@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig07_beefy_wimpy"
+  "../bench/fig07_beefy_wimpy.pdb"
+  "CMakeFiles/fig07_beefy_wimpy.dir/fig07_beefy_wimpy.cc.o"
+  "CMakeFiles/fig07_beefy_wimpy.dir/fig07_beefy_wimpy.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_beefy_wimpy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

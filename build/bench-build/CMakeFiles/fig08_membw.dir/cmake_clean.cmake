@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig08_membw"
+  "../bench/fig08_membw.pdb"
+  "CMakeFiles/fig08_membw.dir/fig08_membw.cc.o"
+  "CMakeFiles/fig08_membw.dir/fig08_membw.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_membw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig13_packet_latency.cc" "bench-build/CMakeFiles/fig13_packet_latency.dir/fig13_packet_latency.cc.o" "gcc" "bench-build/CMakeFiles/fig13_packet_latency.dir/fig13_packet_latency.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/pipeline/CMakeFiles/vran_pipeline.dir/DependInfo.cmake"
+  "/root/repo/build/src/mac/CMakeFiles/vran_mac.dir/DependInfo.cmake"
+  "/root/repo/build/src/phy/CMakeFiles/vran_phy.dir/DependInfo.cmake"
+  "/root/repo/build/src/arrange/CMakeFiles/vran_arrange.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/vran_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/vran_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

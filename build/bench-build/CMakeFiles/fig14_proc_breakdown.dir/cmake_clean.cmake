@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig14_proc_breakdown"
+  "../bench/fig14_proc_breakdown.pdb"
+  "CMakeFiles/fig14_proc_breakdown.dir/fig14_proc_breakdown.cc.o"
+  "CMakeFiles/fig14_proc_breakdown.dir/fig14_proc_breakdown.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_proc_breakdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

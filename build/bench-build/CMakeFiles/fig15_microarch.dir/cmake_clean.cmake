@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig15_microarch"
+  "../bench/fig15_microarch.pdb"
+  "CMakeFiles/fig15_microarch.dir/fig15_microarch.cc.o"
+  "CMakeFiles/fig15_microarch.dir/fig15_microarch.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_microarch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

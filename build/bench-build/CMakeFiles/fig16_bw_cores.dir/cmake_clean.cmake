@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig16_bw_cores"
+  "../bench/fig16_bw_cores.pdb"
+  "CMakeFiles/fig16_bw_cores.dir/fig16_bw_cores.cc.o"
+  "CMakeFiles/fig16_bw_cores.dir/fig16_bw_cores.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig16_bw_cores.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table1_cache_configs"
+  "../bench/table1_cache_configs.pdb"
+  "CMakeFiles/table1_cache_configs.dir/table1_cache_configs.cc.o"
+  "CMakeFiles/table1_cache_configs.dir/table1_cache_configs.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_cache_configs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

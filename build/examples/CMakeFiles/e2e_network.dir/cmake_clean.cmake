@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/e2e_network.dir/e2e_network.cpp.o"
+  "CMakeFiles/e2e_network.dir/e2e_network.cpp.o.d"
+  "e2e_network"
+  "e2e_network.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e2e_network.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multi_ue_tti.dir/multi_ue_tti.cpp.o"
+  "CMakeFiles/multi_ue_tti.dir/multi_ue_tti.cpp.o.d"
+  "multi_ue_tti"
+  "multi_ue_tti.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_ue_tti.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/packet_stream.dir/packet_stream.cpp.o"
+  "CMakeFiles/packet_stream.dir/packet_stream.cpp.o.d"
+  "packet_stream"
+  "packet_stream.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/packet_stream.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

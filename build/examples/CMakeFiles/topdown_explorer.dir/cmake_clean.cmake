@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/topdown_explorer.dir/topdown_explorer.cpp.o"
+  "CMakeFiles/topdown_explorer.dir/topdown_explorer.cpp.o.d"
+  "topdown_explorer"
+  "topdown_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/topdown_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

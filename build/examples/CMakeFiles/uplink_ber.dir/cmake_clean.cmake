@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uplink_ber.dir/uplink_ber.cpp.o"
+  "CMakeFiles/uplink_ber.dir/uplink_ber.cpp.o.d"
+  "uplink_ber"
+  "uplink_ber.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uplink_ber.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/arrange/arrange.cc" "src/arrange/CMakeFiles/vran_arrange.dir/arrange.cc.o" "gcc" "src/arrange/CMakeFiles/vran_arrange.dir/arrange.cc.o.d"
+  "/root/repo/src/arrange/arrange_avx2.cc" "src/arrange/CMakeFiles/vran_arrange.dir/arrange_avx2.cc.o" "gcc" "src/arrange/CMakeFiles/vran_arrange.dir/arrange_avx2.cc.o.d"
+  "/root/repo/src/arrange/arrange_avx512.cc" "src/arrange/CMakeFiles/vran_arrange.dir/arrange_avx512.cc.o" "gcc" "src/arrange/CMakeFiles/vran_arrange.dir/arrange_avx512.cc.o.d"
+  "/root/repo/src/arrange/arrange_sse.cc" "src/arrange/CMakeFiles/vran_arrange.dir/arrange_sse.cc.o" "gcc" "src/arrange/CMakeFiles/vran_arrange.dir/arrange_sse.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/vran_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vran_arrange.dir/arrange.cc.o"
+  "CMakeFiles/vran_arrange.dir/arrange.cc.o.d"
+  "CMakeFiles/vran_arrange.dir/arrange_avx2.cc.o"
+  "CMakeFiles/vran_arrange.dir/arrange_avx2.cc.o.d"
+  "CMakeFiles/vran_arrange.dir/arrange_avx512.cc.o"
+  "CMakeFiles/vran_arrange.dir/arrange_avx512.cc.o.d"
+  "CMakeFiles/vran_arrange.dir/arrange_sse.cc.o"
+  "CMakeFiles/vran_arrange.dir/arrange_sse.cc.o.d"
+  "libvran_arrange.a"
+  "libvran_arrange.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vran_arrange.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libvran_arrange.a"
+)

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for vran_arrange.
+# This may be replaced when dependencies are built.

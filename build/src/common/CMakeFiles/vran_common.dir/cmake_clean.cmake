@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vran_common.dir/bitio.cc.o"
+  "CMakeFiles/vran_common.dir/bitio.cc.o.d"
+  "CMakeFiles/vran_common.dir/cpu_features.cc.o"
+  "CMakeFiles/vran_common.dir/cpu_features.cc.o.d"
+  "libvran_common.a"
+  "libvran_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vran_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

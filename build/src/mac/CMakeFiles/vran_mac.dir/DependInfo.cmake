@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mac/mac_pdu.cc" "src/mac/CMakeFiles/vran_mac.dir/mac_pdu.cc.o" "gcc" "src/mac/CMakeFiles/vran_mac.dir/mac_pdu.cc.o.d"
+  "/root/repo/src/mac/rlc.cc" "src/mac/CMakeFiles/vran_mac.dir/rlc.cc.o" "gcc" "src/mac/CMakeFiles/vran_mac.dir/rlc.cc.o.d"
+  "/root/repo/src/mac/scheduler.cc" "src/mac/CMakeFiles/vran_mac.dir/scheduler.cc.o" "gcc" "src/mac/CMakeFiles/vran_mac.dir/scheduler.cc.o.d"
+  "/root/repo/src/mac/tbs_tables.cc" "src/mac/CMakeFiles/vran_mac.dir/tbs_tables.cc.o" "gcc" "src/mac/CMakeFiles/vran_mac.dir/tbs_tables.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/vran_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/phy/CMakeFiles/vran_phy.dir/DependInfo.cmake"
+  "/root/repo/build/src/arrange/CMakeFiles/vran_arrange.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

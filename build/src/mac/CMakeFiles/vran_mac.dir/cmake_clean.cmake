@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vran_mac.dir/mac_pdu.cc.o"
+  "CMakeFiles/vran_mac.dir/mac_pdu.cc.o.d"
+  "CMakeFiles/vran_mac.dir/rlc.cc.o"
+  "CMakeFiles/vran_mac.dir/rlc.cc.o.d"
+  "CMakeFiles/vran_mac.dir/scheduler.cc.o"
+  "CMakeFiles/vran_mac.dir/scheduler.cc.o.d"
+  "CMakeFiles/vran_mac.dir/tbs_tables.cc.o"
+  "CMakeFiles/vran_mac.dir/tbs_tables.cc.o.d"
+  "libvran_mac.a"
+  "libvran_mac.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vran_mac.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/epc.cc" "src/net/CMakeFiles/vran_net.dir/epc.cc.o" "gcc" "src/net/CMakeFiles/vran_net.dir/epc.cc.o.d"
+  "/root/repo/src/net/gtpu.cc" "src/net/CMakeFiles/vran_net.dir/gtpu.cc.o" "gcc" "src/net/CMakeFiles/vran_net.dir/gtpu.cc.o.d"
+  "/root/repo/src/net/mempool.cc" "src/net/CMakeFiles/vran_net.dir/mempool.cc.o" "gcc" "src/net/CMakeFiles/vran_net.dir/mempool.cc.o.d"
+  "/root/repo/src/net/packet.cc" "src/net/CMakeFiles/vran_net.dir/packet.cc.o" "gcc" "src/net/CMakeFiles/vran_net.dir/packet.cc.o.d"
+  "/root/repo/src/net/pktgen.cc" "src/net/CMakeFiles/vran_net.dir/pktgen.cc.o" "gcc" "src/net/CMakeFiles/vran_net.dir/pktgen.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/vran_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vran_net.dir/epc.cc.o"
+  "CMakeFiles/vran_net.dir/epc.cc.o.d"
+  "CMakeFiles/vran_net.dir/gtpu.cc.o"
+  "CMakeFiles/vran_net.dir/gtpu.cc.o.d"
+  "CMakeFiles/vran_net.dir/mempool.cc.o"
+  "CMakeFiles/vran_net.dir/mempool.cc.o.d"
+  "CMakeFiles/vran_net.dir/packet.cc.o"
+  "CMakeFiles/vran_net.dir/packet.cc.o.d"
+  "CMakeFiles/vran_net.dir/pktgen.cc.o"
+  "CMakeFiles/vran_net.dir/pktgen.cc.o.d"
+  "libvran_net.a"
+  "libvran_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vran_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

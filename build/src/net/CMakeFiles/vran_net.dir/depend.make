@@ -1,0 +1,2 @@
+# Empty dependencies file for vran_net.
+# This may be replaced when dependencies are built.

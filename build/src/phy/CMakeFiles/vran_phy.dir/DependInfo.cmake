@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/phy/channel/channel.cc" "src/phy/CMakeFiles/vran_phy.dir/channel/channel.cc.o" "gcc" "src/phy/CMakeFiles/vran_phy.dir/channel/channel.cc.o.d"
+  "/root/repo/src/phy/crc/crc.cc" "src/phy/CMakeFiles/vran_phy.dir/crc/crc.cc.o" "gcc" "src/phy/CMakeFiles/vran_phy.dir/crc/crc.cc.o.d"
+  "/root/repo/src/phy/dci/dci.cc" "src/phy/CMakeFiles/vran_phy.dir/dci/dci.cc.o" "gcc" "src/phy/CMakeFiles/vran_phy.dir/dci/dci.cc.o.d"
+  "/root/repo/src/phy/modulation/modulation.cc" "src/phy/CMakeFiles/vran_phy.dir/modulation/modulation.cc.o" "gcc" "src/phy/CMakeFiles/vran_phy.dir/modulation/modulation.cc.o.d"
+  "/root/repo/src/phy/ofdm/fft.cc" "src/phy/CMakeFiles/vran_phy.dir/ofdm/fft.cc.o" "gcc" "src/phy/CMakeFiles/vran_phy.dir/ofdm/fft.cc.o.d"
+  "/root/repo/src/phy/ofdm/ofdm.cc" "src/phy/CMakeFiles/vran_phy.dir/ofdm/ofdm.cc.o" "gcc" "src/phy/CMakeFiles/vran_phy.dir/ofdm/ofdm.cc.o.d"
+  "/root/repo/src/phy/ratematch/rate_match.cc" "src/phy/CMakeFiles/vran_phy.dir/ratematch/rate_match.cc.o" "gcc" "src/phy/CMakeFiles/vran_phy.dir/ratematch/rate_match.cc.o.d"
+  "/root/repo/src/phy/scramble/scrambler.cc" "src/phy/CMakeFiles/vran_phy.dir/scramble/scrambler.cc.o" "gcc" "src/phy/CMakeFiles/vran_phy.dir/scramble/scrambler.cc.o.d"
+  "/root/repo/src/phy/segmentation/segmentation.cc" "src/phy/CMakeFiles/vran_phy.dir/segmentation/segmentation.cc.o" "gcc" "src/phy/CMakeFiles/vran_phy.dir/segmentation/segmentation.cc.o.d"
+  "/root/repo/src/phy/turbo/qpp_interleaver.cc" "src/phy/CMakeFiles/vran_phy.dir/turbo/qpp_interleaver.cc.o" "gcc" "src/phy/CMakeFiles/vran_phy.dir/turbo/qpp_interleaver.cc.o.d"
+  "/root/repo/src/phy/turbo/turbo_decoder.cc" "src/phy/CMakeFiles/vran_phy.dir/turbo/turbo_decoder.cc.o" "gcc" "src/phy/CMakeFiles/vran_phy.dir/turbo/turbo_decoder.cc.o.d"
+  "/root/repo/src/phy/turbo/turbo_decoder_simd.cc" "src/phy/CMakeFiles/vran_phy.dir/turbo/turbo_decoder_simd.cc.o" "gcc" "src/phy/CMakeFiles/vran_phy.dir/turbo/turbo_decoder_simd.cc.o.d"
+  "/root/repo/src/phy/turbo/turbo_encoder.cc" "src/phy/CMakeFiles/vran_phy.dir/turbo/turbo_encoder.cc.o" "gcc" "src/phy/CMakeFiles/vran_phy.dir/turbo/turbo_encoder.cc.o.d"
+  "/root/repo/src/phy/turbo/turbo_map_avx2.cc" "src/phy/CMakeFiles/vran_phy.dir/turbo/turbo_map_avx2.cc.o" "gcc" "src/phy/CMakeFiles/vran_phy.dir/turbo/turbo_map_avx2.cc.o.d"
+  "/root/repo/src/phy/turbo/turbo_map_avx512.cc" "src/phy/CMakeFiles/vran_phy.dir/turbo/turbo_map_avx512.cc.o" "gcc" "src/phy/CMakeFiles/vran_phy.dir/turbo/turbo_map_avx512.cc.o.d"
+  "/root/repo/src/phy/turbo/turbo_map_sse.cc" "src/phy/CMakeFiles/vran_phy.dir/turbo/turbo_map_sse.cc.o" "gcc" "src/phy/CMakeFiles/vran_phy.dir/turbo/turbo_map_sse.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/vran_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/arrange/CMakeFiles/vran_arrange.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

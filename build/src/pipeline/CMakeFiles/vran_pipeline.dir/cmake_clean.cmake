@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vran_pipeline.dir/pipeline.cc.o"
+  "CMakeFiles/vran_pipeline.dir/pipeline.cc.o.d"
+  "libvran_pipeline.a"
+  "libvran_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vran_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/kernels.cc" "src/sim/CMakeFiles/vran_sim.dir/kernels.cc.o" "gcc" "src/sim/CMakeFiles/vran_sim.dir/kernels.cc.o.d"
+  "/root/repo/src/sim/port_sim.cc" "src/sim/CMakeFiles/vran_sim.dir/port_sim.cc.o" "gcc" "src/sim/CMakeFiles/vran_sim.dir/port_sim.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/vran_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/arrange/CMakeFiles/vran_arrange.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vran_sim.dir/kernels.cc.o"
+  "CMakeFiles/vran_sim.dir/kernels.cc.o.d"
+  "CMakeFiles/vran_sim.dir/port_sim.cc.o"
+  "CMakeFiles/vran_sim.dir/port_sim.cc.o.d"
+  "libvran_sim.a"
+  "libvran_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vran_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_arrange.dir/test_arrange.cc.o"
+  "CMakeFiles/test_arrange.dir/test_arrange.cc.o.d"
+  "test_arrange"
+  "test_arrange.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_arrange.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

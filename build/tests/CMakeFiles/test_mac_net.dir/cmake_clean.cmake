@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mac_net.dir/test_mac_net.cc.o"
+  "CMakeFiles/test_mac_net.dir/test_mac_net.cc.o.d"
+  "test_mac_net"
+  "test_mac_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mac_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

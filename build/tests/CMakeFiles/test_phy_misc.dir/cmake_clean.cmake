@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_phy_misc.dir/test_phy_misc.cc.o"
+  "CMakeFiles/test_phy_misc.dir/test_phy_misc.cc.o.d"
+  "test_phy_misc"
+  "test_phy_misc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_phy_misc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

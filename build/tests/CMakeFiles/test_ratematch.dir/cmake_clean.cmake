@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ratematch.dir/test_ratematch.cc.o"
+  "CMakeFiles/test_ratematch.dir/test_ratematch.cc.o.d"
+  "test_ratematch"
+  "test_ratematch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ratematch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_turbo_all_sizes.dir/test_turbo_all_sizes.cc.o"
+  "CMakeFiles/test_turbo_all_sizes.dir/test_turbo_all_sizes.cc.o.d"
+  "test_turbo_all_sizes"
+  "test_turbo_all_sizes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_turbo_all_sizes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

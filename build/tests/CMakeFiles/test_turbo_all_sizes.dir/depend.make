@@ -1,0 +1,2 @@
+# Empty dependencies file for test_turbo_all_sizes.
+# This may be replaced when dependencies are built.

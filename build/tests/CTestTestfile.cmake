@@ -1,0 +1,26 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(test_common "/root/repo/build/tests/test_common")
+set_tests_properties(test_common PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/CMakeLists.txt;8;vran_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_arrange "/root/repo/build/tests/test_arrange")
+set_tests_properties(test_arrange PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/CMakeLists.txt;11;vran_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_crc "/root/repo/build/tests/test_crc")
+set_tests_properties(test_crc PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/CMakeLists.txt;14;vran_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_turbo "/root/repo/build/tests/test_turbo")
+set_tests_properties(test_turbo PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/CMakeLists.txt;17;vran_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_ratematch "/root/repo/build/tests/test_ratematch")
+set_tests_properties(test_ratematch PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/CMakeLists.txt;20;vran_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_phy_misc "/root/repo/build/tests/test_phy_misc")
+set_tests_properties(test_phy_misc PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/CMakeLists.txt;23;vran_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_mac_net "/root/repo/build/tests/test_mac_net")
+set_tests_properties(test_mac_net PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/CMakeLists.txt;26;vran_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_sim "/root/repo/build/tests/test_sim")
+set_tests_properties(test_sim PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/CMakeLists.txt;29;vran_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_pipeline "/root/repo/build/tests/test_pipeline")
+set_tests_properties(test_pipeline PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/CMakeLists.txt;32;vran_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_turbo_all_sizes "/root/repo/build/tests/test_turbo_all_sizes")
+set_tests_properties(test_turbo_all_sizes PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/CMakeLists.txt;35;vran_add_test;/root/repo/tests/CMakeLists.txt;0;")
