@@ -1,10 +1,29 @@
 #include "common/cpu_features.h"
 
+#if defined(__x86_64__) || defined(_M_X64) || defined(__i386__)
 #include <cpuid.h>
+#define VRAN_X86 1
+#endif
 
 #include <stdexcept>
 
 namespace vran {
+
+#ifdef VRAN_X86
+namespace {
+
+// XGETBV(0) via inline asm: the `_xgetbv` intrinsic requires building the
+// TU with -mxsave, which would defeat the point of a baseline-ISA probe.
+std::uint64_t read_xcr0() {
+  std::uint32_t lo = 0, hi = 0;
+  __asm__ volatile(".byte 0x0f, 0x01, 0xd0"  // xgetbv
+                   : "=a"(lo), "=d"(hi)
+                   : "c"(0));
+  return (static_cast<std::uint64_t>(hi) << 32) | lo;
+}
+
+}  // namespace
+#endif
 
 const char* isa_name(IsaLevel isa) {
   switch (isa) {
@@ -31,28 +50,60 @@ IsaLevel CpuFeatures::best() const {
   return IsaLevel::kScalar;
 }
 
-namespace {
-
-CpuFeatures probe() {
-  CpuFeatures f;
+RawIsaInfo probe_raw_isa_info() {
+  RawIsaInfo raw;
+#ifdef VRAN_X86
   unsigned eax = 0, ebx = 0, ecx = 0, edx = 0;
   if (__get_cpuid(1, &eax, &ebx, &ecx, &edx)) {
-    f.sse41 = (ecx >> 19) & 1u;
+    raw.has_leaf1 = true;
+    raw.leaf1_ecx = ecx;
   }
   if (__get_cpuid_count(7, 0, &eax, &ebx, &ecx, &edx)) {
-    f.avx2 = (ebx >> 5) & 1u;
-    f.avx512f = (ebx >> 16) & 1u;
-    f.avx512dq = (ebx >> 17) & 1u;
-    f.avx512bw = (ebx >> 30) & 1u;
-    f.avx512vl = (ebx >> 31) & 1u;
+    raw.has_leaf7 = true;
+    raw.leaf7_ebx = ebx;
+  }
+  // XGETBV is only architecturally defined when the OS has set
+  // CR4.OSXSAVE (mirrored in CPUID.1:ECX.OSXSAVE); executing it without
+  // that bit is itself a #UD.
+  if (raw.has_leaf1 && ((raw.leaf1_ecx >> 27) & 1u)) {
+    raw.xcr0 = read_xcr0();
+  }
+#endif
+  return raw;
+}
+
+CpuFeatures derive_features(const RawIsaInfo& raw) {
+  CpuFeatures f;
+  if (!raw.has_leaf1) return f;
+
+  f.sse41 = (raw.leaf1_ecx >> 19) & 1u;
+  f.osxsave = (raw.leaf1_ecx >> 27) & 1u;
+
+  // Without OSXSAVE the OS manages at most x87/SSE state (FXSAVE era):
+  // XCR0 does not exist and no YMM/ZMM state is ever saved across context
+  // switches, so every AVX+ tier is unusable regardless of CPUID bits.
+  const std::uint64_t xcr0 = f.osxsave ? raw.xcr0 : 0;
+
+  const bool cpu_avx = (raw.leaf1_ecx >> 28) & 1u;
+  const bool os_ymm = (xcr0 & kXcr0AvxState) == kXcr0AvxState;
+  f.avx = cpu_avx && os_ymm;
+
+  if (f.avx && raw.has_leaf7) {
+    f.avx2 = (raw.leaf7_ebx >> 5) & 1u;
+
+    const bool os_zmm = (xcr0 & kXcr0Avx512State) == kXcr0Avx512State;
+    if (os_zmm) {
+      f.avx512f = (raw.leaf7_ebx >> 16) & 1u;
+      f.avx512dq = (raw.leaf7_ebx >> 17) & 1u;
+      f.avx512bw = (raw.leaf7_ebx >> 30) & 1u;
+      f.avx512vl = (raw.leaf7_ebx >> 31) & 1u;
+    }
   }
   return f;
 }
 
-}  // namespace
-
 const CpuFeatures& cpu_features() {
-  static const CpuFeatures f = probe();
+  static const CpuFeatures f = derive_features(probe_raw_isa_info());
   return f;
 }
 

@@ -3,6 +3,16 @@
 // All SIMD kernels in this library are compiled into dedicated translation
 // units with per-file ISA flags and selected at runtime through this probe,
 // so a binary built on an AVX-512 host still runs on an SSE4-only one.
+//
+// Correctness note: CPUID feature bits alone are NOT sufficient to use
+// AVX/AVX-512. The OS must also have enabled the extended register state
+// (YMM / ZMM+opmask) via XSETBV, which it advertises through
+// CPUID.1:ECX.OSXSAVE plus the XCR0 register read with XGETBV. A VM or a
+// minimal kernel can expose AVX2/AVX-512 CPUID bits while XCR0 leaves the
+// state disabled — executing a ymm/zmm instruction there raises #UD
+// (SIGILL). `derive_features()` therefore gates every tier on the OS
+// state, and is a pure function of `RawIsaInfo` so tests can inject
+// arbitrary CPUID/XCR0 combinations.
 #pragma once
 
 #include <cstdint>
@@ -39,18 +49,57 @@ const char* isa_name(IsaLevel isa);
 /// on unknown names.
 IsaLevel isa_from_name(const std::string& name);
 
-/// Feature flags discovered via CPUID.
+/// XCR0 state-component bits (Intel SDM vol. 1 §13.3).
+inline constexpr std::uint64_t kXcr0Sse = 0x2;      ///< XMM state
+inline constexpr std::uint64_t kXcr0Avx = 0x4;      ///< YMM upper halves
+inline constexpr std::uint64_t kXcr0Opmask = 0x20;  ///< AVX-512 k0..k7
+inline constexpr std::uint64_t kXcr0ZmmHi256 = 0x40;   ///< ZMM0-15 uppers
+inline constexpr std::uint64_t kXcr0HiZmm = 0x80;      ///< ZMM16-31
+/// All three components AVX-512 needs (XCR0[7:5] == 111b).
+inline constexpr std::uint64_t kXcr0Avx512State =
+    kXcr0Opmask | kXcr0ZmmHi256 | kXcr0HiZmm;
+/// Both components AVX/AVX2 need (XCR0[2:1] == 11b).
+inline constexpr std::uint64_t kXcr0AvxState = kXcr0Sse | kXcr0Avx;
+
+/// Raw CPUID/XCR0 readings that feature derivation consumes. Filled from
+/// the executing CPU by `probe_raw_isa_info()`; hand-constructed by tests
+/// to simulate hosts whose OS has not enabled YMM/ZMM state.
+struct RawIsaInfo {
+  bool has_leaf1 = false;   ///< CPUID leaf 1 available
+  std::uint32_t leaf1_ecx = 0;
+  bool has_leaf7 = false;   ///< CPUID leaf 7 subleaf 0 available
+  std::uint32_t leaf7_ebx = 0;
+  /// XCR0 as read by XGETBV. Only meaningful when the OSXSAVE bit of
+  /// `leaf1_ecx` is set; ignored (treated as 0) otherwise.
+  std::uint64_t xcr0 = 0;
+};
+
+/// Feature flags after combining CPU capability with OS-enabled state.
 struct CpuFeatures {
   bool sse41 = false;
-  bool avx2 = false;
-  bool avx512f = false;
-  bool avx512bw = false;
+  bool osxsave = false;     ///< OS uses XSAVE/XRSTOR; XGETBV is readable
+  bool avx = false;         ///< AVX usable (CPUID.AVX + XCR0[2:1] == 11b)
+  bool avx2 = false;        ///< implies `avx`
+  bool avx512f = false;     ///< AVX-512 bits additionally require
+  bool avx512bw = false;    ///<   XCR0[7:5] == 111b
   bool avx512vl = false;
   bool avx512dq = false;
 
-  /// Highest tier whose full feature set is present.
+  /// Highest tier whose full feature set is present AND OS-enabled.
   IsaLevel best() const;
 };
+
+/// Read CPUID leaves 1 / 7.0 and (when OSXSAVE is set) XCR0 from the
+/// executing CPU.
+RawIsaInfo probe_raw_isa_info();
+
+/// Pure derivation of usable features from raw CPUID/XCR0 state:
+///  * sse41   <- CPUID.1:ECX.SSE4.1
+///  * avx     <- CPUID.1:ECX.{OSXSAVE,AVX} and XCR0[2:1] == 11b
+///  * avx2    <- avx and CPUID.7.0:EBX.AVX2
+///  * avx512* <- avx and XCR0[7:5] == 111b and CPUID.7.0:EBX bits
+/// Injectable for tests (no hardware access).
+CpuFeatures derive_features(const RawIsaInfo& raw);
 
 /// Probe the executing CPU once; cached after the first call. Thread-safe.
 const CpuFeatures& cpu_features();

@@ -1,0 +1,120 @@
+#include "common/threadpool.h"
+
+#include <atomic>
+#include <memory>
+#include <stdexcept>
+
+namespace vran {
+
+ThreadPool::ThreadPool(int num_threads) {
+  if (num_threads < 0) {
+    throw std::invalid_argument("ThreadPool: negative thread count");
+  }
+  workers_.reserve(static_cast<std::size_t>(num_threads));
+  for (int i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lk(mu_);
+      cv_.wait(lk, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop_ set and drained
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+std::future<void> ThreadPool::submit(std::function<void()> task) {
+  if (workers_.empty()) {
+    throw std::logic_error("ThreadPool::submit: pool has no workers");
+  }
+  auto packaged = std::make_shared<std::packaged_task<void()>>(std::move(task));
+  auto fut = packaged->get_future();
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (stop_) throw std::logic_error("ThreadPool::submit: pool stopped");
+    queue_.emplace_back([packaged] { (*packaged)(); });
+  }
+  cv_.notify_one();
+  return fut;
+}
+
+void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
+                              const std::function<void(std::size_t)>& fn) {
+  if (begin >= end) return;
+  const std::size_t n = end - begin;
+
+  // Shared per-call state: a claim counter, a done counter, and the first
+  // exception. Heap-allocated and shared_ptr-owned so a worker finishing
+  // after the caller returns (impossible today, cheap insurance anyway)
+  // never touches a dead stack frame.
+  struct ForState {
+    std::atomic<std::size_t> next{0};
+    std::atomic<std::size_t> done{0};
+    std::mutex mu;
+    std::condition_variable cv;
+    std::exception_ptr error;
+  };
+  auto st = std::make_shared<ForState>();
+
+  auto run_indices = [st, begin, n, &fn] {
+    for (;;) {
+      const std::size_t i = st->next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= n) return;
+      try {
+        fn(begin + i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lk(st->mu);
+        if (!st->error) st->error = std::current_exception();
+      }
+      if (st->done.fetch_add(1, std::memory_order_acq_rel) + 1 == n) {
+        std::lock_guard<std::mutex> lk(st->mu);
+        st->cv.notify_all();
+      }
+    }
+  };
+
+  // One helper task per worker, capped at the index count; each helper
+  // drains indices until the counter runs out. The closure copies the
+  // shared state but refers to the caller's `fn`, which outlives the call
+  // because we block below until every index is done.
+  const std::size_t helpers =
+      std::min(workers_.size(), n > 1 ? n - 1 : std::size_t{0});
+  if (helpers > 0) {
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      for (std::size_t h = 0; h < helpers; ++h) queue_.emplace_back(run_indices);
+    }
+    cv_.notify_all();
+  }
+
+  run_indices();  // caller participates
+
+  {
+    std::unique_lock<std::mutex> lk(st->mu);
+    st->cv.wait(lk, [&] { return st->done.load(std::memory_order_acquire) == n; });
+    if (st->error) std::rethrow_exception(st->error);
+  }
+}
+
+int ThreadPool::hardware_threads() {
+  const unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 1 : static_cast<int>(n);
+}
+
+}  // namespace vran

@@ -1,0 +1,77 @@
+// Fixed-size worker pool for the decode hot path.
+//
+// LTE code blocks are independent after segmentation, so the expensive
+// receive chain (de-rate-match -> data arrangement -> turbo decode) can
+// run one code block per worker; the paper's Fig. 16 likewise scales the
+// arrangement + decode workload across cores. This pool is deliberately
+// small and deterministic:
+//
+//  * a fixed set of worker threads created up front (no growth),
+//  * a single locked FIFO of std::function tasks,
+//  * `parallel_for` over an index range in which the CALLING thread
+//    participates — a pool constructed with N-1 workers gives N-way
+//    concurrency, and a pool is never needed at all for the
+//    `num_workers == 1` legacy path,
+//  * exception propagation: the first exception thrown by any index is
+//    captured and rethrown on the caller after every index has been
+//    claimed and the in-flight ones have drained.
+//
+// The pool makes no fairness or ordering promises between tasks; callers
+// that need deterministic output (everything in this library does) must
+// write to disjoint, pre-sized slots indexed by the parallel_for index —
+// never to shared accumulators. See StageTimes::merge for the timing
+// pattern.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace vran {
+
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` OS threads (0 is valid: every parallel_for then
+  /// degenerates to a plain loop on the caller).
+  explicit ThreadPool(int num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Number of worker threads (not counting callers of parallel_for).
+  int size() const { return static_cast<int>(workers_.size()); }
+
+  /// Run `fn(i)` for every i in [begin, end). Indices are claimed from a
+  /// shared atomic counter by the workers AND the calling thread, so the
+  /// load balances across uneven per-index cost. Blocks until all indices
+  /// have finished; rethrows the first exception any index threw.
+  void parallel_for(std::size_t begin, std::size_t end,
+                    const std::function<void(std::size_t)>& fn);
+
+  /// Enqueue a single task for the workers. Requires size() >= 1 (with no
+  /// workers there is nobody to run it; throws std::logic_error). Use the
+  /// future to join and to observe exceptions.
+  std::future<void> submit(std::function<void()> task);
+
+  /// Number of hardware threads, never less than 1 (the
+  /// `std::thread::hardware_concurrency() == 0` fallback).
+  static int hardware_threads();
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  bool stop_ = false;
+};
+
+}  // namespace vran

@@ -5,16 +5,45 @@
 #include <cstdint>
 
 #if defined(__x86_64__) || defined(_M_X64)
+#include <cpuid.h>
 #include <x86intrin.h>
 #endif
 
 namespace vran {
 
-/// Serializing TSC read (rdtscp) — cycle-granularity timing of kernels.
+/// True when rdtsc() returns TSC reference cycles. On non-x86 builds the
+/// fallback returns steady_clock NANOSECONDS instead — callers doing
+/// cycle math (cycles/op, cycles -> seconds via a measured TSC frequency)
+/// must check this instead of silently mixing units.
+constexpr bool rdtsc_counts_cycles() {
+#if defined(__x86_64__) || defined(_M_X64)
+  return true;
+#else
+  return false;
+#endif
+}
+
+/// Timestamp read for kernel timing.
+///
+/// x86-64: the serializing RDTSCP when the CPU has it (absent on
+/// pre-Nehalem parts and some emulators, e.g. qemu-tcg without
+/// `-cpu max`), plain RDTSC otherwise — probed once via CPUID
+/// leaf 0x80000001:EDX[27], never assumed.
+///
+/// Elsewhere: steady_clock nanoseconds (see rdtsc_counts_cycles()); still
+/// monotonic and fine for before/after deltas of the same unit.
 inline std::uint64_t rdtsc() {
 #if defined(__x86_64__) || defined(_M_X64)
-  unsigned aux = 0;
-  return __rdtscp(&aux);
+  static const bool has_rdtscp = [] {
+    unsigned eax = 0, ebx = 0, ecx = 0, edx = 0;
+    return __get_cpuid(0x80000001u, &eax, &ebx, &ecx, &edx) &&
+           ((edx >> 27) & 1u);
+  }();
+  if (has_rdtscp) {
+    unsigned aux = 0;
+    return __rdtscp(&aux);
+  }
+  return __rdtsc();
 #else
   return static_cast<std::uint64_t>(
       std::chrono::steady_clock::now().time_since_epoch().count());
@@ -42,11 +71,22 @@ class Stopwatch {
 
 /// Accumulating per-module CPU-time meter used by the pipeline to produce
 /// the paper's per-module CPU-share figures (Figs. 3 and 4).
+///
+/// Thread-safety contract: an accumulator is NOT internally synchronized.
+/// Parallel code gives each worker (or each work item) its own
+/// accumulator and combines them with merge() after the join — see
+/// pipeline::StageTimes.
 class TimeAccumulator {
  public:
   void add(double seconds) {
     total_ += seconds;
     ++count_;
+  }
+  /// Fold another accumulator's samples into this one (join-side
+  /// aggregation for per-worker accumulators).
+  void merge(const TimeAccumulator& other) {
+    total_ += other.total_;
+    count_ += other.count_;
   }
   double total_seconds() const { return total_; }
   std::uint64_t count() const { return count_; }

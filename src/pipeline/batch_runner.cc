@@ -1,0 +1,57 @@
+#include "pipeline/batch_runner.h"
+
+#include <stdexcept>
+
+namespace vran::pipeline {
+
+BatchRunner::BatchRunner(Direction dir, std::vector<PipelineConfig> flow_cfgs,
+                         int num_workers)
+    : dir_(dir),
+      num_workers_(num_workers < 1 ? 1 : num_workers),
+      configs_(std::move(flow_cfgs)) {
+  if (configs_.empty()) {
+    throw std::invalid_argument("BatchRunner: no flows");
+  }
+  for (auto& cfg : configs_) {
+    cfg.num_workers = 1;  // flows are the parallel index; see header
+    if (dir_ == Direction::kUplink) {
+      uplinks_.push_back(std::make_unique<UplinkPipeline>(cfg));
+    } else {
+      downlinks_.push_back(std::make_unique<DownlinkPipeline>(cfg));
+    }
+  }
+  if (num_workers_ > 1) {
+    pool_ = std::make_unique<ThreadPool>(num_workers_ - 1);
+  }
+}
+
+std::vector<PacketResult> BatchRunner::run_tti(
+    const std::vector<std::vector<std::uint8_t>>& packets) {
+  if (packets.size() != flows()) {
+    throw std::invalid_argument("BatchRunner::run_tti: one packet per flow");
+  }
+  std::vector<PacketResult> results(flows());
+  const auto run_flow = [&](std::size_t f) {
+    if (packets[f].empty()) return;  // idle flow this TTI
+    if (dir_ == Direction::kUplink) {
+      results[f] = uplinks_[f]->send_packet(packets[f]);
+    } else {
+      results[f] = downlinks_[f]->send_packet(packets[f]);
+    }
+  };
+  if (pool_ != nullptr && flows() > 1) {
+    pool_->parallel_for(0, flows(), run_flow);
+  } else {
+    for (std::size_t f = 0; f < flows(); ++f) run_flow(f);
+  }
+  return results;
+}
+
+StageTimes BatchRunner::aggregate_times() const {
+  StageTimes agg;
+  for (const auto& p : uplinks_) agg.merge(p->times());
+  for (const auto& p : downlinks_) agg.merge(p->times());
+  return agg;
+}
+
+}  // namespace vran::pipeline

@@ -1,0 +1,67 @@
+// Multi-packet / multi-UE batch driver.
+//
+// One cell serves many UEs per TTI; their transport blocks are completely
+// independent, so the per-UE pipelines can run concurrently on a worker
+// pool — the cross-packet counterpart of the per-code-block parallelism
+// inside a single pipeline (paper Fig. 16 scales exactly this
+// data-arrangement + turbo-decode workload across cores).
+//
+// Concurrency model: the runner owns one pipeline per flow and a shared
+// ThreadPool. A run_tti() call hands each flow's packet to that flow's
+// pipeline on some worker; a pipeline is touched by at most one worker
+// per TTI (flows are the parallel index), so pipelines need no internal
+// locking. Flow pipelines are forced to num_workers = 1 — nesting
+// per-code-block workers under per-flow workers would oversubscribe the
+// cores without adding parallelism. Results and per-flow StageTimes stay
+// per-flow; aggregate_times() folds them stage-by-stage with
+// StageTimes::merge at the caller, never from workers.
+//
+// Determinism: every flow's pipeline consumes only its own packet and its
+// own noise stream, so results are bit-identical to driving the flows
+// sequentially, for any worker count.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/threadpool.h"
+#include "pipeline/pipeline.h"
+
+namespace vran::pipeline {
+
+class BatchRunner {
+ public:
+  enum class Direction { kUplink, kDownlink };
+
+  /// One pipeline per entry of `flow_cfgs` (a flow = one UE's RNTI,
+  /// MCS, ...). `num_workers` is the TOTAL concurrency including the
+  /// calling thread; 1 runs the flows sequentially on the caller.
+  BatchRunner(Direction dir, std::vector<PipelineConfig> flow_cfgs,
+              int num_workers);
+
+  std::size_t flows() const { return configs_.size(); }
+  int num_workers() const { return num_workers_; }
+  const PipelineConfig& flow_config(std::size_t flow) const {
+    return configs_.at(flow);
+  }
+
+  /// Drive one TTI: packets[f] goes through flow f's pipeline (an empty
+  /// packet marks the flow idle this TTI and yields a default
+  /// PacketResult). packets.size() must equal flows().
+  std::vector<PacketResult> run_tti(
+      const std::vector<std::vector<std::uint8_t>>& packets);
+
+  /// Per-stage CPU time summed over all flows since construction.
+  StageTimes aggregate_times() const;
+
+ private:
+  Direction dir_;
+  int num_workers_;
+  std::vector<PipelineConfig> configs_;
+  std::vector<std::unique_ptr<UplinkPipeline>> uplinks_;
+  std::vector<std::unique_ptr<DownlinkPipeline>> downlinks_;
+  std::unique_ptr<ThreadPool> pool_;  ///< nullptr when num_workers <= 1
+};
+
+}  // namespace vran::pipeline

@@ -21,6 +21,26 @@ double time_domain_snr_db(double snr_db, int nfft) {
 
 void StageTimes::reset() { *this = StageTimes{}; }
 
+void StageTimes::merge(const StageTimes& other) {
+  mac.merge(other.mac);
+  crc_segmentation.merge(other.crc_segmentation);
+  turbo_encode.merge(other.turbo_encode);
+  rate_match.merge(other.rate_match);
+  scramble.merge(other.scramble);
+  modulation.merge(other.modulation);
+  ofdm.merge(other.ofdm);
+  channel.merge(other.channel);
+  ofdm_rx.merge(other.ofdm_rx);
+  demodulation.merge(other.demodulation);
+  descramble.merge(other.descramble);
+  rate_dematch.merge(other.rate_dematch);
+  arrange.merge(other.arrange);
+  turbo_decode.merge(other.turbo_decode);
+  desegmentation.merge(other.desegmentation);
+  gtpu.merge(other.gtpu);
+  dci.merge(other.dci);
+}
+
 std::vector<StageTimes::Entry> StageTimes::entries() const {
   std::vector<Entry> out;
   const auto add = [&](const char* name, const TimeAccumulator& acc) {
@@ -208,7 +228,8 @@ struct DecodedTb {
 
 DecodedTb phy_decode(const EncodedTb& enc, const PipelineConfig& cfg,
                      std::uint32_t tti, StageTimes& t,
-                     const phy::OfdmModulator& ofdm, HarqBuffers* harq) {
+                     const phy::OfdmModulator& ofdm, HarqBuffers* harq,
+                     ThreadPool* pool) {
   DecodedTb out;
 
   std::vector<phy::IqSample> symbols;
@@ -233,38 +254,69 @@ DecodedTb phy_decode(const EncodedTb& enc, const PipelineConfig& cfg,
                                                cfg.cell_id));
   }
 
-  // Per-block de-rate-match + turbo decode.
+  // Per-block de-rate-match + data arrangement + turbo decode: the decode
+  // hot path. Code blocks are independent after segmentation, so with a
+  // pool they run one block per worker. Every block writes only its own
+  // slots (blocks[i] / per_block[i]); codec objects come from the
+  // thread_local CodecCache, so workers never share decoder state. Timing
+  // is recorded per block and folded into the shared StageTimes in block
+  // order after the join — totals are bit-identical for any worker count.
   const bool multi = enc.plan.c > 1;
-  std::vector<std::vector<std::uint8_t>> blocks(
-      static_cast<std::size_t>(enc.plan.c));
-  bool all_ok = true;
-  int max_iters = 0;
-  for (int i = 0; i < enc.plan.c; ++i) {
+  const std::size_t n_blocks = static_cast<std::size_t>(enc.plan.c);
+  std::vector<std::vector<std::uint8_t>> blocks(n_blocks);
+  struct BlockOutcome {
+    double dematch_seconds = 0;
+    double arrange_seconds = 0;
+    double compute_seconds = 0;
+    bool crc_ok = false;
+    int iterations = 0;
+  };
+  std::vector<BlockOutcome> per_block(n_blocks);
+
+  const auto decode_block = [&](std::size_t bi) {
+    const int i = static_cast<int>(bi);
     const int k = enc.plan.block_size(i);
+    auto& o = per_block[bi];
     AlignedVector<std::int16_t> triples;
     {
-      ScopedTimer st(t.rate_dematch);
+      Stopwatch sw;
       const auto slice = std::span<const std::int16_t>(llr).subspan(
-          static_cast<std::size_t>(i) *
-              static_cast<std::size_t>(enc.e_per_block),
+          bi * static_cast<std::size_t>(enc.e_per_block),
           static_cast<std::size_t>(enc.e_per_block));
       if (harq != nullptr) {
         // Soft-combine this transmission into the persistent buffer.
-        auto& w = harq->w[static_cast<std::size_t>(i)];
+        auto& w = harq->w[bi];
         cache().matcher(k).dematch_accumulate(slice, enc.rv, w);
         triples = cache().matcher(k).buffer_to_triples(w);
       } else {
         triples = cache().matcher(k).dematch(slice, enc.rv);
       }
+      o.dematch_seconds = sw.seconds();
     }
     auto& dec = cache().decoder(k, cfg, multi);
-    blocks[static_cast<std::size_t>(i)].resize(static_cast<std::size_t>(k));
-    const auto res = dec.decode(triples, blocks[static_cast<std::size_t>(i)]);
-    t.arrange.add(res.arrange_seconds);
-    t.turbo_decode.add(res.compute_seconds);
-    out.arrange_seconds += res.arrange_seconds;
-    all_ok = all_ok && res.crc_ok;
-    max_iters = std::max(max_iters, res.iterations);
+    blocks[bi].resize(static_cast<std::size_t>(k));
+    const auto res = dec.decode(triples, blocks[bi]);
+    o.arrange_seconds = res.arrange_seconds;
+    o.compute_seconds = res.compute_seconds;
+    o.crc_ok = res.crc_ok;
+    o.iterations = res.iterations;
+  };
+
+  if (pool != nullptr && n_blocks > 1) {
+    pool->parallel_for(0, n_blocks, decode_block);
+  } else {
+    for (std::size_t bi = 0; bi < n_blocks; ++bi) decode_block(bi);
+  }
+
+  bool all_ok = true;
+  int max_iters = 0;
+  for (const auto& o : per_block) {
+    t.rate_dematch.add(o.dematch_seconds);
+    t.arrange.add(o.arrange_seconds);
+    t.turbo_decode.add(o.compute_seconds);
+    out.arrange_seconds += o.arrange_seconds;
+    all_ok = all_ok && o.crc_ok;
+    max_iters = std::max(max_iters, o.iterations);
   }
   out.turbo_iterations = max_iters;
 
@@ -285,11 +337,24 @@ DecodedTb phy_decode(const EncodedTb& enc, const PipelineConfig& cfg,
 
 }  // namespace
 
+namespace {
+
+/// Pool backing a pipeline's decode chain: num_workers-way concurrency
+/// counts the calling thread, so N workers means N-1 pool threads and no
+/// pool at all for the bit-exact legacy N == 1 path.
+std::unique_ptr<ThreadPool> make_decode_pool(const PipelineConfig& cfg) {
+  if (cfg.num_workers <= 1) return nullptr;
+  return std::make_unique<ThreadPool>(cfg.num_workers - 1);
+}
+
+}  // namespace
+
 UplinkPipeline::UplinkPipeline(PipelineConfig cfg)
     : cfg_(cfg),
       ofdm_(cfg.ofdm),
       channel_(time_domain_snr_db(cfg.snr_db, cfg.ofdm.nfft),
-               cfg.noise_seed) {}
+               cfg.noise_seed),
+      pool_(make_decode_pool(cfg)) {}
 
 PacketResult UplinkPipeline::send_packet(
     std::span<const std::uint8_t> ip_packet) {
@@ -334,7 +399,7 @@ PacketResult UplinkPipeline::send_packet(
       res.channel_seconds += csw.seconds();
     }
     dec = phy_decode(enc, cfg_, tti, times_, ofdm_,
-                     use_harq ? &harq : nullptr);
+                     use_harq ? &harq : nullptr, pool_.get());
     res.arrange_seconds += dec.arrange_seconds;
     if (dec.crc_ok) break;
   }
@@ -362,7 +427,8 @@ DownlinkPipeline::DownlinkPipeline(PipelineConfig cfg)
     : cfg_(cfg),
       ofdm_(cfg.ofdm),
       channel_(time_domain_snr_db(cfg.snr_db, cfg.ofdm.nfft),
-               cfg.noise_seed + 1) {}
+               cfg.noise_seed + 1),
+      pool_(make_decode_pool(cfg)) {}
 
 PacketResult DownlinkPipeline::send_packet(
     std::span<const std::uint8_t> ip_packet) {
@@ -418,7 +484,8 @@ PacketResult DownlinkPipeline::send_packet(
     res.channel_seconds = csw.seconds();
   }
 
-  const auto dec = phy_decode(enc, cfg_, tti, times_, ofdm_, nullptr);
+  const auto dec =
+      phy_decode(enc, cfg_, tti, times_, ofdm_, nullptr, pool_.get());
   res.crc_ok = dec.crc_ok;
   res.turbo_iterations = dec.turbo_iterations;
   res.arrange_seconds = dec.arrange_seconds;

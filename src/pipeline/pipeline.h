@@ -14,6 +14,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <span>
 #include <string>
@@ -21,6 +22,7 @@
 
 #include "arrange/arrange.h"
 #include "common/cpu_features.h"
+#include "common/threadpool.h"
 #include "common/timer.h"
 #include "mac/mac_pdu.h"
 #include "mac/tbs_tables.h"
@@ -53,9 +55,22 @@ struct PipelineConfig {
   bool with_channel = true;   ///< false = wire the samples straight through
   std::uint64_t noise_seed = 99;
   phy::OfdmConfig ofdm;
+  /// Worker threads for the per-code-block decode chain (de-rate-match ->
+  /// data arrangement -> turbo decode). 1 = the legacy single-threaded
+  /// path, bit-exact with previous releases; N > 1 decodes up to N code
+  /// blocks concurrently and produces bit-identical egress/crc_ok (per-
+  /// block decoding is deterministic; only the timing attribution is
+  /// gathered per block and merged at the join).
+  int num_workers = 1;
 };
 
 /// Named per-stage CPU-time accumulators.
+///
+/// Thread-safety contract: NOT internally synchronized. The parallel
+/// decode path never writes a shared StageTimes from workers; each work
+/// item records into its own slot and the caller folds the slots in with
+/// merge()/TimeAccumulator::add after the join, so totals are
+/// deterministic and identical for any worker count.
 struct StageTimes {
   TimeAccumulator mac;
   TimeAccumulator crc_segmentation;
@@ -82,6 +97,9 @@ struct StageTimes {
   /// Non-zero stages, transmit-to-receive order.
   std::vector<Entry> entries() const;
   void reset();
+  /// Fold another StageTimes into this one, stage by stage (join-side
+  /// aggregation for per-worker/per-flow accumulators).
+  void merge(const StageTimes& other);
 };
 
 struct PacketResult {
@@ -104,6 +122,7 @@ class UplinkPipeline {
 
   const PipelineConfig& config() const { return cfg_; }
   StageTimes& times() { return times_; }
+  const StageTimes& times() const { return times_; }
 
   /// Carry one IP packet UE -> eNB -> EPC. Transport-block geometry is
   /// derived from the packet size and the configured MCS.
@@ -114,6 +133,7 @@ class UplinkPipeline {
   StageTimes times_;
   phy::OfdmModulator ofdm_;
   phy::AwgnChannel channel_;
+  std::unique_ptr<ThreadPool> pool_;  ///< nullptr when num_workers <= 1
   std::uint32_t tti_ = 0;
 };
 
@@ -124,6 +144,7 @@ class DownlinkPipeline {
 
   const PipelineConfig& config() const { return cfg_; }
   StageTimes& times() { return times_; }
+  const StageTimes& times() const { return times_; }
 
   PacketResult send_packet(std::span<const std::uint8_t> ip_packet);
 
@@ -132,6 +153,7 @@ class DownlinkPipeline {
   StageTimes times_;
   phy::OfdmModulator ofdm_;
   phy::AwgnChannel channel_;
+  std::unique_ptr<ThreadPool> pool_;  ///< nullptr when num_workers <= 1
   std::uint32_t tti_ = 0;
 };
 

@@ -409,6 +409,140 @@ TEST(RotationMimic, CanonicalOrderIgnoresRotationField) {
   }
 }
 
+// ---------------------------------------------------------------------------
+// Dispatch safety: the ISA the probe advertises must actually execute.
+// ---------------------------------------------------------------------------
+
+TEST(Dispatch, BestIsaActuallyExecutesDeinterleave3) {
+  // Guards the OSXSAVE/XCR0 gating in cpu_features: if best() ever
+  // exceeded what the OS enabled, the widest kernel would SIGILL right
+  // here. Run every method at best_isa() and check the results too.
+  const std::size_t n = 96;
+  const auto src = random_stream(3 * n, 2026);
+  AlignedVector<std::int16_t> s(n), p1(n), p2(n);
+  const IsaLevel isa = best_isa();
+  for (Method m : {Method::kExtract, Method::kApcm}) {
+    if (isa == IsaLevel::kScalar) break;
+    deinterleave3_i16(src, s, p1, p2, {m, isa, Order::kCanonical});
+    for (std::size_t k = 0; k < n; ++k) {
+      ASSERT_EQ(s[k], src[3 * k]) << method_name(m);
+      ASSERT_EQ(p1[k], src[3 * k + 1]) << method_name(m);
+      ASSERT_EQ(p2[k], src[3 * k + 2]) << method_name(m);
+    }
+  }
+  // And a tier above best() must be refused, not attempted.
+  if (isa < IsaLevel::kAvx512) {
+    const auto above = static_cast<IsaLevel>(static_cast<int>(isa) + 1);
+    EXPECT_THROW(
+        deinterleave3_i16(src, s, p1, p2,
+                          {Method::kApcm, above, Order::kCanonical}),
+        std::invalid_argument);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Edge cases across the full Method x Order x Rotation space: empty and
+// tail-only inputs, misaligned SIMD spans, size mismatches.
+// ---------------------------------------------------------------------------
+
+struct FullCase {
+  Method method;
+  IsaLevel isa;
+  Order order;
+  Rotation rotation;
+};
+
+std::vector<FullCase> all_mor_cases() {
+  std::vector<FullCase> out;
+  for (Method m : {Method::kScalar, Method::kExtract, Method::kApcm}) {
+    const std::vector<IsaLevel> isas =
+        m == Method::kScalar
+            ? std::vector<IsaLevel>{IsaLevel::kScalar}
+            : std::vector<IsaLevel>{IsaLevel::kSse41, IsaLevel::kAvx2,
+                                    IsaLevel::kAvx512};
+    for (IsaLevel isa : isas) {
+      for (Order o : {Order::kCanonical, Order::kBatched}) {
+        if (m == Method::kExtract && o == Order::kBatched) continue;
+        for (Rotation r : {Rotation::kInRegister, Rotation::kOffsetMimic}) {
+          out.push_back({m, isa, o, r});
+        }
+      }
+    }
+  }
+  return out;
+}
+
+std::string full_case_name(const testing::TestParamInfo<FullCase>& i) {
+  const auto& c = i.param;
+  return std::string(method_name(c.method)) + "_" + isa_name(c.isa) + "_" +
+         order_name(c.order) + "_" +
+         (c.rotation == Rotation::kInRegister ? "inreg" : "mimic");
+}
+
+class EdgeCaseSweep : public testing::TestWithParam<FullCase> {};
+
+TEST_P(EdgeCaseSweep, EmptyInputIsANoOp) {
+  const auto& c = GetParam();
+  if (!isa_usable(c.isa)) GTEST_SKIP() << "ISA unavailable";
+  AlignedVector<std::int16_t> src, s, p1, p2;
+  deinterleave3_i16(src, s, p1, p2, {c.method, c.isa, c.order, c.rotation});
+  SUCCEED();
+}
+
+TEST_P(EdgeCaseSweep, TailOnlyInputMatchesReference) {
+  // n < batch_lanes(isa): no full batch exists, so every path must fall
+  // through to its scalar tail — where batched order is canonical by
+  // definition and the rotation setting is irrelevant.
+  const auto& c = GetParam();
+  if (!isa_usable(c.isa)) GTEST_SKIP() << "ISA unavailable";
+  for (std::size_t n = 1;
+       n < static_cast<std::size_t>(batch_lanes(c.isa)); ++n) {
+    const auto src = random_stream(3 * n, 500 + n);
+    AlignedVector<std::int16_t> s(n), p1(n), p2(n);
+    deinterleave3_i16(src, s, p1, p2, {c.method, c.isa, c.order, c.rotation});
+    for (std::size_t k = 0; k < n; ++k) {
+      ASSERT_EQ(s[k], src[3 * k]) << "n=" << n << " k=" << k;
+      ASSERT_EQ(p1[k], src[3 * k + 1]) << "n=" << n << " k=" << k;
+      ASSERT_EQ(p2[k], src[3 * k + 2]) << "n=" << n << " k=" << k;
+    }
+  }
+}
+
+TEST_P(EdgeCaseSweep, SizeMismatchThrows) {
+  const auto& c = GetParam();
+  if (!isa_usable(c.isa)) GTEST_SKIP() << "ISA unavailable";
+  const Options opt{c.method, c.isa, c.order, c.rotation};
+  AlignedVector<std::int16_t> src(3 * 16), s(16), p1(16), short_p2(15);
+  EXPECT_THROW(deinterleave3_i16(src, s, p1, short_p2, opt),
+               std::invalid_argument);
+  AlignedVector<std::int16_t> short_src(3 * 16 - 1), p2(16);
+  EXPECT_THROW(deinterleave3_i16(short_src, s, p1, p2, opt),
+               std::invalid_argument);
+}
+
+TEST_P(EdgeCaseSweep, MisalignedSimdSpanThrows) {
+  const auto& c = GetParam();
+  if (c.method == Method::kScalar) {
+    GTEST_SKIP() << "scalar path accepts any alignment";
+  }
+  if (!isa_usable(c.isa)) GTEST_SKIP() << "ISA unavailable";
+  const Options opt{c.method, c.isa, c.order, c.rotation};
+  const std::size_t n = 64;
+  AlignedVector<std::int16_t> buf(3 * n + 1);
+  AlignedVector<std::int16_t> s(n), p1(n), p2(n);
+  const std::span<const std::int16_t> mis_src(buf.data() + 1, 3 * n);
+  EXPECT_THROW(deinterleave3_i16(mis_src, s, p1, p2, opt),
+               std::invalid_argument);
+  // A misaligned OUTPUT must be rejected too.
+  AlignedVector<std::int16_t> src(3 * n), sbuf(n + 1);
+  const std::span<std::int16_t> mis_s(sbuf.data() + 1, n);
+  EXPECT_THROW(deinterleave3_i16(src, mis_s, p1, p2, opt),
+               std::invalid_argument);
+}
+
+INSTANTIATE_TEST_SUITE_P(MethodOrderRotation, EdgeCaseSweep,
+                         testing::ValuesIn(all_mor_cases()), full_case_name);
+
 TEST(OpCounts, MimicSavesAlignmentOps) {
   // Batched counts include 2 rotation ops that the mimic avoids; the
   // analytic model keeps the paper's 17 (rotation included).

@@ -29,6 +29,123 @@ TEST(CpuFeatures, BestIsMonotone) {
   }
 }
 
+// ---------------------------------------------------------------------------
+// OS-state gating (OSXSAVE + XCR0): derive_features is a pure function of
+// RawIsaInfo, so every CPUID/XCR0 combination — including ones this host
+// cannot exhibit, like "CPUID advertises AVX-512 but the OS never enabled
+// ZMM state" — is testable by injection.
+// ---------------------------------------------------------------------------
+
+constexpr std::uint32_t kEcxSse41 = 1u << 19;
+constexpr std::uint32_t kEcxOsxsave = 1u << 27;
+constexpr std::uint32_t kEcxAvx = 1u << 28;
+constexpr std::uint32_t kEbxAvx2 = 1u << 5;
+constexpr std::uint32_t kEbxAvx512Full =
+    (1u << 16) | (1u << 17) | (1u << 30) | (1u << 31);  // F, DQ, BW, VL
+
+RawIsaInfo full_avx512_host() {
+  RawIsaInfo raw;
+  raw.has_leaf1 = true;
+  raw.leaf1_ecx = kEcxSse41 | kEcxOsxsave | kEcxAvx;
+  raw.has_leaf7 = true;
+  raw.leaf7_ebx = kEbxAvx2 | kEbxAvx512Full;
+  raw.xcr0 = kXcr0Sse | kXcr0Avx | kXcr0Avx512State;
+  return raw;
+}
+
+TEST(OsxsaveGating, FullyEnabledHostReachesAvx512) {
+  const auto f = derive_features(full_avx512_host());
+  EXPECT_TRUE(f.osxsave);
+  EXPECT_TRUE(f.avx);
+  EXPECT_EQ(f.best(), IsaLevel::kAvx512);
+}
+
+TEST(OsxsaveGating, NoOsxsaveMeansNoAvxEvenWithCpuidBits) {
+  // The pre-fix bug: CPUID says AVX2/AVX-512 but the OS never set
+  // CR4.OSXSAVE, so no YMM/ZMM state exists and vector kernels SIGILL.
+  auto raw = full_avx512_host();
+  raw.leaf1_ecx &= ~kEcxOsxsave;
+  raw.xcr0 = 0;  // XGETBV would itself #UD; probe reports 0
+  const auto f = derive_features(raw);
+  EXPECT_FALSE(f.avx);
+  EXPECT_FALSE(f.avx2);
+  EXPECT_FALSE(f.avx512f);
+  EXPECT_EQ(f.best(), IsaLevel::kSse41);  // SSE needs no XSAVE state
+}
+
+TEST(OsxsaveGating, Xcr0WithoutYmmMasksAvx2AndAvx512) {
+  // OSXSAVE set but the OS only enabled x87+SSE state (XCR0[2] clear):
+  // common on minimal kernels and some VMs.
+  auto raw = full_avx512_host();
+  raw.xcr0 = kXcr0Sse;
+  const auto f = derive_features(raw);
+  EXPECT_TRUE(f.osxsave);
+  EXPECT_FALSE(f.avx);
+  EXPECT_FALSE(f.avx2);
+  EXPECT_FALSE(f.avx512f);
+  EXPECT_EQ(f.best(), IsaLevel::kSse41);
+}
+
+TEST(OsxsaveGating, Xcr0WithoutZmmMasksOnlyAvx512) {
+  // YMM enabled, ZMM not (XCR0[7:5] != 111b) — e.g. a hypervisor hiding
+  // AVX-512 state while the guest CPUID still shows the feature bits.
+  auto raw = full_avx512_host();
+  raw.xcr0 = kXcr0Sse | kXcr0Avx;
+  const auto f = derive_features(raw);
+  EXPECT_TRUE(f.avx2);
+  EXPECT_FALSE(f.avx512f && f.avx512bw && f.avx512vl && f.avx512dq);
+  EXPECT_EQ(f.best(), IsaLevel::kAvx2);
+}
+
+TEST(OsxsaveGating, EveryPartialZmmMaskBlocksAvx512) {
+  for (std::uint64_t zmm_bits : {std::uint64_t{0}, kXcr0Opmask,
+                                 kXcr0ZmmHi256, kXcr0HiZmm,
+                                 kXcr0Opmask | kXcr0ZmmHi256,
+                                 kXcr0Opmask | kXcr0HiZmm,
+                                 kXcr0ZmmHi256 | kXcr0HiZmm}) {
+    auto raw = full_avx512_host();
+    raw.xcr0 = kXcr0Sse | kXcr0Avx | zmm_bits;
+    const auto f = derive_features(raw);
+    EXPECT_EQ(f.best(), IsaLevel::kAvx2) << "xcr0=" << raw.xcr0;
+  }
+}
+
+TEST(OsxsaveGating, AvxCpuidBitAloneIsNotEnough) {
+  auto raw = full_avx512_host();
+  raw.leaf1_ecx &= ~kEcxAvx;  // OS state fine, CPU lacks AVX
+  const auto f = derive_features(raw);
+  EXPECT_FALSE(f.avx);
+  EXPECT_EQ(f.best(), IsaLevel::kSse41);
+}
+
+TEST(OsxsaveGating, MissingLeavesDegradeGracefully) {
+  RawIsaInfo raw;  // no CPUID at all
+  EXPECT_EQ(derive_features(raw).best(), IsaLevel::kScalar);
+  raw.has_leaf1 = true;
+  raw.leaf1_ecx = kEcxSse41 | kEcxOsxsave | kEcxAvx;
+  raw.xcr0 = kXcr0Sse | kXcr0Avx;  // AVX usable but leaf 7 unavailable
+  const auto f = derive_features(raw);
+  EXPECT_TRUE(f.avx);
+  EXPECT_FALSE(f.avx2);
+  EXPECT_EQ(f.best(), IsaLevel::kSse41);
+}
+
+TEST(OsxsaveGating, LiveProbeIsSelfConsistent) {
+  // The cached feature set must equal a fresh derivation of a fresh raw
+  // probe (same machine, pure function), and any AVX tier implies the
+  // OS-state prerequisites actually held.
+  const auto raw = probe_raw_isa_info();
+  const auto f = derive_features(raw);
+  EXPECT_EQ(f.best(), cpu_features().best());
+  if (f.avx2) {
+    EXPECT_TRUE(f.osxsave);
+    EXPECT_EQ(raw.xcr0 & kXcr0AvxState, kXcr0AvxState);
+  }
+  if (f.best() == IsaLevel::kAvx512) {
+    EXPECT_EQ(raw.xcr0 & kXcr0Avx512State, kXcr0Avx512State);
+  }
+}
+
 TEST(CpuFeatures, NamesRoundTrip) {
   for (auto isa : {IsaLevel::kScalar, IsaLevel::kSse41, IsaLevel::kAvx2,
                    IsaLevel::kAvx512}) {
@@ -177,6 +294,35 @@ TEST(Timer, AccumulatorMean) {
   acc.reset();
   EXPECT_EQ(acc.count(), 0u);
   EXPECT_DOUBLE_EQ(acc.mean_seconds(), 0.0);
+}
+
+TEST(Timer, AccumulatorMergeFoldsSamples) {
+  TimeAccumulator a, b;
+  a.add(1.0);
+  b.add(2.0);
+  b.add(5.0);
+  a.merge(b);
+  EXPECT_DOUBLE_EQ(a.total_seconds(), 8.0);
+  EXPECT_EQ(a.count(), 3u);
+  a.merge(TimeAccumulator{});  // empty merge is a no-op
+  EXPECT_EQ(a.count(), 3u);
+}
+
+TEST(Timer, RdtscMonotoneAndUnitDocumented) {
+  // rdtsc() must never fault (the RDTSCP fallback path) and must be
+  // monotone across a busy loop whatever unit it counts in; the unit is
+  // compile-time queryable so bench math never mixes cycles with nanos.
+  const std::uint64_t t0 = rdtsc();
+  volatile double sink = 0;
+  for (int i = 0; i < 100000; ++i) sink = sink + i;
+  (void)sink;
+  const std::uint64_t t1 = rdtsc();
+  EXPECT_GE(t1, t0);
+#if defined(__x86_64__) || defined(_M_X64)
+  EXPECT_TRUE(rdtsc_counts_cycles());
+#else
+  EXPECT_FALSE(rdtsc_counts_cycles());
+#endif
 }
 
 }  // namespace
