@@ -9,13 +9,48 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <cstring>
+#include <fstream>
 #include <functional>
 #include <string>
 #include <vector>
 
 #include "common/timer.h"
+#include "obs/metrics.h"
 
 namespace vran::bench {
+
+/// Path given via `--json <path>` or `--json=<path>`; empty when absent.
+inline std::string json_out_path(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      return argv[i + 1];
+    }
+    if (std::strncmp(argv[i], "--json=", 7) == 0) return argv[i] + 7;
+  }
+  return {};
+}
+
+/// `{"p50":..,"p95":..,"p99":..,"mean":..,"count":N}` of a histogram of
+/// nanosecond samples, values converted to microseconds.
+inline std::string quantiles_us_json(const obs::HistogramStats& h) {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "{\"p50\":%.3f,\"p95\":%.3f,\"p99\":%.3f,\"mean\":%.3f,"
+                "\"count\":%llu}",
+                h.quantile(0.50) / 1e3, h.quantile(0.95) / 1e3,
+                h.quantile(0.99) / 1e3, h.mean() / 1e3,
+                static_cast<unsigned long long>(h.count));
+  return buf;
+}
+
+/// Write `body` to `path`; prints a confirmation line. No-op on empty path.
+inline void write_json(const std::string& path, const std::string& body) {
+  if (path.empty()) return;
+  std::ofstream out(path);
+  out << body << "\n";
+  std::printf("\nwrote JSON: %s\n", path.c_str());
+}
 
 /// Median-of-runs wall-clock measurement of `fn` (called once per run).
 inline double measure_seconds(const std::function<void()>& fn, int runs = 9,

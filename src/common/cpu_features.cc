@@ -5,6 +5,8 @@
 #define VRAN_X86 1
 #endif
 
+#include <algorithm>
+#include <cstdlib>
 #include <stdexcept>
 
 namespace vran {
@@ -107,6 +109,19 @@ const CpuFeatures& cpu_features() {
   return f;
 }
 
-IsaLevel best_isa() { return cpu_features().best(); }
+IsaLevel best_isa() {
+  static const IsaLevel level = [] {
+    IsaLevel best = cpu_features().best();
+    if (const char* force = std::getenv("VRAN_FORCE_ISA")) {
+      try {
+        best = std::min(best, isa_from_name(force));
+      } catch (const std::invalid_argument&) {
+        // Unknown name: ignore rather than abort a bench run.
+      }
+    }
+    return best;
+  }();
+  return level;
+}
 
 }  // namespace vran

@@ -104,7 +104,13 @@ CpuFeatures derive_features(const RawIsaInfo& raw);
 /// Probe the executing CPU once; cached after the first call. Thread-safe.
 const CpuFeatures& cpu_features();
 
-/// Convenience: highest usable tier on this machine.
+/// Convenience: highest usable tier on this machine — clamped by the
+/// `VRAN_FORCE_ISA` environment variable when set (values accepted by
+/// `isa_from_name`: scalar / sse / sse128 / avx2 / avx256 / avx512).
+/// Forcing never exceeds what the CPU+OS support (a request above the
+/// hardware tier is clamped down, so it can't SIGILL); it caps the tier,
+/// which is how the golden-vector tests pin one ISA per run and how
+/// benches are steered from the command line. Unknown names are ignored.
 IsaLevel best_isa();
 
 }  // namespace vran

@@ -3,16 +3,36 @@
 #include <atomic>
 #include <memory>
 #include <stdexcept>
+#include <string>
 
 namespace vran {
 
-ThreadPool::ThreadPool(int num_threads) {
+namespace {
+
+/// 0 on every thread until a pool worker sets its own id in worker_loop.
+thread_local int tls_worker_id = 0;
+
+std::uint64_t ns_since(std::chrono::steady_clock::time_point t0) {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - t0)
+          .count());
+}
+
+}  // namespace
+
+ThreadPool::ThreadPool(int num_threads, obs::MetricsRegistry* metrics)
+    : metrics_(metrics) {
   if (num_threads < 0) {
     throw std::invalid_argument("ThreadPool: negative thread count");
   }
+  if (metrics_ != nullptr) {
+    queue_wait_ns_ = &metrics_->histogram("threadpool.queue_wait_ns");
+    task_ns_ = &metrics_->histogram("threadpool.task_ns");
+  }
   workers_.reserve(static_cast<std::size_t>(num_threads));
   for (int i = 0; i < num_threads; ++i) {
-    workers_.emplace_back([this] { worker_loop(); });
+    workers_.emplace_back([this, i] { worker_loop(i); });
   }
 }
 
@@ -25,9 +45,25 @@ ThreadPool::~ThreadPool() {
   for (auto& w : workers_) w.join();
 }
 
-void ThreadPool::worker_loop() {
+int ThreadPool::current_worker_id() { return tls_worker_id; }
+
+void ThreadPool::enqueue_locked(std::function<void()> fn) {
+  queue_.push_back({std::move(fn), std::chrono::steady_clock::now()});
+}
+
+void ThreadPool::worker_loop(int worker_index) {
+  tls_worker_id = worker_index + 1;
+  // Per-worker totals; the queue-wait/task-runtime *distributions* are
+  // pool-wide histograms (per-worker shards fold on snapshot).
+  obs::Counter* tasks = nullptr;
+  obs::Counter* busy_ns = nullptr;
+  if (metrics_ != nullptr) {
+    const std::string suffix = ".w" + std::to_string(worker_index + 1);
+    tasks = &metrics_->counter("threadpool.tasks" + suffix);
+    busy_ns = &metrics_->counter("threadpool.busy_ns" + suffix);
+  }
   for (;;) {
-    std::function<void()> task;
+    QueuedTask task;
     {
       std::unique_lock<std::mutex> lk(mu_);
       cv_.wait(lk, [this] { return stop_ || !queue_.empty(); });
@@ -35,7 +71,15 @@ void ThreadPool::worker_loop() {
       task = std::move(queue_.front());
       queue_.pop_front();
     }
-    task();
+    if (queue_wait_ns_ != nullptr) queue_wait_ns_->record(ns_since(task.enqueued));
+    const auto t0 = std::chrono::steady_clock::now();
+    task.fn();
+    if (task_ns_ != nullptr) {
+      const std::uint64_t dt = ns_since(t0);
+      task_ns_->record(dt);
+      tasks->add();
+      busy_ns->add(dt);
+    }
   }
 }
 
@@ -48,7 +92,7 @@ std::future<void> ThreadPool::submit(std::function<void()> task) {
   {
     std::lock_guard<std::mutex> lk(mu_);
     if (stop_) throw std::logic_error("ThreadPool::submit: pool stopped");
-    queue_.emplace_back([packaged] { (*packaged)(); });
+    enqueue_locked([packaged] { (*packaged)(); });
   }
   cv_.notify_one();
   return fut;
@@ -98,7 +142,7 @@ void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
   if (helpers > 0) {
     {
       std::lock_guard<std::mutex> lk(mu_);
-      for (std::size_t h = 0; h < helpers; ++h) queue_.emplace_back(run_indices);
+      for (std::size_t h = 0; h < helpers; ++h) enqueue_locked(run_indices);
     }
     cv_.notify_all();
   }

@@ -23,6 +23,7 @@
 // pattern.
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
@@ -33,13 +34,19 @@
 #include <thread>
 #include <vector>
 
+#include "obs/metrics.h"
+
 namespace vran {
 
 class ThreadPool {
  public:
   /// Spawns `num_threads` OS threads (0 is valid: every parallel_for then
-  /// degenerates to a plain loop on the caller).
-  explicit ThreadPool(int num_threads);
+  /// degenerates to a plain loop on the caller). Queue-wait and
+  /// task-runtime distributions plus per-worker task/busy counters are
+  /// recorded into `metrics` ("threadpool.*"); pass nullptr to disable.
+  explicit ThreadPool(int num_threads,
+                      obs::MetricsRegistry* metrics =
+                          &obs::MetricsRegistry::global());
   ~ThreadPool();
 
   ThreadPool(const ThreadPool&) = delete;
@@ -64,14 +71,32 @@ class ThreadPool {
   /// `std::thread::hardware_concurrency() == 0` fallback).
   static int hardware_threads();
 
+  /// Worker id of the calling thread: 1..size() on a pool worker, 0 on
+  /// any other thread (callers participating in parallel_for included).
+  /// Observability labels per-worker activity with this (trace span tid,
+  /// "threadpool.*.w<id>" counters).
+  static int current_worker_id();
+
  private:
-  void worker_loop();
+  struct QueuedTask {
+    std::function<void()> fn;
+    std::chrono::steady_clock::time_point enqueued;
+  };
+
+  void worker_loop(int worker_index);
+  void enqueue_locked(std::function<void()> fn);
 
   std::vector<std::thread> workers_;
   std::mutex mu_;
   std::condition_variable cv_;
-  std::deque<std::function<void()>> queue_;
+  std::deque<QueuedTask> queue_;
   bool stop_ = false;
+
+  // Metric handles resolved once at construction; null = instrumentation
+  // off. Recording is lock-free (per-thread shards in the registry).
+  obs::MetricsRegistry* metrics_ = nullptr;
+  obs::Histogram* queue_wait_ns_ = nullptr;
+  obs::Histogram* task_ns_ = nullptr;
 };
 
 }  // namespace vran

@@ -2,13 +2,39 @@
 
 #include <stdexcept>
 
+#include "obs/metrics.h"
+
 namespace vran::net {
+
+namespace {
+
+// Process-wide GTP-U packet counters (the S1-U leg's traffic meters).
+// Function-local statics so lookup happens once; counters are shard-based
+// and safe from BatchRunner workers.
+struct GtpuCounters {
+  obs::Counter& encap;
+  obs::Counter& encap_bytes;
+  obs::Counter& decap;
+  obs::Counter& decap_drop;
+};
+
+GtpuCounters& gtpu_counters() {
+  auto& m = obs::MetricsRegistry::global();
+  static GtpuCounters c{
+      m.counter("net.gtpu.encap"), m.counter("net.gtpu.encap_bytes"),
+      m.counter("net.gtpu.decap"), m.counter("net.gtpu.decap_drop")};
+  return c;
+}
+
+}  // namespace
 
 std::vector<std::uint8_t> gtpu_encapsulate(
     std::uint32_t teid, std::span<const std::uint8_t> inner) {
   if (inner.size() > 0xFFFF) {
     throw std::invalid_argument("gtpu_encapsulate: payload too large");
   }
+  gtpu_counters().encap.add();
+  gtpu_counters().encap_bytes.add(kGtpuHeaderBytes + inner.size());
   std::vector<std::uint8_t> out(kGtpuHeaderBytes + inner.size());
   out[0] = 0x30;  // version 1, protocol type GTP, no options
   out[1] = kGtpuGpdu;
@@ -24,17 +50,25 @@ std::vector<std::uint8_t> gtpu_encapsulate(
 
 std::optional<GtpuPacket> gtpu_decapsulate(
     std::span<const std::uint8_t> bytes) {
-  if (bytes.size() < kGtpuHeaderBytes) return std::nullopt;
-  if (bytes[0] != 0x30 || bytes[1] != kGtpuGpdu) return std::nullopt;
+  if (bytes.size() < kGtpuHeaderBytes) {
+    gtpu_counters().decap_drop.add();
+    return std::nullopt;
+  }
+  if (bytes[0] != 0x30 || bytes[1] != kGtpuGpdu) {
+    gtpu_counters().decap_drop.add();
+    return std::nullopt;
+  }
   GtpuPacket p;
   p.header.length = static_cast<std::uint16_t>((bytes[2] << 8) | bytes[3]);
   p.header.teid = (std::uint32_t{bytes[4]} << 24) |
                   (std::uint32_t{bytes[5]} << 16) |
                   (std::uint32_t{bytes[6]} << 8) | std::uint32_t{bytes[7]};
   if (static_cast<std::size_t>(p.header.length) + kGtpuHeaderBytes != bytes.size()) {
+    gtpu_counters().decap_drop.add();
     return std::nullopt;
   }
   p.inner.assign(bytes.begin() + kGtpuHeaderBytes, bytes.end());
+  gtpu_counters().decap.add();
   return p;
 }
 

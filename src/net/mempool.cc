@@ -2,7 +2,30 @@
 
 #include <stdexcept>
 
+#include "obs/metrics.h"
+
 namespace vran::net {
+
+namespace {
+
+// Aggregate occupancy across every live pool (a DPDK stack would report
+// per-mempool stats; pools here are few and short-lived, so one gauge
+// updated with +/- deltas keeps the accounting exact).
+struct PoolMetrics {
+  obs::Gauge& in_use;
+  obs::Counter& allocs;
+  obs::Counter& exhausted;
+};
+
+PoolMetrics& pool_metrics() {
+  auto& m = obs::MetricsRegistry::global();
+  static PoolMetrics p{m.gauge("net.mempool.in_use"),
+                       m.counter("net.mempool.alloc"),
+                       m.counter("net.mempool.exhausted")};
+  return p;
+}
+
+}  // namespace
 
 PacketPool::PacketPool(std::size_t buf_size, std::size_t count)
     : buf_size_(buf_size),
@@ -18,11 +41,22 @@ PacketPool::PacketPool(std::size_t buf_size, std::size_t count)
   }
 }
 
+PacketPool::~PacketPool() {
+  const auto outstanding =
+      static_cast<std::int64_t>(count_ - free_.size());
+  if (outstanding > 0) pool_metrics().in_use.add(-outstanding);
+}
+
 std::optional<PacketBuf> PacketPool::alloc() {
-  if (free_.empty()) return std::nullopt;
+  if (free_.empty()) {
+    pool_metrics().exhausted.add();
+    return std::nullopt;
+  }
   const std::uint32_t idx = free_.back();
   free_.pop_back();
   in_use_[idx] = true;
+  pool_metrics().allocs.add();
+  pool_metrics().in_use.add(1);
   return PacketBuf{idx, 0};
 }
 
@@ -32,6 +66,7 @@ void PacketPool::free(PacketBuf buf) {
   }
   in_use_[buf.index] = false;
   free_.push_back(buf.index);
+  pool_metrics().in_use.add(-1);
 }
 
 std::span<std::uint8_t> PacketPool::data(PacketBuf buf) {

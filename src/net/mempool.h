@@ -24,6 +24,9 @@ struct PacketBuf {
 class PacketPool {
  public:
   PacketPool(std::size_t buf_size, std::size_t count);
+  /// Releases the pool's contribution to the shared occupancy gauge
+  /// ("net.mempool.in_use") for buffers still allocated at teardown.
+  ~PacketPool();
 
   std::size_t buffer_size() const { return buf_size_; }
   std::size_t capacity() const { return count_; }

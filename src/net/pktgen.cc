@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "common/rng.h"
+
 namespace vran::net {
 
 namespace {
@@ -14,7 +16,7 @@ std::uint8_t pattern_byte(std::uint32_t seq, std::size_t i) {
 }  // namespace
 
 PacketGenerator::PacketGenerator(FlowConfig cfg)
-    : cfg_(cfg), rng_(cfg.seed) {
+    : cfg_(cfg), rng_(seed_stream(cfg.seed)) {
   if (payload_bytes() < kSeqBytes) {
     throw std::invalid_argument("PacketGenerator: packet too small");
   }

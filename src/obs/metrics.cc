@@ -1,0 +1,287 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <bit>
+#include <cstdio>
+
+namespace vran::obs {
+
+int histogram_bucket(std::uint64_t value) {
+  // bit_width(v) = floor(log2(v)) + 1, so values in [2^(b-1), 2^b) land
+  // in bucket b and 0 lands in bucket 0.
+  return static_cast<int>(std::bit_width(value));
+}
+
+std::uint64_t histogram_bucket_low(int b) {
+  return b == 0 ? 0 : std::uint64_t{1} << (b - 1);
+}
+
+std::uint64_t histogram_bucket_high(int b) {
+  if (b >= 64) return ~std::uint64_t{0};
+  return std::uint64_t{1} << b;
+}
+
+int thread_shard() {
+  static std::atomic<int> next{0};
+  thread_local const int slot =
+      next.fetch_add(1, std::memory_order_relaxed) % kShards;
+  return slot;
+}
+
+std::uint64_t Counter::value() const {
+  std::uint64_t total = 0;
+  for (const auto& s : shards_) total += s.v.load(std::memory_order_relaxed);
+  return total;
+}
+
+void Counter::reset() {
+  for (auto& s : shards_) s.v.store(0, std::memory_order_relaxed);
+}
+
+void Histogram::record(std::uint64_t value) {
+  auto& s = shards_[static_cast<std::size_t>(thread_shard())];
+  const auto b = static_cast<std::size_t>(histogram_bucket(value));
+  s.buckets[b].fetch_add(1, std::memory_order_relaxed);
+  s.count.fetch_add(1, std::memory_order_relaxed);
+  s.sum.fetch_add(value, std::memory_order_relaxed);
+  std::uint64_t cur = s.min.load(std::memory_order_relaxed);
+  while (value < cur &&
+         !s.min.compare_exchange_weak(cur, value, std::memory_order_relaxed)) {
+  }
+  cur = s.max.load(std::memory_order_relaxed);
+  while (value > cur &&
+         !s.max.compare_exchange_weak(cur, value, std::memory_order_relaxed)) {
+  }
+}
+
+HistogramStats Histogram::stats() const {
+  HistogramStats out;
+  std::uint64_t min = ~std::uint64_t{0};
+  for (const auto& s : shards_) {
+    for (int b = 0; b < kHistogramBuckets; ++b) {
+      out.buckets[static_cast<std::size_t>(b)] +=
+          s.buckets[static_cast<std::size_t>(b)].load(
+              std::memory_order_relaxed);
+    }
+    out.count += s.count.load(std::memory_order_relaxed);
+    out.sum += s.sum.load(std::memory_order_relaxed);
+    min = std::min(min, s.min.load(std::memory_order_relaxed));
+    out.max = std::max(out.max, s.max.load(std::memory_order_relaxed));
+  }
+  out.min = out.count ? min : 0;
+  return out;
+}
+
+void Histogram::reset() {
+  for (auto& s : shards_) {
+    for (auto& b : s.buckets) b.store(0, std::memory_order_relaxed);
+    s.count.store(0, std::memory_order_relaxed);
+    s.sum.store(0, std::memory_order_relaxed);
+    s.min.store(~std::uint64_t{0}, std::memory_order_relaxed);
+    s.max.store(0, std::memory_order_relaxed);
+  }
+}
+
+void HistogramStats::merge(const HistogramStats& other) {
+  if (other.count == 0) return;
+  for (int b = 0; b < kHistogramBuckets; ++b) {
+    buckets[static_cast<std::size_t>(b)] +=
+        other.buckets[static_cast<std::size_t>(b)];
+  }
+  min = count == 0 ? other.min : std::min(min, other.min);
+  max = std::max(max, other.max);
+  count += other.count;
+  sum += other.sum;
+}
+
+double HistogramStats::quantile(double q) const {
+  if (count == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  // Rank of the q-th sample, 1-based, then walk buckets to find it.
+  const double rank = q * double(count - 1) + 1.0;
+  std::uint64_t seen = 0;
+  for (int b = 0; b < kHistogramBuckets; ++b) {
+    const std::uint64_t n = buckets[static_cast<std::size_t>(b)];
+    if (n == 0) continue;
+    if (double(seen + n) >= rank) {
+      const double lo = double(histogram_bucket_low(b));
+      const double hi = double(histogram_bucket_high(b));
+      const double frac = (rank - double(seen)) / double(n);
+      const double v = lo + frac * (hi - lo);
+      return std::clamp(v, double(min), double(max));
+    }
+    seen += n;
+  }
+  return double(max);
+}
+
+Counter& MetricsRegistry::counter(std::string_view name) {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(name), std::make_unique<Counter>())
+             .first;
+  }
+  return *it->second;
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name) {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
+  }
+  return *it->second;
+}
+
+Histogram& MetricsRegistry::histogram(std::string_view name) {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_.emplace(std::string(name), std::make_unique<Histogram>())
+             .first;
+  }
+  return *it->second;
+}
+
+Snapshot MetricsRegistry::snapshot() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  Snapshot s;
+  s.counters.reserve(counters_.size());
+  for (const auto& [name, c] : counters_) s.counters.emplace_back(name, c->value());
+  s.gauges.reserve(gauges_.size());
+  for (const auto& [name, g] : gauges_) s.gauges.emplace_back(name, g->value());
+  s.histograms.reserve(histograms_.size());
+  for (const auto& [name, h] : histograms_) {
+    s.histograms.emplace_back(name, h->stats());
+  }
+  return s;
+}
+
+void MetricsRegistry::clear() {
+  std::lock_guard<std::mutex> lk(mu_);
+  counters_.clear();
+  gauges_.clear();
+  histograms_.clear();
+}
+
+void MetricsRegistry::reset() {
+  std::lock_guard<std::mutex> lk(mu_);
+  for (const auto& [name, c] : counters_) c->reset();
+  for (const auto& [name, g] : gauges_) g->reset();
+  for (const auto& [name, h] : histograms_) h->reset();
+}
+
+MetricsRegistry& MetricsRegistry::global() {
+  static MetricsRegistry r;
+  return r;
+}
+
+const HistogramStats* Snapshot::histogram(std::string_view name) const {
+  for (const auto& [n, h] : histograms) {
+    if (n == name) return &h;
+  }
+  return nullptr;
+}
+
+std::uint64_t Snapshot::counter(std::string_view name) const {
+  for (const auto& [n, c] : counters) {
+    if (n == name) return c;
+  }
+  return 0;
+}
+
+namespace {
+
+void append_json_escaped(std::string& out, std::string_view s) {
+  for (const char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+}
+
+void append_f(std::string& out, double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  out += buf;
+}
+
+}  // namespace
+
+std::string Snapshot::to_json() const {
+  std::string out = "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, v] : counters) {
+    if (!first) out.push_back(',');
+    first = false;
+    out.push_back('"');
+    append_json_escaped(out, name);
+    out += "\":" + std::to_string(v);
+  }
+  out += "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, v] : gauges) {
+    if (!first) out.push_back(',');
+    first = false;
+    out.push_back('"');
+    append_json_escaped(out, name);
+    out += "\":" + std::to_string(v);
+  }
+  out += "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, h] : histograms) {
+    if (!first) out.push_back(',');
+    first = false;
+    out.push_back('"');
+    append_json_escaped(out, name);
+    out += "\":{\"count\":" + std::to_string(h.count) +
+           ",\"sum\":" + std::to_string(h.sum) +
+           ",\"min\":" + std::to_string(h.min) +
+           ",\"max\":" + std::to_string(h.max) + ",\"mean\":";
+    append_f(out, h.mean());
+    out += ",\"p50\":";
+    append_f(out, h.quantile(0.50));
+    out += ",\"p90\":";
+    append_f(out, h.quantile(0.90));
+    out += ",\"p95\":";
+    append_f(out, h.quantile(0.95));
+    out += ",\"p99\":";
+    append_f(out, h.quantile(0.99));
+    out += ",\"buckets\":[";
+    int last = kHistogramBuckets - 1;
+    while (last > 0 && h.buckets[static_cast<std::size_t>(last)] == 0) --last;
+    for (int b = 0; b <= last; ++b) {
+      if (b) out.push_back(',');
+      out += std::to_string(h.buckets[static_cast<std::size_t>(b)]);
+    }
+    out += "]}";
+  }
+  out += "}}";
+  return out;
+}
+
+std::string Snapshot::to_csv() const {
+  std::string out = "kind,name,count,sum,min,max,mean,p50,p95,p99\n";
+  for (const auto& [name, v] : counters) {
+    out += "counter," + name + "," + std::to_string(v) + ",,,,,,,\n";
+  }
+  for (const auto& [name, v] : gauges) {
+    out += "gauge," + name + "," + std::to_string(v) + ",,,,,,,\n";
+  }
+  for (const auto& [name, h] : histograms) {
+    out += "histogram," + name + "," + std::to_string(h.count) + "," +
+           std::to_string(h.sum) + "," + std::to_string(h.min) + "," +
+           std::to_string(h.max) + ",";
+    append_f(out, h.mean());
+    out.push_back(',');
+    append_f(out, h.quantile(0.50));
+    out.push_back(',');
+    append_f(out, h.quantile(0.95));
+    out.push_back(',');
+    append_f(out, h.quantile(0.99));
+    out.push_back('\n');
+  }
+  return out;
+}
+
+}  // namespace vran::obs

@@ -1,0 +1,91 @@
+#include "obs/trace.h"
+
+#include <cstdio>
+#include <stdexcept>
+
+namespace vran::obs {
+
+TraceRecorder::TraceRecorder(std::size_t capacity)
+    : capacity_(capacity), epoch_(std::chrono::steady_clock::now()) {
+  if (capacity == 0) {
+    throw std::invalid_argument("TraceRecorder: zero capacity");
+  }
+  ring_.reserve(capacity);
+}
+
+std::uint64_t TraceRecorder::now_ns() const {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - epoch_)
+          .count());
+}
+
+void TraceRecorder::record(const TraceEvent& ev) {
+  std::lock_guard<std::mutex> lk(mu_);
+  if (ring_.size() < capacity_) {
+    ring_.push_back(ev);
+  } else {
+    ring_[next_] = ev;
+  }
+  next_ = (next_ + 1) % capacity_;
+  ++written_;
+}
+
+std::size_t TraceRecorder::size() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return ring_.size();
+}
+
+std::uint64_t TraceRecorder::dropped() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return written_ - ring_.size();
+}
+
+void TraceRecorder::clear() {
+  std::lock_guard<std::mutex> lk(mu_);
+  ring_.clear();
+  next_ = 0;
+  written_ = 0;
+}
+
+std::vector<TraceEvent> TraceRecorder::events() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  std::vector<TraceEvent> out;
+  out.reserve(ring_.size());
+  if (ring_.size() < capacity_) {
+    out = ring_;  // not yet wrapped: in insertion order already
+  } else {
+    for (std::size_t i = 0; i < ring_.size(); ++i) {
+      out.push_back(ring_[(next_ + i) % capacity_]);
+    }
+  }
+  return out;
+}
+
+std::string TraceRecorder::chrome_json() const {
+  const auto evs = events();
+  std::string out = "{\"traceEvents\":[";
+  char buf[256];
+  for (std::size_t i = 0; i < evs.size(); ++i) {
+    const auto& e = evs[i];
+    std::snprintf(buf, sizeof(buf),
+                  "%s{\"name\":\"%s\",\"ph\":\"X\",\"pid\":1,\"tid\":%d,"
+                  "\"ts\":%.3f,\"dur\":%.3f,\"args\":{\"tti\":%u,"
+                  "\"block\":%d}}",
+                  i ? "," : "", e.name, e.tid, double(e.begin_ns) / 1e3,
+                  double(e.dur_ns) / 1e3, e.tti, e.block);
+    out += buf;
+  }
+  out += "],\"displayTimeUnit\":\"ns\"}";
+  return out;
+}
+
+bool TraceRecorder::write_chrome_json(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  const std::string json = chrome_json();
+  const bool ok = std::fwrite(json.data(), 1, json.size(), f) == json.size();
+  return std::fclose(f) == 0 && ok;
+}
+
+}  // namespace vran::obs

@@ -1,0 +1,101 @@
+// Span tracing for the pipeline: begin/end events (TTI, stage,
+// code-block, worker) in a bounded in-memory ring, exportable as Chrome
+// trace_event JSON for chrome://tracing / Perfetto.
+//
+// Spans are coarse (one per pipeline stage per packet, one per code
+// block), tens per packet on a ~100 us packet, so the recorder favors
+// simplicity over raw throughput: the ring is guarded by a mutex whose
+// critical section is a couple of stores. When the ring is full the
+// OLDEST events are overwritten (keep-latest), and `dropped()` counts the
+// overwritten events so exports can say what's missing. A null
+// TraceRecorder* everywhere means tracing is off and costs nothing.
+//
+// Stage names must be string literals (or otherwise outlive the
+// recorder): events store the pointer, not a copy.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace vran::obs {
+
+struct TraceEvent {
+  const char* name = "";      ///< static string; see header comment
+  std::uint64_t begin_ns = 0; ///< since the recorder's construction
+  std::uint64_t dur_ns = 0;
+  std::uint32_t tti = 0;
+  std::int32_t block = -1;    ///< code-block index, -1 = whole stage
+  std::int32_t tid = 0;       ///< worker id (0 = caller thread)
+};
+
+class TraceRecorder {
+ public:
+  /// `capacity` = maximum retained events (oldest evicted beyond that).
+  explicit TraceRecorder(std::size_t capacity = 1 << 16);
+
+  /// Nanoseconds since construction, on the same clock spans use.
+  std::uint64_t now_ns() const;
+
+  void record(const TraceEvent& ev);
+
+  std::size_t capacity() const { return capacity_; }
+  std::size_t size() const;
+  /// Events overwritten because the ring was full.
+  std::uint64_t dropped() const;
+  void clear();
+
+  /// Retained events, oldest first.
+  std::vector<TraceEvent> events() const;
+
+  /// Chrome trace_event JSON (the "traceEvents" array format): complete
+  /// ("ph":"X") events with microsecond timestamps, tid = worker id, and
+  /// tti/block in args. Load in chrome://tracing or ui.perfetto.dev.
+  std::string chrome_json() const;
+  /// Write chrome_json() to `path`; returns false on I/O failure.
+  bool write_chrome_json(const std::string& path) const;
+
+ private:
+  std::size_t capacity_;
+  std::chrono::steady_clock::time_point epoch_;
+  mutable std::mutex mu_;
+  std::vector<TraceEvent> ring_;
+  std::size_t next_ = 0;       ///< ring_[next_] is the next write slot
+  std::uint64_t written_ = 0;  ///< total record() calls
+};
+
+/// RAII span: times its scope and records on destruction. A null
+/// recorder makes the whole object a no-op.
+class ScopedSpan {
+ public:
+  ScopedSpan(TraceRecorder* rec, const char* name, std::uint32_t tti,
+             std::int32_t block = -1, std::int32_t tid = 0)
+      : rec_(rec), name_(name), tti_(tti), block_(block), tid_(tid) {
+    if (rec_ != nullptr) begin_ = rec_->now_ns();
+  }
+  ~ScopedSpan() {
+    if (rec_ == nullptr) return;
+    TraceEvent ev;
+    ev.name = name_;
+    ev.begin_ns = begin_;
+    ev.dur_ns = rec_->now_ns() - begin_;
+    ev.tti = tti_;
+    ev.block = block_;
+    ev.tid = tid_;
+    rec_->record(ev);
+  }
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+ private:
+  TraceRecorder* rec_;
+  const char* name_;
+  std::uint64_t begin_ = 0;
+  std::uint32_t tti_;
+  std::int32_t block_;
+  std::int32_t tid_;
+};
+
+}  // namespace vran::obs

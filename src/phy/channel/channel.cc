@@ -3,12 +3,15 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "common/rng.h"
 #include "common/saturate.h"
 
 namespace vran::phy {
 
 AwgnChannel::AwgnChannel(double snr_db, std::uint64_t seed)
-    : snr_db_(snr_db), n0_(std::pow(10.0, -snr_db / 10.0)), rng_(seed) {}
+    : snr_db_(snr_db),
+      n0_(std::pow(10.0, -snr_db / 10.0)),
+      rng_(seed_stream(seed)) {}
 
 void AwgnChannel::apply(std::span<Cf> samples) {
   const double sigma = std::sqrt(n0_ / 2.0);

@@ -1,6 +1,9 @@
 #include "pipeline/batch_runner.h"
 
 #include <stdexcept>
+#include <string>
+
+#include "common/timer.h"
 
 namespace vran::pipeline {
 
@@ -21,7 +24,18 @@ BatchRunner::BatchRunner(Direction dir, std::vector<PipelineConfig> flow_cfgs,
     }
   }
   if (num_workers_ > 1) {
-    pool_ = std::make_unique<ThreadPool>(num_workers_ - 1);
+    pool_ = std::make_unique<ThreadPool>(num_workers_ - 1,
+                                         configs_.front().metrics);
+  }
+  if (obs::MetricsRegistry* m = configs_.front().metrics; m != nullptr) {
+    tti_ns_ = &m->histogram("batch.tti_ns");
+    packets_ = &m->counter("batch.packets");
+    delivered_ = &m->counter("batch.delivered");
+    flow_latency_ns_.reserve(configs_.size());
+    for (std::size_t f = 0; f < configs_.size(); ++f) {
+      flow_latency_ns_.push_back(
+          &m->histogram("batch.flow" + std::to_string(f) + ".latency_ns"));
+    }
   }
 }
 
@@ -31,6 +45,7 @@ std::vector<PacketResult> BatchRunner::run_tti(
     throw std::invalid_argument("BatchRunner::run_tti: one packet per flow");
   }
   std::vector<PacketResult> results(flows());
+  Stopwatch tti_sw;
   const auto run_flow = [&](std::size_t f) {
     if (packets[f].empty()) return;  // idle flow this TTI
     if (dir_ == Direction::kUplink) {
@@ -43,6 +58,16 @@ std::vector<PacketResult> BatchRunner::run_tti(
     pool_->parallel_for(0, flows(), run_flow);
   } else {
     for (std::size_t f = 0; f < flows(); ++f) run_flow(f);
+  }
+  if (tti_ns_ != nullptr) {
+    tti_ns_->record(static_cast<std::uint64_t>(tti_sw.seconds() * 1e9));
+    for (std::size_t f = 0; f < flows(); ++f) {
+      if (packets[f].empty()) continue;
+      packets_->add();
+      if (results[f].delivered) delivered_->add();
+      flow_latency_ns_[f]->record(
+          static_cast<std::uint64_t>(results[f].latency_seconds * 1e9));
+    }
   }
   return results;
 }

@@ -49,6 +49,13 @@ class BatchRunner {
   /// Drive one TTI: packets[f] goes through flow f's pipeline (an empty
   /// packet marks the flow idle this TTI and yields a default
   /// PacketResult). packets.size() must equal flows().
+  ///
+  /// Observability (recorded into flow 0's configured registry): the TTI
+  /// wall time feeds "batch.tti_ns", each flow's packet latency feeds
+  /// "batch.flow<f>.latency_ns" (the p50/p95/p99 source for per-flow
+  /// latency), and "batch.packets"/"batch.delivered" count outcomes.
+  /// Per-flow histograms are recorded after the join, so totals are
+  /// exact for any worker count.
   std::vector<PacketResult> run_tti(
       const std::vector<std::vector<std::uint8_t>>& packets);
 
@@ -62,6 +69,12 @@ class BatchRunner {
   std::vector<std::unique_ptr<UplinkPipeline>> uplinks_;
   std::vector<std::unique_ptr<DownlinkPipeline>> downlinks_;
   std::unique_ptr<ThreadPool> pool_;  ///< nullptr when num_workers <= 1
+
+  // Metric handles (null when flow 0 disabled metrics).
+  obs::Histogram* tti_ns_ = nullptr;
+  std::vector<obs::Histogram*> flow_latency_ns_;
+  obs::Counter* packets_ = nullptr;
+  obs::Counter* delivered_ = nullptr;
 };
 
 }  // namespace vran::pipeline

@@ -66,7 +66,123 @@ std::vector<StageTimes::Entry> StageTimes::entries() const {
   return out;
 }
 
+namespace detail {
+
+/// Metric handles resolved once per pipeline. All pointers null when the
+/// config disabled metrics, making every record site a cheap branch.
+struct PipelineObs {
+  // One latency histogram per StageTimes stage ("stage.<name>_ns").
+  obs::Histogram* mac = nullptr;
+  obs::Histogram* crc_segmentation = nullptr;
+  obs::Histogram* turbo_encode = nullptr;
+  obs::Histogram* rate_match = nullptr;
+  obs::Histogram* scramble = nullptr;
+  obs::Histogram* modulation = nullptr;
+  obs::Histogram* ofdm = nullptr;
+  obs::Histogram* channel = nullptr;
+  obs::Histogram* ofdm_rx = nullptr;
+  obs::Histogram* demodulation = nullptr;
+  obs::Histogram* descramble = nullptr;
+  obs::Histogram* rate_dematch = nullptr;
+  obs::Histogram* arrange = nullptr;
+  obs::Histogram* turbo_decode = nullptr;
+  obs::Histogram* desegmentation = nullptr;
+  obs::Histogram* gtpu = nullptr;
+  obs::Histogram* dci = nullptr;
+
+  // Packet-level metrics ("pipeline.*").
+  obs::Histogram* latency_ns = nullptr;  ///< whole send_packet
+  obs::Histogram* proc_ns = nullptr;     ///< latency minus synthetic channel
+  obs::Counter* packets = nullptr;
+  obs::Counter* delivered = nullptr;
+  obs::Counter* crc_fail = nullptr;
+  obs::Counter* harq_retx = nullptr;
+
+  explicit PipelineObs(obs::MetricsRegistry* m) {
+    if (m == nullptr) return;
+    mac = &m->histogram("stage.mac_ns");
+    crc_segmentation = &m->histogram("stage.crc_segmentation_ns");
+    turbo_encode = &m->histogram("stage.turbo_encode_ns");
+    rate_match = &m->histogram("stage.rate_match_ns");
+    scramble = &m->histogram("stage.scramble_ns");
+    modulation = &m->histogram("stage.modulation_ns");
+    ofdm = &m->histogram("stage.ofdm_tx_ns");
+    channel = &m->histogram("stage.channel_ns");
+    ofdm_rx = &m->histogram("stage.ofdm_rx_ns");
+    demodulation = &m->histogram("stage.demodulation_ns");
+    descramble = &m->histogram("stage.descramble_ns");
+    rate_dematch = &m->histogram("stage.rate_dematch_ns");
+    arrange = &m->histogram("stage.arrange_ns");
+    turbo_decode = &m->histogram("stage.turbo_decode_ns");
+    desegmentation = &m->histogram("stage.desegmentation_ns");
+    gtpu = &m->histogram("stage.gtpu_ns");
+    dci = &m->histogram("stage.dci_ns");
+    latency_ns = &m->histogram("pipeline.latency_ns");
+    proc_ns = &m->histogram("pipeline.proc_ns");
+    packets = &m->counter("pipeline.packets");
+    delivered = &m->counter("pipeline.delivered");
+    crc_fail = &m->counter("pipeline.crc_fail");
+    harq_retx = &m->counter("pipeline.harq_retx");
+  }
+};
+
+}  // namespace detail
+
 namespace {
+
+std::uint64_t to_ns(double seconds) {
+  return seconds <= 0 ? 0 : static_cast<std::uint64_t>(seconds * 1e9);
+}
+
+/// Everything one packet's stages need to report: the flat accumulators
+/// (the legacy contract), the resolved histograms, and the optional span
+/// recorder. Passed by reference down the stage helpers.
+struct PacketObs {
+  StageTimes& t;
+  const detail::PipelineObs& h;
+  obs::TraceRecorder* trace = nullptr;
+  std::uint32_t tti = 0;
+};
+
+/// RAII stage scope: one Stopwatch read feeds the TimeAccumulator (exact
+/// StageTimes compatibility), the stage histogram, and — when tracing —
+/// a begin/end span stamped with TTI / code-block / worker id.
+class StageScope {
+ public:
+  StageScope(const PacketObs& po, TimeAccumulator& acc, obs::Histogram* h,
+             const char* name, std::int32_t block = -1)
+      : acc_(acc), h_(h), trace_(po.trace), name_(name), tti_(po.tti),
+        block_(block) {
+    if (trace_ != nullptr) trace_begin_ = trace_->now_ns();
+  }
+  ~StageScope() {
+    const double s = sw_.seconds();
+    acc_.add(s);
+    if (h_ != nullptr) h_->record(to_ns(s));
+    if (trace_ != nullptr) {
+      obs::TraceEvent ev;
+      ev.name = name_;
+      ev.begin_ns = trace_begin_;
+      ev.dur_ns = trace_->now_ns() - trace_begin_;
+      ev.tti = tti_;
+      ev.block = block_;
+      ev.tid = ThreadPool::current_worker_id();
+      trace_->record(ev);
+    }
+  }
+  StageScope(const StageScope&) = delete;
+  StageScope& operator=(const StageScope&) = delete;
+
+ private:
+  Stopwatch sw_;
+  TimeAccumulator& acc_;
+  obs::Histogram* h_;
+  obs::TraceRecorder* trace_;
+  const char* name_;
+  std::uint32_t tti_;
+  std::int32_t block_;
+  std::uint64_t trace_begin_ = 0;
+};
 
 Modulation mod_of(int mcs) {
   switch (mac::mcs_entry(mcs).modulation_bits) {
@@ -127,11 +243,12 @@ struct PreparedTb {
 };
 
 PreparedTb prepare_tb(std::span<const std::uint8_t> pdu,
-                      const PipelineConfig& cfg, StageTimes& t, int n_prb) {
+                      const PipelineConfig& cfg, PacketObs& po, int n_prb) {
   PreparedTb out;
   std::vector<std::vector<std::uint8_t>> blocks;
   {
-    ScopedTimer st(t.crc_segmentation);
+    StageScope st(po, po.t.crc_segmentation, po.h.crc_segmentation,
+                  "crc+segmentation");
     auto bits = unpack_bits(pdu);
     phy::crc_attach(bits, CrcType::k24A);
     out.plan = phy::make_segmentation_plan(static_cast<int>(bits.size()));
@@ -143,7 +260,8 @@ PreparedTb prepare_tb(std::span<const std::uint8_t> pdu,
   out.codewords.reserve(static_cast<std::size_t>(out.plan.c));
   for (int i = 0; i < out.plan.c; ++i) {
     const int k = out.plan.block_size(i);
-    ScopedTimer st(t.turbo_encode);
+    StageScope st(po, po.t.turbo_encode, po.h.turbo_encode, "turbo_encode",
+                  i);
     out.codewords.push_back(
         cache().encoder(k).encode(blocks[static_cast<std::size_t>(i)]));
   }
@@ -161,7 +279,7 @@ struct EncodedTb {
 };
 
 EncodedTb phy_transmit(const PreparedTb& tb, const PipelineConfig& cfg,
-                       std::uint32_t tti, StageTimes& t,
+                       std::uint32_t tti, PacketObs& po,
                        const phy::OfdmModulator& ofdm, int rv) {
   EncodedTb out;
   out.tb = &tb;
@@ -174,14 +292,14 @@ EncodedTb phy_transmit(const PreparedTb& tb, const PipelineConfig& cfg,
                 tb.codewords.size());
   for (int i = 0; i < tb.plan.c; ++i) {
     const int k = tb.plan.block_size(i);
-    ScopedTimer st(t.rate_match);
+    StageScope st(po, po.t.rate_match, po.h.rate_match, "rate_match", i);
     const auto e = cache().matcher(k).match(
         tb.codewords[static_cast<std::size_t>(i)], tb.e_per_block, rv);
     coded.insert(coded.end(), e.begin(), e.end());
   }
 
   {
-    ScopedTimer st(t.scramble);
+    StageScope st(po, po.t.scramble, po.h.scramble, "scramble");
     phy::scramble_bits(coded, phy::pusch_c_init(cfg.rnti, 0,
                                                 static_cast<int>(tti % 20),
                                                 cfg.cell_id));
@@ -189,13 +307,13 @@ EncodedTb phy_transmit(const PreparedTb& tb, const PipelineConfig& cfg,
 
   std::vector<phy::IqSample> symbols;
   {
-    ScopedTimer st(t.modulation);
+    StageScope st(po, po.t.modulation, po.h.modulation, "modulation");
     symbols = phy::modulate(coded, mod_of(cfg.mcs));
   }
   out.n_symbols = symbols.size();
 
   {
-    ScopedTimer st(t.ofdm);
+    StageScope st(po, po.t.ofdm, po.h.ofdm, "ofdm_tx");
     out.time = ofdm.modulate(symbols);
   }
   return out;
@@ -227,20 +345,20 @@ struct DecodedTb {
 };
 
 DecodedTb phy_decode(const EncodedTb& enc, const PipelineConfig& cfg,
-                     std::uint32_t tti, StageTimes& t,
+                     std::uint32_t tti, PacketObs& po,
                      const phy::OfdmModulator& ofdm, HarqBuffers* harq,
                      ThreadPool* pool) {
   DecodedTb out;
 
   std::vector<phy::IqSample> symbols;
   {
-    ScopedTimer st(t.ofdm_rx);
+    StageScope st(po, po.t.ofdm_rx, po.h.ofdm_rx, "ofdm_rx");
     symbols = ofdm.demodulate(enc.time, enc.n_symbols);
   }
 
   AlignedVector<std::int16_t> llr;
   {
-    ScopedTimer st(t.demodulation);
+    StageScope st(po, po.t.demodulation, po.h.demodulation, "demodulation");
     const double n0_re =
         cfg.with_channel ? std::pow(10.0, -cfg.snr_db / 10.0) : 0.01;
     llr = phy::demodulate_llr(symbols, mod_of(cfg.mcs),
@@ -248,7 +366,7 @@ DecodedTb phy_decode(const EncodedTb& enc, const PipelineConfig& cfg,
   }
 
   {
-    ScopedTimer st(t.descramble);
+    StageScope st(po, po.t.descramble, po.h.descramble, "descramble");
     phy::descramble_llr(llr, phy::pusch_c_init(cfg.rnti, 0,
                                                static_cast<int>(tti % 20),
                                                cfg.cell_id));
@@ -258,9 +376,12 @@ DecodedTb phy_decode(const EncodedTb& enc, const PipelineConfig& cfg,
   // hot path. Code blocks are independent after segmentation, so with a
   // pool they run one block per worker. Every block writes only its own
   // slots (blocks[i] / per_block[i]); codec objects come from the
-  // thread_local CodecCache, so workers never share decoder state. Timing
-  // is recorded per block and folded into the shared StageTimes in block
-  // order after the join — totals are bit-identical for any worker count.
+  // thread_local CodecCache, so workers never share decoder state. The
+  // flat StageTimes are recorded per block and folded in block order
+  // after the join — totals are bit-identical for any worker count.
+  // Histograms and trace spans, by contrast, are recorded directly from
+  // the workers: histogram shards fold on snapshot (order-independent)
+  // and spans carry the worker id that actually ran the block.
   const bool multi = enc.plan.c > 1;
   const std::size_t n_blocks = static_cast<std::size_t>(enc.plan.c);
   std::vector<std::vector<std::uint8_t>> blocks(n_blocks);
@@ -276,9 +397,11 @@ DecodedTb phy_decode(const EncodedTb& enc, const PipelineConfig& cfg,
   const auto decode_block = [&](std::size_t bi) {
     const int i = static_cast<int>(bi);
     const int k = enc.plan.block_size(i);
-    auto& o = per_block[bi];
+    const auto tid = ThreadPool::current_worker_id();
+    auto& ob = per_block[bi];
     AlignedVector<std::int16_t> triples;
     {
+      obs::ScopedSpan span(po.trace, "rate_dematch", po.tti, i, tid);
       Stopwatch sw;
       const auto slice = std::span<const std::int16_t>(llr).subspan(
           bi * static_cast<std::size_t>(enc.e_per_block),
@@ -291,15 +414,26 @@ DecodedTb phy_decode(const EncodedTb& enc, const PipelineConfig& cfg,
       } else {
         triples = cache().matcher(k).dematch(slice, enc.rv);
       }
-      o.dematch_seconds = sw.seconds();
+      ob.dematch_seconds = sw.seconds();
+    }
+    if (po.h.rate_dematch != nullptr) {
+      po.h.rate_dematch->record(to_ns(ob.dematch_seconds));
     }
     auto& dec = cache().decoder(k, cfg, multi);
     blocks[bi].resize(static_cast<std::size_t>(k));
-    const auto res = dec.decode(triples, blocks[bi]);
-    o.arrange_seconds = res.arrange_seconds;
-    o.compute_seconds = res.compute_seconds;
-    o.crc_ok = res.crc_ok;
-    o.iterations = res.iterations;
+    phy::TurboDecodeResult res;
+    {
+      obs::ScopedSpan span(po.trace, "turbo_block", po.tti, i, tid);
+      res = dec.decode(triples, blocks[bi]);
+    }
+    ob.arrange_seconds = res.arrange_seconds;
+    ob.compute_seconds = res.compute_seconds;
+    ob.crc_ok = res.crc_ok;
+    ob.iterations = res.iterations;
+    if (po.h.arrange != nullptr) {
+      po.h.arrange->record(to_ns(res.arrange_seconds));
+      po.h.turbo_decode->record(to_ns(res.compute_seconds));
+    }
   };
 
   if (pool != nullptr && n_blocks > 1) {
@@ -310,19 +444,19 @@ DecodedTb phy_decode(const EncodedTb& enc, const PipelineConfig& cfg,
 
   bool all_ok = true;
   int max_iters = 0;
-  for (const auto& o : per_block) {
-    t.rate_dematch.add(o.dematch_seconds);
-    t.arrange.add(o.arrange_seconds);
-    t.turbo_decode.add(o.compute_seconds);
-    out.arrange_seconds += o.arrange_seconds;
-    all_ok = all_ok && o.crc_ok;
-    max_iters = std::max(max_iters, o.iterations);
+  for (const auto& ob : per_block) {
+    po.t.rate_dematch.add(ob.dematch_seconds);
+    po.t.arrange.add(ob.arrange_seconds);
+    po.t.turbo_decode.add(ob.compute_seconds);
+    out.arrange_seconds += ob.arrange_seconds;
+    all_ok = all_ok && ob.crc_ok;
+    max_iters = std::max(max_iters, ob.iterations);
   }
   out.turbo_iterations = max_iters;
 
   // Desegment + TB CRC.
   {
-    ScopedTimer st(t.desegmentation);
+    StageScope st(po, po.t.desegmentation, po.h.desegmentation, "deseg");
     std::vector<std::uint8_t> bits;
     const bool seg_ok = phy::desegment_bits(blocks, enc.plan, bits);
     const bool tb_ok = phy::crc_check(bits, CrcType::k24A);
@@ -335,16 +469,12 @@ DecodedTb phy_decode(const EncodedTb& enc, const PipelineConfig& cfg,
   return out;
 }
 
-}  // namespace
-
-namespace {
-
 /// Pool backing a pipeline's decode chain: num_workers-way concurrency
 /// counts the calling thread, so N workers means N-1 pool threads and no
 /// pool at all for the bit-exact legacy N == 1 path.
 std::unique_ptr<ThreadPool> make_decode_pool(const PipelineConfig& cfg) {
   if (cfg.num_workers <= 1) return nullptr;
-  return std::make_unique<ThreadPool>(cfg.num_workers - 1);
+  return std::make_unique<ThreadPool>(cfg.num_workers - 1, cfg.metrics);
 }
 
 }  // namespace
@@ -354,19 +484,24 @@ UplinkPipeline::UplinkPipeline(PipelineConfig cfg)
       ofdm_(cfg.ofdm),
       channel_(time_domain_snr_db(cfg.snr_db, cfg.ofdm.nfft),
                cfg.noise_seed),
-      pool_(make_decode_pool(cfg)) {}
+      pool_(make_decode_pool(cfg)),
+      obs_(std::make_unique<detail::PipelineObs>(cfg.metrics)) {}
+
+UplinkPipeline::~UplinkPipeline() = default;
 
 PacketResult UplinkPipeline::send_packet(
     std::span<const std::uint8_t> ip_packet) {
   Stopwatch total;
   PacketResult res;
   const std::uint32_t tti = tti_++;
+  PacketObs po{times_, *obs_, cfg_.trace, tti};
+  obs::ScopedSpan packet_span(cfg_.trace, "packet", tti);
 
   // UE MAC: size the transport block to the packet.
   std::vector<std::uint8_t> pdu;
   int n_prb = 0;
   {
-    ScopedTimer st(times_.mac);
+    StageScope st(po, times_.mac, obs_->mac, "mac");
     const int payload_bits =
         static_cast<int>(ip_packet.size() + mac::kMacHeaderBytes) * 8;
     n_prb = mac::prbs_for_payload(payload_bits, cfg_.mcs, cfg_.max_prb);
@@ -378,7 +513,7 @@ PacketResult UplinkPipeline::send_packet(
   }
   res.tb_bytes = pdu.size();
 
-  const auto tb = prepare_tb(pdu, cfg_, times_, n_prb);
+  const auto tb = prepare_tb(pdu, cfg_, po, n_prb);
   res.code_blocks = static_cast<std::size_t>(tb.plan.c);
 
   // HARQ loop: rv sequence 0 -> 2 -> 3 -> 1, soft-combining at the
@@ -391,14 +526,14 @@ PacketResult UplinkPipeline::send_packet(
   DecodedTb dec;
   for (int tx = 0; tx < std::max(1, cfg_.harq_max_tx); ++tx) {
     res.transmissions = tx + 1;
-    auto enc = phy_transmit(tb, cfg_, tti, times_, ofdm_, kRvSeq[tx % 4]);
+    auto enc = phy_transmit(tb, cfg_, tti, po, ofdm_, kRvSeq[tx % 4]);
     if (cfg_.with_channel) {
       Stopwatch csw;
-      ScopedTimer st(times_.channel);
+      StageScope st(po, times_.channel, obs_->channel, "channel");
       channel_.apply(std::span<phy::Cf>(enc.time));
       res.channel_seconds += csw.seconds();
     }
-    dec = phy_decode(enc, cfg_, tti, times_, ofdm_,
+    dec = phy_decode(enc, cfg_, tti, po, ofdm_,
                      use_harq ? &harq : nullptr, pool_.get());
     res.arrange_seconds += dec.arrange_seconds;
     if (dec.crc_ok) break;
@@ -410,16 +545,29 @@ PacketResult UplinkPipeline::send_packet(
   if (dec.crc_ok) {
     std::optional<mac::MacSdu> sdu;
     {
-      ScopedTimer st(times_.mac);
+      StageScope st(po, times_.mac, obs_->mac, "mac");
       sdu = mac::mac_parse_pdu(dec.pdu);
     }
     if (sdu.has_value()) {
-      ScopedTimer st(times_.gtpu);
+      StageScope st(po, times_.gtpu, obs_->gtpu, "gtpu");
       res.egress = net::gtpu_encapsulate(cfg_.teid, sdu->data);
       res.delivered = true;
     }
   }
   res.latency_seconds = total.seconds();
+
+  if (obs_->packets != nullptr) {
+    obs_->packets->add();
+    if (res.delivered) obs_->delivered->add();
+    if (!res.crc_ok) obs_->crc_fail->add();
+    if (res.transmissions > 1) {
+      obs_->harq_retx->add(
+          static_cast<std::uint64_t>(res.transmissions - 1));
+    }
+    obs_->latency_ns->record(to_ns(res.latency_seconds));
+    obs_->proc_ns->record(
+        to_ns(res.latency_seconds - res.channel_seconds));
+  }
   return res;
 }
 
@@ -428,19 +576,36 @@ DownlinkPipeline::DownlinkPipeline(PipelineConfig cfg)
       ofdm_(cfg.ofdm),
       channel_(time_domain_snr_db(cfg.snr_db, cfg.ofdm.nfft),
                cfg.noise_seed + 1),
-      pool_(make_decode_pool(cfg)) {}
+      pool_(make_decode_pool(cfg)),
+      obs_(std::make_unique<detail::PipelineObs>(cfg.metrics)) {}
+
+DownlinkPipeline::~DownlinkPipeline() = default;
 
 PacketResult DownlinkPipeline::send_packet(
     std::span<const std::uint8_t> ip_packet) {
   Stopwatch total;
   PacketResult res;
   const std::uint32_t tti = tti_++;
+  PacketObs po{times_, *obs_, cfg_.trace, tti};
+  obs::ScopedSpan packet_span(cfg_.trace, "packet", tti);
+
+  const auto finish = [&] {
+    res.latency_seconds = total.seconds();
+    if (obs_->packets != nullptr) {
+      obs_->packets->add();
+      if (res.delivered) obs_->delivered->add();
+      if (!res.crc_ok) obs_->crc_fail->add();
+      obs_->latency_ns->record(to_ns(res.latency_seconds));
+      obs_->proc_ns->record(
+          to_ns(res.latency_seconds - res.channel_seconds));
+    }
+  };
 
   // eNB: de-encapsulate from the EPC side and build the MAC PDU.
   std::vector<std::uint8_t> pdu;
   int n_prb = 0;
   {
-    ScopedTimer st(times_.mac);
+    StageScope st(po, times_.mac, obs_->mac, "mac");
     const int payload_bits =
         static_cast<int>(ip_packet.size() + mac::kMacHeaderBytes) * 8;
     n_prb = mac::prbs_for_payload(payload_bits, cfg_.mcs, cfg_.max_prb);
@@ -454,7 +619,7 @@ PacketResult DownlinkPipeline::send_packet(
 
   // DCI grant on the control channel (encode at eNB, decode at UE).
   {
-    ScopedTimer st(times_.dci);
+    StageScope st(po, times_.dci, obs_->dci, "dci");
     phy::DciPayload grant;
     grant.rb_start = 0;
     grant.rb_len = static_cast<std::uint8_t>(n_prb);
@@ -467,25 +632,25 @@ PacketResult DownlinkPipeline::send_packet(
     }
     const auto got = phy::dci_decode(dci_llr, cfg_.rnti);
     if (!got.has_value() || got->rb_len != grant.rb_len) {
-      res.latency_seconds = total.seconds();
-      return res;  // control channel failure: no data transmission
+      finish();  // control channel failure: no data transmission
+      return res;
     }
   }
 
-  const auto tb = prepare_tb(pdu, cfg_, times_, n_prb);
+  const auto tb = prepare_tb(pdu, cfg_, po, n_prb);
   res.code_blocks = static_cast<std::size_t>(tb.plan.c);
   res.transmissions = 1;
-  auto enc = phy_transmit(tb, cfg_, tti, times_, ofdm_, /*rv=*/0);
+  auto enc = phy_transmit(tb, cfg_, tti, po, ofdm_, /*rv=*/0);
 
   if (cfg_.with_channel) {
     Stopwatch csw;
-    ScopedTimer st(times_.channel);
+    StageScope st(po, times_.channel, obs_->channel, "channel");
     channel_.apply(std::span<phy::Cf>(enc.time));
     res.channel_seconds = csw.seconds();
   }
 
   const auto dec =
-      phy_decode(enc, cfg_, tti, times_, ofdm_, nullptr, pool_.get());
+      phy_decode(enc, cfg_, tti, po, ofdm_, nullptr, pool_.get());
   res.crc_ok = dec.crc_ok;
   res.turbo_iterations = dec.turbo_iterations;
   res.arrange_seconds = dec.arrange_seconds;
@@ -493,7 +658,7 @@ PacketResult DownlinkPipeline::send_packet(
   if (dec.crc_ok) {
     std::optional<mac::MacSdu> sdu;
     {
-      ScopedTimer st(times_.mac);
+      StageScope st(po, times_.mac, obs_->mac, "mac");
       sdu = mac::mac_parse_pdu(dec.pdu);
     }
     if (sdu.has_value()) {
@@ -501,7 +666,7 @@ PacketResult DownlinkPipeline::send_packet(
       res.delivered = true;
     }
   }
-  res.latency_seconds = total.seconds();
+  finish();
   return res;
 }
 

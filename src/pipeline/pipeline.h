@@ -24,6 +24,8 @@
 #include "common/cpu_features.h"
 #include "common/threadpool.h"
 #include "common/timer.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "mac/mac_pdu.h"
 #include "mac/tbs_tables.h"
 #include "phy/channel/channel.h"
@@ -62,6 +64,14 @@ struct PipelineConfig {
   /// block decoding is deterministic; only the timing attribution is
   /// gathered per block and merged at the join).
   int num_workers = 1;
+  /// Metrics sink: every stage feeds a latency histogram
+  /// ("stage.<name>_ns") alongside its StageTimes accumulator, and the
+  /// pipeline records per-packet counters/histograms ("pipeline.*").
+  /// Defaults to the process-wide registry; point at a private registry
+  /// to isolate one run's distributions, or nullptr to disable.
+  obs::MetricsRegistry* metrics = &obs::MetricsRegistry::global();
+  /// Span recorder for chrome://tracing export; nullptr = tracing off.
+  obs::TraceRecorder* trace = nullptr;
 };
 
 /// Named per-stage CPU-time accumulators.
@@ -102,6 +112,13 @@ struct StageTimes {
   void merge(const StageTimes& other);
 };
 
+namespace detail {
+/// Resolved metric handles (per-stage histograms, packet counters) —
+/// internal to pipeline.cc; owned per pipeline so name lookups happen
+/// once at construction.
+struct PipelineObs;
+}  // namespace detail
+
 struct PacketResult {
   bool delivered = false;
   bool crc_ok = false;
@@ -119,6 +136,7 @@ struct PacketResult {
 class UplinkPipeline {
  public:
   explicit UplinkPipeline(PipelineConfig cfg);
+  ~UplinkPipeline();
 
   const PipelineConfig& config() const { return cfg_; }
   StageTimes& times() { return times_; }
@@ -134,6 +152,7 @@ class UplinkPipeline {
   phy::OfdmModulator ofdm_;
   phy::AwgnChannel channel_;
   std::unique_ptr<ThreadPool> pool_;  ///< nullptr when num_workers <= 1
+  std::unique_ptr<detail::PipelineObs> obs_;
   std::uint32_t tti_ = 0;
 };
 
@@ -141,6 +160,7 @@ class UplinkPipeline {
 class DownlinkPipeline {
  public:
   explicit DownlinkPipeline(PipelineConfig cfg);
+  ~DownlinkPipeline();
 
   const PipelineConfig& config() const { return cfg_; }
   StageTimes& times() { return times_; }
@@ -154,6 +174,7 @@ class DownlinkPipeline {
   phy::OfdmModulator ofdm_;
   phy::AwgnChannel channel_;
   std::unique_ptr<ThreadPool> pool_;  ///< nullptr when num_workers <= 1
+  std::unique_ptr<detail::PipelineObs> obs_;
   std::uint32_t tti_ = 0;
 };
 

@@ -1,0 +1,337 @@
+// Observability subsystem tests: histogram bucket math against a scalar
+// reference, quantile behavior, exact concurrent-merge totals, the
+// trace ring's keep-latest semantics, exporter well-formedness, and an
+// ASan/TSan-friendly stress run hammering one registry from many threads
+// while a BatchRunner drives the pipeline.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/threadpool.h"
+#include "net/pktgen.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "pipeline/batch_runner.h"
+#include "pipeline/pipeline.h"
+
+namespace vran {
+namespace {
+
+// --- histogram bucket math ----------------------------------------------
+
+// Scalar reference: linear scan for the first power of two above v.
+int reference_bucket(std::uint64_t v) {
+  if (v == 0) return 0;
+  int b = 1;
+  std::uint64_t high = 2;  // bucket b holds [high/2, high)
+  while (b < obs::kHistogramBuckets - 1 && v >= high) {
+    ++b;
+    high <<= 1;
+  }
+  return b;
+}
+
+TEST(ObsHistogram, BucketMatchesScalarReference) {
+  // Edges, near-edges, and a randomized sweep across magnitudes.
+  std::vector<std::uint64_t> values = {0, 1, 2, 3, 4, 7, 8, 9,
+                                       ~std::uint64_t{0}};
+  for (int p = 0; p < 64; ++p) {
+    const std::uint64_t v = std::uint64_t{1} << p;
+    values.push_back(v);
+    values.push_back(v - 1);
+    values.push_back(v + 1);
+  }
+  Xoshiro256 rng(seed_stream(11));
+  for (int i = 0; i < 1000; ++i) {
+    values.push_back(rng.next() >> rng.bounded(64));
+  }
+  for (const auto v : values) {
+    const int b = obs::histogram_bucket(v);
+    ASSERT_EQ(b, reference_bucket(v)) << "v=" << v;
+    // The bucket's edges must bracket the value.
+    ASSERT_GE(v, obs::histogram_bucket_low(b)) << "v=" << v;
+    if (b < obs::kHistogramBuckets - 1) {
+      ASSERT_LT(v, obs::histogram_bucket_high(b)) << "v=" << v;
+    }
+  }
+}
+
+TEST(ObsHistogram, StatsAndQuantiles) {
+  obs::Histogram h;
+  for (std::uint64_t v = 1; v <= 100; ++v) h.record(v);
+  const auto s = h.stats();
+  EXPECT_EQ(s.count, 100u);
+  EXPECT_EQ(s.sum, 5050u);
+  EXPECT_EQ(s.min, 1u);
+  EXPECT_EQ(s.max, 100u);
+  EXPECT_DOUBLE_EQ(s.mean(), 50.5);
+  // Quantiles are bucket-resolution estimates clamped to [min, max]:
+  // monotone in q, and within one power of two of the exact answer.
+  double prev = 0;
+  for (const double q : {0.0, 0.25, 0.5, 0.75, 0.95, 1.0}) {
+    const double v = s.quantile(q);
+    EXPECT_GE(v, prev);
+    EXPECT_GE(v, double(s.min));
+    EXPECT_LE(v, double(s.max));
+    prev = v;
+  }
+  const double exact_p50 = 50.0;
+  EXPECT_GE(s.quantile(0.5), exact_p50 / 2);
+  EXPECT_LE(s.quantile(0.5), exact_p50 * 2);
+}
+
+TEST(ObsHistogram, SingleBucketQuantileIsExactish) {
+  obs::Histogram h;
+  for (int i = 0; i < 50; ++i) h.record(42);
+  const auto s = h.stats();
+  EXPECT_DOUBLE_EQ(s.quantile(0.0), 42.0);
+  EXPECT_DOUBLE_EQ(s.quantile(0.5), 42.0);
+  EXPECT_DOUBLE_EQ(s.quantile(1.0), 42.0);
+}
+
+TEST(ObsHistogram, EmptyStats) {
+  obs::Histogram h;
+  const auto s = h.stats();
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_EQ(s.min, 0u);
+  EXPECT_EQ(s.max, 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.quantile(0.5), 0.0);
+}
+
+TEST(ObsHistogram, MergeEqualsCombinedRecording) {
+  Xoshiro256 rng(seed_stream(12));
+  obs::Histogram a, b, combined;
+  for (int i = 0; i < 5000; ++i) {
+    const std::uint64_t v = rng.next() >> rng.bounded(60);
+    ((i % 2) ? a : b).record(v);
+    combined.record(v);
+  }
+  auto sa = a.stats();
+  sa.merge(b.stats());
+  const auto sc = combined.stats();
+  EXPECT_EQ(sa.count, sc.count);
+  EXPECT_EQ(sa.sum, sc.sum);
+  EXPECT_EQ(sa.min, sc.min);
+  EXPECT_EQ(sa.max, sc.max);
+  EXPECT_EQ(sa.buckets, sc.buckets);
+}
+
+// --- concurrent recording: totals must be exact after join --------------
+
+TEST(ObsConcurrency, CounterAndHistogramTotalsExactAfterJoin) {
+  for (const int n_threads : {1, 2, 8}) {
+    obs::MetricsRegistry reg;
+    auto& counter = reg.counter("stress.count");
+    auto& hist = reg.histogram("stress.hist");
+    constexpr int kPerThread = 20000;
+    std::vector<std::thread> threads;
+    for (int t = 0; t < n_threads; ++t) {
+      threads.emplace_back([&, t] {
+        Xoshiro256 rng(std::uint64_t(t) + 1);
+        for (int i = 0; i < kPerThread; ++i) {
+          counter.add(2);
+          hist.record(rng.bounded(1 << 20));
+        }
+      });
+    }
+    for (auto& th : threads) th.join();
+
+    // Single-threaded reference with the same per-thread streams.
+    obs::HistogramStats expected;
+    for (int t = 0; t < n_threads; ++t) {
+      obs::Histogram ref;
+      Xoshiro256 rng(std::uint64_t(t) + 1);
+      for (int i = 0; i < kPerThread; ++i) ref.record(rng.bounded(1 << 20));
+      expected.merge(ref.stats());
+    }
+
+    const auto snap = reg.snapshot();
+    EXPECT_EQ(snap.counter("stress.count"),
+              std::uint64_t(n_threads) * kPerThread * 2)
+        << n_threads << " threads";
+    const auto* got = snap.histogram("stress.hist");
+    ASSERT_NE(got, nullptr);
+    EXPECT_EQ(got->count, expected.count) << n_threads << " threads";
+    EXPECT_EQ(got->sum, expected.sum);
+    EXPECT_EQ(got->min, expected.min);
+    EXPECT_EQ(got->max, expected.max);
+    EXPECT_EQ(got->buckets, expected.buckets);
+  }
+}
+
+// --- registry / snapshot / exporters ------------------------------------
+
+TEST(ObsRegistry, StableAddressesAndReset) {
+  obs::MetricsRegistry reg;
+  auto& c = reg.counter("a.count");
+  EXPECT_EQ(&c, &reg.counter("a.count"));
+  c.add(5);
+  reg.gauge("a.gauge").set(-3);
+  reg.histogram("a.hist").record(17);
+  reg.reset();
+  EXPECT_EQ(reg.counter("a.count").value(), 0u);  // same object, zeroed
+  EXPECT_EQ(&c, &reg.counter("a.count"));
+  EXPECT_EQ(reg.gauge("a.gauge").value(), 0);
+  EXPECT_EQ(reg.histogram("a.hist").stats().count, 0u);
+}
+
+TEST(ObsRegistry, SnapshotExportersAreWellFormed) {
+  obs::MetricsRegistry reg;
+  reg.counter("pkts").add(3);
+  reg.gauge("depth").set(-7);
+  reg.histogram("lat \"ns\"").record(1000);  // name needing JSON escapes
+  const auto snap = reg.snapshot();
+
+  const auto json = snap.to_json();
+  EXPECT_NE(json.find("\"pkts\":3"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"depth\":-7"), std::string::npos) << json;
+  EXPECT_NE(json.find("lat \\\"ns\\\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"p99\":"), std::string::npos) << json;
+
+  const auto csv = snap.to_csv();
+  EXPECT_NE(csv.find("counter,pkts,3"), std::string::npos) << csv;
+  EXPECT_NE(csv.find("gauge,depth,-7"), std::string::npos) << csv;
+  EXPECT_EQ(std::count(csv.begin(), csv.end(), '\n'), 4);  // header + 3
+}
+
+// --- trace recorder ------------------------------------------------------
+
+TEST(ObsTrace, RingKeepsLatestAndCountsDropped) {
+  obs::TraceRecorder rec(4);
+  for (std::uint32_t i = 0; i < 10; ++i) {
+    obs::TraceEvent ev;
+    ev.name = "ev";
+    ev.begin_ns = i;
+    ev.tti = i;
+    rec.record(ev);
+  }
+  EXPECT_EQ(rec.size(), 4u);
+  EXPECT_EQ(rec.dropped(), 6u);
+  const auto evs = rec.events();
+  ASSERT_EQ(evs.size(), 4u);
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(evs[i].tti, 6 + i);  // oldest-first, latest four retained
+  }
+  rec.clear();
+  EXPECT_EQ(rec.size(), 0u);
+  EXPECT_EQ(rec.dropped(), 0u);
+}
+
+TEST(ObsTrace, ScopedSpanRecordsAndNullIsNoop) {
+  obs::TraceRecorder rec;
+  {
+    obs::ScopedSpan span(&rec, "stage_x", 7, 2, 1);
+  }
+  { obs::ScopedSpan null_span(nullptr, "ignored", 0); }
+  ASSERT_EQ(rec.size(), 1u);
+  const auto evs = rec.events();
+  EXPECT_STREQ(evs[0].name, "stage_x");
+  EXPECT_EQ(evs[0].tti, 7u);
+  EXPECT_EQ(evs[0].block, 2);
+  EXPECT_EQ(evs[0].tid, 1);
+
+  const auto json = rec.chrome_json();
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"stage_x\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+}
+
+TEST(ObsTrace, ConcurrentRecordingKeepsAccounting) {
+  obs::TraceRecorder rec(256);
+  constexpr int kThreads = 4, kPerThread = 5000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        obs::ScopedSpan span(&rec, "hammer", std::uint32_t(i), -1, t);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(rec.size(), 256u);
+  EXPECT_EQ(rec.dropped(), std::uint64_t(kThreads) * kPerThread - 256);
+}
+
+// --- end-to-end stress: registry under a live BatchRunner ----------------
+
+// Hammer the process-global registry from extra threads while a
+// BatchRunner (itself recording into a private registry from its
+// workers) runs. Under ASan/TSan this is the data-race probe; everywhere
+// it checks the snapshot totals stay exact.
+TEST(ObsStress, RegistryExactUnderBatchRunnerLoad) {
+  for (const int num_workers : {1, 2, 8}) {
+    obs::MetricsRegistry reg;
+    pipeline::PipelineConfig cfg;
+    cfg.snr_db = 24.0;
+    cfg.metrics = &reg;
+    const int n_flows = 4;
+    std::vector<pipeline::PipelineConfig> flows;
+    for (int u = 0; u < n_flows; ++u) {
+      auto fc = cfg;
+      fc.rnti = static_cast<std::uint16_t>(0x200 + u);
+      fc.noise_seed = 900 + std::uint64_t(u);
+      flows.push_back(fc);
+    }
+    pipeline::BatchRunner runner(pipeline::BatchRunner::Direction::kUplink,
+                                 flows, num_workers);
+
+    std::atomic<bool> stop{false};
+    auto& side_counter = reg.counter("stress.side");
+    std::vector<std::thread> hammers;
+    for (int t = 0; t < 3; ++t) {
+      hammers.emplace_back([&] {
+        while (!stop.load(std::memory_order_relaxed)) side_counter.add();
+      });
+    }
+
+    constexpr int kTtis = 5;
+    std::vector<net::PacketGenerator> gens;
+    for (int u = 0; u < n_flows; ++u) {
+      net::FlowConfig fc;
+      fc.packet_bytes = 300;
+      fc.seed = 70 + std::uint64_t(u);
+      gens.emplace_back(fc);
+    }
+    for (int i = 0; i < kTtis; ++i) {
+      std::vector<std::vector<std::uint8_t>> pkts;
+      for (auto& g : gens) pkts.push_back(g.next());
+      const auto results = runner.run_tti(pkts);
+      for (const auto& r : results) EXPECT_TRUE(r.delivered);
+    }
+    stop.store(true);
+    for (auto& h : hammers) h.join();
+
+    const auto snap = reg.snapshot();
+    EXPECT_EQ(snap.counter("batch.packets"),
+              std::uint64_t(kTtis) * n_flows)
+        << num_workers << " workers";
+    EXPECT_EQ(snap.counter("batch.delivered"),
+              std::uint64_t(kTtis) * n_flows);
+    EXPECT_EQ(snap.counter("pipeline.packets"),
+              std::uint64_t(kTtis) * n_flows);
+    const auto* tti = snap.histogram("batch.tti_ns");
+    ASSERT_NE(tti, nullptr);
+    EXPECT_EQ(tti->count, std::uint64_t(kTtis));
+    // Every flow fed its latency histogram every TTI.
+    for (int u = 0; u < n_flows; ++u) {
+      const auto* fl = snap.histogram("batch.flow" + std::to_string(u) +
+                                      ".latency_ns");
+      ASSERT_NE(fl, nullptr);
+      EXPECT_EQ(fl->count, std::uint64_t(kTtis));
+    }
+    // The side hammer's own total is exact too (recorded concurrently,
+    // folded after join).
+    std::uint64_t side = snap.counter("stress.side");
+    EXPECT_EQ(reg.snapshot().counter("stress.side"), side);
+  }
+}
+
+}  // namespace
+}  // namespace vran
