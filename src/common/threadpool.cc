@@ -21,8 +21,9 @@ std::uint64_t ns_since(std::chrono::steady_clock::time_point t0) {
 
 }  // namespace
 
-ThreadPool::ThreadPool(int num_threads, obs::MetricsRegistry* metrics)
-    : metrics_(metrics) {
+ThreadPool::ThreadPool(int num_threads, obs::MetricsRegistry* metrics,
+                       fault::FaultInjector* fault)
+    : metrics_(metrics), fault_(fault) {
   if (num_threads < 0) {
     throw std::invalid_argument("ThreadPool: negative thread count");
   }
@@ -57,6 +58,7 @@ void ThreadPool::worker_loop(int worker_index) {
   // pool-wide histograms (per-worker shards fold on snapshot).
   obs::Counter* tasks = nullptr;
   obs::Counter* busy_ns = nullptr;
+  std::uint64_t task_seq = 0;  // per-worker, salts the delay draw
   if (metrics_ != nullptr) {
     const std::string suffix = ".w" + std::to_string(worker_index + 1);
     tasks = &metrics_->counter("threadpool.tasks" + suffix);
@@ -72,6 +74,17 @@ void ThreadPool::worker_loop(int worker_index) {
       queue_.pop_front();
     }
     if (queue_wait_ns_ != nullptr) queue_wait_ns_->record(ns_since(task.enqueued));
+    if (fault_ != nullptr &&
+        fault_->fire(fault::FaultPoint::kWorkerDelay)) {
+      // Scheduling-jitter fault: stall before the task. Bounded and
+      // timing-only — callers write to disjoint slots, so a late worker
+      // can never change the joined result.
+      const auto us = 20 + fault_->draw(fault::FaultPoint::kWorkerDelay,
+                                        task_seq, 0) % 100;
+      std::this_thread::sleep_for(
+          std::chrono::microseconds(static_cast<long>(us)));
+    }
+    ++task_seq;
     const auto t0 = std::chrono::steady_clock::now();
     task.fn();
     if (task_ns_ != nullptr) {

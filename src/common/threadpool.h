@@ -34,6 +34,7 @@
 #include <thread>
 #include <vector>
 
+#include "fault/fault.h"
 #include "obs/metrics.h"
 
 namespace vran {
@@ -44,9 +45,13 @@ class ThreadPool {
   /// degenerates to a plain loop on the caller). Queue-wait and
   /// task-runtime distributions plus per-worker task/busy counters are
   /// recorded into `metrics` ("threadpool.*"); pass nullptr to disable.
+  /// `fault` (optional) arms the kWorkerDelay point: a worker stalls
+  /// 20-120us before running a task — scheduling jitter that must never
+  /// change pipeline output, only timing.
   explicit ThreadPool(int num_threads,
                       obs::MetricsRegistry* metrics =
-                          &obs::MetricsRegistry::global());
+                          &obs::MetricsRegistry::global(),
+                      fault::FaultInjector* fault = nullptr);
   ~ThreadPool();
 
   ThreadPool(const ThreadPool&) = delete;
@@ -97,6 +102,7 @@ class ThreadPool {
   obs::MetricsRegistry* metrics_ = nullptr;
   obs::Histogram* queue_wait_ns_ = nullptr;
   obs::Histogram* task_ns_ = nullptr;
+  fault::FaultInjector* fault_ = nullptr;
 };
 
 }  // namespace vran

@@ -1,0 +1,196 @@
+#include "fault/fault.h"
+
+#include <charconv>
+#include <cstdio>
+#include <stdexcept>
+
+namespace vran::fault {
+
+namespace {
+
+constexpr const char* kNames[kNumFaultPoints] = {
+    "mempool.alloc_fail", "gtpu.truncate",        "gtpu.corrupt",
+    "llr.saturate",       "llr.sign_flip",        "turbo.early_stop_miss",
+    "worker.delay",
+};
+
+/// Uniform double in [0, 1) from a mixed 64-bit value (same construction
+/// as Xoshiro256::uniform so thresholds behave identically).
+double u01(std::uint64_t h) { return double(h >> 11) * 0x1.0p-53; }
+
+}  // namespace
+
+const char* fault_point_name(FaultPoint p) {
+  return kNames[static_cast<std::size_t>(p)];
+}
+
+std::optional<FaultPoint> fault_point_from_name(std::string_view name) {
+  for (int i = 0; i < kNumFaultPoints; ++i) {
+    if (name == kNames[i]) return static_cast<FaultPoint>(i);
+  }
+  return std::nullopt;
+}
+
+FaultPlan& FaultPlan::enable(FaultPoint p, double probability,
+                             std::uint64_t max_triggers) {
+  if (probability < 0.0 || probability > 1.0) {
+    throw std::invalid_argument("FaultPlan::enable: probability not in [0,1]");
+  }
+  auto& s = points[static_cast<std::size_t>(p)];
+  s.probability = probability;
+  s.max_triggers = max_triggers;
+  return *this;
+}
+
+bool FaultPlan::empty() const {
+  for (const auto& s : points) {
+    if (s.probability > 0.0) return false;
+  }
+  return true;
+}
+
+FaultPlan FaultPlan::all(double probability) {
+  FaultPlan plan;
+  for (int i = 0; i < kNumFaultPoints; ++i) {
+    plan.enable(static_cast<FaultPoint>(i), probability);
+  }
+  return plan;
+}
+
+std::string FaultPlan::serialize() const {
+  std::string out;
+  for (int i = 0; i < kNumFaultPoints; ++i) {
+    const auto& s = points[static_cast<std::size_t>(i)];
+    if (s.probability <= 0.0) continue;
+    char buf[96];
+    if (s.max_triggers > 0) {
+      std::snprintf(buf, sizeof buf, "%s:%.17g:%llu", kNames[i],
+                    s.probability,
+                    static_cast<unsigned long long>(s.max_triggers));
+    } else {
+      std::snprintf(buf, sizeof buf, "%s:%.17g", kNames[i], s.probability);
+    }
+    if (!out.empty()) out += ';';
+    out += buf;
+  }
+  return out;
+}
+
+std::optional<FaultPlan> FaultPlan::parse(std::string_view s) {
+  FaultPlan plan;
+  while (!s.empty()) {
+    const auto semi = s.find(';');
+    std::string_view item = s.substr(0, semi);
+    s = semi == std::string_view::npos ? std::string_view{}
+                                       : s.substr(semi + 1);
+    if (item.empty()) continue;
+    const auto c1 = item.find(':');
+    if (c1 == std::string_view::npos) return std::nullopt;
+    const auto point = fault_point_from_name(item.substr(0, c1));
+    if (!point.has_value()) return std::nullopt;
+    std::string_view rest = item.substr(c1 + 1);
+    const auto c2 = rest.find(':');
+    const std::string prob_str(rest.substr(0, c2));
+    char* end = nullptr;
+    const double prob = std::strtod(prob_str.c_str(), &end);
+    if (end == prob_str.c_str() || prob < 0.0 || prob > 1.0) {
+      return std::nullopt;
+    }
+    std::uint64_t max_triggers = 0;
+    if (c2 != std::string_view::npos) {
+      const std::string_view max_str = rest.substr(c2 + 1);
+      const auto res = std::from_chars(
+          max_str.data(), max_str.data() + max_str.size(), max_triggers);
+      if (res.ec != std::errc{} ||
+          res.ptr != max_str.data() + max_str.size()) {
+        return std::nullopt;
+      }
+    }
+    plan.enable(*point, prob, max_triggers);
+  }
+  return plan;
+}
+
+FaultInjector::FaultInjector(FaultPlan plan, std::uint64_t seed,
+                             obs::MetricsRegistry* metrics)
+    : plan_(plan), seed_(seed) {
+  for (int i = 0; i < kNumFaultPoints; ++i) {
+    // Decorrelate the points: each gets its own derived seed so a draw
+    // sequence at one site never mirrors another's.
+    point_seed_[static_cast<std::size_t>(i)] =
+        splitmix64(seed_ ^ splitmix64(0x9E37u + std::uint64_t(i)));
+    if (metrics != nullptr &&
+        plan_.points[static_cast<std::size_t>(i)].probability > 0.0) {
+      trigger_counter_[static_cast<std::size_t>(i)] = &metrics->counter(
+          std::string("fault.") + kNames[i] + ".triggered");
+    }
+  }
+}
+
+bool FaultInjector::decide(FaultPoint p, std::uint64_t index_or_key) {
+  const auto i = static_cast<std::size_t>(p);
+  const FaultSpec& spec = plan_.points[i];
+  auto& st = state_[i];
+  st.checked.fetch_add(1, std::memory_order_relaxed);
+  if (spec.probability <= 0.0) return false;
+  const std::uint64_t h =
+      splitmix64(point_seed_[i] ^ splitmix64(index_or_key));
+  if (u01(h) >= spec.probability) return false;
+  // Budget: bounded atomic increment so concurrent checks never exceed
+  // max_triggers (which keys get the budget is order-dependent under
+  // concurrency; single-threaded sites consume it deterministically).
+  if (spec.max_triggers > 0) {
+    std::uint64_t cur = st.triggered.load(std::memory_order_relaxed);
+    for (;;) {
+      if (cur >= spec.max_triggers) return false;
+      if (st.triggered.compare_exchange_weak(cur, cur + 1,
+                                             std::memory_order_relaxed)) {
+        break;
+      }
+    }
+  } else {
+    st.triggered.fetch_add(1, std::memory_order_relaxed);
+  }
+  if (trigger_counter_[i] != nullptr) trigger_counter_[i]->add();
+  return true;
+}
+
+bool FaultInjector::fire(FaultPoint p) {
+  const auto i = static_cast<std::size_t>(p);
+  const std::uint64_t n =
+      state_[i].sequence.fetch_add(1, std::memory_order_relaxed);
+  // Sequence indices and caller keys share one decision function; the
+  // high tag bit keeps them from colliding.
+  return decide(p, n | (std::uint64_t{1} << 63));
+}
+
+bool FaultInjector::fire(FaultPoint p, std::uint64_t key) {
+  return decide(p, key & ~(std::uint64_t{1} << 63));
+}
+
+std::uint64_t FaultInjector::draw(FaultPoint p, std::uint64_t key,
+                                  std::uint64_t salt) const {
+  const auto i = static_cast<std::size_t>(p);
+  return splitmix64(point_seed_[i] ^ splitmix64(key) ^
+                    splitmix64(0xD1CEu + salt));
+}
+
+std::uint64_t FaultInjector::checked(FaultPoint p) const {
+  return state_[static_cast<std::size_t>(p)].checked.load(
+      std::memory_order_relaxed);
+}
+
+std::uint64_t FaultInjector::triggered(FaultPoint p) const {
+  return state_[static_cast<std::size_t>(p)].triggered.load(
+      std::memory_order_relaxed);
+}
+
+void FaultInjector::reset() {
+  for (auto& st : state_) {
+    st.sequence.store(0, std::memory_order_relaxed);
+    st.checked.store(0, std::memory_order_relaxed);
+    st.triggered.store(0, std::memory_order_relaxed);
+  }
+}
+
+}  // namespace vran::fault

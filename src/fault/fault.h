@@ -1,0 +1,142 @@
+// Deterministic, seed-driven fault injection.
+//
+// The paper's equivalence argument (SIMD tiers drop-in for the scalar
+// path) only holds if the system also *degrades* identically: a vRAN
+// deployment sees mempool pressure, mangled S1-U frames, and saturated
+// soft bits long before it sees a clean benchmark input. This framework
+// threads a `FaultInjector` through the stack (via
+// `pipeline::PipelineConfig::fault`, like `metrics`/`trace`) so tests
+// can force those conditions on demand and assert the graceful-
+// degradation contract at every site:
+//
+//   * kMempoolAllocFail — PacketPool::alloc reports exhaustion; callers
+//     apply bounded retries with backoff (PacketPool::alloc_retry).
+//   * kGtpuTruncate / kGtpuCorrupt — the egress GTP-U frame is mangled
+//     in flight; the consumer drops it and counts
+//     ("net.gtpu.decap_drop"), never parses out of bounds.
+//   * kLlrSaturate / kLlrSignFlip — a burst of receive-side LLRs is
+//     clamped to full scale / sign-inverted ahead of the data
+//     arrangement; the decoder fails CRC and HARQ retransmits.
+//   * kTurboEarlyStopMiss — the decoder misses its early-stop checks and
+//     burns max_iterations (the latency cost of a missed exit).
+//   * kWorkerDelay — a ThreadPool worker stalls briefly before running a
+//     task (scheduling jitter; timing-only, never changes output).
+//
+// Determinism contract: every decision is a pure function of
+// (injector seed, fault point, draw key). Sites whose fault changes
+// *output* (LLR, turbo, GTP-U) key their draws by stable identity
+// (rnti/tti/rv/block), so two runs with identical `VRAN_SEED` and plan
+// produce identical fault sequences, counters, and egress even with
+// worker pools; see FaultInjector::fire(point, key). Unkeyed sites
+// (mempool, worker delay) consume a per-point sequence counter and are
+// deterministic when driven from one thread.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "common/rng.h"
+#include "obs/metrics.h"
+
+namespace vran::fault {
+
+enum class FaultPoint : int {
+  kMempoolAllocFail = 0,
+  kGtpuTruncate,
+  kGtpuCorrupt,
+  kLlrSaturate,
+  kLlrSignFlip,
+  kTurboEarlyStopMiss,
+  kWorkerDelay,
+};
+inline constexpr int kNumFaultPoints = 7;
+
+/// Stable lowercase name ("mempool.alloc_fail", "gtpu.truncate", ...)
+/// used for metrics ("fault.<name>.triggered") and plan serialization.
+const char* fault_point_name(FaultPoint p);
+std::optional<FaultPoint> fault_point_from_name(std::string_view name);
+
+struct FaultSpec {
+  double probability = 0.0;        ///< per-check fire probability [0, 1]
+  std::uint64_t max_triggers = 0;  ///< 0 = unlimited
+};
+
+/// Which faults are armed, at what rate. A plan is plain data — it can
+/// be serialized into a reproducer dump and parsed back.
+struct FaultPlan {
+  std::array<FaultSpec, kNumFaultPoints> points{};
+
+  FaultPlan& enable(FaultPoint p, double probability,
+                    std::uint64_t max_triggers = 0);
+  const FaultSpec& spec(FaultPoint p) const {
+    return points[static_cast<std::size_t>(p)];
+  }
+  bool empty() const;
+
+  /// Every point armed at `probability` (the "all-faults" soak plan).
+  static FaultPlan all(double probability);
+
+  /// Compact form "name:prob[:max];name:prob..." — stable round trip
+  /// through parse(); empty string for an empty plan.
+  std::string serialize() const;
+  static std::optional<FaultPlan> parse(std::string_view s);
+};
+
+/// Decides, deterministically, whether each armed fault fires at each
+/// check site, and counts checks/triggers per point (triggers are also
+/// exported as "fault.<name>.triggered" registry counters).
+///
+/// Thread-safe: keyed decisions are stateless pure hashes; counters and
+/// the unkeyed sequence draw are atomics.
+class FaultInjector {
+ public:
+  /// Stream id mixed with VRAN_SEED for the default seed (see rng.h).
+  static constexpr std::uint64_t kSeedStream = 0xFA017;
+
+  explicit FaultInjector(
+      FaultPlan plan, std::uint64_t seed = seed_stream(kSeedStream),
+      obs::MetricsRegistry* metrics = &obs::MetricsRegistry::global());
+
+  /// Unkeyed check: consumes this point's next sequence index.
+  bool fire(FaultPoint p);
+  /// Keyed check: pure function of (seed, point, key) — identical
+  /// decisions for any thread interleaving. Callers pass a stable
+  /// identity key (e.g. rnti/tti/rv/block packed into 64 bits).
+  bool fire(FaultPoint p, std::uint64_t key);
+
+  /// Deterministic auxiliary value for a fired fault (burst offset,
+  /// burst length, delay duration...): pure hash of (seed, point, key,
+  /// salt), uniform in [0, 2^64).
+  std::uint64_t draw(FaultPoint p, std::uint64_t key,
+                     std::uint64_t salt) const;
+
+  std::uint64_t checked(FaultPoint p) const;
+  std::uint64_t triggered(FaultPoint p) const;
+  const FaultPlan& plan() const { return plan_; }
+  std::uint64_t seed() const { return seed_; }
+
+  /// Zero all counters and sequence indices (a fresh run with the same
+  /// plan/seed then replays the identical fault sequence).
+  void reset();
+
+ private:
+  bool decide(FaultPoint p, std::uint64_t index_or_key);
+
+  FaultPlan plan_;
+  std::uint64_t seed_;
+  std::array<std::uint64_t, kNumFaultPoints> point_seed_{};
+
+  struct alignas(64) PointState {
+    std::atomic<std::uint64_t> sequence{0};
+    std::atomic<std::uint64_t> checked{0};
+    std::atomic<std::uint64_t> triggered{0};
+  };
+  std::array<PointState, kNumFaultPoints> state_;
+  std::array<obs::Counter*, kNumFaultPoints> trigger_counter_{};
+};
+
+}  // namespace vran::fault

@@ -1,5 +1,6 @@
 #include "net/gtpu.h"
 
+#include <algorithm>
 #include <stdexcept>
 
 #include "obs/metrics.h"
@@ -70,6 +71,28 @@ std::optional<GtpuPacket> gtpu_decapsulate(
   p.inner.assign(bytes.begin() + kGtpuHeaderBytes, bytes.end());
   gtpu_counters().decap.add();
   return p;
+}
+
+bool gtpu_apply_fault(std::vector<std::uint8_t>& frame,
+                      fault::FaultInjector& fault, std::uint64_t key) {
+  if (frame.empty()) return false;
+  using fault::FaultPoint;
+  if (fault.fire(FaultPoint::kGtpuTruncate, key)) {
+    // Cut inside the header or just past it — both the too-short and the
+    // length-mismatch rejection paths get exercised.
+    const auto keep = fault.draw(FaultPoint::kGtpuTruncate, key, 1) %
+                      std::min<std::size_t>(frame.size(),
+                                            kGtpuHeaderBytes + 2);
+    frame.resize(keep);
+    return true;
+  }
+  if (fault.fire(FaultPoint::kGtpuCorrupt, key)) {
+    const auto bit = fault.draw(FaultPoint::kGtpuCorrupt, key, 1) %
+                     (std::size_t{kGtpuHeaderBytes} * 8);
+    frame[bit / 8] ^= static_cast<std::uint8_t>(1u << (bit % 8));
+    return true;
+  }
+  return false;
 }
 
 }  // namespace vran::net

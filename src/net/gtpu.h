@@ -8,6 +8,8 @@
 #include <span>
 #include <vector>
 
+#include "fault/fault.h"
+
 namespace vran::net {
 
 inline constexpr int kGtpuHeaderBytes = 8;
@@ -28,5 +30,16 @@ struct GtpuPacket {
   std::vector<std::uint8_t> inner;
 };
 std::optional<GtpuPacket> gtpu_decapsulate(std::span<const std::uint8_t> bytes);
+
+/// Apply the armed GTP-U faults (kGtpuTruncate / kGtpuCorrupt, keyed by
+/// `key`) to an encapsulated frame in place — a wire-mangled S1-U packet.
+/// Truncation cuts the frame inside or just past the header; corruption
+/// flips one bit of the 8-byte header. The mangled frame is then either
+/// rejected by gtpu_decapsulate (drop + "net.gtpu.decap_drop") or — when
+/// only the TEID bits flipped — decapsulates to an unknown tunnel the
+/// EPC drops; it is never parsed out of bounds and never silently
+/// delivered. Returns true when the frame was mangled.
+bool gtpu_apply_fault(std::vector<std::uint8_t>& frame,
+                      fault::FaultInjector& fault, std::uint64_t key);
 
 }  // namespace vran::net

@@ -1,6 +1,8 @@
 #include "net/mempool.h"
 
+#include <chrono>
 #include <stdexcept>
+#include <thread>
 
 #include "obs/metrics.h"
 
@@ -15,13 +17,15 @@ struct PoolMetrics {
   obs::Gauge& in_use;
   obs::Counter& allocs;
   obs::Counter& exhausted;
+  obs::Counter& retries;
 };
 
 PoolMetrics& pool_metrics() {
   auto& m = obs::MetricsRegistry::global();
   static PoolMetrics p{m.gauge("net.mempool.in_use"),
                        m.counter("net.mempool.alloc"),
-                       m.counter("net.mempool.exhausted")};
+                       m.counter("net.mempool.exhausted"),
+                       m.counter("net.mempool.retry")};
   return p;
 }
 
@@ -48,6 +52,13 @@ PacketPool::~PacketPool() {
 }
 
 std::optional<PacketBuf> PacketPool::alloc() {
+  if (fault_ != nullptr &&
+      fault_->fire(fault::FaultPoint::kMempoolAllocFail)) {
+    // Injected allocation failure: indistinguishable from a real empty
+    // free list, so callers exercise the same backpressure path.
+    pool_metrics().exhausted.add();
+    return std::nullopt;
+  }
   if (free_.empty()) {
     pool_metrics().exhausted.add();
     return std::nullopt;
@@ -58,6 +69,17 @@ std::optional<PacketBuf> PacketPool::alloc() {
   pool_metrics().allocs.add();
   pool_metrics().in_use.add(1);
   return PacketBuf{idx, 0};
+}
+
+std::optional<PacketBuf> PacketPool::alloc_retry(int max_retries) {
+  auto buf = alloc();
+  for (int attempt = 0; !buf.has_value() && attempt < max_retries;
+       ++attempt) {
+    pool_metrics().retries.add();
+    std::this_thread::sleep_for(std::chrono::microseconds(1L << attempt));
+    buf = alloc();
+  }
+  return buf;
 }
 
 void PacketPool::free(PacketBuf buf) {

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "common/aligned.h"
+#include "fault/fault.h"
 
 namespace vran::net {
 
@@ -33,12 +34,25 @@ class PacketPool {
   std::size_t available() const { return free_.size(); }
 
   /// Allocate a buffer; nullopt when exhausted (caller applies
-  /// backpressure, as a NIC driver would).
+  /// backpressure, as a NIC driver would) or when the armed
+  /// kMempoolAllocFail fault fires. Both outcomes count as
+  /// "net.mempool.exhausted" — callers must not distinguish them.
   std::optional<PacketBuf> alloc();
+
+  /// alloc() with bounded retries: on failure, backs off (1us doubling
+  /// per attempt) and re-tries up to `max_retries` times, counting
+  /// "net.mempool.retry". The graceful-degradation path for transient
+  /// exhaustion and injected allocation faults; nullopt only after the
+  /// retry budget is spent.
+  std::optional<PacketBuf> alloc_retry(int max_retries = 3);
+
   void free(PacketBuf buf);
 
   std::span<std::uint8_t> data(PacketBuf buf);
   std::span<const std::uint8_t> data(PacketBuf buf) const;
+
+  /// Arm/disarm fault injection (kMempoolAllocFail) for this pool.
+  void set_fault_injector(fault::FaultInjector* f) { fault_ = f; }
 
  private:
   std::size_t buf_size_;
@@ -46,6 +60,7 @@ class PacketPool {
   AlignedVector<std::uint8_t> storage_;
   std::vector<std::uint32_t> free_;
   std::vector<bool> in_use_;
+  fault::FaultInjector* fault_ = nullptr;
 };
 
 /// Lock-free single-producer single-consumer ring of packet handles,

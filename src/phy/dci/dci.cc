@@ -181,6 +181,11 @@ std::vector<std::uint8_t> dci_encode(const DciPayload& p, std::uint16_t rnti,
   return out;
 }
 
+bool dci_valid(const DciPayload& p) {
+  return p.rb_len >= 1 &&
+         int(p.rb_start) + int(p.rb_len) <= kMaxCarrierPrbs && p.mcs <= 28;
+}
+
 std::optional<DciPayload> dci_decode(std::span<const std::int16_t> llr,
                                      std::uint16_t rnti) {
   const std::size_t coded =
@@ -194,7 +199,9 @@ std::optional<DciPayload> dci_decode(std::span<const std::int16_t> llr,
   }
   const auto bits = tbcc_decode(acc);
   if (!crc16_check_masked(bits, rnti)) return std::nullopt;
-  return dci_unpack(std::span(bits).first(kDciPayloadBits));
+  const auto payload = dci_unpack(std::span(bits).first(kDciPayloadBits));
+  if (!dci_valid(payload)) return std::nullopt;
+  return payload;
 }
 
 }  // namespace vran::phy

@@ -49,6 +49,16 @@ inline constexpr int kDciPayloadBits = 27;
 std::vector<std::uint8_t> dci_pack(const DciPayload& p);
 DciPayload dci_unpack(std::span<const std::uint8_t> bits);
 
+/// Largest LTE carrier in PRBs — the bound for grant allocations.
+inline constexpr int kMaxCarrierPrbs = 110;
+
+/// Semantic field-range check for a decoded grant: rb_len >= 1,
+/// rb_start + rb_len <= kMaxCarrierPrbs, mcs <= 28. A payload whose CRC
+/// matches but whose fields are out of range (a false CRC pass over
+/// garbage bits, or a malformed transmitter) must be rejected before any
+/// field is used to size buffers.
+bool dci_valid(const DciPayload& p);
+
 /// Full transmit chain: pack, attach RNTI-masked CRC16, TBCC-encode,
 /// circularly repeat/puncture to `e` bits.
 std::vector<std::uint8_t> dci_encode(const DciPayload& p, std::uint16_t rnti,

@@ -117,7 +117,7 @@ TurboDecoder::TurboDecoder(int k, TurboDecodeConfig cfg)
 
 TurboDecodeResult TurboDecoder::decode(
     std::span<const std::int16_t> llr_triples,
-    std::span<std::uint8_t> bits_out) {
+    std::span<std::uint8_t> bits_out, bool force_full_iterations) {
   const std::size_t nt = static_cast<std::size_t>(k_) + kTurboTail;
   if (llr_triples.size() != 3 * nt) {
     throw std::invalid_argument("TurboDecoder::decode: need 3*(K+4) LLRs");
@@ -133,14 +133,15 @@ TurboDecodeResult TurboDecoder::decode(
   const double arrange_s = sw.seconds();
 
   auto result = decode_arranged(arranged_sys_, arranged_p1_, arranged_p2_,
-                                bits_out);
+                                bits_out, force_full_iterations);
   result.arrange_seconds = arrange_s;
   return result;
 }
 
 TurboDecodeResult TurboDecoder::decode_arranged(
     std::span<const std::int16_t> sys, std::span<const std::int16_t> p1,
-    std::span<const std::int16_t> p2, std::span<std::uint8_t> bits_out) {
+    std::span<const std::int16_t> p2, std::span<std::uint8_t> bits_out,
+    bool force_full_iterations) {
   const std::size_t K = static_cast<std::size_t>(k_);
   const std::size_t nt = K + kTurboTail;
   if (sys.size() != nt || p1.size() != nt || p2.size() != nt ||
@@ -204,12 +205,14 @@ TurboDecodeResult TurboDecoder::decode_arranged(
           static_cast<std::uint8_t>(lall_[i] > 0);
     }
 
-    if (cfg_.crc.has_value() && crc_check(hard_, *cfg_.crc)) {
+    if (!force_full_iterations && cfg_.crc.has_value() &&
+        crc_check(hard_, *cfg_.crc)) {
       res.crc_ok = true;
       res.converged = true;
       break;
     }
-    if (cfg_.early_stop && have_prev && hard_ == hard_prev_) {
+    if (!force_full_iterations && cfg_.early_stop && have_prev &&
+        hard_ == hard_prev_) {
       res.converged = true;
       break;
     }

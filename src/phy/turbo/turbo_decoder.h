@@ -66,16 +66,21 @@ class TurboDecoder {
   /// Decode from the triple-interleaved LLR stream (3*(K+4) values,
   /// layout [d0_0 d1_0 d2_0 d0_1 ...]) — runs the configured data
   /// arrangement first, then the MAP iterations. `bits_out` receives K
-  /// hard decisions.
+  /// hard decisions. `force_full_iterations` (fault injection: a missed
+  /// early-stop) disables the CRC-stop and repeat-detection exits for
+  /// this call only, so every configured iteration runs; crc_ok still
+  /// reports the final hard decisions honestly.
   TurboDecodeResult decode(std::span<const std::int16_t> llr_triples,
-                           std::span<std::uint8_t> bits_out);
+                           std::span<std::uint8_t> bits_out,
+                           bool force_full_iterations = false);
 
   /// Decode from already-arranged streams (each K+4: data then 4 tail
   /// values in the 36.212 multiplexed layout).
   TurboDecodeResult decode_arranged(std::span<const std::int16_t> sys,
                                     std::span<const std::int16_t> p1,
                                     std::span<const std::int16_t> p2,
-                                    std::span<std::uint8_t> bits_out);
+                                    std::span<std::uint8_t> bits_out,
+                                    bool force_full_iterations = false);
 
  private:
   int k_;

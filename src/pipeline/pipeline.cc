@@ -1,5 +1,6 @@
 #include "pipeline/pipeline.h"
 
+#include <algorithm>
 #include <cmath>
 #include <map>
 #include <memory>
@@ -183,6 +184,46 @@ class StageScope {
   std::int32_t block_;
   std::uint64_t trace_begin_ = 0;
 };
+
+/// Stable identity for fault draws: one packet transmission. Folding the
+/// RNTI in decorrelates flows that share an injector (BatchRunner);
+/// folding the redundancy version in distinguishes HARQ retransmissions
+/// of the same TTI. Bit 63 stays clear (reserved for unkeyed draws).
+std::uint64_t fault_key(const PipelineConfig& cfg, std::uint32_t tti,
+                        int rv) {
+  return (std::uint64_t(cfg.rnti) << 40) ^ (std::uint64_t(tti) << 8) ^
+         std::uint64_t(rv & 0xFF);
+}
+
+/// LLR saturation / sign-flip bursts, applied ahead of the data
+/// arrangement. Burst geometry comes from keyed draws, so the corrupted
+/// positions are identical across reruns and ISA tiers.
+void apply_llr_faults(const PipelineConfig& cfg, std::uint32_t tti, int rv,
+                      std::span<std::int16_t> llr) {
+  if (cfg.fault == nullptr || llr.empty()) return;
+  using fault::FaultPoint;
+  const std::uint64_t key = fault_key(cfg, tti, rv);
+  const auto burst = [&](FaultPoint p, auto&& mutate) {
+    if (!cfg.fault->fire(p, key)) return;
+    const std::size_t max_len =
+        std::max<std::size_t>(16, llr.size() / 8);
+    const std::size_t len = 1 + cfg.fault->draw(p, key, 1) % max_len;
+    const std::size_t start = cfg.fault->draw(p, key, 2) % llr.size();
+    for (std::size_t j = 0; j < len && start + j < llr.size(); ++j) {
+      mutate(llr[start + j]);
+    }
+  };
+  // Saturation: an AGC/quantizer overdrive — full-scale confidence in
+  // whatever sign the sample already had (amplifies channel errors).
+  burst(FaultPoint::kLlrSaturate, [](std::int16_t& v) {
+    v = v < 0 ? std::int16_t{-32767} : std::int16_t{32767};
+  });
+  // Sign flip: an interference burst — the decoder sees confidently
+  // wrong soft bits, fails CRC, and HARQ soft-combining recovers.
+  burst(FaultPoint::kLlrSignFlip, [](std::int16_t& v) {
+    v = static_cast<std::int16_t>(-v);
+  });
+}
 
 Modulation mod_of(int mcs) {
   switch (mac::mcs_entry(mcs).modulation_bits) {
@@ -372,6 +413,8 @@ DecodedTb phy_decode(const EncodedTb& enc, const PipelineConfig& cfg,
                                                cfg.cell_id));
   }
 
+  apply_llr_faults(cfg, tti, enc.rv, llr);
+
   // Per-block de-rate-match + data arrangement + turbo decode: the decode
   // hot path. Code blocks are independent after segmentation, so with a
   // pool they run one block per worker. Every block writes only its own
@@ -421,10 +464,17 @@ DecodedTb phy_decode(const EncodedTb& enc, const PipelineConfig& cfg,
     }
     auto& dec = cache().decoder(k, cfg, multi);
     blocks[bi].resize(static_cast<std::size_t>(k));
+    // Forced early-stop miss: the block burns max_iterations instead of
+    // exiting at CRC pass / repeat detection. Keyed per (packet, block),
+    // so which blocks miss is rerun- and worker-count-stable.
+    const bool miss_early_stop =
+        cfg.fault != nullptr &&
+        cfg.fault->fire(fault::FaultPoint::kTurboEarlyStopMiss,
+                        (fault_key(cfg, tti, enc.rv) << 7) ^ bi);
     phy::TurboDecodeResult res;
     {
       obs::ScopedSpan span(po.trace, "turbo_block", po.tti, i, tid);
-      res = dec.decode(triples, blocks[bi]);
+      res = dec.decode(triples, blocks[bi], miss_early_stop);
     }
     ob.arrange_seconds = res.arrange_seconds;
     ob.compute_seconds = res.compute_seconds;
@@ -474,7 +524,8 @@ DecodedTb phy_decode(const EncodedTb& enc, const PipelineConfig& cfg,
 /// pool at all for the bit-exact legacy N == 1 path.
 std::unique_ptr<ThreadPool> make_decode_pool(const PipelineConfig& cfg) {
   if (cfg.num_workers <= 1) return nullptr;
-  return std::make_unique<ThreadPool>(cfg.num_workers - 1, cfg.metrics);
+  return std::make_unique<ThreadPool>(cfg.num_workers - 1, cfg.metrics,
+                                      cfg.fault);
 }
 
 }  // namespace
@@ -551,6 +602,13 @@ PacketResult UplinkPipeline::send_packet(
     if (sdu.has_value()) {
       StageScope st(po, times_.gtpu, obs_->gtpu, "gtpu");
       res.egress = net::gtpu_encapsulate(cfg_.teid, sdu->data);
+      // Wire mangling on the S1-U leg: the frame still egresses
+      // (delivered = true from the eNB's perspective); the EPC side
+      // drops it and counts "net.gtpu.decap_drop".
+      if (cfg_.fault != nullptr) {
+        net::gtpu_apply_fault(res.egress, *cfg_.fault,
+                              fault_key(cfg_, tti, 0));
+      }
       res.delivered = true;
     }
   }

@@ -24,6 +24,7 @@
 #include "common/cpu_features.h"
 #include "common/threadpool.h"
 #include "common/timer.h"
+#include "fault/fault.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "mac/mac_pdu.h"
@@ -72,6 +73,13 @@ struct PipelineConfig {
   obs::MetricsRegistry* metrics = &obs::MetricsRegistry::global();
   /// Span recorder for chrome://tracing export; nullptr = tracing off.
   obs::TraceRecorder* trace = nullptr;
+  /// Fault injector (see fault/fault.h); nullptr = no faults. Armed
+  /// points hit the receive chain (LLR saturate/sign-flip bursts ahead
+  /// of the data arrangement, forced turbo early-stop miss), the egress
+  /// GTP-U frame, and the decode worker pool. Draws are keyed by
+  /// (rnti, tti, rv, block), so fault sequences — and therefore egress —
+  /// are identical across reruns and worker counts.
+  fault::FaultInjector* fault = nullptr;
 };
 
 /// Named per-stage CPU-time accumulators.

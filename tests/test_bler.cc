@@ -1,0 +1,86 @@
+// BLER regression at three MCS operating points.
+//
+// The golden-vector tests pin exact bytes at high SNR; they say nothing
+// about *sensitivity*. A kernel change that loses half a dB of coding
+// gain (wrong LLR scale, off-by-one in the interleaver window, a
+// saturating add that clips) still decodes clean blocks perfectly — it
+// only shows up as a shifted waterfall. This test freezes one
+// mid-waterfall operating point per modulation order and bounds the
+// measured BLER.
+//
+// Calibration (the frozen constants): SSE4.1 tier (bit-exact with scalar
+// everywhere, no env dependence), 500-byte packets, payload stream
+// Xoshiro256(7), default noise_seed, harq_max_tx = 1, N = 100 blocks:
+//
+//   MCS  4 (QPSK)  @ -0.50 dB -> BLER 0.59
+//   MCS 13 (16QAM) @  6.50 dB -> BLER 0.59
+//   MCS 20 (64QAM) @ 12.25 dB -> BLER 0.73
+//
+// The waterfall is steep (~0.25 dB from BLER 1.0 to ~0.0), so a ±0.5 dB
+// sensitivity shift saturates the measurement to ~1 or ~0 and lands far
+// outside the bands below. The bands are wide enough for small
+// cross-compiler floating-point drift in the channel/OFDM path, which
+// perturbs individual marginal blocks but not the operating point.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "pipeline/pipeline.h"
+
+namespace vran {
+namespace {
+
+double measure_bler(int mcs, double snr_db, int blocks) {
+  pipeline::PipelineConfig cfg;
+  cfg.mcs = mcs;
+  cfg.max_prb = 100;
+  cfg.snr_db = snr_db;
+  cfg.isa = IsaLevel::kSse41;
+  cfg.harq_max_tx = 1;
+  cfg.metrics = nullptr;
+  pipeline::UplinkPipeline ul(cfg);
+  Xoshiro256 rng(7);
+  int failed = 0;
+  for (int i = 0; i < blocks; ++i) {
+    std::vector<std::uint8_t> p(500);
+    for (auto& b : p) b = static_cast<std::uint8_t>(rng.next());
+    failed += !ul.send_packet(p).crc_ok;
+  }
+  return static_cast<double>(failed) / blocks;
+}
+
+struct OperatingPoint {
+  int mcs;
+  double snr_db;
+  double bler_lo, bler_hi;  ///< frozen tolerance band
+};
+
+TEST(BlerRegression, MidWaterfallOperatingPoints) {
+  const OperatingPoint points[] = {
+      {4, -0.50, 0.35, 0.85},   // measured 0.59
+      {13, 6.50, 0.35, 0.85},   // measured 0.59
+      {20, 12.25, 0.50, 0.95},  // measured 0.73
+  };
+  for (const auto& pt : points) {
+    const double bler = measure_bler(pt.mcs, pt.snr_db, 100);
+    EXPECT_GE(bler, pt.bler_lo)
+        << "mcs " << pt.mcs << ": decoder got more sensitive than frozen "
+        << "(waterfall moved left) — recalibrate deliberately, don't ignore";
+    EXPECT_LE(bler, pt.bler_hi)
+        << "mcs " << pt.mcs << ": sensitivity regression (waterfall moved "
+        << "right) at " << pt.snr_db << " dB";
+  }
+}
+
+TEST(BlerRegression, CleanAboveWaterfall) {
+  // Half a dB above the waterfall every block decodes; a sensitivity
+  // regression shows up here as nonzero BLER.
+  EXPECT_EQ(measure_bler(4, 0.0, 50), 0.0);
+  EXPECT_EQ(measure_bler(13, 7.0, 50), 0.0);
+  EXPECT_EQ(measure_bler(20, 13.0, 50), 0.0);
+}
+
+}  // namespace
+}  // namespace vran

@@ -12,6 +12,7 @@
 #include "mac/tbs_tables.h"
 #include "net/gtpu.h"
 #include "net/mempool.h"
+#include "obs/metrics.h"
 #include "net/packet.h"
 #include "net/epc.h"
 #include "net/pktgen.h"
@@ -236,6 +237,41 @@ TEST(Mempool, AllocFreeCycle) {
   pool.free(bufs.back());
   bufs.pop_back();
   EXPECT_TRUE(pool.alloc().has_value());
+}
+
+TEST(Mempool, ExhaustionIsReportedAndRecoverable) {
+  // Drain -> every further alloc must fail *and* be counted; refill ->
+  // allocation works again and the shared occupancy gauge is back at its
+  // pre-test baseline (leak detection for the index free-list).
+  auto& reg = obs::MetricsRegistry::global();
+  const auto in_use0 = reg.gauge("net.mempool.in_use").value();
+  const auto exhausted0 = reg.counter("net.mempool.exhausted").value();
+
+  net::PacketPool pool(512, 8);
+  std::vector<net::PacketBuf> bufs;
+  for (int i = 0; i < 8; ++i) {
+    auto b = pool.alloc();
+    ASSERT_TRUE(b.has_value());
+    bufs.push_back(*b);
+  }
+  EXPECT_EQ(pool.available(), 0u);
+  EXPECT_EQ(reg.gauge("net.mempool.in_use").value(), in_use0 + 8);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_FALSE(pool.alloc().has_value());
+  }
+  EXPECT_EQ(reg.counter("net.mempool.exhausted").value(), exhausted0 + 3);
+  // alloc_retry against a genuinely empty pool: burns its full retry
+  // budget (counted), then reports failure rather than hanging.
+  const auto retries0 = reg.counter("net.mempool.retry").value();
+  EXPECT_FALSE(pool.alloc_retry(2).has_value());
+  EXPECT_EQ(reg.counter("net.mempool.retry").value(), retries0 + 2);
+
+  for (const auto& b : bufs) pool.free(b);
+  EXPECT_EQ(pool.available(), 8u);
+  EXPECT_EQ(reg.gauge("net.mempool.in_use").value(), in_use0);
+  EXPECT_TRUE(pool.alloc_retry().has_value());
+  // The successful alloc above is still outstanding by design; it is
+  // reclaimed by the pool destructor, which also settles the gauge.
 }
 
 TEST(Mempool, DoubleFreeThrows) {
