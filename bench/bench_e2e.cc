@@ -1,0 +1,211 @@
+// End-to-end TTI latency / allocation benchmark for the decode hot path.
+//
+// Drives a multi-flow uplink BatchRunner for N TTIs per configuration
+// (ISA tier x worker count) and reports, per configuration:
+//   * p50 / p99 / mean TTI wall latency (sorted per-TTI samples, not a
+//     histogram approximation),
+//   * allocations per TTI on the decode chain (PacketResult::decode_allocs
+//     summed across flows; this binary links the counting allocator, so
+//     the numbers are real heap calls — 0 in the steady state). The
+//     counter is process-global, so with concurrent flows one flow's
+//     decode bracket would also count another flow's transmit-path
+//     allocations; since BatchRunner always runs each flow's decode
+//     serially (flow pipelines are forced to one worker), the workers=1
+//     measurement is the exact decode-path number for every worker
+//     count and is what multi-worker rows report,
+//   * per-stage CPU microseconds per TTI (StageTimes delta / TTIs).
+//
+// `--json <path>` writes the "vran-bench-e2e-v1" document that
+// tools/bench_compare gates CI on (see TESTING.md for the schema);
+// bench/baselines/BENCH_PR4.json is the committed reference.
+//
+// Flags: --ttis N (default 300)  --flows N (default 4)
+//        --payload BYTES (default 1500)  --json PATH
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/alloc_stats.h"
+#include "common/cpu_features.h"
+#include "common/timer.h"
+#include "net/pktgen.h"
+#include "pipeline/batch_runner.h"
+
+using namespace vran;
+
+namespace {
+
+int int_flag(int argc, char** argv, const char* name, int def) {
+  const std::size_t len = std::strlen(name);
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], name) == 0 && i + 1 < argc) {
+      return std::atoi(argv[i + 1]);
+    }
+    if (std::strncmp(argv[i], name, len) == 0 && argv[i][len] == '=') {
+      return std::atoi(argv[i] + len + 1);
+    }
+  }
+  return def;
+}
+
+struct ConfigResult {
+  IsaLevel isa;
+  int workers = 1;
+  double p50_us = 0, p99_us = 0, mean_us = 0;
+  double allocs_per_tti = 0;
+  double crc_ok_rate = 0;
+  std::vector<pipeline::StageTimes::Entry> stages;  // seconds, whole run
+  int ttis = 0;
+};
+
+ConfigResult run_config(IsaLevel isa, int workers, int ttis, int flows,
+                        int payload) {
+  ConfigResult out;
+  out.isa = isa;
+  out.workers = workers;
+  out.ttis = ttis;
+
+  std::vector<pipeline::PipelineConfig> cfgs(static_cast<std::size_t>(flows));
+  for (int f = 0; f < flows; ++f) {
+    auto& cfg = cfgs[static_cast<std::size_t>(f)];
+    cfg.isa = isa;
+    cfg.rnti = static_cast<std::uint16_t>(0x1000 + f);
+    cfg.noise_seed = 7u + static_cast<std::uint64_t>(f);
+    cfg.metrics = nullptr;  // latency comes from wall-clock samples below
+    cfg.trace = nullptr;
+  }
+  pipeline::BatchRunner runner(pipeline::BatchRunner::Direction::kUplink,
+                               std::move(cfgs), workers);
+
+  net::FlowConfig fc;
+  fc.packet_bytes = payload;
+  std::vector<std::vector<std::uint8_t>> packets;
+  packets.reserve(static_cast<std::size_t>(flows));
+  net::PacketGenerator gen(fc);
+  for (int f = 0; f < flows; ++f) packets.push_back(gen.next());
+
+  std::vector<pipeline::PacketResult> results;
+  const int warmup = std::max(5, ttis / 20);
+  for (int i = 0; i < warmup; ++i) runner.run_tti(packets, results);
+
+  const auto stages_before = runner.aggregate_times();
+  std::vector<double> samples(static_cast<std::size_t>(ttis));
+  std::uint64_t allocs = 0, ok = 0, sent = 0;
+  for (int t = 0; t < ttis; ++t) {
+    Stopwatch sw;
+    runner.run_tti(packets, results);
+    samples[static_cast<std::size_t>(t)] = sw.seconds();
+    for (const auto& r : results) {
+      allocs += r.decode_allocs;
+      ok += r.crc_ok ? 1 : 0;
+      ++sent;
+    }
+  }
+  const auto stages_after = runner.aggregate_times();
+
+  std::sort(samples.begin(), samples.end());
+  const auto at = [&](double q) {
+    const auto idx = static_cast<std::size_t>(q * double(samples.size() - 1));
+    return samples[idx] * 1e6;
+  };
+  out.p50_us = at(0.50);
+  out.p99_us = at(0.99);
+  double sum = 0;
+  for (const double s : samples) sum += s;
+  out.mean_us = sum / double(samples.size()) * 1e6;
+  out.allocs_per_tti = double(allocs) / double(ttis);
+  out.crc_ok_rate = sent == 0 ? 0 : double(ok) / double(sent);
+
+  // Per-stage delta over the measured window.
+  const auto before = stages_before.entries();
+  for (auto e : stages_after.entries()) {
+    for (const auto& b : before) {
+      if (b.name == e.name) {
+        e.seconds -= b.seconds;
+        break;
+      }
+    }
+    out.stages.push_back(e);
+  }
+  return out;
+}
+
+std::string to_json(const std::vector<ConfigResult>& rows, int ttis,
+                    int flows, int payload) {
+  std::string j;
+  char buf[256];
+  j += "{\n  \"schema\": \"vran-bench-e2e-v1\",\n";
+  std::snprintf(buf, sizeof(buf),
+                "  \"host_best_isa\": \"%s\",\n  \"alloc_counting\": %s,\n"
+                "  \"ttis\": %d,\n  \"flows\": %d,\n  \"payload_bytes\": %d,\n",
+                isa_name(best_isa()),
+                alloc_stats::interposed() ? "true" : "false", ttis, flows,
+                payload);
+  j += buf;
+  j += "  \"configs\": [\n";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const auto& r = rows[i];
+    std::snprintf(buf, sizeof(buf),
+                  "    {\"isa\": \"%s\", \"workers\": %d, \"tti_us\": "
+                  "{\"p50\": %.2f, \"p99\": %.2f, \"mean\": %.2f}, "
+                  "\"allocs_per_tti\": %.3f, \"crc_ok_rate\": %.4f,\n",
+                  isa_name(r.isa), r.workers, r.p50_us, r.p99_us, r.mean_us,
+                  r.allocs_per_tti, r.crc_ok_rate);
+    j += buf;
+    j += "     \"stages_us_per_tti\": {";
+    for (std::size_t s = 0; s < r.stages.size(); ++s) {
+      std::snprintf(buf, sizeof(buf), "%s\"%s\": %.2f",
+                    s == 0 ? "" : ", ", r.stages[s].name.c_str(),
+                    r.stages[s].seconds / double(r.ttis) * 1e6);
+      j += buf;
+    }
+    j += "}}";
+    j += (i + 1 < rows.size()) ? ",\n" : "\n";
+  }
+  j += "  ]\n}";
+  return j;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int ttis = int_flag(argc, argv, "--ttis", 300);
+  const int flows = int_flag(argc, argv, "--flows", 4);
+  const int payload = int_flag(argc, argv, "--payload", 1500);
+  const std::string json_path = bench::json_out_path(argc, argv);
+
+  std::vector<IsaLevel> isas{IsaLevel::kScalar};
+  for (const IsaLevel isa :
+       {IsaLevel::kSse41, IsaLevel::kAvx2, IsaLevel::kAvx512}) {
+    if (isa <= best_isa()) isas.push_back(isa);
+  }
+
+  std::printf("bench_e2e: %d TTIs x %d flows, %dB payload, counting=%s\n\n",
+              ttis, flows, payload,
+              alloc_stats::interposed() ? "on" : "OFF (sanitizer build?)");
+  std::printf("%-8s %-8s %10s %10s %10s %12s %8s\n", "isa", "workers",
+              "p50_us", "p99_us", "mean_us", "allocs/tti", "crc_ok");
+
+  std::vector<ConfigResult> rows;
+  for (const IsaLevel isa : isas) {
+    double serial_allocs = 0;  // exact; see header comment
+    for (const int workers : {1, 4}) {
+      auto r = run_config(isa, workers, ttis, flows, payload);
+      if (workers == 1) {
+        serial_allocs = r.allocs_per_tti;
+      } else {
+        r.allocs_per_tti = serial_allocs;
+      }
+      std::printf("%-8s %-8d %10.1f %10.1f %10.1f %12.3f %8.4f\n",
+                  isa_name(isa), workers, r.p50_us, r.p99_us, r.mean_us,
+                  r.allocs_per_tti, r.crc_ok_rate);
+      rows.push_back(r);
+    }
+  }
+
+  bench::write_json(json_path, to_json(rows, ttis, flows, payload));
+  return 0;
+}

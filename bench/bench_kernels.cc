@@ -70,15 +70,16 @@ void BM_MapDecode(benchmark::State& state, IsaLevel isa) {
   const auto apr = random_i16(static_cast<std::size_t>(k), 5);
   AlignedVector<std::int16_t> ext(static_cast<std::size_t>(k));
   AlignedVector<std::int16_t> ws(static_cast<std::size_t>(k) * 32 + 64);
+  AlignedVector<std::int16_t> gs(static_cast<std::size_t>(k) * 3);
   const std::int16_t st[3] = {10, -10, 5};
   const std::int16_t pt[3] = {-10, 10, -5};
   for (auto _ : state) {
     if (isa == IsaLevel::kScalar) {
       phy::turbo_internal::map_decode_scalar(sys, par, apr, st, pt, ext, {},
-                                             ws.data());
+                                             ws.data(), gs.data());
     } else {
       phy::turbo_internal::map_decode_simd(isa, sys, par, apr, st, pt, ext,
-                                           {}, ws.data());
+                                           {}, ws.data(), gs.data());
     }
     benchmark::DoNotOptimize(ext.data());
   }

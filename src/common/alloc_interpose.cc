@@ -1,0 +1,134 @@
+// Counting replacements for the global allocation functions. Linking
+// this static library (vran_alloc_interpose) into a binary routes every
+// operator new/delete through malloc/free while bumping the
+// alloc_stats counters — the measurement backend for the zero-
+// allocation steady-state contract (tests/test_alloc.cc, bench_e2e).
+//
+// Under ASan/TSan this TU compiles to nothing: the sanitizer runtimes
+// must own the allocator (their interceptors also count/poison), and
+// the alloc tests skip their assertions when interposed() is false.
+#include "common/alloc_stats.h"
+
+#if defined(__SANITIZE_ADDRESS__) || defined(__SANITIZE_THREAD__)
+#define VRAN_NO_ALLOC_INTERPOSE 1
+#endif
+#if defined(__has_feature)
+#if __has_feature(address_sanitizer) || __has_feature(thread_sanitizer)
+#define VRAN_NO_ALLOC_INTERPOSE 1
+#endif
+#endif
+
+#ifndef VRAN_NO_ALLOC_INTERPOSE
+
+#include <cstdlib>
+#include <new>
+
+namespace {
+
+void* counted_alloc(std::size_t size) {
+  vran::alloc_stats::note_new();
+  if (size == 0) size = 1;
+  return std::malloc(size);
+}
+
+void* counted_alloc_aligned(std::size_t size, std::size_t align) {
+  vran::alloc_stats::note_new();
+  if (size == 0) size = align;
+  void* p = nullptr;
+  // aligned_alloc requires size to be a multiple of align.
+  const std::size_t padded = (size + align - 1) / align * align;
+  if (posix_memalign(&p, align < sizeof(void*) ? sizeof(void*) : align,
+                     padded) != 0) {
+    return nullptr;
+  }
+  return p;
+}
+
+void counted_free(void* p) {
+  if (p == nullptr) return;
+  vran::alloc_stats::note_delete();
+  std::free(p);
+}
+
+// Pulls this object file out of the static archive wherever any new
+// expression resolves here, and flips the "measurements are live" flag
+// before main().
+[[maybe_unused]] const bool g_registered = [] {
+  vran::alloc_stats::note_interposed();
+  return true;
+}();
+
+}  // namespace
+
+void* operator new(std::size_t size) {
+  void* p = counted_alloc(size);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+
+void* operator new[](std::size_t size) {
+  void* p = counted_alloc(size);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  return counted_alloc(size);
+}
+
+void* operator new[](std::size_t size, const std::nothrow_t&) noexcept {
+  return counted_alloc(size);
+}
+
+void* operator new(std::size_t size, std::align_val_t align) {
+  void* p = counted_alloc_aligned(size, static_cast<std::size_t>(align));
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+
+void* operator new[](std::size_t size, std::align_val_t align) {
+  void* p = counted_alloc_aligned(size, static_cast<std::size_t>(align));
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+
+void* operator new(std::size_t size, std::align_val_t align,
+                   const std::nothrow_t&) noexcept {
+  return counted_alloc_aligned(size, static_cast<std::size_t>(align));
+}
+
+void* operator new[](std::size_t size, std::align_val_t align,
+                     const std::nothrow_t&) noexcept {
+  return counted_alloc_aligned(size, static_cast<std::size_t>(align));
+}
+
+void operator delete(void* p) noexcept { counted_free(p); }
+void operator delete[](void* p) noexcept { counted_free(p); }
+void operator delete(void* p, std::size_t) noexcept { counted_free(p); }
+void operator delete[](void* p, std::size_t) noexcept { counted_free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { counted_free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept {
+  counted_free(p);
+}
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  counted_free(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  counted_free(p);
+}
+void operator delete(void* p, const std::nothrow_t&) noexcept {
+  counted_free(p);
+}
+void operator delete[](void* p, const std::nothrow_t&) noexcept {
+  counted_free(p);
+}
+void operator delete(void* p, std::align_val_t,
+                     const std::nothrow_t&) noexcept {
+  counted_free(p);
+}
+void operator delete[](void* p, std::align_val_t,
+                       const std::nothrow_t&) noexcept {
+  counted_free(p);
+}
+
+#endif  // VRAN_NO_ALLOC_INTERPOSE

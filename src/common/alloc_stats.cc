@@ -1,0 +1,30 @@
+#include "common/alloc_stats.h"
+
+#include <atomic>
+
+namespace vran::alloc_stats {
+
+namespace {
+
+// Plain atomics — touched from inside operator new, so this TU must not
+// itself allocate. Zero-initialized statically (constant initialization),
+// safe to bump before main().
+std::atomic<std::uint64_t> g_news{0};
+std::atomic<std::uint64_t> g_deletes{0};
+std::atomic<bool> g_interposed{false};
+
+}  // namespace
+
+bool interposed() { return g_interposed.load(std::memory_order_relaxed); }
+
+std::uint64_t news() { return g_news.load(std::memory_order_relaxed); }
+
+std::uint64_t deletes() { return g_deletes.load(std::memory_order_relaxed); }
+
+void note_new() { g_news.fetch_add(1, std::memory_order_relaxed); }
+
+void note_delete() { g_deletes.fetch_add(1, std::memory_order_relaxed); }
+
+void note_interposed() { g_interposed.store(true, std::memory_order_relaxed); }
+
+}  // namespace vran::alloc_stats

@@ -1,0 +1,32 @@
+// Process-wide heap-allocation counters, fed by the optional
+// vran_alloc_interpose static library (counting operator new/delete
+// replacements). Binaries that do not link the interposer still compile
+// and run; interposed() then reports false and the counters stay zero.
+//
+// The pipeline brackets its decode hot path with news() so every
+// PacketResult can report exactly how many heap allocations the decode
+// chain performed — the steady-state contract is zero, enforced by
+// tests/test_alloc.cc and surfaced by bench_e2e as allocations/TTI.
+#pragma once
+
+#include <cstdint>
+
+namespace vran::alloc_stats {
+
+/// True when the counting operator new/delete from vran_alloc_interpose
+/// is linked into this binary (always false under ASan/TSan, whose own
+/// interceptors must keep ownership of the allocator).
+bool interposed();
+
+/// operator new calls observed process-wide since start.
+std::uint64_t news();
+
+/// operator delete calls observed process-wide since start.
+std::uint64_t deletes();
+
+// Interposer-internal hooks (called from alloc_interpose.cc only).
+void note_new();
+void note_delete();
+void note_interposed();
+
+}  // namespace vran::alloc_stats

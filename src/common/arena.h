@@ -1,0 +1,185 @@
+// Monotonic bump arena for per-TTI scratch memory.
+//
+// The decode hot path (de-rate-match soft buffers, arrangement triples,
+// hard-bit buffers, desegmentation bits, HARQ circular buffers) needs a
+// pile of short-lived buffers whose sizes repeat TTI after TTI. A
+// general-purpose allocator turns that into per-TTI malloc/free traffic
+// that competes with the SIMD kernels for exactly the L1/L2 bandwidth
+// the data-arrangement step is designed to exploit. The arena replaces
+// all of it with pointer bumps:
+//
+//  * allocate() carves from a chunk, every return 64-byte aligned so any
+//    carved buffer is directly usable by the SIMD kernels (which assert
+//    kVectorAlign),
+//  * reset() rewinds to empty in O(1) in the steady state; when a TTI
+//    overflowed into extra chunks, reset() coalesces them into a single
+//    chunk sized to the high-water mark, so the NEXT reset-and-refill
+//    cycle of the same workload touches the heap zero times,
+//  * no per-object frees, no destructors: only trivially destructible
+//    types may live here (enforced by make_span).
+//
+// Thread-safety: none. One arena belongs to one pipeline; buffers for a
+// parallel region are carved by the driving thread before the fork and
+// handed to workers as disjoint spans.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <new>
+#include <span>
+#include <type_traits>
+
+#include "common/aligned.h"
+
+namespace vran {
+
+class MonotonicArena {
+ public:
+  /// `initial_bytes` pre-reserves the first chunk (0 = lazy).
+  explicit MonotonicArena(std::size_t initial_bytes = 0) {
+    if (initial_bytes > 0) head_ = new_chunk(initial_bytes, nullptr);
+  }
+  ~MonotonicArena() { release(head_); }
+
+  MonotonicArena(const MonotonicArena&) = delete;
+  MonotonicArena& operator=(const MonotonicArena&) = delete;
+
+  /// Carve `bytes` (64-byte aligned). O(1) unless the active chunk is
+  /// full, in which case a new chunk (geometric growth) is allocated —
+  /// reset() later folds that growth back into one chunk.
+  void* allocate(std::size_t bytes) {
+    const std::size_t need = round_up(bytes);
+    if (head_ == nullptr || head_->used + need > head_->capacity) {
+      grow(need);
+    }
+    std::byte* p = head_->data + head_->used;
+    head_->used += need;
+    used_ += need;
+    return p;
+  }
+
+  /// Typed uninitialized span. T must be trivially copyable and
+  /// trivially destructible (nothing ever runs destructors here).
+  template <typename T>
+  std::span<T> make_span(std::size_t n) {
+    static_assert(std::is_trivially_copyable_v<T> &&
+                      std::is_trivially_destructible_v<T>,
+                  "arena spans hold trivial scratch data only");
+    static_assert(alignof(T) <= kVectorAlign);
+    return {static_cast<T*>(allocate(n * sizeof(T))), n};
+  }
+
+  /// Typed zero-filled span (the HARQ circular buffers and any
+  /// accumulate-into buffer want defined zeros).
+  template <typename T>
+  std::span<T> make_zero_span(std::size_t n) {
+    auto s = make_span<T>(n);
+    std::memset(s.data(), 0, n * sizeof(T));
+    return s;
+  }
+
+  /// Typed value-initialized span for trivially destructible class types
+  /// with default member initializers (e.g. per-block outcome structs).
+  template <typename T>
+  std::span<T> make_object_span(std::size_t n) {
+    static_assert(std::is_trivially_destructible_v<T>);
+    static_assert(alignof(T) <= kVectorAlign);
+    T* p = static_cast<T*>(allocate(n * sizeof(T)));
+    for (std::size_t i = 0; i < n; ++i) ::new (static_cast<void*>(p + i)) T();
+    return {p, n};
+  }
+
+  /// Rewind to empty; every span previously carved is invalidated. When
+  /// the last cycle spilled past one chunk, all chunks are replaced by a
+  /// single chunk sized to the high-water mark so the next identical
+  /// cycle is allocation-free.
+  void reset() {
+    ++resets_;
+    if (head_ != nullptr && head_->next != nullptr) {
+      const std::size_t water = used_;
+      release(head_);
+      head_ = new_chunk(water, nullptr);
+    } else if (head_ != nullptr) {
+      head_->used = 0;
+    }
+    used_ = 0;
+  }
+
+  /// Grow the (single, empty) reservation to at least `bytes` up front,
+  /// e.g. to cover a known worst case before entering the steady state.
+  void reserve(std::size_t bytes) {
+    if (bytes_reserved() >= bytes) return;
+    const std::size_t keep = used_;
+    if (keep == 0 && (head_ == nullptr || head_->next == nullptr)) {
+      release(head_);
+      head_ = new_chunk(bytes, nullptr);
+    } else {
+      grow(bytes);  // falls back to an extra chunk; reset() coalesces
+    }
+  }
+
+  std::size_t bytes_used() const { return used_; }
+  std::size_t bytes_reserved() const {
+    std::size_t total = 0;
+    for (const Chunk* c = head_; c != nullptr; c = c->next) {
+      total += c->capacity;
+    }
+    return total;
+  }
+  std::uint64_t resets() const { return resets_; }
+  /// Heap allocations performed for chunks since construction; stable in
+  /// the steady state.
+  std::uint64_t chunk_allocations() const { return chunk_allocs_; }
+
+ private:
+  struct Chunk {
+    Chunk* next = nullptr;
+    std::byte* data = nullptr;
+    std::size_t capacity = 0;
+    std::size_t used = 0;
+  };
+
+  static std::size_t round_up(std::size_t bytes) {
+    const std::size_t a = kVectorAlign;
+    return (bytes + a - 1) / a * a;
+  }
+
+  Chunk* new_chunk(std::size_t capacity, Chunk* next) {
+    const std::size_t cap = round_up(capacity < kMinChunk ? kMinChunk
+                                                          : capacity);
+    ++chunk_allocs_;
+    auto* c = new Chunk();
+    c->data = static_cast<std::byte*>(
+        ::operator new(cap, std::align_val_t{kVectorAlign}));
+    c->capacity = cap;
+    c->next = next;
+    return c;
+  }
+
+  void grow(std::size_t need) {
+    // Geometric growth so a ramp-up of unknown total size costs O(log)
+    // chunk allocations; reset() then collapses everything to one chunk.
+    const std::size_t prev = head_ != nullptr ? head_->capacity : 0;
+    head_ = new_chunk(need > 2 * prev ? need : 2 * prev, head_);
+  }
+
+  void release(Chunk* c) {
+    while (c != nullptr) {
+      Chunk* next = c->next;
+      ::operator delete(c->data, std::align_val_t{kVectorAlign});
+      delete c;
+      c = next;
+    }
+    head_ = nullptr;
+  }
+
+  static constexpr std::size_t kMinChunk = 4096;
+
+  Chunk* head_ = nullptr;      ///< active chunk (most recently added)
+  std::size_t used_ = 0;       ///< bytes carved since the last reset
+  std::uint64_t resets_ = 0;
+  std::uint64_t chunk_allocs_ = 0;
+};
+
+}  // namespace vran

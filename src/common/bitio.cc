@@ -1,5 +1,6 @@
 #include "common/bitio.h"
 
+#include <algorithm>
 #include <stdexcept>
 
 namespace vran {
@@ -22,10 +23,19 @@ std::vector<std::uint8_t> unpack_bits(std::span<const std::uint8_t> bytes,
 
 std::vector<std::uint8_t> pack_bits(std::span<const std::uint8_t> bits) {
   std::vector<std::uint8_t> bytes((bits.size() + 7) / 8, 0);
-  for (std::size_t i = 0; i < bits.size(); ++i) {
-    if (bits[i] & 1u) bytes[i / 8] |= static_cast<std::uint8_t>(1u << (7 - (i % 8)));
-  }
+  pack_bits_into(bits, bytes);
   return bytes;
+}
+
+void pack_bits_into(std::span<const std::uint8_t> bits,
+                    std::span<std::uint8_t> out) {
+  if (out.size() != (bits.size() + 7) / 8) {
+    throw std::invalid_argument("pack_bits_into: output size mismatch");
+  }
+  std::fill(out.begin(), out.end(), std::uint8_t{0});
+  for (std::size_t i = 0; i < bits.size(); ++i) {
+    if (bits[i] & 1u) out[i / 8] |= static_cast<std::uint8_t>(1u << (7 - (i % 8)));
+  }
 }
 
 void append_bits(std::vector<std::uint8_t>& bits, std::uint32_t value,

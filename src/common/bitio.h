@@ -22,6 +22,11 @@ std::vector<std::uint8_t> unpack_bits(std::span<const std::uint8_t> bytes,
 /// tail is zero-padded to a byte boundary.
 std::vector<std::uint8_t> pack_bits(std::span<const std::uint8_t> bits);
 
+/// Allocation-free variant packing into caller-provided storage;
+/// `out.size()` must be exactly (bits.size() + 7) / 8.
+void pack_bits_into(std::span<const std::uint8_t> bits,
+                    std::span<std::uint8_t> out);
+
 /// Append `width` bits of `value` (MSB first) to `bits`.
 void append_bits(std::vector<std::uint8_t>& bits, std::uint32_t value,
                  int width);

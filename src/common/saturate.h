@@ -34,4 +34,18 @@ constexpr std::int16_t sat_narrow16(int v) {
   return static_cast<std::int16_t>(std::clamp(v, -32768, 32767));
 }
 
+/// Symmetric int16 saturating add for soft-combining accumulators
+/// (HARQ circular buffers): clamps to ±32767, never storing INT16_MIN.
+/// `paddsw` saturates asymmetrically to [-32768, 32767]; an accumulator
+/// pinned at -32768 cannot be cancelled by the strongest positive LLR
+/// (+32767), so repeated retransmissions or sign-flip faults would bias
+/// soft decisions toward 0-bits. With the symmetric clamp, negation is
+/// always representable and accumulate(x, -x) == 0 holds for every value
+/// the buffer can contain. Keep sat_add16 (exact paddsw) for the turbo
+/// kernels, which must stay bit-identical to the SIMD instructions.
+constexpr std::int16_t sat_add16_sym(std::int16_t a, std::int16_t b) {
+  const int s = int{a} + int{b};
+  return static_cast<std::int16_t>(std::clamp(s, -32767, 32767));
+}
+
 }  // namespace vran

@@ -1,7 +1,5 @@
 #include "common/threadpool.h"
 
-#include <atomic>
-#include <memory>
 #include <stdexcept>
 #include <string>
 
@@ -52,6 +50,28 @@ void ThreadPool::enqueue_locked(std::function<void()> fn) {
   queue_.push_back({std::move(fn), std::chrono::steady_clock::now()});
 }
 
+/// Claim-and-run loop shared by the caller and every participating
+/// worker. The descriptor is passed by value (copied under mu_ by
+/// workers, straight off the stack by the caller) so a straggler waking
+/// after the region completed never reads a reused broadcast slot.
+void ThreadPool::run_parallel_indices(ParallelInvoke invoke, void* ctx,
+                                      std::size_t begin, std::size_t n) {
+  for (;;) {
+    const std::size_t i = work_.next.fetch_add(1, std::memory_order_relaxed);
+    if (i >= n) return;
+    try {
+      invoke(ctx, begin + i);
+    } catch (...) {
+      std::lock_guard<std::mutex> lk(mu_);
+      if (!work_.error) work_.error = std::current_exception();
+    }
+    if (work_.done.fetch_add(1, std::memory_order_acq_rel) + 1 == n) {
+      std::lock_guard<std::mutex> lk(mu_);
+      join_cv_.notify_all();
+    }
+  }
+}
+
 void ThreadPool::worker_loop(int worker_index) {
   tls_worker_id = worker_index + 1;
   // Per-worker totals; the queue-wait/task-runtime *distributions* are
@@ -64,19 +84,39 @@ void ThreadPool::worker_loop(int worker_index) {
     tasks = &metrics_->counter("threadpool.tasks" + suffix);
     busy_ns = &metrics_->counter("threadpool.busy_ns" + suffix);
   }
+  std::uint64_t seen_epoch = 0;
   for (;;) {
     QueuedTask task;
+    bool have_task = false;
+    ParallelInvoke pinv = nullptr;
+    void* pctx = nullptr;
+    std::size_t pbegin = 0;
+    std::size_t pn = 0;
     {
       std::unique_lock<std::mutex> lk(mu_);
-      cv_.wait(lk, [this] { return stop_ || !queue_.empty(); });
-      if (queue_.empty()) return;  // stop_ set and drained
-      task = std::move(queue_.front());
-      queue_.pop_front();
+      cv_.wait(lk, [&] {
+        return stop_ || !queue_.empty() || work_.epoch != seen_epoch;
+      });
+      if (work_.epoch != seen_epoch) {
+        // New parallel region: register as active and copy the
+        // descriptor before dropping the lock (the slot is reused for
+        // the next region only after active drains to 0).
+        seen_epoch = work_.epoch;
+        ++work_.active;
+        pinv = work_.invoke;
+        pctx = work_.ctx;
+        pbegin = work_.begin;
+        pn = work_.n;
+      } else if (!queue_.empty()) {
+        task = std::move(queue_.front());
+        queue_.pop_front();
+        have_task = true;
+      } else {
+        return;  // stop_ set and nothing left to run
+      }
     }
-    if (queue_wait_ns_ != nullptr) queue_wait_ns_->record(ns_since(task.enqueued));
-    if (fault_ != nullptr &&
-        fault_->fire(fault::FaultPoint::kWorkerDelay)) {
-      // Scheduling-jitter fault: stall before the task. Bounded and
+    if (fault_ != nullptr && fault_->fire(fault::FaultPoint::kWorkerDelay)) {
+      // Scheduling-jitter fault: stall before the work. Bounded and
       // timing-only — callers write to disjoint slots, so a late worker
       // can never change the joined result.
       const auto us = 20 + fault_->draw(fault::FaultPoint::kWorkerDelay,
@@ -86,8 +126,19 @@ void ThreadPool::worker_loop(int worker_index) {
     }
     ++task_seq;
     const auto t0 = std::chrono::steady_clock::now();
-    task.fn();
-    if (task_ns_ != nullptr) {
+    if (pinv != nullptr) {
+      run_parallel_indices(pinv, pctx, pbegin, pn);
+      {
+        std::lock_guard<std::mutex> lk(mu_);
+        if (--work_.active == 0) join_cv_.notify_all();
+      }
+    } else if (have_task) {
+      if (queue_wait_ns_ != nullptr) {
+        queue_wait_ns_->record(ns_since(task.enqueued));
+      }
+      task.fn();
+    }
+    if (task_ns_ != nullptr && (pinv != nullptr || have_task)) {
       const std::uint64_t dt = ns_since(t0);
       task_ns_->record(dt);
       tasks->add();
@@ -111,62 +162,57 @@ std::future<void> ThreadPool::submit(std::function<void()> task) {
   return fut;
 }
 
-void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
-                              const std::function<void(std::size_t)>& fn) {
+void ThreadPool::parallel_for_impl(std::size_t begin, std::size_t end,
+                                   ParallelInvoke invoke, void* ctx) {
   if (begin >= end) return;
   const std::size_t n = end - begin;
 
-  // Shared per-call state: a claim counter, a done counter, and the first
-  // exception. Heap-allocated and shared_ptr-owned so a worker finishing
-  // after the caller returns (impossible today, cheap insurance anyway)
-  // never touches a dead stack frame.
-  struct ForState {
-    std::atomic<std::size_t> next{0};
-    std::atomic<std::size_t> done{0};
-    std::mutex mu;
-    std::condition_variable cv;
+  // No workers, or nothing to share: plain loop on the caller with the
+  // same first-exception-after-all-indices semantics.
+  if (workers_.empty() || n == 1) {
     std::exception_ptr error;
-  };
-  auto st = std::make_shared<ForState>();
-
-  auto run_indices = [st, begin, n, &fn] {
-    for (;;) {
-      const std::size_t i = st->next.fetch_add(1, std::memory_order_relaxed);
-      if (i >= n) return;
+    for (std::size_t i = 0; i < n; ++i) {
       try {
-        fn(begin + i);
+        invoke(ctx, begin + i);
       } catch (...) {
-        std::lock_guard<std::mutex> lk(st->mu);
-        if (!st->error) st->error = std::current_exception();
-      }
-      if (st->done.fetch_add(1, std::memory_order_acq_rel) + 1 == n) {
-        std::lock_guard<std::mutex> lk(st->mu);
-        st->cv.notify_all();
+        if (!error) error = std::current_exception();
       }
     }
-  };
-
-  // One helper task per worker, capped at the index count; each helper
-  // drains indices until the counter runs out. The closure copies the
-  // shared state but refers to the caller's `fn`, which outlives the call
-  // because we block below until every index is done.
-  const std::size_t helpers =
-      std::min(workers_.size(), n > 1 ? n - 1 : std::size_t{0});
-  if (helpers > 0) {
-    {
-      std::lock_guard<std::mutex> lk(mu_);
-      for (std::size_t h = 0; h < helpers; ++h) enqueue_locked(run_indices);
-    }
-    cv_.notify_all();
+    if (error) std::rethrow_exception(error);
+    return;
   }
 
-  run_indices();  // caller participates
-
+  // One region at a time; concurrent callers serialize here.
+  std::lock_guard<std::mutex> region(pf_mu_);
   {
-    std::unique_lock<std::mutex> lk(st->mu);
-    st->cv.wait(lk, [&] { return st->done.load(std::memory_order_acquire) == n; });
-    if (st->error) std::rethrow_exception(st->error);
+    std::unique_lock<std::mutex> lk(mu_);
+    // A straggler from the previous region may still hold a copy of the
+    // old descriptor; it only touches the shared claim counters, so wait
+    // for it to deregister before reusing them.
+    join_cv_.wait(lk, [&] { return work_.active == 0; });
+    work_.invoke = invoke;
+    work_.ctx = ctx;
+    work_.begin = begin;
+    work_.n = n;
+    work_.next.store(0, std::memory_order_relaxed);
+    work_.done.store(0, std::memory_order_relaxed);
+    work_.error = nullptr;
+    ++work_.epoch;
   }
+  cv_.notify_all();
+
+  run_parallel_indices(invoke, ctx, begin, n);  // caller participates
+
+  std::exception_ptr error;
+  {
+    std::unique_lock<std::mutex> lk(mu_);
+    join_cv_.wait(lk, [&] {
+      return work_.done.load(std::memory_order_acquire) == n;
+    });
+    error = work_.error;
+    work_.error = nullptr;
+  }
+  if (error) std::rethrow_exception(error);
 }
 
 int ThreadPool::hardware_threads() {

@@ -200,23 +200,32 @@ inline void axis_llrs(const AxisTable& t, std::int32_t y,
 AlignedVector<std::int16_t> demodulate_llr(std::span<const IqSample> symbols,
                                            Modulation m, double n0_q12,
                                            double llr_scale) {
+  AlignedVector<std::int16_t> llr(
+      symbols.size() * static_cast<std::size_t>(bits_per_symbol(m)));
+  demodulate_llr_into(symbols, m, n0_q12, llr, llr_scale);
+  return llr;
+}
+
+void demodulate_llr_into(std::span<const IqSample> symbols, Modulation m,
+                         double n0_q12, std::span<std::int16_t> out_llr,
+                         double llr_scale) {
   if (n0_q12 <= 0) throw std::invalid_argument("demodulate_llr: n0 <= 0");
   const int bps = bits_per_symbol(m);
+  if (out_llr.size() != symbols.size() * static_cast<std::size_t>(bps)) {
+    throw std::invalid_argument("demodulate_llr_into: output size mismatch");
+  }
   const AxisTable table = axis_table(m);
   const double inv = llr_scale / n0_q12;
-  AlignedVector<std::int16_t> llr(symbols.size() *
-                                  static_cast<std::size_t>(bps));
   std::int16_t li[3], lq[3];
   for (std::size_t s = 0; s < symbols.size(); ++s) {
     axis_llrs(table, symbols[s].i, inv, li);
     axis_llrs(table, symbols[s].q, inv, lq);
-    std::int16_t* out = llr.data() + s * static_cast<std::size_t>(bps);
+    std::int16_t* out = out_llr.data() + s * static_cast<std::size_t>(bps);
     for (int j = 0; j < table.bits; ++j) {
       out[2 * j] = li[j];      // even bit positions ride on I
       out[2 * j + 1] = lq[j];  // odd bit positions on Q
     }
   }
-  return llr;
 }
 
 std::vector<std::uint8_t> demodulate_hard(std::span<const IqSample> symbols,

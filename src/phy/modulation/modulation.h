@@ -48,6 +48,12 @@ AlignedVector<std::int16_t> demodulate_llr(std::span<const IqSample> symbols,
                                            Modulation m, double n0_q12,
                                            double llr_scale = 8.0);
 
+/// Allocation-free variant writing into caller-provided storage;
+/// `out.size()` must be exactly bits_per_symbol(m) * symbols.size().
+void demodulate_llr_into(std::span<const IqSample> symbols, Modulation m,
+                         double n0_q12, std::span<std::int16_t> out,
+                         double llr_scale = 8.0);
+
 /// O(2^bits)-per-symbol exhaustive reference of the same computation
 /// (tests assert bit-identical output).
 AlignedVector<std::int16_t> demodulate_llr_exhaustive(

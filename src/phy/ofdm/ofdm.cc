@@ -89,23 +89,70 @@ std::vector<Cf> OfdmModulator::modulate(std::span<const IqSample> res) const {
 
 std::vector<IqSample> OfdmModulator::demodulate(std::span<const Cf> time,
                                                 std::size_t re_count) const {
-  const std::size_t cap = static_cast<std::size_t>(ofdm_symbol_capacity(cfg_));
   const std::size_t samples =
       static_cast<std::size_t>(ofdm_symbol_samples(cfg_));
   if (time.size() % samples != 0) {
     throw std::invalid_argument("demodulate: partial OFDM symbol");
   }
-  std::vector<IqSample> res;
-  for (std::size_t at = 0; at < time.size(); at += samples) {
-    const auto sym = demodulate_symbol(time.subspan(at, samples));
-    res.insert(res.end(), sym.begin(), sym.end());
+  std::vector<IqSample> res(re_count);
+  std::vector<Cf> scratch(static_cast<std::size_t>(cfg_.nfft));
+  demodulate_into(time, res, scratch);
+  return res;
+}
+
+void OfdmModulator::demodulate_into(std::span<const Cf> time,
+                                    std::span<IqSample> out,
+                                    std::span<Cf> fft_scratch) const {
+  const std::size_t cap = static_cast<std::size_t>(ofdm_symbol_capacity(cfg_));
+  const std::size_t samples =
+      static_cast<std::size_t>(ofdm_symbol_samples(cfg_));
+  const std::size_t n = static_cast<std::size_t>(cfg_.nfft);
+  if (time.size() % samples != 0) {
+    throw std::invalid_argument("demodulate: partial OFDM symbol");
   }
-  if (res.size() < re_count) {
+  if (out.size() > (time.size() / samples) * cap) {
     throw std::invalid_argument("demodulate: fewer REs than requested");
   }
-  res.resize(re_count);
-  (void)cap;
-  return res;
+  if (fft_scratch.size() < n) {
+    throw std::invalid_argument("demodulate: fft_scratch < nfft");
+  }
+  const std::span<Cf> grid = fft_scratch.first(n);
+
+  const int nsc = cfg_.used_subcarriers;
+  const int half = nsc / 2;
+  const float unscale = 1.0f / cfg_.iq_scale;
+  const auto to_q12 = [unscale](Cf v) {
+    const auto clamp = [](float x) {
+      return static_cast<std::int16_t>(
+          std::lround(std::fmin(std::fmax(x, -32768.0f), 32767.0f)));
+    };
+    return IqSample{clamp(v.real() * unscale), clamp(v.imag() * unscale)};
+  };
+
+  std::size_t produced = 0;
+  for (std::size_t at = 0; at < time.size() && produced < out.size();
+       at += samples) {
+    const auto sym_time = time.subspan(at, samples);
+    for (std::size_t j = 0; j < n; ++j) {
+      grid[j] = sym_time[static_cast<std::size_t>(cfg_.cp_len) + j];
+    }
+    plan_.forward(grid);
+    // Same extraction as demodulate_symbol, but only the REs that land
+    // inside `out` (the final symbol is usually partial).
+    const std::size_t remain = out.size() - produced;
+    for (int k = 0; k < half; ++k) {
+      const std::size_t lo = static_cast<std::size_t>(k);
+      const std::size_t hi = static_cast<std::size_t>(half + k);
+      if (lo < remain) {
+        out[produced + lo] = to_q12(
+            grid[n - static_cast<std::size_t>(half) + lo]);
+      }
+      if (hi < remain) {
+        out[produced + hi] = to_q12(grid[static_cast<std::size_t>(1 + k)]);
+      }
+    }
+    produced += std::min(cap, remain);
+  }
 }
 
 }  // namespace vran::phy

@@ -47,6 +47,12 @@ class OfdmModulator {
   std::vector<IqSample> demodulate(std::span<const Cf> time,
                                    std::size_t re_count) const;
 
+  /// Allocation-free demodulate: writes the first `out.size()` REs into
+  /// `out` using `fft_scratch` (>= nfft samples, caller-owned) for the
+  /// CP-stripped grid. Bit-identical to demodulate(time, out.size()).
+  void demodulate_into(std::span<const Cf> time, std::span<IqSample> out,
+                       std::span<Cf> fft_scratch) const;
+
  private:
   OfdmConfig cfg_;
   FftPlan plan_;

@@ -1,5 +1,6 @@
 #include "phy/ratematch/rate_match.h"
 
+#include <algorithm>
 #include <array>
 #include <stdexcept>
 
@@ -72,6 +73,10 @@ RateMatcher::RateMatcher(int k) : k_(k), map_(subblock_map(k + kTurboTail)) {
   }
 }
 
+int RateMatcher::buffer_size_for(int k) {
+  return 3 * subblock_geometry(k + kTurboTail).kp;
+}
+
 int RateMatcher::usable_size() const {
   int n = 0;
   for (const auto s : w_src_) n += (s >= 0);
@@ -119,24 +124,38 @@ void RateMatcher::dematch_accumulate(std::span<const std::int16_t> llr,
   for (int j = 0; used < llr.size(); ++j) {
     const int w = (start + j) % ncb;
     if (w_src_[static_cast<std::size_t>(w)] < 0) continue;
+    // Symmetric clamp (±32767), NOT paddsw: an accumulator pinned at
+    // INT16_MIN could never be cancelled by +32767, biasing soft
+    // decisions across retransmissions. See sat_add16_sym.
     w_llr[static_cast<std::size_t>(w)] =
-        sat_add16(w_llr[static_cast<std::size_t>(w)], llr[used++]);
+        sat_add16_sym(w_llr[static_cast<std::size_t>(w)], llr[used++]);
   }
 }
 
 AlignedVector<std::int16_t> RateMatcher::buffer_to_triples(
     std::span<const std::int16_t> w_llr) const {
+  const std::size_t d = static_cast<std::size_t>(k_) + kTurboTail;
+  AlignedVector<std::int16_t> triples(3 * d, 0);
+  buffer_to_triples_into(w_llr, triples);
+  return triples;
+}
+
+void RateMatcher::buffer_to_triples_into(
+    std::span<const std::int16_t> w_llr,
+    std::span<std::int16_t> triples) const {
   const int ncb = 3 * map_.geo.kp;
   if (w_llr.size() != static_cast<std::size_t>(ncb)) {
     throw std::invalid_argument("buffer_to_triples: size mismatch");
   }
   const std::size_t d = static_cast<std::size_t>(k_) + kTurboTail;
-  AlignedVector<std::int16_t> triples(3 * d, 0);
+  if (triples.size() != 3 * d) {
+    throw std::invalid_argument("buffer_to_triples: triples size mismatch");
+  }
+  std::fill(triples.begin(), triples.end(), std::int16_t{0});
   for (int w = 0; w < ncb; ++w) {
     const std::int32_t src = w_src_[static_cast<std::size_t>(w)];
     if (src >= 0) triples[static_cast<std::size_t>(src)] = w_llr[static_cast<std::size_t>(w)];
   }
-  return triples;
 }
 
 AlignedVector<std::int16_t> RateMatcher::dematch(

@@ -50,6 +50,9 @@ class RateMatcher {
   int block_size() const { return k_; }
   /// Circular-buffer length K_w = 3 * K_pi.
   int buffer_size() const { return 3 * map_.geo.kp; }
+  /// buffer_size() for block size `k` without constructing a matcher —
+  /// lets callers size HARQ/workspace buffers up front.
+  static int buffer_size_for(int k);
   /// Number of non-null positions in the circular buffer.
   int usable_size() const;
 
@@ -70,6 +73,10 @@ class RateMatcher {
 
   /// In-place variant accumulating into an existing buffer (HARQ-style
   /// combining across retransmissions). `w_llr` must be buffer_size().
+  /// Accumulation clamps symmetrically to ±32767 (sat_add16_sym) so
+  /// combining x then -x always cancels back to 0 — INT16_MIN is never
+  /// stored, keeping repeated retransmissions and sign-flip faults
+  /// unbiased.
   void dematch_accumulate(std::span<const std::int16_t> llr, int rv,
                           std::span<std::int16_t> w_llr) const;
 
@@ -77,6 +84,11 @@ class RateMatcher {
   /// stream.
   AlignedVector<std::int16_t> buffer_to_triples(
       std::span<const std::int16_t> w_llr) const;
+
+  /// Allocation-free variant writing into caller-provided storage;
+  /// `triples.size()` must be exactly 3 * (K + 4).
+  void buffer_to_triples_into(std::span<const std::int16_t> w_llr,
+                              std::span<std::int16_t> triples) const;
 
  private:
   int k_;

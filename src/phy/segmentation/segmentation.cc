@@ -81,27 +81,52 @@ std::vector<std::vector<std::uint8_t>> segment_bits(
   return blocks;
 }
 
+bool desegment_bits(std::span<const std::span<const std::uint8_t>> blocks,
+                    const SegmentationPlan& plan,
+                    std::span<std::uint8_t> out) {
+  if (blocks.size() != static_cast<std::size_t>(plan.c)) {
+    throw std::invalid_argument("desegment_bits: block count mismatch");
+  }
+  if (out.size() != static_cast<std::size_t>(plan.b)) {
+    throw std::invalid_argument("desegment_bits: output size mismatch");
+  }
+  bool ok = true;
+  std::size_t at = 0;
+  for (int i = 0; i < plan.c; ++i) {
+    const auto blk = blocks[static_cast<std::size_t>(i)];
+    const std::size_t skip = (i == 0) ? static_cast<std::size_t>(plan.f) : 0;
+    const std::size_t take = static_cast<std::size_t>(plan.payload_bits(i));
+    if (blk.size() != static_cast<std::size_t>(plan.block_size(i))) {
+      // Truncated (or oversized) codeword: salvage what payload exists,
+      // zero-fill the rest, and report failure — a CRC over the
+      // best-effort output MUST NOT be trusted on its own.
+      ok = false;
+      const std::size_t have =
+          blk.size() > skip ? std::min(blk.size() - skip, take) : 0;
+      for (std::size_t j = 0; j < have; ++j) out[at + j] = blk[skip + j];
+      for (std::size_t j = have; j < take; ++j) out[at + j] = 0;
+      at += take;
+      continue;
+    }
+    if (plan.c > 1 && !crc_check(blk, CrcType::k24B)) ok = false;
+    for (std::size_t j = 0; j < take; ++j) out[at + j] = blk[skip + j];
+    at += take;
+  }
+  return ok;
+}
+
 bool desegment_bits(const std::vector<std::vector<std::uint8_t>>& blocks,
                     const SegmentationPlan& plan,
                     std::vector<std::uint8_t>& out) {
   if (blocks.size() != static_cast<std::size_t>(plan.c)) {
     throw std::invalid_argument("desegment_bits: block count mismatch");
   }
-  out.clear();
-  out.reserve(static_cast<std::size_t>(plan.b));
-  bool ok = true;
-  for (int i = 0; i < plan.c; ++i) {
-    const auto& blk = blocks[static_cast<std::size_t>(i)];
-    if (blk.size() != static_cast<std::size_t>(plan.block_size(i))) {
-      throw std::invalid_argument("desegment_bits: block size mismatch");
-    }
-    if (plan.c > 1 && !crc_check(blk, CrcType::k24B)) ok = false;
-    const std::size_t skip = (i == 0) ? static_cast<std::size_t>(plan.f) : 0;
-    const std::size_t take = static_cast<std::size_t>(plan.payload_bits(i));
-    out.insert(out.end(), blk.begin() + static_cast<std::ptrdiff_t>(skip),
-               blk.begin() + static_cast<std::ptrdiff_t>(skip + take));
-  }
-  return ok;
+  std::vector<std::span<const std::uint8_t>> views;
+  views.reserve(blocks.size());
+  for (const auto& b : blocks) views.emplace_back(b);
+  out.assign(static_cast<std::size_t>(plan.b), 0);
+  return desegment_bits(std::span<const std::span<const std::uint8_t>>(views),
+                        plan, out);
 }
 
 }  // namespace vran::phy

@@ -38,9 +38,20 @@ std::vector<std::vector<std::uint8_t>> segment_bits(
     std::span<const std::uint8_t> bits, const SegmentationPlan& plan);
 
 /// Reassemble decoded code blocks. Returns false when any per-block
-/// CRC24B fails (C > 1); `out` then holds best-effort data.
+/// CRC24B fails (C > 1) or when a block is shorter/longer than the plan
+/// requires (truncated codeword); `out` then holds best-effort data,
+/// zero-filled where a truncated block had no bits. Callers must treat a
+/// false return as a failed transport block regardless of any CRC over
+/// `out` (leading zeros can make a truncated TB pass its own CRC).
 bool desegment_bits(const std::vector<std::vector<std::uint8_t>>& blocks,
                     const SegmentationPlan& plan,
                     std::vector<std::uint8_t>& out);
+
+/// Allocation-free variant over caller-provided block views and output
+/// storage; `out.size()` must be exactly plan.b. Same best-effort
+/// semantics as above.
+bool desegment_bits(std::span<const std::span<const std::uint8_t>> blocks,
+                    const SegmentationPlan& plan,
+                    std::span<std::uint8_t> out);
 
 }  // namespace vran::phy

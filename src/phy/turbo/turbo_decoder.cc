@@ -32,15 +32,16 @@ void map_decode_scalar(std::span<const std::int16_t> sys,
                        const std::int16_t par_tail[3],
                        std::span<std::int16_t> ext,
                        std::span<std::int16_t> lall,
-                       std::int16_t* alpha_workspace) {
+                       std::int16_t* alpha_workspace,
+                       std::int16_t* gs_workspace) {
   const std::size_t K = sys.size();
   if (par.size() != K || apr.size() != K || ext.size() != K ||
       (!lall.empty() && lall.size() != K)) {
     throw std::invalid_argument("map_decode_scalar: size mismatch");
   }
 
-  // gamma systematic term per step.
-  std::vector<std::int16_t> gs(K);
+  // gamma systematic term per step (caller-provided scratch, >= K).
+  std::int16_t* gs = gs_workspace;
   for (std::size_t k = 0; k < K; ++k) gs[k] = sat_add16(sys[k], apr[k]);
 
   // Forward pass, storing normalized alphas before each step.
@@ -111,6 +112,10 @@ TurboDecoder::TurboDecoder(int k, TurboDecodeConfig cfg)
   // Worst case: SIMD stores one full register per step (4 windows x 8
   // states at AVX-512); scalar uses 8 per step.
   alpha_store_.resize(n * 32 + 64);
+  // 3K: gamma-systematic array plus the two step-major transposes the
+  // windowed kernels build (see turbo_map_impl.h). Owned here — not
+  // thread_local — so the warmup cost lands at construction, once.
+  gs_.resize(3 * n);
   hard_.resize(n);
   hard_prev_.resize(n);
 }
@@ -170,10 +175,10 @@ TurboDecodeResult TurboDecoder::decode_arranged(
                            std::span<std::int16_t> lall) {
     if (cfg_.simd && cfg_.isa != IsaLevel::kScalar) {
       turbo_internal::map_decode_simd(cfg_.isa, s, p, a, st, pt, ext_, lall,
-                                      alpha_store_.data());
+                                      alpha_store_.data(), gs_.data());
     } else {
       turbo_internal::map_decode_scalar(s, p, a, st, pt, ext_, lall,
-                                        alpha_store_.data());
+                                        alpha_store_.data(), gs_.data());
     }
   };
 

@@ -91,6 +91,7 @@ class TurboDecoder {
   AlignedVector<std::int16_t> arranged_sys_, arranged_p1_, arranged_p2_;
   AlignedVector<std::int16_t> sys2_, apr1_, apr2_, ext_, lall_;
   AlignedVector<std::int16_t> alpha_store_;
+  AlignedVector<std::int16_t> gs_;  ///< gamma-systematic scratch (3K)
   std::vector<std::uint8_t> hard_, hard_prev_;
 };
 
@@ -99,6 +100,9 @@ namespace turbo_internal {
 /// One constituent max-log-MAP pass (scalar reference). All spans size K
 /// except tails (3 values each). `ext` receives unscaled extrinsics;
 /// `lall` (optional, may be empty) receives full APP LLRs.
+/// `gs_workspace` is caller-owned scratch of at least K int16 (the SIMD
+/// variants need 3K); passing it in keeps every decode allocation-free
+/// and deterministic — no hidden thread_local growth.
 void map_decode_scalar(std::span<const std::int16_t> sys,
                        std::span<const std::int16_t> par,
                        std::span<const std::int16_t> apr,
@@ -106,10 +110,13 @@ void map_decode_scalar(std::span<const std::int16_t> sys,
                        const std::int16_t par_tail[3],
                        std::span<std::int16_t> ext,
                        std::span<std::int16_t> lall,
-                       std::int16_t* alpha_workspace);
+                       std::int16_t* alpha_workspace,
+                       std::int16_t* gs_workspace);
 
 /// SIMD constituent pass; `isa` selects 1/2/4-window decoding. The SSE
-/// variant is bit-exact with map_decode_scalar.
+/// variant is bit-exact with map_decode_scalar. `gs_workspace` must hold
+/// at least 3K int16 (gamma-systematic array plus the two step-major
+/// transposes the windowed kernels build).
 void map_decode_simd(IsaLevel isa, std::span<const std::int16_t> sys,
                      std::span<const std::int16_t> par,
                      std::span<const std::int16_t> apr,
@@ -117,7 +124,8 @@ void map_decode_simd(IsaLevel isa, std::span<const std::int16_t> sys,
                      const std::int16_t par_tail[3],
                      std::span<std::int16_t> ext,
                      std::span<std::int16_t> lall,
-                     std::int16_t* alpha_workspace);
+                     std::int16_t* alpha_workspace,
+                     std::int16_t* gs_workspace);
 
 /// Extrinsic scaling used between half-iterations: (3x)>>2 with the same
 /// saturating construction in scalar and SIMD paths.

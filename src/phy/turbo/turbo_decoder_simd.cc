@@ -42,14 +42,6 @@ void check_isa(IsaLevel isa) {
   }
 }
 
-std::int16_t* gs_workspace(std::size_t k) {
-  // 3K: gamma-systematic array plus the two step-major transposes the
-  // windowed kernels build (see turbo_map_impl.h).
-  static thread_local AlignedVector<std::int16_t> ws;
-  if (ws.size() < 3 * k) ws.resize(3 * k);
-  return ws.data();
-}
-
 }  // namespace
 
 void map_decode_simd(IsaLevel isa, std::span<const std::int16_t> sys,
@@ -58,9 +50,10 @@ void map_decode_simd(IsaLevel isa, std::span<const std::int16_t> sys,
                      const std::int16_t sys_tail[3],
                      const std::int16_t par_tail[3],
                      std::span<std::int16_t> ext, std::span<std::int16_t> lall,
-                     std::int16_t* alpha_workspace) {
+                     std::int16_t* alpha_workspace,
+                     std::int16_t* gs_workspace) {
   check_isa(isa);
-  std::int16_t* gs = gs_workspace(sys.size());
+  std::int16_t* gs = gs_workspace;
   switch (isa) {
     case IsaLevel::kSse41:
       map_decode_sse(sys, par, apr, sys_tail, par_tail, ext, lall,
@@ -77,7 +70,7 @@ void map_decode_simd(IsaLevel isa, std::span<const std::int16_t> sys,
     case IsaLevel::kScalar: break;
   }
   map_decode_scalar(sys, par, apr, sys_tail, par_tail, ext, lall,
-                    alpha_workspace);
+                    alpha_workspace, gs);
 }
 
 void vec_scale_extrinsic(IsaLevel isa, std::span<std::int16_t> e) {

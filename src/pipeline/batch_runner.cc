@@ -42,10 +42,19 @@ BatchRunner::BatchRunner(Direction dir, std::vector<PipelineConfig> flow_cfgs,
 
 std::vector<PacketResult> BatchRunner::run_tti(
     const std::vector<std::vector<std::uint8_t>>& packets) {
+  std::vector<PacketResult> results;
+  run_tti(packets, results);
+  return results;
+}
+
+void BatchRunner::run_tti(
+    const std::vector<std::vector<std::uint8_t>>& packets,
+    std::vector<PacketResult>& results) {
   if (packets.size() != flows()) {
     throw std::invalid_argument("BatchRunner::run_tti: one packet per flow");
   }
-  std::vector<PacketResult> results(flows());
+  results.resize(flows());
+  for (auto& r : results) r = PacketResult{};
   Stopwatch tti_sw;
   const auto run_flow = [&](std::size_t f) {
     if (packets[f].empty()) return;  // idle flow this TTI
@@ -70,7 +79,6 @@ std::vector<PacketResult> BatchRunner::run_tti(
           static_cast<std::uint64_t>(results[f].latency_seconds * 1e9));
     }
   }
-  return results;
 }
 
 StageTimes BatchRunner::aggregate_times() const {

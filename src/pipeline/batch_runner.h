@@ -59,6 +59,13 @@ class BatchRunner {
   std::vector<PacketResult> run_tti(
       const std::vector<std::vector<std::uint8_t>>& packets);
 
+  /// Allocation-light variant for benchmark loops: writes into a caller-
+  /// owned result vector (resized to flows(); entries reset per call) so
+  /// steady-state TTIs reuse its storage instead of building a fresh
+  /// vector per call.
+  void run_tti(const std::vector<std::vector<std::uint8_t>>& packets,
+               std::vector<PacketResult>& results);
+
   /// Per-stage CPU time summed over all flows since construction.
   StageTimes aggregate_times() const;
 

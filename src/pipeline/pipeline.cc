@@ -2,10 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
-#include <map>
 #include <memory>
 #include <stdexcept>
 
+#include "common/alloc_stats.h"
 #include "common/bitio.h"
 #include "net/gtpu.h"
 #include "phy/crc/crc.h"
@@ -233,48 +233,6 @@ Modulation mod_of(int mcs) {
   }
 }
 
-/// Per-K object caches so steady-state packets are allocation-light.
-/// Decoders are keyed by every config dimension that changes behaviour so
-/// benches comparing arrangement methods or ISAs never share a decoder.
-struct CodecCache {
-  using DecoderKey = std::tuple<int, int, int, int, bool>;
-  std::map<int, std::unique_ptr<phy::TurboEncoder>> encoders;
-  std::map<int, std::unique_ptr<phy::RateMatcher>> matchers;
-  std::map<DecoderKey, std::unique_ptr<phy::TurboDecoder>> decoders;
-
-  phy::TurboEncoder& encoder(int k) {
-    auto& e = encoders[k];
-    if (!e) e = std::make_unique<phy::TurboEncoder>(k);
-    return *e;
-  }
-  phy::RateMatcher& matcher(int k) {
-    auto& m = matchers[k];
-    if (!m) m = std::make_unique<phy::RateMatcher>(k);
-    return *m;
-  }
-  phy::TurboDecoder& decoder(int k, const PipelineConfig& cfg, bool multi) {
-    const DecoderKey key{k, static_cast<int>(cfg.arrange_method),
-                         static_cast<int>(cfg.isa),
-                         cfg.max_turbo_iterations, multi};
-    auto& d = decoders[key];
-    if (!d) {
-      phy::TurboDecodeConfig tc;
-      tc.max_iterations = cfg.max_turbo_iterations;
-      tc.crc = multi ? CrcType::k24B : CrcType::k24A;
-      tc.arrange_method = cfg.arrange_method;
-      tc.isa = cfg.isa;
-      tc.simd = cfg.isa != IsaLevel::kScalar;
-      d = std::make_unique<phy::TurboDecoder>(k, tc);
-    }
-    return *d;
-  }
-};
-
-CodecCache& cache() {
-  static thread_local CodecCache c;
-  return c;
-}
-
 /// A prepared transport block: segmentation plan + per-block turbo
 /// codewords; transmittable at any redundancy version.
 struct PreparedTb {
@@ -284,7 +242,8 @@ struct PreparedTb {
 };
 
 PreparedTb prepare_tb(std::span<const std::uint8_t> pdu,
-                      const PipelineConfig& cfg, PacketObs& po, int n_prb) {
+                      const PipelineConfig& cfg, PacketObs& po, int n_prb,
+                      PipelineWorkspace& ws) {
   PreparedTb out;
   std::vector<std::vector<std::uint8_t>> blocks;
   {
@@ -304,7 +263,7 @@ PreparedTb prepare_tb(std::span<const std::uint8_t> pdu,
     StageScope st(po, po.t.turbo_encode, po.h.turbo_encode, "turbo_encode",
                   i);
     out.codewords.push_back(
-        cache().encoder(k).encode(blocks[static_cast<std::size_t>(i)]));
+        ws.codecs().encoder(k).encode(blocks[static_cast<std::size_t>(i)]));
   }
   return out;
 }
@@ -321,7 +280,8 @@ struct EncodedTb {
 
 EncodedTb phy_transmit(const PreparedTb& tb, const PipelineConfig& cfg,
                        std::uint32_t tti, PacketObs& po,
-                       const phy::OfdmModulator& ofdm, int rv) {
+                       const phy::OfdmModulator& ofdm, int rv,
+                       PipelineWorkspace& ws) {
   EncodedTb out;
   out.tb = &tb;
   out.plan = tb.plan;
@@ -334,7 +294,7 @@ EncodedTb phy_transmit(const PreparedTb& tb, const PipelineConfig& cfg,
   for (int i = 0; i < tb.plan.c; ++i) {
     const int k = tb.plan.block_size(i);
     StageScope st(po, po.t.rate_match, po.h.rate_match, "rate_match", i);
-    const auto e = cache().matcher(k).match(
+    const auto e = ws.codecs().matcher(k).match(
         tb.codewords[static_cast<std::size_t>(i)], tb.e_per_block, rv);
     coded.insert(coded.end(), e.begin(), e.end());
   }
@@ -361,49 +321,58 @@ EncodedTb phy_transmit(const PreparedTb& tb, const PipelineConfig& cfg,
 }
 
 /// Receive-side HARQ state: one soft circular buffer per code block,
-/// combined across transmissions.
+/// combined across transmissions. The buffers live in the packet's arena
+/// frame — carved after the per-packet reset, valid across every
+/// retransmission of that packet.
 struct HarqBuffers {
-  std::vector<AlignedVector<std::int16_t>> w;  ///< per-block soft buffer
+  std::span<std::span<std::int16_t>> w;  ///< per-block soft buffer
 
-  void prepare(const phy::SegmentationPlan& plan) {
-    w.resize(static_cast<std::size_t>(plan.c));
+  void prepare(const phy::SegmentationPlan& plan, PipelineWorkspace& ws) {
+    w = ws.arena().make_span<std::span<std::int16_t>>(
+        static_cast<std::size_t>(plan.c));
     for (int i = 0; i < plan.c; ++i) {
       const int k = plan.block_size(i);
-      auto& buf = w[static_cast<std::size_t>(i)];
-      const auto need =
-          static_cast<std::size_t>(cache().matcher(k).buffer_size());
-      buf.assign(need, 0);
+      w[static_cast<std::size_t>(i)] = ws.arena().make_zero_span<std::int16_t>(
+          static_cast<std::size_t>(phy::RateMatcher::buffer_size_for(k)));
     }
   }
 };
 
-/// Inverse direction: time samples back to a MAC PDU.
+/// Inverse direction: time samples back to a MAC PDU. `pdu` points into
+/// the workspace arena — valid until the next packet's reset.
 struct DecodedTb {
   bool crc_ok = false;
   int turbo_iterations = 0;
   double arrange_seconds = 0;
-  std::vector<std::uint8_t> pdu;
+  std::uint64_t allocs = 0;  ///< heap allocations during this decode
+  std::span<const std::uint8_t> pdu;
 };
 
 DecodedTb phy_decode(const EncodedTb& enc, const PipelineConfig& cfg,
                      std::uint32_t tti, PacketObs& po,
                      const phy::OfdmModulator& ofdm, HarqBuffers* harq,
-                     ThreadPool* pool) {
+                     ThreadPool* pool, PipelineWorkspace& ws) {
+  const std::uint64_t news0 = alloc_stats::news();
   DecodedTb out;
+  MonotonicArena& arena = ws.arena();
 
-  std::vector<phy::IqSample> symbols;
+  const auto symbols = arena.make_span<phy::IqSample>(enc.n_symbols);
   {
     StageScope st(po, po.t.ofdm_rx, po.h.ofdm_rx, "ofdm_rx");
-    symbols = ofdm.demodulate(enc.time, enc.n_symbols);
+    const auto fft_scratch = arena.make_span<phy::Cf>(
+        static_cast<std::size_t>(ofdm.config().nfft));
+    ofdm.demodulate_into(enc.time, symbols, fft_scratch);
   }
 
-  AlignedVector<std::int16_t> llr;
+  const Modulation mod = mod_of(cfg.mcs);
+  const auto llr = arena.make_span<std::int16_t>(
+      symbols.size() * static_cast<std::size_t>(phy::bits_per_symbol(mod)));
   {
     StageScope st(po, po.t.demodulation, po.h.demodulation, "demodulation");
     const double n0_re =
         cfg.with_channel ? std::pow(10.0, -cfg.snr_db / 10.0) : 0.01;
-    llr = phy::demodulate_llr(symbols, mod_of(cfg.mcs),
-                              n0_re * phy::kIqScale * phy::kIqScale);
+    phy::demodulate_llr_into(symbols, mod,
+                             n0_re * phy::kIqScale * phy::kIqScale, llr);
   }
 
   {
@@ -417,17 +386,18 @@ DecodedTb phy_decode(const EncodedTb& enc, const PipelineConfig& cfg,
 
   // Per-block de-rate-match + data arrangement + turbo decode: the decode
   // hot path. Code blocks are independent after segmentation, so with a
-  // pool they run one block per worker. Every block writes only its own
-  // slots (blocks[i] / per_block[i]); codec objects come from the
-  // thread_local CodecCache, so workers never share decoder state. The
-  // flat StageTimes are recorded per block and folded in block order
-  // after the join — totals are bit-identical for any worker count.
-  // Histograms and trace spans, by contrast, are recorded directly from
-  // the workers: histogram shards fold on snapshot (order-independent)
-  // and spans carry the worker id that actually ran the block.
+  // pool they run one block per worker. The driving thread resolves every
+  // codec object and carves every buffer BEFORE the fork; workers receive
+  // raw pointers and disjoint spans and never touch the workspace. The
+  // matcher is shared (decode-side methods are const and stateless);
+  // decoders come from the per-lane caches, so two blocks never share
+  // decoder scratch. The flat StageTimes are recorded per block and
+  // folded in block order after the join — totals are bit-identical for
+  // any worker count. Histograms and trace spans, by contrast, are
+  // recorded directly from the workers: histogram shards fold on snapshot
+  // (order-independent) and spans carry the worker id that ran the block.
   const bool multi = enc.plan.c > 1;
   const std::size_t n_blocks = static_cast<std::size_t>(enc.plan.c);
-  std::vector<std::vector<std::uint8_t>> blocks(n_blocks);
   struct BlockOutcome {
     double dematch_seconds = 0;
     double arrange_seconds = 0;
@@ -435,35 +405,46 @@ DecodedTb phy_decode(const EncodedTb& enc, const PipelineConfig& cfg,
     bool crc_ok = false;
     int iterations = 0;
   };
-  std::vector<BlockOutcome> per_block(n_blocks);
+  const auto per_block = arena.make_object_span<BlockOutcome>(n_blocks);
+  const auto hard = arena.make_span<std::span<std::uint8_t>>(n_blocks);
+  const auto w_bufs = arena.make_span<std::span<std::int16_t>>(n_blocks);
+  const auto triples = arena.make_span<std::span<std::int16_t>>(n_blocks);
+  const auto matchers = arena.make_span<const phy::RateMatcher*>(n_blocks);
+  const auto decoders = arena.make_span<phy::TurboDecoder*>(n_blocks);
+  const DecoderSpec spec{cfg.arrange_method, cfg.isa,
+                         cfg.max_turbo_iterations, multi};
+  for (std::size_t bi = 0; bi < n_blocks; ++bi) {
+    const int k = enc.plan.block_size(static_cast<int>(bi));
+    hard[bi] = arena.make_span<std::uint8_t>(static_cast<std::size_t>(k));
+    triples[bi] = arena.make_span<std::int16_t>(
+        3 * (static_cast<std::size_t>(k) + phy::kTurboTail));
+    matchers[bi] = &ws.codecs().matcher(k);
+    decoders[bi] = &ws.lane(bi).decoder(k, spec);
+    // Non-HARQ transmissions accumulate into a fresh zeroed buffer —
+    // exactly RateMatcher::dematch — so both paths share one shape.
+    w_bufs[bi] = harq != nullptr
+                     ? harq->w[bi]
+                     : arena.make_zero_span<std::int16_t>(static_cast<
+                           std::size_t>(phy::RateMatcher::buffer_size_for(k)));
+  }
 
   const auto decode_block = [&](std::size_t bi) {
     const int i = static_cast<int>(bi);
-    const int k = enc.plan.block_size(i);
     const auto tid = ThreadPool::current_worker_id();
     auto& ob = per_block[bi];
-    AlignedVector<std::int16_t> triples;
     {
       obs::ScopedSpan span(po.trace, "rate_dematch", po.tti, i, tid);
       Stopwatch sw;
       const auto slice = std::span<const std::int16_t>(llr).subspan(
           bi * static_cast<std::size_t>(enc.e_per_block),
           static_cast<std::size_t>(enc.e_per_block));
-      if (harq != nullptr) {
-        // Soft-combine this transmission into the persistent buffer.
-        auto& w = harq->w[bi];
-        cache().matcher(k).dematch_accumulate(slice, enc.rv, w);
-        triples = cache().matcher(k).buffer_to_triples(w);
-      } else {
-        triples = cache().matcher(k).dematch(slice, enc.rv);
-      }
+      matchers[bi]->dematch_accumulate(slice, enc.rv, w_bufs[bi]);
+      matchers[bi]->buffer_to_triples_into(w_bufs[bi], triples[bi]);
       ob.dematch_seconds = sw.seconds();
     }
     if (po.h.rate_dematch != nullptr) {
       po.h.rate_dematch->record(to_ns(ob.dematch_seconds));
     }
-    auto& dec = cache().decoder(k, cfg, multi);
-    blocks[bi].resize(static_cast<std::size_t>(k));
     // Forced early-stop miss: the block burns max_iterations instead of
     // exiting at CRC pass / repeat detection. Keyed per (packet, block),
     // so which blocks miss is rerun- and worker-count-stable.
@@ -474,7 +455,7 @@ DecodedTb phy_decode(const EncodedTb& enc, const PipelineConfig& cfg,
     phy::TurboDecodeResult res;
     {
       obs::ScopedSpan span(po.trace, "turbo_block", po.tti, i, tid);
-      res = dec.decode(triples, blocks[bi], miss_early_stop);
+      res = decoders[bi]->decode(triples[bi], hard[bi], miss_early_stop);
     }
     ob.arrange_seconds = res.arrange_seconds;
     ob.compute_seconds = res.compute_seconds;
@@ -507,15 +488,26 @@ DecodedTb phy_decode(const EncodedTb& enc, const PipelineConfig& cfg,
   // Desegment + TB CRC.
   {
     StageScope st(po, po.t.desegmentation, po.h.desegmentation, "deseg");
-    std::vector<std::uint8_t> bits;
-    const bool seg_ok = phy::desegment_bits(blocks, enc.plan, bits);
+    const auto views =
+        arena.make_span<std::span<const std::uint8_t>>(n_blocks);
+    for (std::size_t bi = 0; bi < n_blocks; ++bi) views[bi] = hard[bi];
+    const auto bits =
+        arena.make_span<std::uint8_t>(static_cast<std::size_t>(enc.plan.b));
+    const bool seg_ok = phy::desegment_bits(views, enc.plan, bits);
     const bool tb_ok = phy::crc_check(bits, CrcType::k24A);
-    out.crc_ok = (multi ? (seg_ok && all_ok) : true) && tb_ok;
+    // seg_ok counts in BOTH arms: a single-block TB whose codeword came
+    // back the wrong size is a failed TB even if a CRC over the salvaged
+    // bits happens to pass (leading-zero hazard; see segmentation.h).
+    out.crc_ok = seg_ok && all_ok && tb_ok;
     if (bits.size() >= 24) {
-      bits.resize(bits.size() - 24);  // strip TB CRC
-      out.pdu = pack_bits(bits);
+      const auto payload = std::span<const std::uint8_t>(bits)
+                               .first(bits.size() - 24);  // strip TB CRC
+      const auto pdu = arena.make_span<std::uint8_t>((payload.size() + 7) / 8);
+      pack_bits_into(payload, pdu);
+      out.pdu = pdu;
     }
   }
+  out.allocs = alloc_stats::news() - news0;
   return out;
 }
 
@@ -536,7 +528,8 @@ UplinkPipeline::UplinkPipeline(PipelineConfig cfg)
       channel_(time_domain_snr_db(cfg.snr_db, cfg.ofdm.nfft),
                cfg.noise_seed),
       pool_(make_decode_pool(cfg)),
-      obs_(std::make_unique<detail::PipelineObs>(cfg.metrics)) {}
+      obs_(std::make_unique<detail::PipelineObs>(cfg.metrics)),
+      ws_(cfg.codec_cache_capacity) {}
 
 UplinkPipeline::~UplinkPipeline() = default;
 
@@ -545,6 +538,10 @@ PacketResult UplinkPipeline::send_packet(
   Stopwatch total;
   PacketResult res;
   const std::uint32_t tti = tti_++;
+  // One arena frame per packet: everything the decode chain carves below
+  // (including HARQ soft buffers, reused across retransmissions) lives
+  // until this packet completes; the next packet rewinds it in O(1).
+  ws_.arena().reset();
   PacketObs po{times_, *obs_, cfg_.trace, tti};
   obs::ScopedSpan packet_span(cfg_.trace, "packet", tti);
 
@@ -564,7 +561,7 @@ PacketResult UplinkPipeline::send_packet(
   }
   res.tb_bytes = pdu.size();
 
-  const auto tb = prepare_tb(pdu, cfg_, po, n_prb);
+  const auto tb = prepare_tb(pdu, cfg_, po, n_prb, ws_);
   res.code_blocks = static_cast<std::size_t>(tb.plan.c);
 
   // HARQ loop: rv sequence 0 -> 2 -> 3 -> 1, soft-combining at the
@@ -572,12 +569,12 @@ PacketResult UplinkPipeline::send_packet(
   static constexpr int kRvSeq[4] = {0, 2, 3, 1};
   HarqBuffers harq;
   const bool use_harq = cfg_.harq_max_tx > 1;
-  if (use_harq) harq.prepare(tb.plan);
+  if (use_harq) harq.prepare(tb.plan, ws_);
 
   DecodedTb dec;
   for (int tx = 0; tx < std::max(1, cfg_.harq_max_tx); ++tx) {
     res.transmissions = tx + 1;
-    auto enc = phy_transmit(tb, cfg_, tti, po, ofdm_, kRvSeq[tx % 4]);
+    auto enc = phy_transmit(tb, cfg_, tti, po, ofdm_, kRvSeq[tx % 4], ws_);
     if (cfg_.with_channel) {
       Stopwatch csw;
       StageScope st(po, times_.channel, obs_->channel, "channel");
@@ -585,8 +582,9 @@ PacketResult UplinkPipeline::send_packet(
       res.channel_seconds += csw.seconds();
     }
     dec = phy_decode(enc, cfg_, tti, po, ofdm_,
-                     use_harq ? &harq : nullptr, pool_.get());
+                     use_harq ? &harq : nullptr, pool_.get(), ws_);
     res.arrange_seconds += dec.arrange_seconds;
+    res.decode_allocs += dec.allocs;
     if (dec.crc_ok) break;
   }
   res.crc_ok = dec.crc_ok;
@@ -635,7 +633,8 @@ DownlinkPipeline::DownlinkPipeline(PipelineConfig cfg)
       channel_(time_domain_snr_db(cfg.snr_db, cfg.ofdm.nfft),
                cfg.noise_seed + 1),
       pool_(make_decode_pool(cfg)),
-      obs_(std::make_unique<detail::PipelineObs>(cfg.metrics)) {}
+      obs_(std::make_unique<detail::PipelineObs>(cfg.metrics)),
+      ws_(cfg.codec_cache_capacity) {}
 
 DownlinkPipeline::~DownlinkPipeline() = default;
 
@@ -644,6 +643,7 @@ PacketResult DownlinkPipeline::send_packet(
   Stopwatch total;
   PacketResult res;
   const std::uint32_t tti = tti_++;
+  ws_.arena().reset();  // one arena frame per packet (see uplink)
   PacketObs po{times_, *obs_, cfg_.trace, tti};
   obs::ScopedSpan packet_span(cfg_.trace, "packet", tti);
 
@@ -695,10 +695,10 @@ PacketResult DownlinkPipeline::send_packet(
     }
   }
 
-  const auto tb = prepare_tb(pdu, cfg_, po, n_prb);
+  const auto tb = prepare_tb(pdu, cfg_, po, n_prb, ws_);
   res.code_blocks = static_cast<std::size_t>(tb.plan.c);
   res.transmissions = 1;
-  auto enc = phy_transmit(tb, cfg_, tti, po, ofdm_, /*rv=*/0);
+  auto enc = phy_transmit(tb, cfg_, tti, po, ofdm_, /*rv=*/0, ws_);
 
   if (cfg_.with_channel) {
     Stopwatch csw;
@@ -708,10 +708,11 @@ PacketResult DownlinkPipeline::send_packet(
   }
 
   const auto dec =
-      phy_decode(enc, cfg_, tti, po, ofdm_, nullptr, pool_.get());
+      phy_decode(enc, cfg_, tti, po, ofdm_, nullptr, pool_.get(), ws_);
   res.crc_ok = dec.crc_ok;
   res.turbo_iterations = dec.turbo_iterations;
   res.arrange_seconds = dec.arrange_seconds;
+  res.decode_allocs = dec.allocs;
 
   if (dec.crc_ok) {
     std::optional<mac::MacSdu> sdu;

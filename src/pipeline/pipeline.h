@@ -37,6 +37,7 @@
 #include "phy/scramble/scrambler.h"
 #include "phy/segmentation/segmentation.h"
 #include "phy/turbo/turbo_decoder.h"
+#include "pipeline/workspace.h"
 
 namespace vran::pipeline {
 
@@ -65,6 +66,11 @@ struct PipelineConfig {
   /// block decoding is deterministic; only the timing attribution is
   /// gathered per block and merged at the join).
   int num_workers = 1;
+  /// Bound for each codec LRU map in the pipeline's workspace (distinct
+  /// K values / decoder specs kept warm; see workspace.h). Traffic over
+  /// more distinct sizes evicts and reconstructs instead of growing
+  /// without bound.
+  std::size_t codec_cache_capacity = 8;
   /// Metrics sink: every stage feeds a latency histogram
   /// ("stage.<name>_ns") alongside its StageTimes accumulator, and the
   /// pipeline records per-packet counters/histograms ("pipeline.*").
@@ -138,6 +144,12 @@ struct PacketResult {
   double arrange_seconds = 0;      ///< data-arrangement share
   std::size_t tb_bytes = 0;
   std::size_t code_blocks = 0;
+  /// Heap allocations observed across the decode chain (OFDM rx through
+  /// desegmentation), summed over HARQ transmissions. 0 in the steady
+  /// state once the workspace arena and codec caches are warm. Only
+  /// meaningful when the counting allocator is linked (see
+  /// common/alloc_stats.h); otherwise stays 0.
+  std::uint64_t decode_allocs = 0;
   std::vector<std::uint8_t> egress;  ///< GTP-U packet handed to the EPC
 };
 
@@ -149,6 +161,9 @@ class UplinkPipeline {
   const PipelineConfig& config() const { return cfg_; }
   StageTimes& times() { return times_; }
   const StageTimes& times() const { return times_; }
+  /// Arena + codec caches backing the decode hot path (inspectable for
+  /// tests/benches: arena high-water, cache sizes, evictions).
+  const PipelineWorkspace& workspace() const { return ws_; }
 
   /// Carry one IP packet UE -> eNB -> EPC. Transport-block geometry is
   /// derived from the packet size and the configured MCS.
@@ -161,6 +176,7 @@ class UplinkPipeline {
   phy::AwgnChannel channel_;
   std::unique_ptr<ThreadPool> pool_;  ///< nullptr when num_workers <= 1
   std::unique_ptr<detail::PipelineObs> obs_;
+  PipelineWorkspace ws_;
   std::uint32_t tti_ = 0;
 };
 
@@ -173,6 +189,7 @@ class DownlinkPipeline {
   const PipelineConfig& config() const { return cfg_; }
   StageTimes& times() { return times_; }
   const StageTimes& times() const { return times_; }
+  const PipelineWorkspace& workspace() const { return ws_; }
 
   PacketResult send_packet(std::span<const std::uint8_t> ip_packet);
 
@@ -183,6 +200,7 @@ class DownlinkPipeline {
   phy::AwgnChannel channel_;
   std::unique_ptr<ThreadPool> pool_;  ///< nullptr when num_workers <= 1
   std::unique_ptr<detail::PipelineObs> obs_;
+  PipelineWorkspace ws_;
   std::uint32_t tti_ = 0;
 };
 

@@ -1,0 +1,154 @@
+// Steady-state zero-allocation proof for the decode hot path.
+//
+// This binary links the counting operator new/delete interposer
+// (vran_alloc_interpose); PacketResult::decode_allocs then reports every
+// heap allocation that happened between OFDM rx and desegmentation. The
+// contract under test: after one warmup TTI at a given transport-block
+// geometry, the decode chain allocates NOTHING — all scratch comes from
+// the pipeline workspace arena and all codec objects from the (bounded)
+// caches. Asserted for the scalar and best-available ISA tiers, at 1 and
+// 4 decode workers, and with HARQ soft buffers in play.
+//
+// Under ASan/TSan the interposer compiles out (the sanitizer owns
+// malloc); alloc_stats::interposed() is false and these tests skip.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "common/alloc_stats.h"
+#include "common/cpu_features.h"
+#include "net/pktgen.h"
+#include "pipeline/pipeline.h"
+
+namespace vran::pipeline {
+namespace {
+
+std::vector<std::uint8_t> make_packet(int bytes) {
+  net::FlowConfig fc;
+  fc.packet_bytes = bytes;
+  fc.proto = net::L4Proto::kUdp;
+  net::PacketGenerator gen(fc);
+  return gen.next();
+}
+
+PipelineConfig alloc_config(IsaLevel isa, int workers) {
+  PipelineConfig cfg;
+  cfg.isa = isa;
+  cfg.num_workers = workers;
+  // Noiseless so every TTI decodes on the first transmission — the
+  // allocation profile is deterministic, not channel-dependent.
+  cfg.with_channel = false;
+  // Metrics/trace off: the assertion is about the decode chain itself,
+  // not about lazily-grown histogram shards.
+  cfg.metrics = nullptr;
+  cfg.trace = nullptr;
+  return cfg;
+}
+
+void expect_zero_alloc_steady_state(IsaLevel isa, int workers,
+                                    int packet_bytes, int harq_max_tx) {
+  if (!alloc_stats::interposed()) {
+    GTEST_SKIP() << "counting allocator not linked (sanitizer build)";
+  }
+  auto cfg = alloc_config(isa, workers);
+  cfg.harq_max_tx = harq_max_tx;
+  UplinkPipeline ul(cfg);
+  const auto pkt = make_packet(packet_bytes);
+
+  // Warmup TTI: constructs codecs for this K and grows the arena.
+  const auto warm = ul.send_packet(pkt);
+  ASSERT_TRUE(warm.crc_ok);
+  if (workers > 1) {
+    // The parallel path is only exercised with multiple code blocks.
+    ASSERT_GE(warm.code_blocks, 2u);
+  }
+
+  std::uint64_t total = 0;
+  for (int i = 0; i < 100; ++i) {
+    const auto res = ul.send_packet(pkt);
+    ASSERT_TRUE(res.crc_ok);
+    total += res.decode_allocs;
+  }
+  EXPECT_EQ(total, 0u) << "decode path allocated in steady state ("
+                       << isa_name(isa) << ", " << workers << " workers)";
+
+  // The arena must have stopped growing after warmup.
+  const auto stats = ul.workspace().stats();
+  EXPECT_GT(stats.arena_bytes_reserved, 0u);
+  EXPECT_EQ(stats.codec_evictions, 0u);
+}
+
+TEST(AllocSteadyState, ScalarSingleWorker) {
+  expect_zero_alloc_steady_state(IsaLevel::kScalar, 1, 700, 1);
+}
+
+TEST(AllocSteadyState, ScalarFourWorkers) {
+  expect_zero_alloc_steady_state(IsaLevel::kScalar, 4, 1500, 1);
+}
+
+TEST(AllocSteadyState, BestIsaSingleWorker) {
+  expect_zero_alloc_steady_state(best_isa(), 1, 700, 1);
+}
+
+TEST(AllocSteadyState, BestIsaFourWorkers) {
+  expect_zero_alloc_steady_state(best_isa(), 4, 1500, 1);
+}
+
+TEST(AllocSteadyState, HarqBuffersComeFromArena) {
+  // harq_max_tx > 1 routes the per-block soft buffers through
+  // HarqBuffers::prepare; noiseless means one transmission per packet,
+  // so the profile stays deterministic.
+  expect_zero_alloc_steady_state(best_isa(), 1, 1500, 4);
+}
+
+TEST(AllocSteadyState, DownlinkDecodeIsZeroAlloc) {
+  if (!alloc_stats::interposed()) {
+    GTEST_SKIP() << "counting allocator not linked (sanitizer build)";
+  }
+  DownlinkPipeline dl(alloc_config(best_isa(), 1));
+  const auto pkt = make_packet(1024);
+  ASSERT_TRUE(dl.send_packet(pkt).crc_ok);
+  std::uint64_t total = 0;
+  for (int i = 0; i < 100; ++i) {
+    const auto res = dl.send_packet(pkt);
+    ASSERT_TRUE(res.crc_ok);
+    total += res.decode_allocs;
+  }
+  EXPECT_EQ(total, 0u);
+}
+
+TEST(CodecCacheLru, EvictsBeyondCapacityAndStaysBounded) {
+  // Cycle more distinct transport-block sizes than the cache holds: the
+  // caches must evict (not grow) and keep serving correct decodes.
+  auto cfg = alloc_config(best_isa(), 1);
+  cfg.codec_cache_capacity = 2;
+  UplinkPipeline ul(cfg);
+  const int sizes[] = {200, 400, 600, 800, 1000};
+  for (int round = 0; round < 2; ++round) {
+    for (const int bytes : sizes) {
+      const auto res = ul.send_packet(make_packet(bytes));
+      ASSERT_TRUE(res.crc_ok) << bytes;
+    }
+  }
+  const auto stats = ul.workspace().stats();
+  EXPECT_GT(stats.codec_evictions, 0u);
+  // Shared cache holds <= 2 matchers/encoders; each decoder lane <= 2.
+  EXPECT_LE(stats.cached_matchers, 2u);
+  EXPECT_LE(stats.cached_encoders, 2u);
+}
+
+TEST(CodecCacheLru, WithinCapacityNeverEvicts) {
+  auto cfg = alloc_config(best_isa(), 1);
+  cfg.codec_cache_capacity = 8;
+  UplinkPipeline ul(cfg);
+  for (int round = 0; round < 3; ++round) {
+    for (const int bytes : {300, 900}) {
+      ASSERT_TRUE(ul.send_packet(make_packet(bytes)).crc_ok);
+    }
+  }
+  EXPECT_EQ(ul.workspace().stats().codec_evictions, 0u);
+}
+
+}  // namespace
+}  // namespace vran::pipeline

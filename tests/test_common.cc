@@ -193,6 +193,25 @@ TEST(Saturate, Narrow16) {
   EXPECT_EQ(sat_narrow16(1234), 1234);
 }
 
+TEST(Saturate, Add16SymClampsSymmetrically) {
+  EXPECT_EQ(sat_add16_sym(30000, 10000), 32767);
+  EXPECT_EQ(sat_add16_sym(-30000, -10000), -32767);  // never INT16_MIN
+  EXPECT_EQ(sat_add16_sym(100, -50), 50);
+  EXPECT_EQ(sat_add16_sym(0, -32768), -32767);
+}
+
+TEST(Saturate, Add16SymCancellationExhaustive) {
+  // HARQ unbiasedness: combining x then -x must land exactly on 0 for
+  // every representable int16 x (paddsw-style sat_add16 fails this at
+  // x = -32768, where the accumulator pins and +32767 can't cancel it).
+  for (int x = -32768; x <= 32767; ++x) {
+    const auto a = static_cast<std::int16_t>(x);
+    const std::int16_t acc = sat_add16_sym(0, a);
+    EXPECT_EQ(sat_add16_sym(acc, static_cast<std::int16_t>(-acc)), 0) << x;
+    EXPECT_GE(acc, -32767) << x;
+  }
+}
+
 TEST(BitIo, PackUnpackRoundTrip) {
   Xoshiro256 rng(7);
   for (std::size_t nbytes : {1u, 3u, 16u, 100u}) {

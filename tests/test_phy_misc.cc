@@ -437,6 +437,39 @@ TEST(Segmentation, RejectsBadInput) {
                std::invalid_argument);
 }
 
+TEST(Segmentation, TruncatedSingleBlockCodewordReportsFailure) {
+  // Regression: a single-block TB (c == 1, no per-block CRC24B) whose
+  // codeword came back the wrong size must report desegmentation failure
+  // — the pipeline once trusted the TB CRC alone in this arm, and a CRC
+  // over salvaged/zero-filled bits is not evidence the block was intact.
+  const auto bits = random_bits(100, 57);
+  const auto plan = make_segmentation_plan(100);
+  ASSERT_EQ(plan.c, 1);
+  auto blocks = segment_bits(bits, plan);
+  blocks[0].resize(blocks[0].size() - 8);  // truncated codeword
+
+  std::vector<std::uint8_t> out;
+  EXPECT_FALSE(desegment_bits(blocks, plan, out));
+  // Best-effort salvage keeps the output full-size and zero-fills the
+  // missing tail.
+  ASSERT_EQ(out.size(), static_cast<std::size_t>(plan.b));
+  for (std::size_t j = out.size() - 8; j < out.size(); ++j) {
+    EXPECT_EQ(out[j], 0) << j;
+  }
+
+  // Same contract through the allocation-free span overload.
+  std::vector<std::span<const std::uint8_t>> views;
+  views.emplace_back(blocks[0]);
+  std::vector<std::uint8_t> out2(static_cast<std::size_t>(plan.b), 1);
+  EXPECT_FALSE(desegment_bits(
+      std::span<const std::span<const std::uint8_t>>(views), plan, out2));
+
+  // Oversized codewords fail the same way.
+  auto oversized = segment_bits(bits, plan);
+  oversized[0].push_back(0);
+  EXPECT_FALSE(desegment_bits(oversized, plan, out));
+}
+
 }  // namespace
 }  // namespace vran::phy
 

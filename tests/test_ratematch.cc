@@ -149,6 +149,40 @@ TEST(RateMatch, HarqCombiningAcrossRvs) {
   EXPECT_GT(covered, static_cast<int>(triples.size() / 2));
 }
 
+TEST(RateMatch, HarqAccumulateThenNegationCancelsExactly) {
+  // Unbiased soft combining: transmitting x and then -x at the same rv
+  // must leave every buffer position exactly 0 — including extreme
+  // values, where an asymmetric (paddsw-style) accumulator would pin at
+  // INT16_MIN and never cancel.
+  const int k = 256;
+  const RateMatcher rm(k);
+  const int e = rm.usable_size();
+  Xoshiro256 rng(11);
+  AlignedVector<std::int16_t> llr(static_cast<std::size_t>(e));
+  for (auto& v : llr) {
+    // Bias the draw toward the extremes to stress the clamp.
+    const auto r = rng.next();
+    if ((r & 7u) == 0) {
+      v = (r & 8u) ? std::int16_t{-32768} : std::int16_t{32767};
+    } else {
+      v = static_cast<std::int16_t>(r);
+    }
+  }
+  AlignedVector<std::int16_t> w(static_cast<std::size_t>(rm.buffer_size()),
+                                0);
+  rm.dematch_accumulate(llr, 0, w);
+  // Negate what the buffer actually holds: INT16_MIN inputs clamp to
+  // -32767 on the way in, so the stored value is always negatable.
+  AlignedVector<std::int16_t> neg(llr.size());
+  for (std::size_t i = 0; i < llr.size(); ++i) {
+    const std::int16_t stored =
+        llr[i] == -32768 ? std::int16_t{-32767} : llr[i];
+    neg[i] = static_cast<std::int16_t>(-stored);
+  }
+  rm.dematch_accumulate(neg, 0, w);
+  for (std::size_t i = 0; i < w.size(); ++i) EXPECT_EQ(w[i], 0) << i;
+}
+
 TEST(RateMatch, InputValidation) {
   const RateMatcher rm(40);
   TurboCodeword bad;

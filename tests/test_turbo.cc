@@ -245,10 +245,12 @@ TEST(TurboDecoder, SseBitExactWithScalarReference) {
       lall_s(static_cast<std::size_t>(k)), ext_v(static_cast<std::size_t>(k)),
       lall_v(static_cast<std::size_t>(k));
   AlignedVector<std::int16_t> ws(static_cast<std::size_t>(k) * 32 + 64);
+  AlignedVector<std::int16_t> gs(static_cast<std::size_t>(k) * 3);
 
-  map_decode_scalar(sys, par, apr, st, pt, ext_s, lall_s, ws.data());
+  map_decode_scalar(sys, par, apr, st, pt, ext_s, lall_s, ws.data(),
+                    gs.data());
   map_decode_simd(IsaLevel::kSse41, sys, par, apr, st, pt, ext_v, lall_v,
-                  ws.data());
+                  ws.data(), gs.data());
   for (int i = 0; i < k; ++i) {
     ASSERT_EQ(ext_v[static_cast<std::size_t>(i)],
               ext_s[static_cast<std::size_t>(i)])

@@ -1,0 +1,275 @@
+// CI regression gate over two bench_e2e JSON documents.
+//
+//   bench_compare --baseline bench/baselines/BENCH_PR4.json
+//                 --current BENCH_NOW.json [--max-regress 15]
+//
+// Configurations are matched by (isa, workers). For each pair present in
+// both files the gate fails (exit 1) when:
+//   * current p99 TTI latency exceeds baseline by more than
+//     --max-regress percent, or
+//   * allocations/TTI grew by more than 0.5 while the current run had
+//     allocation counting enabled (a zero-alloc steady state that starts
+//     allocating is a correctness regression, not noise).
+// Configs only present on one side are reported but never fail the gate
+// (a smaller CI host may lack an ISA tier the baseline machine had).
+//
+// The parser below handles exactly the JSON subset bench_e2e emits
+// (objects, arrays, strings without escapes beyond \", numbers, bools);
+// it is not a general-purpose JSON library and does not try to be.
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace {
+
+// ---------------------------------------------------------------- JSON --
+struct JsonValue {
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject } type =
+      Type::kNull;
+  bool boolean = false;
+  double number = 0;
+  std::string str;
+  std::vector<JsonValue> array;
+  std::map<std::string, JsonValue> object;
+
+  const JsonValue* find(const std::string& key) const {
+    const auto it = object.find(key);
+    return it == object.end() ? nullptr : &it->second;
+  }
+  double num_or(const std::string& key, double def) const {
+    const auto* v = find(key);
+    return (v && v->type == Type::kNumber) ? v->number : def;
+  }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& text) : s_(text) {}
+
+  bool parse(JsonValue& out) {
+    skip_ws();
+    return value(out) && (skip_ws(), pos_ == s_.size());
+  }
+
+ private:
+  void skip_ws() {
+    while (pos_ < s_.size() &&
+           std::isspace(static_cast<unsigned char>(s_[pos_]))) {
+      ++pos_;
+    }
+  }
+  bool consume(char c) {
+    skip_ws();
+    if (pos_ < s_.size() && s_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+  bool literal(const char* lit) {
+    const std::size_t n = std::strlen(lit);
+    if (s_.compare(pos_, n, lit) != 0) return false;
+    pos_ += n;
+    return true;
+  }
+  bool string(std::string& out) {
+    if (!consume('"')) return false;
+    out.clear();
+    while (pos_ < s_.size() && s_[pos_] != '"') {
+      if (s_[pos_] == '\\' && pos_ + 1 < s_.size()) ++pos_;
+      out += s_[pos_++];
+    }
+    return pos_ < s_.size() && s_[pos_++] == '"';
+  }
+  bool value(JsonValue& out) {
+    skip_ws();
+    if (pos_ >= s_.size()) return false;
+    const char c = s_[pos_];
+    if (c == '{') return object(out);
+    if (c == '[') return array(out);
+    if (c == '"') {
+      out.type = JsonValue::Type::kString;
+      return string(out.str);
+    }
+    if (literal("true")) {
+      out.type = JsonValue::Type::kBool;
+      out.boolean = true;
+      return true;
+    }
+    if (literal("false")) {
+      out.type = JsonValue::Type::kBool;
+      out.boolean = false;
+      return true;
+    }
+    if (literal("null")) {
+      out.type = JsonValue::Type::kNull;
+      return true;
+    }
+    char* end = nullptr;
+    out.number = std::strtod(s_.c_str() + pos_, &end);
+    if (end == s_.c_str() + pos_) return false;
+    pos_ = static_cast<std::size_t>(end - s_.c_str());
+    out.type = JsonValue::Type::kNumber;
+    return true;
+  }
+  bool object(JsonValue& out) {
+    out.type = JsonValue::Type::kObject;
+    if (!consume('{')) return false;
+    if (consume('}')) return true;
+    do {
+      std::string key;
+      skip_ws();
+      if (!string(key) || !consume(':')) return false;
+      JsonValue v;
+      if (!value(v)) return false;
+      out.object.emplace(std::move(key), std::move(v));
+    } while (consume(','));
+    return consume('}');
+  }
+  bool array(JsonValue& out) {
+    out.type = JsonValue::Type::kArray;
+    if (!consume('[')) return false;
+    if (consume(']')) return true;
+    do {
+      JsonValue v;
+      if (!value(v)) return false;
+      out.array.push_back(std::move(v));
+    } while (consume(','));
+    return consume(']');
+  }
+
+  const std::string& s_;
+  std::size_t pos_ = 0;
+};
+
+// ---------------------------------------------------------------- gate --
+struct Config {
+  double p50_us = 0, p99_us = 0, allocs_per_tti = 0;
+};
+
+bool load(const char* path, std::map<std::string, Config>& out,
+          bool& counting) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "bench_compare: cannot open %s\n", path);
+    return false;
+  }
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  const std::string text = ss.str();
+  JsonValue root;
+  if (!JsonParser(text).parse(root) ||
+      root.type != JsonValue::Type::kObject) {
+    std::fprintf(stderr, "bench_compare: %s is not valid JSON\n", path);
+    return false;
+  }
+  const auto* schema = root.find("schema");
+  if (!schema || schema->str != "vran-bench-e2e-v1") {
+    std::fprintf(stderr, "bench_compare: %s: unexpected schema\n", path);
+    return false;
+  }
+  const auto* counting_v = root.find("alloc_counting");
+  counting = counting_v && counting_v->boolean;
+  const auto* configs = root.find("configs");
+  if (!configs || configs->type != JsonValue::Type::kArray) {
+    std::fprintf(stderr, "bench_compare: %s: missing configs[]\n", path);
+    return false;
+  }
+  for (const auto& c : configs->array) {
+    const auto* isa = c.find("isa");
+    if (!isa) continue;
+    const std::string key =
+        isa->str + "/w" +
+        std::to_string(static_cast<int>(c.num_or("workers", 0)));
+    Config cfg;
+    if (const auto* tti = c.find("tti_us")) {
+      cfg.p50_us = tti->num_or("p50", 0);
+      cfg.p99_us = tti->num_or("p99", 0);
+    }
+    cfg.allocs_per_tti = c.num_or("allocs_per_tti", 0);
+    out.emplace(key, cfg);
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const char* baseline_path = nullptr;
+  const char* current_path = nullptr;
+  double max_regress = 15.0;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--baseline") == 0 && i + 1 < argc) {
+      baseline_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--current") == 0 && i + 1 < argc) {
+      current_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--max-regress") == 0 && i + 1 < argc) {
+      max_regress = std::atof(argv[++i]);
+    } else {
+      std::fprintf(stderr,
+                   "usage: bench_compare --baseline A.json --current B.json "
+                   "[--max-regress PCT]\n");
+      return 2;
+    }
+  }
+  if (!baseline_path || !current_path) {
+    std::fprintf(stderr,
+                 "bench_compare: --baseline and --current are required\n");
+    return 2;
+  }
+
+  std::map<std::string, Config> base, cur;
+  bool base_counting = false, cur_counting = false;
+  if (!load(baseline_path, base, base_counting) ||
+      !load(current_path, cur, cur_counting)) {
+    return 2;
+  }
+
+  int failures = 0, compared = 0;
+  std::printf("%-16s %12s %12s %9s   %s\n", "config", "base_p99", "cur_p99",
+              "delta", "allocs (base -> cur)");
+  for (const auto& [key, b] : base) {
+    const auto it = cur.find(key);
+    if (it == cur.end()) {
+      std::printf("%-16s missing in current run (skipped)\n", key.c_str());
+      continue;
+    }
+    const auto& c = it->second;
+    ++compared;
+    const double delta_pct =
+        b.p99_us > 0 ? (c.p99_us - b.p99_us) / b.p99_us * 100.0 : 0.0;
+    const bool lat_fail = delta_pct > max_regress;
+    const bool alloc_fail =
+        cur_counting && c.allocs_per_tti > b.allocs_per_tti + 0.5;
+    std::printf("%-16s %10.1fus %10.1fus %+8.1f%%   %.3f -> %.3f%s%s\n",
+                key.c_str(), b.p99_us, c.p99_us, delta_pct,
+                b.allocs_per_tti, c.allocs_per_tti,
+                lat_fail ? "  LATENCY-REGRESSION" : "",
+                alloc_fail ? "  ALLOC-REGRESSION" : "");
+    failures += (lat_fail || alloc_fail) ? 1 : 0;
+  }
+  for (const auto& [key, c] : cur) {
+    (void)c;
+    if (base.find(key) == base.end()) {
+      std::printf("%-16s new config, no baseline (skipped)\n", key.c_str());
+    }
+  }
+  if (compared == 0) {
+    std::fprintf(stderr, "bench_compare: no overlapping configs\n");
+    return 2;
+  }
+  if (failures > 0) {
+    std::fprintf(stderr, "bench_compare: %d config(s) regressed beyond %.0f%%\n",
+                 failures, max_regress);
+    return 1;
+  }
+  std::printf("bench_compare: OK (%d configs within %.0f%%)\n", compared,
+              max_regress);
+  return 0;
+}
