@@ -17,14 +17,25 @@
 //
 // `--json <path>` writes the "vran-bench-e2e-v1" document that
 // tools/bench_compare gates CI on (see TESTING.md for the schema);
-// bench/baselines/BENCH_PR4.json is the committed reference.
+// bench/baselines/BENCH_PR4.json is the committed reference. The JSON
+// always carries a "meta" provenance block (git SHA, CPU model, ISA
+// tier, PMU availability — bench_util.h meta_json).
+//
+// `--hw` additionally runs each configuration with hardware PMU
+// attribution on (PipelineConfig::pmu): per-stage cycles/instructions
+// land in a private MetricsRegistry and the JSON gains a per-config
+// "pmu" object with measured IPC and backend-bound per stage. On hosts
+// without perf access (or VRAN_PMU=off) the mode still runs — the
+// object reports "available": false and no stages.
 //
 // Flags: --ttis N (default 300)  --flows N (default 4)
-//        --payload BYTES (default 1500)  --json PATH
+//        --payload BYTES (default 1500)  --json PATH  --hw
 #include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <string>
+#include <string_view>
+#include <utility>
 #include <vector>
 
 #include "bench/bench_util.h"
@@ -59,14 +70,41 @@ struct ConfigResult {
   double crc_ok_rate = 0;
   std::vector<pipeline::StageTimes::Entry> stages;  // seconds, whole run
   int ttis = 0;
+  bool hw = false;            // --hw requested
+  bool pmu_available = false; // counters actually delivered
+  // Measured-window PMU delta per stage (only stages that ran).
+  std::vector<std::pair<std::string, obs::PmuReading>> pmu_stages;
 };
 
+// Stage names present in `snap` as "pmu.stage.<name>.cycles" counters.
+std::vector<std::string> pmu_stage_names(const obs::Snapshot& snap) {
+  constexpr std::string_view kPrefix = "pmu.stage.";
+  constexpr std::string_view kSuffix = ".cycles";
+  std::vector<std::string> names;
+  for (const auto& [name, value] : snap.counters) {
+    if (name.size() <= kPrefix.size() + kSuffix.size()) continue;
+    if (name.compare(0, kPrefix.size(), kPrefix) != 0) continue;
+    if (name.compare(name.size() - kSuffix.size(), kSuffix.size(),
+                     kSuffix) != 0) {
+      continue;
+    }
+    names.push_back(name.substr(
+        kPrefix.size(), name.size() - kPrefix.size() - kSuffix.size()));
+  }
+  return names;
+}
+
 ConfigResult run_config(IsaLevel isa, int workers, int ttis, int flows,
-                        int payload) {
+                        int payload, bool hw) {
   ConfigResult out;
   out.isa = isa;
   out.workers = workers;
   out.ttis = ttis;
+  out.hw = hw;
+
+  // Declared before the runner so stage/PMU counter handles the
+  // pipelines hold stay valid for the runner's whole lifetime.
+  obs::MetricsRegistry reg;
 
   std::vector<pipeline::PipelineConfig> cfgs(static_cast<std::size_t>(flows));
   for (int f = 0; f < flows; ++f) {
@@ -74,7 +112,10 @@ ConfigResult run_config(IsaLevel isa, int workers, int ttis, int flows,
     cfg.isa = isa;
     cfg.rnti = static_cast<std::uint16_t>(0x1000 + f);
     cfg.noise_seed = 7u + static_cast<std::uint64_t>(f);
-    cfg.metrics = nullptr;  // latency comes from wall-clock samples below
+    // Latency comes from wall-clock samples below; metrics stay off
+    // unless --hw needs the registry for PMU stage attribution.
+    cfg.metrics = hw ? &reg : nullptr;
+    cfg.pmu = hw;
     cfg.trace = nullptr;
   }
   pipeline::BatchRunner runner(pipeline::BatchRunner::Direction::kUplink,
@@ -92,6 +133,7 @@ ConfigResult run_config(IsaLevel isa, int workers, int ttis, int flows,
   for (int i = 0; i < warmup; ++i) runner.run_tti(packets, results);
 
   const auto stages_before = runner.aggregate_times();
+  const obs::Snapshot pmu_before = hw ? reg.snapshot() : obs::Snapshot{};
   std::vector<double> samples(static_cast<std::size_t>(ttis));
   std::uint64_t allocs = 0, ok = 0, sent = 0;
   for (int t = 0; t < ttis; ++t) {
@@ -130,6 +172,20 @@ ConfigResult run_config(IsaLevel isa, int workers, int ttis, int flows,
     }
     out.stages.push_back(e);
   }
+
+  if (hw) {
+    out.pmu_available = obs::pmu_available();
+    const obs::Snapshot pmu_after = reg.snapshot();
+    for (const auto& name : pmu_stage_names(pmu_after)) {
+      const std::string prefix = "pmu.stage." + name + ".";
+      const auto t0 = obs::pmu_reading_from(pmu_before, prefix);
+      const auto t1 = obs::pmu_reading_from(pmu_after, prefix);
+      // A stage that first fired inside the measured window has no
+      // valid baseline; its whole count is the window's.
+      const auto delta = t0.valid ? t1.delta_since(t0) : t1;
+      if (delta.valid) out.pmu_stages.emplace_back(name, delta);
+    }
+  }
   return out;
 }
 
@@ -138,6 +194,7 @@ std::string to_json(const std::vector<ConfigResult>& rows, int ttis,
   std::string j;
   char buf[256];
   j += "{\n  \"schema\": \"vran-bench-e2e-v1\",\n";
+  j += "  \"meta\": " + bench::meta_json() + ",\n";
   std::snprintf(buf, sizeof(buf),
                 "  \"host_best_isa\": \"%s\",\n  \"alloc_counting\": %s,\n"
                 "  \"ttis\": %d,\n  \"flows\": %d,\n  \"payload_bytes\": %d,\n",
@@ -162,7 +219,31 @@ std::string to_json(const std::vector<ConfigResult>& rows, int ttis,
                     r.stages[s].seconds / double(r.ttis) * 1e6);
       j += buf;
     }
-    j += "}}";
+    j += "}";
+    if (r.hw) {
+      std::snprintf(buf, sizeof(buf), ",\n     \"pmu\": {\"available\": %s, "
+                    "\"stages\": {",
+                    r.pmu_available ? "true" : "false");
+      j += buf;
+      for (std::size_t s = 0; s < r.pmu_stages.size(); ++s) {
+        const auto& [name, m] = r.pmu_stages[s];
+        std::snprintf(buf, sizeof(buf),
+                      "%s\"%s\": {\"ipc\": %.3f, \"cycles\": %llu, "
+                      "\"instructions\": %llu",
+                      s == 0 ? "" : ", ", name.c_str(), m.ipc(),
+                      static_cast<unsigned long long>(m.cycles),
+                      static_cast<unsigned long long>(m.instructions));
+        j += buf;
+        if (m.backend_bound() >= 0) {
+          std::snprintf(buf, sizeof(buf), ", \"backend_bound\": %.4f",
+                        m.backend_bound());
+          j += buf;
+        }
+        j += "}";
+      }
+      j += "}}";
+    }
+    j += "}";
     j += (i + 1 < rows.size()) ? ",\n" : "\n";
   }
   j += "  ]\n}";
@@ -176,6 +257,7 @@ int main(int argc, char** argv) {
   const int flows = int_flag(argc, argv, "--flows", 4);
   const int payload = int_flag(argc, argv, "--payload", 1500);
   const std::string json_path = bench::json_out_path(argc, argv);
+  const bool hw = bench::hw_flag(argc, argv);
 
   std::vector<IsaLevel> isas{IsaLevel::kScalar};
   for (const IsaLevel isa :
@@ -183,9 +265,13 @@ int main(int argc, char** argv) {
     if (isa <= best_isa()) isas.push_back(isa);
   }
 
-  std::printf("bench_e2e: %d TTIs x %d flows, %dB payload, counting=%s\n\n",
+  std::printf("bench_e2e: %d TTIs x %d flows, %dB payload, counting=%s\n",
               ttis, flows, payload,
               alloc_stats::interposed() ? "on" : "OFF (sanitizer build?)");
+  if (hw) {
+    std::printf("hardware counters: %s\n", obs::pmu_status_string());
+  }
+  std::printf("\n");
   std::printf("%-8s %-8s %10s %10s %10s %12s %8s\n", "isa", "workers",
               "p50_us", "p99_us", "mean_us", "allocs/tti", "crc_ok");
 
@@ -193,7 +279,7 @@ int main(int argc, char** argv) {
   for (const IsaLevel isa : isas) {
     double serial_allocs = 0;  // exact; see header comment
     for (const int workers : {1, 4}) {
-      auto r = run_config(isa, workers, ttis, flows, payload);
+      auto r = run_config(isa, workers, ttis, flows, payload, hw);
       if (workers == 1) {
         serial_allocs = r.allocs_per_tti;
       } else {
@@ -202,6 +288,15 @@ int main(int argc, char** argv) {
       std::printf("%-8s %-8d %10.1f %10.1f %10.1f %12.3f %8.4f\n",
                   isa_name(isa), workers, r.p50_us, r.p99_us, r.mean_us,
                   r.allocs_per_tti, r.crc_ok_rate);
+      if (hw && !r.pmu_stages.empty()) {
+        for (const auto& [name, m] : r.pmu_stages) {
+          std::printf("    pmu %-18s ipc=%.2f", name.c_str(), m.ipc());
+          if (m.backend_bound() >= 0) {
+            std::printf(" backend=%.1f%%", 100 * m.backend_bound());
+          }
+          std::printf("\n");
+        }
+      }
       rows.push_back(r);
     }
   }

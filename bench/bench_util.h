@@ -15,10 +15,89 @@
 #include <string>
 #include <vector>
 
+#include "common/cpu_features.h"
+#include "common/threadpool.h"
 #include "common/timer.h"
 #include "obs/metrics.h"
+#include "obs/pmu.h"
+
+#if defined(__x86_64__) || defined(_M_X64) || defined(__i386__)
+#include <cpuid.h>
+#endif
+
+// Stamped by the build system (bench/CMakeLists.txt) from
+// `git rev-parse --short HEAD`; "unknown" for out-of-git builds.
+#ifndef VRAN_GIT_SHA
+#define VRAN_GIT_SHA "unknown"
+#endif
 
 namespace vran::bench {
+
+/// Marketing/brand string of the executing CPU (CPUID leaves
+/// 0x80000002-4), whitespace-trimmed; "unknown" off x86 or when the
+/// leaves are missing. Bench JSON embeds this so a committed baseline
+/// says what silicon produced it — tools/bench_compare warns on
+/// mismatch.
+inline std::string cpu_model_string() {
+#if defined(__x86_64__) || defined(_M_X64) || defined(__i386__)
+  unsigned int a = 0, b = 0, c = 0, d = 0;
+  if (!__get_cpuid(0x80000000u, &a, &b, &c, &d) || a < 0x80000004u) {
+    return "unknown";
+  }
+  char brand[49] = {};
+  for (unsigned int leaf = 0; leaf < 3; ++leaf) {
+    __get_cpuid(0x80000002u + leaf, &a, &b, &c, &d);
+    std::memcpy(brand + 16 * leaf + 0, &a, 4);
+    std::memcpy(brand + 16 * leaf + 4, &b, 4);
+    std::memcpy(brand + 16 * leaf + 8, &c, 4);
+    std::memcpy(brand + 16 * leaf + 12, &d, 4);
+  }
+  std::string s(brand);
+  const auto first = s.find_first_not_of(' ');
+  if (first == std::string::npos) return "unknown";
+  const auto last = s.find_last_not_of(' ');
+  return s.substr(first, last - first + 1);
+#else
+  return "unknown";
+#endif
+}
+
+/// Run-provenance block every bench JSON embeds under "meta": git SHA,
+/// CPU model, detected ISA tier, hardware thread count, and PMU
+/// availability — enough to judge whether two JSONs are comparable.
+/// `workers` is the bench's own worker setting (-1 = not applicable,
+/// omitted).
+inline std::string meta_json(int workers = -1) {
+  std::string j = "{";
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "\"git_sha\": \"%s\", \"cpu_model\": \"%s\", "
+                "\"best_isa\": \"%s\", \"hardware_threads\": %d, ",
+                VRAN_GIT_SHA, cpu_model_string().c_str(),
+                isa_name(best_isa()), ThreadPool::hardware_threads());
+  j += buf;
+  if (workers >= 0) {
+    std::snprintf(buf, sizeof(buf), "\"workers\": %d, ", workers);
+    j += buf;
+  }
+  std::snprintf(buf, sizeof(buf), "\"pmu\": \"%s\", \"pmu_available\": %s}",
+                obs::pmu_status_string(),
+                obs::pmu_available() ? "true" : "false");
+  j += buf;
+  return j;
+}
+
+/// True when `--hw` (or `--hw=1`) appears: figure benches then print a
+/// measured hardware-counter column next to every port-model column.
+inline bool hw_flag(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--hw") == 0 ||
+        std::strcmp(argv[i], "--hw=1") == 0) {
+      return true;
+    }
+  }
+  return false;
+}
 
 /// Path given via `--json <path>` or `--json=<path>`; empty when absent.
 inline std::string json_out_path(int argc, char** argv) {

@@ -3,16 +3,23 @@
 // Paper shape: frontend and bad-speculation negligible everywhere; the
 // stall budget concentrates in backend bound; turbo decoding worst
 // (>50 %).
+//
+// --hw: additionally run each module's REAL kernel (bench/hw_kernels.h,
+// same parameters the traces model) and print measured IPC and
+// backend-bound from hardware counters next to the model columns; n/a
+// when perf access is unavailable.
 #include <cstdio>
 
 #include "bench/bench_util.h"
+#include "bench/hw_kernels.h"
 #include "sim/kernels.h"
 #include "sim/port_sim.h"
 
 using namespace vran;
 using namespace vran::sim;
 
-int main() {
+int main(int argc, char** argv) {
+  const bool hw = bench::hw_flag(argc, argv);
   bench::print_header("Fig. 5 — Uplink module top-down breakdown (port model)");
 
   const PortSimulator psim(paper_machine(wimpy_cache()));
@@ -21,27 +28,56 @@ int main() {
   struct Row {
     const char* name;
     Trace trace;
+    bench::hw::Workload workload;  // null = no hardware counterpart
   };
   const Row rows[] = {
-      {"OFDM (rx)", trace_ofdm(512, 4)},
-      {"Descrambling", trace_scramble(20000)},
-      {"Rate dematch", trace_rate_match(20000)},
+      {"OFDM (rx)", trace_ofdm(512, 4), bench::hw::wl_ofdm_rx(512, 4)},
+      {"Descrambling", trace_scramble(20000), bench::hw::wl_descramble(20000)},
+      {"Rate dematch", trace_rate_match(20000),
+       bench::hw::wl_rate_dematch(k, 20000)},
       {"Data arrangement",
        trace_arrange(arrange::Method::kExtract, IsaLevel::kSse41,
-                     arrange::Order::kCanonical, k + 4)},
+                     arrange::Order::kCanonical, k + 4),
+       bench::hw::wl_arrange(arrange::Method::kExtract, IsaLevel::kSse41,
+                             arrange::Order::kCanonical,
+                             static_cast<std::size_t>(k) + 4)},
       {"Turbo decoding",
-       trace_turbo_decode(IsaLevel::kSse41, k, 4, arrange::Method::kExtract)},
-      {"DCI", trace_dci(27)},
+       trace_turbo_decode(IsaLevel::kSse41, k, 4, arrange::Method::kExtract),
+       bench::hw::wl_turbo_decode(IsaLevel::kSse41, k, 4,
+                                  arrange::Method::kExtract)},
+      {"DCI", trace_dci(27), bench::hw::wl_dci()},
   };
 
-  std::printf("%-20s %6s %9s %6s %6s %8s\n", "module", "IPC", "retiring",
-              "fe", "bs", "backend");
+  if (hw) {
+    std::printf("hardware counters: %s\n\n", obs::pmu_status_string());
+    std::printf("%-20s %6s %8s | %8s %8s\n", "module", "IPC", "backend",
+                "hw IPC", "hw bknd");
+  } else {
+    std::printf("%-20s %6s %9s %6s %6s %8s\n", "module", "IPC", "retiring",
+                "fe", "bs", "backend");
+  }
   bench::print_rule();
   for (const auto& r : rows) {
     const auto td = psim.run(r.trace);
-    std::printf("%-20s %6.2f %8.1f%% %5.1f%% %5.1f%% %7.1f%%\n", r.name,
-                td.ipc, 100 * td.retiring, 100 * td.frontend,
-                100 * td.bad_speculation, 100 * td.backend);
+    if (!hw) {
+      std::printf("%-20s %6.2f %8.1f%% %5.1f%% %5.1f%% %7.1f%%\n", r.name,
+                  td.ipc, 100 * td.retiring, 100 * td.frontend,
+                  100 * td.bad_speculation, 100 * td.backend);
+      continue;
+    }
+    const auto m =
+        r.workload ? bench::hw::measure(r.workload) : obs::PmuReading{};
+    std::printf("%-20s %6.2f %7.1f%% |", r.name, td.ipc, 100 * td.backend);
+    if (m.valid) {
+      std::printf(" %8.2f", m.ipc());
+      if (m.backend_bound() >= 0) {
+        std::printf(" %7.1f%%\n", 100 * m.backend_bound());
+      } else {
+        std::printf(" %8s\n", "n/a");
+      }
+    } else {
+      std::printf(" %8s %8s\n", "n/a", "n/a");
+    }
   }
   bench::print_rule();
   std::printf("paper shape: fe/bs negligible for all modules; backend is the\n"

@@ -1,14 +1,19 @@
 // Figure 6: top-down breakdown for the downlink modules (port model).
+//
+// --hw: run each module's real kernel and print measured IPC /
+// backend-bound next to the model columns (see fig05 / hw_kernels.h).
 #include <cstdio>
 
 #include "bench/bench_util.h"
+#include "bench/hw_kernels.h"
 #include "sim/kernels.h"
 #include "sim/port_sim.h"
 
 using namespace vran;
 using namespace vran::sim;
 
-int main() {
+int main(int argc, char** argv) {
+  const bool hw = bench::hw_flag(argc, argv);
   bench::print_header(
       "Fig. 6 — Downlink module top-down breakdown (port model)");
 
@@ -18,25 +23,51 @@ int main() {
   struct Row {
     const char* name;
     Trace trace;
+    bench::hw::Workload workload;
   };
   const Row rows[] = {
-      {"DCI", trace_dci(27)},
-      {"Turbo encoding", trace_turbo_encode(k)},
-      {"Rate matching", trace_rate_match(20000)},
-      {"Scrambling", trace_scramble(20000)},
-      {"OFDM (tx)", trace_ofdm(512, 4)},
+      {"DCI", trace_dci(27), bench::hw::wl_dci()},
+      {"Turbo encoding", trace_turbo_encode(k), bench::hw::wl_turbo_encode(k)},
+      {"Rate matching", trace_rate_match(20000),
+       bench::hw::wl_rate_match(k, 20000)},
+      {"Scrambling", trace_scramble(20000), bench::hw::wl_scramble(20000)},
+      {"OFDM (tx)", trace_ofdm(512, 4), bench::hw::wl_ofdm_tx(512, 4)},
       {"Turbo decoding (UE)",
-       trace_turbo_decode(IsaLevel::kSse41, k, 4, arrange::Method::kExtract)},
+       trace_turbo_decode(IsaLevel::kSse41, k, 4, arrange::Method::kExtract),
+       bench::hw::wl_turbo_decode(IsaLevel::kSse41, k, 4,
+                                  arrange::Method::kExtract)},
   };
 
-  std::printf("%-20s %6s %9s %6s %6s %8s\n", "module", "IPC", "retiring",
-              "fe", "bs", "backend");
+  if (hw) {
+    std::printf("hardware counters: %s\n\n", obs::pmu_status_string());
+    std::printf("%-20s %6s %8s | %8s %8s\n", "module", "IPC", "backend",
+                "hw IPC", "hw bknd");
+  } else {
+    std::printf("%-20s %6s %9s %6s %6s %8s\n", "module", "IPC", "retiring",
+                "fe", "bs", "backend");
+  }
   bench::print_rule();
   for (const auto& r : rows) {
     const auto td = psim.run(r.trace);
-    std::printf("%-20s %6.2f %8.1f%% %5.1f%% %5.1f%% %7.1f%%\n", r.name,
-                td.ipc, 100 * td.retiring, 100 * td.frontend,
-                100 * td.bad_speculation, 100 * td.backend);
+    if (!hw) {
+      std::printf("%-20s %6.2f %8.1f%% %5.1f%% %5.1f%% %7.1f%%\n", r.name,
+                  td.ipc, 100 * td.retiring, 100 * td.frontend,
+                  100 * td.bad_speculation, 100 * td.backend);
+      continue;
+    }
+    const auto m =
+        r.workload ? bench::hw::measure(r.workload) : obs::PmuReading{};
+    std::printf("%-20s %6.2f %7.1f%% |", r.name, td.ipc, 100 * td.backend);
+    if (m.valid) {
+      std::printf(" %8.2f", m.ipc());
+      if (m.backend_bound() >= 0) {
+        std::printf(" %7.1f%%\n", 100 * m.backend_bound());
+      } else {
+        std::printf(" %8s\n", "n/a");
+      }
+    } else {
+      std::printf(" %8s %8s\n", "n/a", "n/a");
+    }
   }
   bench::print_rule();
   std::printf("paper shape: mirrors Fig. 5 — backend bound dominates the\n"

@@ -116,7 +116,8 @@ int main(int argc, char** argv) {
               "original_us", "apcm_us", "reduction", "arrange o->a us");
   bench::print_rule();
 
-  std::string json = "{\n  \"bench\":\"fig13_packet_latency\",\n  \"isa\":\"" +
+  std::string json = "{\n  \"bench\":\"fig13_packet_latency\",\n  \"meta\": " +
+                     bench::meta_json() + ",\n  \"isa\":\"" +
                      std::string(isa_name(isa)) + "\",\n  \"rows\":[\n";
   bool first_row = true;
   for (auto proto : {net::L4Proto::kUdp, net::L4Proto::kTcp}) {

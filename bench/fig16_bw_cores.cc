@@ -249,8 +249,10 @@ int main(int argc, char** argv) {
   worker_sweep(!json_path.empty());
 
   if (!json_path.empty()) {
-    bench::write_json(json_path, "{\n  \"bench\":\"fig16_bw_cores\",\n"
-                                 "  \"rows\":[\n" + g_json + "\n  ]\n}");
+    bench::write_json(json_path,
+                      "{\n  \"bench\":\"fig16_bw_cores\",\n  \"meta\": " +
+                          bench::meta_json() + ",\n  \"rows\":[\n" + g_json +
+                          "\n  ]\n}");
   }
   return 0;
 }

@@ -20,8 +20,8 @@ std::uint64_t ns_since(std::chrono::steady_clock::time_point t0) {
 }  // namespace
 
 ThreadPool::ThreadPool(int num_threads, obs::MetricsRegistry* metrics,
-                       fault::FaultInjector* fault)
-    : metrics_(metrics), fault_(fault) {
+                       fault::FaultInjector* fault, bool pmu)
+    : metrics_(metrics), fault_(fault), pmu_(pmu) {
   if (num_threads < 0) {
     throw std::invalid_argument("ThreadPool: negative thread count");
   }
@@ -78,11 +78,16 @@ void ThreadPool::worker_loop(int worker_index) {
   // pool-wide histograms (per-worker shards fold on snapshot).
   obs::Counter* tasks = nullptr;
   obs::Counter* busy_ns = nullptr;
+  obs::PmuStageCounters pmu_counters;  // all-null unless pmu requested
   std::uint64_t task_seq = 0;  // per-worker, salts the delay draw
   if (metrics_ != nullptr) {
     const std::string suffix = ".w" + std::to_string(worker_index + 1);
     tasks = &metrics_->counter("threadpool.tasks" + suffix);
     busy_ns = &metrics_->counter("threadpool.busy_ns" + suffix);
+    if (pmu_) {
+      pmu_counters =
+          obs::PmuStageCounters::resolve(*metrics_, "threadpool.pmu.", suffix);
+    }
   }
   std::uint64_t seen_epoch = 0;
   for (;;) {
@@ -126,17 +131,22 @@ void ThreadPool::worker_loop(int worker_index) {
     }
     ++task_seq;
     const auto t0 = std::chrono::steady_clock::now();
-    if (pinv != nullptr) {
-      run_parallel_indices(pinv, pctx, pbegin, pn);
-      {
-        std::lock_guard<std::mutex> lk(mu_);
-        if (--work_.active == 0) join_cv_.notify_all();
+    {
+      // Per-worker hardware-counter attribution over exactly the window
+      // busy_ns covers (a no-op object when pmu is off / unavailable).
+      obs::PmuScope pmu_scope(pmu_counters.ptr());
+      if (pinv != nullptr) {
+        run_parallel_indices(pinv, pctx, pbegin, pn);
+        {
+          std::lock_guard<std::mutex> lk(mu_);
+          if (--work_.active == 0) join_cv_.notify_all();
+        }
+      } else if (have_task) {
+        if (queue_wait_ns_ != nullptr) {
+          queue_wait_ns_->record(ns_since(task.enqueued));
+        }
+        task.fn();
       }
-    } else if (have_task) {
-      if (queue_wait_ns_ != nullptr) {
-        queue_wait_ns_->record(ns_since(task.enqueued));
-      }
-      task.fn();
     }
     if (task_ns_ != nullptr && (pinv != nullptr || have_task)) {
       const std::uint64_t dt = ns_since(t0);

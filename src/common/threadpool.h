@@ -52,6 +52,7 @@
 
 #include "fault/fault.h"
 #include "obs/metrics.h"
+#include "obs/pmu.h"
 
 namespace vran {
 
@@ -64,10 +65,19 @@ class ThreadPool {
   /// `fault` (optional) arms the kWorkerDelay point: a worker stalls
   /// 20-120us before running a task — scheduling jitter that must never
   /// change pipeline output, only timing.
+  /// `pmu` brackets every task / parallel region a worker executes with
+  /// a hardware-counter scope folding into `metrics` as
+  /// "threadpool.pmu.<field>.w<id>" — per-worker cycle/instruction/L1D
+  /// attribution next to the existing tasks/busy_ns counters. A no-op
+  /// (and free) when the PMU is unavailable or `metrics` is null; the
+  /// caller thread's share of parallel_for work is attributed by the
+  /// pipeline's own stage scopes, not here (worker id 0 has no pool
+  /// thread to bracket).
   explicit ThreadPool(int num_threads,
                       obs::MetricsRegistry* metrics =
                           &obs::MetricsRegistry::global(),
-                      fault::FaultInjector* fault = nullptr);
+                      fault::FaultInjector* fault = nullptr,
+                      bool pmu = false);
   ~ThreadPool();
 
   ThreadPool(const ThreadPool&) = delete;
@@ -156,6 +166,7 @@ class ThreadPool {
   obs::Histogram* queue_wait_ns_ = nullptr;
   obs::Histogram* task_ns_ = nullptr;
   fault::FaultInjector* fault_ = nullptr;
+  bool pmu_ = false;
 };
 
 }  // namespace vran

@@ -1,0 +1,573 @@
+#include "obs/pmu.h"
+
+#include <atomic>
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#ifdef __linux__
+#include <linux/perf_event.h>
+#include <sys/ioctl.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+#endif
+
+namespace vran::obs {
+
+// ---------------------------------------------------------------------------
+// PmuReading arithmetic
+// ---------------------------------------------------------------------------
+
+double PmuReading::backend_bound() const {
+  if (has_topdown && slots > 0) {
+    return double(backend_bound_slots) / double(slots);
+  }
+  if (has_backend_stalls && cycles > 0) {
+    return double(backend_stall_cycles) / double(cycles);
+  }
+  return -1.0;
+}
+
+double PmuReading::l1d_accesses_per_cycle() const {
+  if (cycles == 0) return 0.0;
+  const std::uint64_t acc = l1d_loads + (has_l1d_stores ? l1d_stores : 0);
+  return double(acc) / double(cycles);
+}
+
+PmuReading PmuReading::delta_since(const PmuReading& t0) const {
+  const auto sub = [](std::uint64_t a, std::uint64_t b) {
+    return a >= b ? a - b : 0;
+  };
+  PmuReading d;
+  d.valid = valid && t0.valid;
+  d.has_topdown = has_topdown && t0.has_topdown;
+  d.has_l1d_stores = has_l1d_stores && t0.has_l1d_stores;
+  d.has_backend_stalls = has_backend_stalls && t0.has_backend_stalls;
+  d.cycles = sub(cycles, t0.cycles);
+  d.instructions = sub(instructions, t0.instructions);
+  d.l1d_loads = sub(l1d_loads, t0.l1d_loads);
+  d.l1d_stores = sub(l1d_stores, t0.l1d_stores);
+  d.backend_stall_cycles = sub(backend_stall_cycles, t0.backend_stall_cycles);
+  d.slots = sub(slots, t0.slots);
+  d.backend_bound_slots = sub(backend_bound_slots, t0.backend_bound_slots);
+  return d;
+}
+
+void PmuReading::merge(const PmuReading& other) {
+  if (!other.valid) return;
+  if (!valid) {
+    *this = other;
+    return;
+  }
+  has_topdown = has_topdown || other.has_topdown;
+  has_l1d_stores = has_l1d_stores || other.has_l1d_stores;
+  has_backend_stalls = has_backend_stalls || other.has_backend_stalls;
+  cycles += other.cycles;
+  instructions += other.instructions;
+  l1d_loads += other.l1d_loads;
+  l1d_stores += other.l1d_stores;
+  backend_stall_cycles += other.backend_stall_cycles;
+  slots += other.slots;
+  backend_bound_slots += other.backend_bound_slots;
+}
+
+// ---------------------------------------------------------------------------
+// Availability
+// ---------------------------------------------------------------------------
+
+bool pmu_disabled_by_env_value(const char* value) {
+  if (value == nullptr || *value == '\0') return false;
+  std::string v;
+  for (const char* p = value; *p != '\0'; ++p) {
+    v += static_cast<char>(std::tolower(static_cast<unsigned char>(*p)));
+  }
+  return v == "off" || v == "0" || v == "false" || v == "no" ||
+         v == "disabled";
+}
+
+namespace {
+// Written exactly once, inside pmu_status()'s thread-safe static init,
+// before any reader can observe kOk.
+bool g_probe_topdown = false;
+}  // namespace
+
+PmuStatus pmu_status() {
+  static const PmuStatus status = [] {
+    if (pmu_disabled_by_env_value(std::getenv("VRAN_PMU"))) {
+      return PmuStatus::kDisabledByEnv;
+    }
+#ifdef __linux__
+    PmuGroup probe(PmuGroup::Backend::kHardware);
+    g_probe_topdown = probe.has_topdown();
+    return probe.available() ? PmuStatus::kOk : PmuStatus::kUnavailable;
+#else
+    return PmuStatus::kUnavailable;
+#endif
+  }();
+  return status;
+}
+
+bool pmu_has_topdown() { return pmu_status() == PmuStatus::kOk && g_probe_topdown; }
+
+const char* pmu_status_string() {
+  switch (pmu_status()) {
+    case PmuStatus::kOk:
+      return "ok";
+    case PmuStatus::kDisabledByEnv:
+      return "disabled (VRAN_PMU=off)";
+    case PmuStatus::kUnavailable:
+      return "unavailable (perf_event_open refused)";
+  }
+  return "unknown";
+}
+
+void pmu_export_availability(MetricsRegistry& reg) {
+  reg.gauge("pmu.available").set(pmu_available() ? 1 : 0);
+  reg.gauge("pmu.topdown").set(pmu_has_topdown() ? 1 : 0);
+}
+
+// ---------------------------------------------------------------------------
+// PmuGroup
+// ---------------------------------------------------------------------------
+
+#ifdef __linux__
+namespace {
+
+int perf_open(perf_event_attr* attr, int group_fd) {
+  // pid = 0, cpu = -1: count this thread wherever it runs; no inherit,
+  // so the group is attributed to the opening thread only.
+  return static_cast<int>(
+      ::syscall(SYS_perf_event_open, attr, 0, -1, group_fd,
+#ifdef PERF_FLAG_FD_CLOEXEC
+                static_cast<unsigned long>(PERF_FLAG_FD_CLOEXEC)
+#else
+                0ul
+#endif
+                ));
+}
+
+perf_event_attr make_attr(std::uint32_t type, std::uint64_t config,
+                          bool leader) {
+  perf_event_attr a;
+  std::memset(&a, 0, sizeof(a));
+  a.size = sizeof(a);
+  a.type = type;
+  a.config = config;
+  // Leaders start disabled and the whole group is enabled with one
+  // ioctl once every member opened, so all counters cover the same
+  // window; members inherit the leader's run state.
+  a.disabled = leader ? 1 : 0;
+  // perf_event_paranoid >= 1 forbids unprivileged kernel counting; user
+  // space is where the kernels under study run anyway.
+  a.exclude_kernel = 1;
+  a.exclude_hv = 1;
+  a.read_format = PERF_FORMAT_GROUP | PERF_FORMAT_TOTAL_TIME_ENABLED |
+                  PERF_FORMAT_TOTAL_TIME_RUNNING;
+  return a;
+}
+
+constexpr std::uint64_t hw_cache_config(std::uint64_t cache, std::uint64_t op,
+                                        std::uint64_t result) {
+  return cache | (op << 8) | (result << 16);
+}
+
+// A sysfs-described raw event (the route to the topdown events, which
+// have no PERF_TYPE_HARDWARE aliases).
+struct SysfsEvent {
+  bool ok = false;
+  std::uint32_t type = 0;
+  std::uint64_t config = 0;
+};
+
+bool read_small_file(const char* path, char* buf, std::size_t cap) {
+  std::FILE* f = std::fopen(path, "re");
+  if (f == nullptr) return false;
+  const std::size_t n = std::fread(buf, 1, cap - 1, f);
+  std::fclose(f);
+  if (n == 0) return false;
+  buf[n] = '\0';
+  return true;
+}
+
+// Parses "event=0x00,umask=0x81" into the cpu PMU's raw-config layout
+// (event bits 0-7, umask bits 8-15). Any term beyond event/umask means
+// an encoding this parser doesn't model — refuse rather than open the
+// wrong counter.
+SysfsEvent parse_sysfs_event(const char* pmu_name, const char* text,
+                             std::uint32_t pmu_type) {
+  SysfsEvent ev;
+  (void)pmu_name;
+  std::uint64_t event = 0, umask = 0;
+  const char* p = text;
+  while (*p != '\0') {
+    while (*p == ',' || *p == ' ') ++p;
+    if (*p == '\0' || *p == '\n') break;
+    const char* eq = std::strchr(p, '=');
+    if (eq == nullptr) return ev;
+    const std::size_t klen = static_cast<std::size_t>(eq - p);
+    char* end = nullptr;
+    const std::uint64_t val = std::strtoull(eq + 1, &end, 0);
+    if (end == eq + 1) return ev;
+    if (klen == 5 && std::strncmp(p, "event", 5) == 0) {
+      event = val;
+    } else if (klen == 5 && std::strncmp(p, "umask", 5) == 0) {
+      umask = val;
+    } else {
+      return ev;  // cmask/edge/any/... — unmodelled, bail
+    }
+    p = end;
+    while (*p == '\n' || *p == ' ') ++p;
+    if (*p == ',') ++p;
+  }
+  ev.ok = true;
+  ev.type = pmu_type;
+  ev.config = event | (umask << 8);
+  return ev;
+}
+
+SysfsEvent read_sysfs_event(const char* pmu_name, const char* event_name) {
+  char path[256];
+  char buf[256];
+  std::snprintf(path, sizeof(path), "/sys/bus/event_source/devices/%s/type",
+                pmu_name);
+  if (!read_small_file(path, buf, sizeof(buf))) return {};
+  const auto pmu_type = static_cast<std::uint32_t>(std::strtoul(buf, nullptr, 10));
+  std::snprintf(path, sizeof(path),
+                "/sys/bus/event_source/devices/%s/events/%s", pmu_name,
+                event_name);
+  if (!read_small_file(path, buf, sizeof(buf))) return {};
+  return parse_sysfs_event(pmu_name, buf, pmu_type);
+}
+
+}  // namespace
+
+bool PmuGroup::open_hardware() {
+  const auto add_event = [&](std::uint32_t type, std::uint64_t config,
+                             Slot slot) {
+    perf_event_attr a = make_attr(type, config, main_fd_ < 0);
+    const int fd = perf_open(&a, main_fd_);
+    if (fd < 0) return false;
+    if (main_fd_ < 0) {
+      main_fd_ = fd;
+    } else {
+      member_fds_[n_member_fds_++] = fd;
+    }
+    slots_[n_slots_++] = slot;
+    return true;
+  };
+
+  // Required pair: every derived metric needs cycles + instructions.
+  if (!add_event(PERF_TYPE_HARDWARE, PERF_COUNT_HW_CPU_CYCLES,
+                 Slot::kCycles)) {
+    return false;
+  }
+  if (!add_event(PERF_TYPE_HARDWARE, PERF_COUNT_HW_INSTRUCTIONS,
+                 Slot::kInstructions)) {
+    close_all();
+    return false;
+  }
+  // Optional members: absence (older kernels, odd PMUs) just narrows the
+  // derived-metric set; the group still counts.
+  add_event(PERF_TYPE_HW_CACHE,
+            hw_cache_config(PERF_COUNT_HW_CACHE_L1D,
+                            PERF_COUNT_HW_CACHE_OP_READ,
+                            PERF_COUNT_HW_CACHE_RESULT_ACCESS),
+            Slot::kL1dLoads);
+  add_event(PERF_TYPE_HW_CACHE,
+            hw_cache_config(PERF_COUNT_HW_CACHE_L1D,
+                            PERF_COUNT_HW_CACHE_OP_WRITE,
+                            PERF_COUNT_HW_CACHE_RESULT_ACCESS),
+            Slot::kL1dStores);
+  add_event(PERF_TYPE_HARDWARE, PERF_COUNT_HW_STALLED_CYCLES_BACKEND,
+            Slot::kBackendStalls);
+
+  // Topdown slots/be-bound, exposed via sysfs on Icelake+ ("cpu_core" on
+  // hybrid parts). Slots must LEAD its group — a hardware constraint —
+  // hence the separate second group rather than two more members.
+  for (const char* pmu : {"cpu", "cpu_core"}) {
+    SysfsEvent slots_ev = read_sysfs_event(pmu, "topdown-slots");
+    if (!slots_ev.ok) slots_ev = read_sysfs_event(pmu, "slots");
+    const SysfsEvent be_ev = read_sysfs_event(pmu, "topdown-be-bound");
+    if (!slots_ev.ok || !be_ev.ok) continue;
+    perf_event_attr lead = make_attr(slots_ev.type, slots_ev.config, true);
+    const int lead_fd = perf_open(&lead, -1);
+    if (lead_fd < 0) continue;
+    perf_event_attr memb = make_attr(be_ev.type, be_ev.config, false);
+    const int memb_fd = perf_open(&memb, lead_fd);
+    if (memb_fd < 0) {
+      ::close(lead_fd);
+      continue;
+    }
+    td_fd_ = lead_fd;
+    member_fds_[n_member_fds_++] = memb_fd;
+    break;
+  }
+
+  ::ioctl(main_fd_, PERF_EVENT_IOC_RESET, PERF_IOC_FLAG_GROUP);
+  ::ioctl(main_fd_, PERF_EVENT_IOC_ENABLE, PERF_IOC_FLAG_GROUP);
+  if (td_fd_ >= 0) {
+    ::ioctl(td_fd_, PERF_EVENT_IOC_RESET, PERF_IOC_FLAG_GROUP);
+    ::ioctl(td_fd_, PERF_EVENT_IOC_ENABLE, PERF_IOC_FLAG_GROUP);
+  }
+  return true;
+}
+
+bool PmuGroup::open_software() {
+  // Kernel software events are permitted even where the hardware PMU is
+  // hidden (VMs, containers): task-clock ns lands in the `cycles` slot,
+  // context switches in `instructions`. Units are wrong on purpose —
+  // this backend exists so tests can drive the real group-read path.
+  const auto add_event = [&](std::uint64_t config, Slot slot) {
+    perf_event_attr a =
+        make_attr(PERF_TYPE_SOFTWARE, config, main_fd_ < 0);
+    const int fd = perf_open(&a, main_fd_);
+    if (fd < 0) return false;
+    if (main_fd_ < 0) {
+      main_fd_ = fd;
+    } else {
+      member_fds_[n_member_fds_++] = fd;
+    }
+    slots_[n_slots_++] = slot;
+    return true;
+  };
+  if (!add_event(PERF_COUNT_SW_TASK_CLOCK, Slot::kCycles)) return false;
+  if (!add_event(PERF_COUNT_SW_CONTEXT_SWITCHES, Slot::kInstructions)) {
+    close_all();
+    return false;
+  }
+  ::ioctl(main_fd_, PERF_EVENT_IOC_RESET, PERF_IOC_FLAG_GROUP);
+  ::ioctl(main_fd_, PERF_EVENT_IOC_ENABLE, PERF_IOC_FLAG_GROUP);
+  return true;
+}
+
+void PmuGroup::close_all() {
+  for (int i = 0; i < n_member_fds_; ++i) {
+    if (member_fds_[i] >= 0) ::close(member_fds_[i]);
+    member_fds_[i] = -1;
+  }
+  n_member_fds_ = 0;
+  if (td_fd_ >= 0) ::close(td_fd_);
+  td_fd_ = -1;
+  if (main_fd_ >= 0) ::close(main_fd_);
+  main_fd_ = -1;
+  n_slots_ = 0;
+}
+
+PmuGroup::PmuGroup(Backend backend) {
+  switch (backend) {
+    case Backend::kNoop:
+      break;
+    case Backend::kAuto:
+      if (pmu_available()) open_hardware();
+      break;
+    case Backend::kHardware:
+      open_hardware();
+      break;
+    case Backend::kSoftware:
+      open_software();
+      break;
+  }
+}
+
+PmuGroup::~PmuGroup() { close_all(); }
+
+PmuReading PmuGroup::read() const {
+  PmuReading r;
+  if (main_fd_ < 0) return r;
+
+  struct GroupBuf {
+    std::uint64_t nr = 0;
+    std::uint64_t time_enabled = 0;
+    std::uint64_t time_running = 0;
+    std::uint64_t values[kMaxSlots] = {};
+  } buf;
+
+  const ssize_t n = ::read(main_fd_, &buf, sizeof(buf));
+  if (n < static_cast<ssize_t>(3 * sizeof(std::uint64_t)) ||
+      buf.nr != static_cast<std::uint64_t>(n_slots_)) {
+    return r;
+  }
+  // Multiplex scaling: a descheduled counter reports the fraction of the
+  // window it ran; scale to the full window. time_running == 0 means the
+  // group never got the hardware — the values are all zero anyway.
+  const auto scale = [&buf](std::uint64_t v) {
+    if (buf.time_running == 0 || buf.time_running >= buf.time_enabled) {
+      return v;
+    }
+    const double s = double(buf.time_enabled) / double(buf.time_running);
+    return static_cast<std::uint64_t>(double(v) * s);
+  };
+  for (int i = 0; i < n_slots_; ++i) {
+    const std::uint64_t v = scale(buf.values[i]);
+    switch (slots_[i]) {
+      case Slot::kCycles:
+        r.cycles = v;
+        break;
+      case Slot::kInstructions:
+        r.instructions = v;
+        break;
+      case Slot::kL1dLoads:
+        r.l1d_loads = v;
+        break;
+      case Slot::kL1dStores:
+        r.l1d_stores = v;
+        r.has_l1d_stores = true;
+        break;
+      case Slot::kBackendStalls:
+        r.backend_stall_cycles = v;
+        r.has_backend_stalls = true;
+        break;
+    }
+  }
+  r.valid = true;
+
+  if (td_fd_ >= 0) {
+    struct TdBuf {
+      std::uint64_t nr = 0;
+      std::uint64_t time_enabled = 0;
+      std::uint64_t time_running = 0;
+      std::uint64_t values[2] = {};
+    } td;
+    const ssize_t tn = ::read(td_fd_, &td, sizeof(td));
+    if (tn >= static_cast<ssize_t>(5 * sizeof(std::uint64_t)) && td.nr == 2) {
+      const auto td_scale = [&td](std::uint64_t v) {
+        if (td.time_running == 0 || td.time_running >= td.time_enabled) {
+          return v;
+        }
+        const double s = double(td.time_enabled) / double(td.time_running);
+        return static_cast<std::uint64_t>(double(v) * s);
+      };
+      r.slots = td_scale(td.values[0]);
+      r.backend_bound_slots = td_scale(td.values[1]);
+      r.has_topdown = true;
+    }
+  }
+  return r;
+}
+
+#else  // !__linux__
+
+bool PmuGroup::open_hardware() { return false; }
+bool PmuGroup::open_software() { return false; }
+void PmuGroup::close_all() {}
+PmuGroup::PmuGroup(Backend) {}
+PmuGroup::~PmuGroup() {}
+PmuReading PmuGroup::read() const { return {}; }
+
+#endif  // __linux__
+
+PmuGroup& pmu_thread_group() {
+  thread_local PmuGroup group(PmuGroup::Backend::kAuto);
+  return group;
+}
+
+// ---------------------------------------------------------------------------
+// Registry folding
+// ---------------------------------------------------------------------------
+
+PmuStageCounters PmuStageCounters::resolve(MetricsRegistry& reg,
+                                           const std::string& prefix,
+                                           const std::string& suffix) {
+  PmuStageCounters c;
+  c.cycles = &reg.counter(prefix + "cycles" + suffix);
+  c.instructions = &reg.counter(prefix + "instructions" + suffix);
+  c.l1d_loads = &reg.counter(prefix + "l1d_loads" + suffix);
+  c.l1d_stores = &reg.counter(prefix + "l1d_stores" + suffix);
+  c.backend_stall_cycles = &reg.counter(prefix + "backend_stall_cycles" + suffix);
+  c.slots = &reg.counter(prefix + "slots" + suffix);
+  c.backend_bound_slots = &reg.counter(prefix + "backend_bound_slots" + suffix);
+  return c;
+}
+
+void PmuStageCounters::add(const PmuReading& delta) const {
+  if (!enabled() || !delta.valid) return;
+  cycles->add(delta.cycles);
+  instructions->add(delta.instructions);
+  l1d_loads->add(delta.l1d_loads);
+  if (delta.has_l1d_stores) l1d_stores->add(delta.l1d_stores);
+  if (delta.has_backend_stalls) {
+    backend_stall_cycles->add(delta.backend_stall_cycles);
+  }
+  if (delta.has_topdown) {
+    slots->add(delta.slots);
+    backend_bound_slots->add(delta.backend_bound_slots);
+  }
+}
+
+PmuReading pmu_reading_from(const Snapshot& snap, std::string_view prefix,
+                            std::string_view suffix) {
+  const auto name = [&](const char* field) {
+    std::string s(prefix);
+    s += field;
+    s += suffix;
+    return s;
+  };
+  PmuReading r;
+  r.cycles = snap.counter(name("cycles"));
+  r.instructions = snap.counter(name("instructions"));
+  r.l1d_loads = snap.counter(name("l1d_loads"));
+  r.l1d_stores = snap.counter(name("l1d_stores"));
+  r.backend_stall_cycles = snap.counter(name("backend_stall_cycles"));
+  r.slots = snap.counter(name("slots"));
+  r.backend_bound_slots = snap.counter(name("backend_bound_slots"));
+  r.valid = r.cycles > 0;
+  r.has_topdown = r.slots > 0;
+  r.has_l1d_stores = r.l1d_stores > 0;
+  r.has_backend_stalls = r.backend_stall_cycles > 0;
+  return r;
+}
+
+// ---------------------------------------------------------------------------
+// PmuScope
+// ---------------------------------------------------------------------------
+
+namespace {
+thread_local int tls_scope_depth = 0;
+std::atomic<std::uint64_t> g_scope_misuse{0};
+}  // namespace
+
+int PmuScope::depth() { return tls_scope_depth; }
+
+std::uint64_t pmu_scope_misuse_count() {
+  return g_scope_misuse.load(std::memory_order_relaxed);
+}
+
+PmuScope::PmuScope(const PmuStageCounters* counters, PmuReading* accum)
+    : counters_(counters != nullptr ? counters->ptr() : nullptr),
+      accum_(accum) {
+  // Depth bookkeeping runs on every backend (it's how the fallback path
+  // still enforces nesting rules); counting is availability-gated below.
+  my_depth_ = ++tls_scope_depth;
+  owner_tls_ = &tls_scope_depth;
+  if (counters_ == nullptr && accum_ == nullptr) return;
+  if (!pmu_available()) return;
+  PmuGroup& g = pmu_thread_group();
+  if (!g.available()) return;
+  t0_ = g.read();
+  active_ = t0_.valid;
+}
+
+PmuScope::~PmuScope() {
+  const bool same_thread = owner_tls_ == &tls_scope_depth;
+  const bool lifo = same_thread && tls_scope_depth == my_depth_;
+  if (!lifo) {
+    // Destroyed on the wrong thread or out of LIFO order: record the
+    // misuse, deliver nothing (a cross-thread delta would mix two
+    // threads' counters). Same-thread out-of-order destruction unwinds
+    // the depth so later well-formed scopes aren't poisoned; another
+    // thread's depth slot is not ours to touch.
+    g_scope_misuse.fetch_add(1, std::memory_order_relaxed);
+    if (same_thread && tls_scope_depth >= my_depth_) {
+      tls_scope_depth = my_depth_ - 1;
+    }
+    return;
+  }
+  tls_scope_depth = my_depth_ - 1;
+  if (!active_) return;
+  const PmuReading delta = pmu_thread_group().read().delta_since(t0_);
+  if (counters_ != nullptr) counters_->add(delta);
+  if (accum_ != nullptr) accum_->merge(delta);
+}
+
+}  // namespace vran::obs

@@ -3,14 +3,20 @@
 #include <cstdio>
 #include <stdexcept>
 
+#include "obs/metrics.h"
+#include "obs/pmu.h"
+
 namespace vran::obs {
 
-TraceRecorder::TraceRecorder(std::size_t capacity)
+TraceRecorder::TraceRecorder(std::size_t capacity, MetricsRegistry* metrics)
     : capacity_(capacity), epoch_(std::chrono::steady_clock::now()) {
   if (capacity == 0) {
     throw std::invalid_argument("TraceRecorder: zero capacity");
   }
   ring_.reserve(capacity);
+  if (metrics != nullptr) {
+    dropped_counter_ = &metrics->counter("trace.dropped");
+  }
 }
 
 std::uint64_t TraceRecorder::now_ns() const {
@@ -26,6 +32,7 @@ void TraceRecorder::record(const TraceEvent& ev) {
     ring_.push_back(ev);
   } else {
     ring_[next_] = ev;
+    if (dropped_counter_ != nullptr) dropped_counter_->add();
   }
   next_ = (next_ + 1) % capacity_;
   ++written_;
@@ -76,7 +83,15 @@ std::string TraceRecorder::chrome_json() const {
                   double(e.dur_ns) / 1e3, e.tti, e.block);
     out += buf;
   }
-  out += "],\"displayTimeUnit\":\"ns\"}";
+  // otherData is the trace_event format's run-metadata slot: record
+  // whether spans from this run could have carried measured hardware
+  // counters, and how many spans the keep-latest ring evicted.
+  std::snprintf(buf, sizeof(buf),
+                "],\"otherData\":{\"pmu\":\"%s\",\"dropped\":%llu},"
+                "\"displayTimeUnit\":\"ns\"}",
+                pmu_status_string(),
+                static_cast<unsigned long long>(dropped()));
+  out += buf;
   return out;
 }
 

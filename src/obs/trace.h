@@ -22,6 +22,9 @@
 
 namespace vran::obs {
 
+class Counter;
+class MetricsRegistry;
+
 struct TraceEvent {
   const char* name = "";      ///< static string; see header comment
   std::uint64_t begin_ns = 0; ///< since the recorder's construction
@@ -34,7 +37,13 @@ struct TraceEvent {
 class TraceRecorder {
  public:
   /// `capacity` = maximum retained events (oldest evicted beyond that).
-  explicit TraceRecorder(std::size_t capacity = 1 << 16);
+  /// With a `metrics` registry, every keep-latest eviction also bumps the
+  /// "trace.dropped" counter there — so silent span loss shows up in the
+  /// same exports as everything else, not only in a dropped() call the
+  /// exporter never made. nullptr = registry export off (dropped() still
+  /// counts).
+  explicit TraceRecorder(std::size_t capacity = 1 << 16,
+                         MetricsRegistry* metrics = nullptr);
 
   /// Nanoseconds since construction, on the same clock spans use.
   std::uint64_t now_ns() const;
@@ -64,6 +73,7 @@ class TraceRecorder {
   std::vector<TraceEvent> ring_;
   std::size_t next_ = 0;       ///< ring_[next_] is the next write slot
   std::uint64_t written_ = 0;  ///< total record() calls
+  Counter* dropped_counter_ = nullptr;  ///< "trace.dropped"; may be null
 };
 
 /// RAII span: times its scope and records on destruction. A null

@@ -26,7 +26,8 @@ BatchRunner::BatchRunner(Direction dir, std::vector<PipelineConfig> flow_cfgs,
   if (num_workers_ > 1) {
     pool_ = std::make_unique<ThreadPool>(num_workers_ - 1,
                                          configs_.front().metrics,
-                                         configs_.front().fault);
+                                         configs_.front().fault,
+                                         configs_.front().pmu);
   }
   if (obs::MetricsRegistry* m = configs_.front().metrics; m != nullptr) {
     tti_ns_ = &m->histogram("batch.tti_ns");

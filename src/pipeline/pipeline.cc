@@ -69,27 +69,37 @@ std::vector<StageTimes::Entry> StageTimes::entries() const {
 
 namespace detail {
 
+/// One stage's resolved sinks: the latency histogram and — when the
+/// config asked for hardware attribution AND the PMU is usable — the
+/// "pmu.stage.<name>.*" counter handles. `pmu` stays all-null otherwise,
+/// which makes every PmuScope built from it a no-op.
+struct StageObs {
+  obs::Histogram* ns = nullptr;
+  obs::PmuStageCounters pmu;
+};
+
 /// Metric handles resolved once per pipeline. All pointers null when the
 /// config disabled metrics, making every record site a cheap branch.
 struct PipelineObs {
-  // One latency histogram per StageTimes stage ("stage.<name>_ns").
-  obs::Histogram* mac = nullptr;
-  obs::Histogram* crc_segmentation = nullptr;
-  obs::Histogram* turbo_encode = nullptr;
-  obs::Histogram* rate_match = nullptr;
-  obs::Histogram* scramble = nullptr;
-  obs::Histogram* modulation = nullptr;
-  obs::Histogram* ofdm = nullptr;
-  obs::Histogram* channel = nullptr;
-  obs::Histogram* ofdm_rx = nullptr;
-  obs::Histogram* demodulation = nullptr;
-  obs::Histogram* descramble = nullptr;
-  obs::Histogram* rate_dematch = nullptr;
-  obs::Histogram* arrange = nullptr;
-  obs::Histogram* turbo_decode = nullptr;
-  obs::Histogram* desegmentation = nullptr;
-  obs::Histogram* gtpu = nullptr;
-  obs::Histogram* dci = nullptr;
+  // One StageObs per StageTimes stage ("stage.<name>_ns" histogram,
+  // "pmu.stage.<name>.*" counters).
+  StageObs mac;
+  StageObs crc_segmentation;
+  StageObs turbo_encode;
+  StageObs rate_match;
+  StageObs scramble;
+  StageObs modulation;
+  StageObs ofdm;
+  StageObs channel;
+  StageObs ofdm_rx;
+  StageObs demodulation;
+  StageObs descramble;
+  StageObs rate_dematch;
+  StageObs arrange;
+  StageObs turbo_decode;
+  StageObs desegmentation;
+  StageObs gtpu;
+  StageObs dci;
 
   // Packet-level metrics ("pipeline.*").
   obs::Histogram* latency_ns = nullptr;  ///< whole send_packet
@@ -99,25 +109,39 @@ struct PipelineObs {
   obs::Counter* crc_fail = nullptr;
   obs::Counter* harq_retx = nullptr;
 
-  explicit PipelineObs(obs::MetricsRegistry* m) {
+  PipelineObs(obs::MetricsRegistry* m, bool pmu) {
     if (m == nullptr) return;
-    mac = &m->histogram("stage.mac_ns");
-    crc_segmentation = &m->histogram("stage.crc_segmentation_ns");
-    turbo_encode = &m->histogram("stage.turbo_encode_ns");
-    rate_match = &m->histogram("stage.rate_match_ns");
-    scramble = &m->histogram("stage.scramble_ns");
-    modulation = &m->histogram("stage.modulation_ns");
-    ofdm = &m->histogram("stage.ofdm_tx_ns");
-    channel = &m->histogram("stage.channel_ns");
-    ofdm_rx = &m->histogram("stage.ofdm_rx_ns");
-    demodulation = &m->histogram("stage.demodulation_ns");
-    descramble = &m->histogram("stage.descramble_ns");
-    rate_dematch = &m->histogram("stage.rate_dematch_ns");
-    arrange = &m->histogram("stage.arrange_ns");
-    turbo_decode = &m->histogram("stage.turbo_decode_ns");
-    desegmentation = &m->histogram("stage.desegmentation_ns");
-    gtpu = &m->histogram("stage.gtpu_ns");
-    dci = &m->histogram("stage.dci_ns");
+    // Availability gauges are exported whenever attribution was asked
+    // for — on the fallback path they are exactly how a metrics dump
+    // says its pmu.* counters would have been zeros (and are absent).
+    if (pmu) obs::pmu_export_availability(*m);
+    const bool hw = pmu && obs::pmu_available();
+    const auto stage = [&](const char* name) {
+      StageObs s;
+      s.ns = &m->histogram(std::string("stage.") + name + "_ns");
+      if (hw) {
+        s.pmu = obs::PmuStageCounters::resolve(
+            *m, std::string("pmu.stage.") + name + ".");
+      }
+      return s;
+    };
+    mac = stage("mac");
+    crc_segmentation = stage("crc_segmentation");
+    turbo_encode = stage("turbo_encode");
+    rate_match = stage("rate_match");
+    scramble = stage("scramble");
+    modulation = stage("modulation");
+    ofdm = stage("ofdm_tx");
+    channel = stage("channel");
+    ofdm_rx = stage("ofdm_rx");
+    demodulation = stage("demodulation");
+    descramble = stage("descramble");
+    rate_dematch = stage("rate_dematch");
+    arrange = stage("arrange");
+    turbo_decode = stage("turbo_decode");
+    desegmentation = stage("desegmentation");
+    gtpu = stage("gtpu");
+    dci = stage("dci");
     latency_ns = &m->histogram("pipeline.latency_ns");
     proc_ns = &m->histogram("pipeline.proc_ns");
     packets = &m->counter("pipeline.packets");
@@ -147,13 +171,17 @@ struct PacketObs {
 
 /// RAII stage scope: one Stopwatch read feeds the TimeAccumulator (exact
 /// StageTimes compatibility), the stage histogram, and — when tracing —
-/// a begin/end span stamped with TTI / code-block / worker id.
+/// a begin/end span stamped with TTI / code-block / worker id. With
+/// hardware attribution on, the embedded PmuScope folds the stage's
+/// cycle/instruction/L1D deltas into its "pmu.stage.<name>.*" counters
+/// over exactly the stopwatch window (a no-op object otherwise).
 class StageScope {
  public:
-  StageScope(const PacketObs& po, TimeAccumulator& acc, obs::Histogram* h,
-             const char* name, std::int32_t block = -1)
-      : acc_(acc), h_(h), trace_(po.trace), name_(name), tti_(po.tti),
-        block_(block) {
+  StageScope(const PacketObs& po, TimeAccumulator& acc,
+             const detail::StageObs& so, const char* name,
+             std::int32_t block = -1)
+      : acc_(acc), h_(so.ns), trace_(po.trace), name_(name), tti_(po.tti),
+        block_(block), pmu_(so.pmu.ptr()) {
     if (trace_ != nullptr) trace_begin_ = trace_->now_ns();
   }
   ~StageScope() {
@@ -183,6 +211,8 @@ class StageScope {
   std::uint32_t tti_;
   std::int32_t block_;
   std::uint64_t trace_begin_ = 0;
+  obs::PmuScope pmu_;  ///< last member: opens after (and closes before)
+                       ///< the stopwatch, nested inside its window
 };
 
 /// Stable identity for fault draws: one packet transmission. Folding the
@@ -434,6 +464,7 @@ DecodedTb phy_decode(const EncodedTb& enc, const PipelineConfig& cfg,
     auto& ob = per_block[bi];
     {
       obs::ScopedSpan span(po.trace, "rate_dematch", po.tti, i, tid);
+      obs::PmuScope pmu(po.h.rate_dematch.pmu.ptr());
       Stopwatch sw;
       const auto slice = std::span<const std::int16_t>(llr).subspan(
           bi * static_cast<std::size_t>(enc.e_per_block),
@@ -442,8 +473,8 @@ DecodedTb phy_decode(const EncodedTb& enc, const PipelineConfig& cfg,
       matchers[bi]->buffer_to_triples_into(w_bufs[bi], triples[bi]);
       ob.dematch_seconds = sw.seconds();
     }
-    if (po.h.rate_dematch != nullptr) {
-      po.h.rate_dematch->record(to_ns(ob.dematch_seconds));
+    if (po.h.rate_dematch.ns != nullptr) {
+      po.h.rate_dematch.ns->record(to_ns(ob.dematch_seconds));
     }
     // Forced early-stop miss: the block burns max_iterations instead of
     // exiting at CRC pass / repeat detection. Keyed per (packet, block),
@@ -455,15 +486,21 @@ DecodedTb phy_decode(const EncodedTb& enc, const PipelineConfig& cfg,
     phy::TurboDecodeResult res;
     {
       obs::ScopedSpan span(po.trace, "turbo_block", po.tti, i, tid);
+      // decode() interleaves data arrangement with the MAP iterations,
+      // so its hardware counters are attributed wholesale to
+      // pmu.stage.turbo_decode (the wall-clock split below still comes
+      // from the decoder's own stopwatches); fig15 --hw measures the
+      // arrangement kernel standalone for the isolated numbers.
+      obs::PmuScope pmu(po.h.turbo_decode.pmu.ptr());
       res = decoders[bi]->decode(triples[bi], hard[bi], miss_early_stop);
     }
     ob.arrange_seconds = res.arrange_seconds;
     ob.compute_seconds = res.compute_seconds;
     ob.crc_ok = res.crc_ok;
     ob.iterations = res.iterations;
-    if (po.h.arrange != nullptr) {
-      po.h.arrange->record(to_ns(res.arrange_seconds));
-      po.h.turbo_decode->record(to_ns(res.compute_seconds));
+    if (po.h.arrange.ns != nullptr) {
+      po.h.arrange.ns->record(to_ns(res.arrange_seconds));
+      po.h.turbo_decode.ns->record(to_ns(res.compute_seconds));
     }
   };
 
@@ -517,7 +554,7 @@ DecodedTb phy_decode(const EncodedTb& enc, const PipelineConfig& cfg,
 std::unique_ptr<ThreadPool> make_decode_pool(const PipelineConfig& cfg) {
   if (cfg.num_workers <= 1) return nullptr;
   return std::make_unique<ThreadPool>(cfg.num_workers - 1, cfg.metrics,
-                                      cfg.fault);
+                                      cfg.fault, cfg.pmu);
 }
 
 }  // namespace
@@ -528,7 +565,7 @@ UplinkPipeline::UplinkPipeline(PipelineConfig cfg)
       channel_(time_domain_snr_db(cfg.snr_db, cfg.ofdm.nfft),
                cfg.noise_seed),
       pool_(make_decode_pool(cfg)),
-      obs_(std::make_unique<detail::PipelineObs>(cfg.metrics)),
+      obs_(std::make_unique<detail::PipelineObs>(cfg.metrics, cfg.pmu)),
       ws_(cfg.codec_cache_capacity) {}
 
 UplinkPipeline::~UplinkPipeline() = default;
@@ -633,7 +670,7 @@ DownlinkPipeline::DownlinkPipeline(PipelineConfig cfg)
       channel_(time_domain_snr_db(cfg.snr_db, cfg.ofdm.nfft),
                cfg.noise_seed + 1),
       pool_(make_decode_pool(cfg)),
-      obs_(std::make_unique<detail::PipelineObs>(cfg.metrics)),
+      obs_(std::make_unique<detail::PipelineObs>(cfg.metrics, cfg.pmu)),
       ws_(cfg.codec_cache_capacity) {}
 
 DownlinkPipeline::~DownlinkPipeline() = default;

@@ -79,6 +79,16 @@ struct PipelineConfig {
   obs::MetricsRegistry* metrics = &obs::MetricsRegistry::global();
   /// Span recorder for chrome://tracing export; nullptr = tracing off.
   obs::TraceRecorder* trace = nullptr;
+  /// Hardware PMU attribution (see obs/pmu.h): bracket every stage with
+  /// a counter-group scope folding "pmu.stage.<name>.*" counters into
+  /// `metrics` (cycles, instructions, L1D accesses, topdown slots where
+  /// the CPU exposes them), and have decode workers attribute their
+  /// share as "threadpool.pmu.*.w<id>". Availability is exported as the
+  /// "pmu.available"/"pmu.topdown" gauges; on hosts where
+  /// perf_event_open is refused (or under VRAN_PMU=off) everything
+  /// degrades to a deterministic no-op and the counters stay absent.
+  /// Off by default: the stage scopes then carry zero PMU overhead.
+  bool pmu = false;
   /// Fault injector (see fault/fault.h); nullptr = no faults. Armed
   /// points hit the receive chain (LLR saturate/sign-flip bursts ahead
   /// of the data arrangement, forced turbo early-stop miss), the egress

@@ -9,9 +9,20 @@
 //     --max-regress percent, or
 //   * allocations/TTI grew by more than 0.5 while the current run had
 //     allocation counting enabled (a zero-alloc steady state that starts
-//     allocating is a correctness regression, not noise).
+//     allocating is a correctness regression, not noise), or
+//   * a per-stage PMU measurement regressed, when BOTH sides carry one
+//     (bench_e2e --hw on a perf-capable host): measured IPC dropped by
+//     more than --max-regress percent, or measured backend-bound grew by
+//     more than --max-regress percent plus 2 points of absolute slack.
+//     Older baselines (e.g. BENCH_PR4.json) and fallback runs have no
+//     "pmu" objects and are gated on latency/allocations alone.
 // Configs only present on one side are reported but never fail the gate
 // (a smaller CI host may lack an ISA tier the baseline machine had).
+//
+// When both files carry a "meta" provenance block with different CPU
+// models the tool WARNS — latency numbers from different silicon are
+// not comparable — but does not fail; the gate thresholds are wide
+// enough for same-machine noise only.
 //
 // The parser below handles exactly the JSON subset bench_e2e emits
 // (objects, arrays, strings without escapes beyond \", numbers, bools);
@@ -149,12 +160,19 @@ class JsonParser {
 };
 
 // ---------------------------------------------------------------- gate --
+struct PmuStage {
+  double ipc = 0;
+  double backend_bound = -1;  // absent in the JSON when the source had
+                              // no topdown/stall events
+};
+
 struct Config {
   double p50_us = 0, p99_us = 0, allocs_per_tti = 0;
+  std::map<std::string, PmuStage> pmu_stages;  // empty without --hw data
 };
 
 bool load(const char* path, std::map<std::string, Config>& out,
-          bool& counting) {
+          bool& counting, std::string& cpu_model) {
   std::ifstream in(path);
   if (!in) {
     std::fprintf(stderr, "bench_compare: cannot open %s\n", path);
@@ -176,6 +194,10 @@ bool load(const char* path, std::map<std::string, Config>& out,
   }
   const auto* counting_v = root.find("alloc_counting");
   counting = counting_v && counting_v->boolean;
+  cpu_model.clear();
+  if (const auto* meta = root.find("meta")) {
+    if (const auto* model = meta->find("cpu_model")) cpu_model = model->str;
+  }
   const auto* configs = root.find("configs");
   if (!configs || configs->type != JsonValue::Type::kArray) {
     std::fprintf(stderr, "bench_compare: %s: missing configs[]\n", path);
@@ -193,6 +215,16 @@ bool load(const char* path, std::map<std::string, Config>& out,
       cfg.p99_us = tti->num_or("p99", 0);
     }
     cfg.allocs_per_tti = c.num_or("allocs_per_tti", 0);
+    if (const auto* pmu = c.find("pmu")) {
+      if (const auto* stages = pmu->find("stages")) {
+        for (const auto& [name, v] : stages->object) {
+          PmuStage s;
+          s.ipc = v.num_or("ipc", 0);
+          s.backend_bound = v.num_or("backend_bound", -1);
+          if (s.ipc > 0) cfg.pmu_stages.emplace(name, s);
+        }
+      }
+    }
     out.emplace(key, cfg);
   }
   return true;
@@ -226,9 +258,15 @@ int main(int argc, char** argv) {
 
   std::map<std::string, Config> base, cur;
   bool base_counting = false, cur_counting = false;
-  if (!load(baseline_path, base, base_counting) ||
-      !load(current_path, cur, cur_counting)) {
+  std::string base_cpu, cur_cpu;
+  if (!load(baseline_path, base, base_counting, base_cpu) ||
+      !load(current_path, cur, cur_counting, cur_cpu)) {
     return 2;
+  }
+  if (!base_cpu.empty() && !cur_cpu.empty() && base_cpu != cur_cpu) {
+    std::printf("WARNING: CPU model mismatch — baseline \"%s\" vs current "
+                "\"%s\"; latency deltas below are not like-for-like\n",
+                base_cpu.c_str(), cur_cpu.c_str());
   }
 
   int failures = 0, compared = 0;
@@ -252,7 +290,27 @@ int main(int argc, char** argv) {
                 b.allocs_per_tti, c.allocs_per_tti,
                 lat_fail ? "  LATENCY-REGRESSION" : "",
                 alloc_fail ? "  ALLOC-REGRESSION" : "");
-    failures += (lat_fail || alloc_fail) ? 1 : 0;
+    // Measured-counter gate: only for stages BOTH runs measured (a
+    // fallback run or an old baseline simply has no pmu stages).
+    bool pmu_fail = false;
+    for (const auto& [stage, bs] : b.pmu_stages) {
+      const auto cit = c.pmu_stages.find(stage);
+      if (cit == c.pmu_stages.end()) continue;
+      const auto& cs = cit->second;
+      const bool ipc_fail = cs.ipc < bs.ipc * (1.0 - max_regress / 100.0);
+      const bool bb_fail =
+          bs.backend_bound >= 0 && cs.backend_bound >= 0 &&
+          cs.backend_bound >
+              bs.backend_bound * (1.0 + max_regress / 100.0) + 0.02;
+      if (ipc_fail || bb_fail) {
+        pmu_fail = true;
+        std::printf("  %-14s ipc %.2f -> %.2f, backend %.3f -> %.3f%s%s\n",
+                    stage.c_str(), bs.ipc, cs.ipc, bs.backend_bound,
+                    cs.backend_bound, ipc_fail ? "  IPC-REGRESSION" : "",
+                    bb_fail ? "  BACKEND-BOUND-REGRESSION" : "");
+      }
+    }
+    failures += (lat_fail || alloc_fail || pmu_fail) ? 1 : 0;
   }
   for (const auto& [key, c] : cur) {
     (void)c;
