@@ -30,6 +30,9 @@
 //
 // Flags: --ttis N (default 300)  --flows N (default 4)
 //        --payload BYTES (default 1500)  --json PATH  --hw
+//        --no-batch  (disable batched-lane turbo decoding — the control
+//                     for batched-vs-windowed comparisons; recorded as
+//                     "batch_decode" in the JSON)
 #include <algorithm>
 #include <cstdio>
 #include <cstring>
@@ -48,6 +51,13 @@
 using namespace vran;
 
 namespace {
+
+bool has_flag(int argc, char** argv, const char* name) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], name) == 0) return true;
+  }
+  return false;
+}
 
 int int_flag(int argc, char** argv, const char* name, int def) {
   const std::size_t len = std::strlen(name);
@@ -95,7 +105,7 @@ std::vector<std::string> pmu_stage_names(const obs::Snapshot& snap) {
 }
 
 ConfigResult run_config(IsaLevel isa, int workers, int ttis, int flows,
-                        int payload, bool hw) {
+                        int payload, bool hw, bool batch) {
   ConfigResult out;
   out.isa = isa;
   out.workers = workers;
@@ -110,6 +120,7 @@ ConfigResult run_config(IsaLevel isa, int workers, int ttis, int flows,
   for (int f = 0; f < flows; ++f) {
     auto& cfg = cfgs[static_cast<std::size_t>(f)];
     cfg.isa = isa;
+    cfg.batch_decode = batch;
     cfg.rnti = static_cast<std::uint16_t>(0x1000 + f);
     cfg.noise_seed = 7u + static_cast<std::uint64_t>(f);
     // Latency comes from wall-clock samples below; metrics stay off
@@ -190,17 +201,18 @@ ConfigResult run_config(IsaLevel isa, int workers, int ttis, int flows,
 }
 
 std::string to_json(const std::vector<ConfigResult>& rows, int ttis,
-                    int flows, int payload) {
+                    int flows, int payload, bool batch) {
   std::string j;
   char buf[256];
   j += "{\n  \"schema\": \"vran-bench-e2e-v1\",\n";
   j += "  \"meta\": " + bench::meta_json() + ",\n";
   std::snprintf(buf, sizeof(buf),
                 "  \"host_best_isa\": \"%s\",\n  \"alloc_counting\": %s,\n"
+                "  \"batch_decode\": %s,\n"
                 "  \"ttis\": %d,\n  \"flows\": %d,\n  \"payload_bytes\": %d,\n",
                 isa_name(best_isa()),
-                alloc_stats::interposed() ? "true" : "false", ttis, flows,
-                payload);
+                alloc_stats::interposed() ? "true" : "false",
+                batch ? "true" : "false", ttis, flows, payload);
   j += buf;
   j += "  \"configs\": [\n";
   for (std::size_t i = 0; i < rows.size(); ++i) {
@@ -258,6 +270,7 @@ int main(int argc, char** argv) {
   const int payload = int_flag(argc, argv, "--payload", 1500);
   const std::string json_path = bench::json_out_path(argc, argv);
   const bool hw = bench::hw_flag(argc, argv);
+  const bool batch = !has_flag(argc, argv, "--no-batch");
 
   std::vector<IsaLevel> isas{IsaLevel::kScalar};
   for (const IsaLevel isa :
@@ -265,9 +278,11 @@ int main(int argc, char** argv) {
     if (isa <= best_isa()) isas.push_back(isa);
   }
 
-  std::printf("bench_e2e: %d TTIs x %d flows, %dB payload, counting=%s\n",
+  std::printf("bench_e2e: %d TTIs x %d flows, %dB payload, counting=%s, "
+              "batch_decode=%s\n",
               ttis, flows, payload,
-              alloc_stats::interposed() ? "on" : "OFF (sanitizer build?)");
+              alloc_stats::interposed() ? "on" : "OFF (sanitizer build?)",
+              batch ? "on" : "off");
   if (hw) {
     std::printf("hardware counters: %s\n", obs::pmu_status_string());
   }
@@ -279,7 +294,7 @@ int main(int argc, char** argv) {
   for (const IsaLevel isa : isas) {
     double serial_allocs = 0;  // exact; see header comment
     for (const int workers : {1, 4}) {
-      auto r = run_config(isa, workers, ttis, flows, payload, hw);
+      auto r = run_config(isa, workers, ttis, flows, payload, hw, batch);
       if (workers == 1) {
         serial_allocs = r.allocs_per_tti;
       } else {
@@ -301,6 +316,6 @@ int main(int argc, char** argv) {
     }
   }
 
-  bench::write_json(json_path, to_json(rows, ttis, flows, payload));
+  bench::write_json(json_path, to_json(rows, ttis, flows, payload, batch));
   return 0;
 }

@@ -8,7 +8,12 @@
 // same parameters the traces model) and print measured IPC and
 // backend-bound from hardware counters next to the model columns; n/a
 // when perf access is unavailable.
+//
+// --json <path>: write the rows as "vran-fig05-v1" with the standard
+// "meta" provenance block (bench_util.h meta_json), so bench_compare
+// can gate any pair of runs.
 #include <cstdio>
+#include <string>
 
 #include "bench/bench_util.h"
 #include "bench/hw_kernels.h"
@@ -20,6 +25,7 @@ using namespace vran::sim;
 
 int main(int argc, char** argv) {
   const bool hw = bench::hw_flag(argc, argv);
+  const std::string json_path = bench::json_out_path(argc, argv);
   bench::print_header("Fig. 5 — Uplink module top-down breakdown (port model)");
 
   const PortSimulator psim(paper_machine(wimpy_cache()));
@@ -57,16 +63,37 @@ int main(int argc, char** argv) {
                 "fe", "bs", "backend");
   }
   bench::print_rule();
+  std::string jrows;
+  char jbuf[256];
   for (const auto& r : rows) {
     const auto td = psim.run(r.trace);
+    const auto m = hw && r.workload ? bench::hw::measure(r.workload)
+                                    : obs::PmuReading{};
+    std::snprintf(jbuf, sizeof(jbuf),
+                  "    {\"module\": \"%s\", \"model\": {\"ipc\": %.3f, "
+                  "\"retiring\": %.4f, \"frontend\": %.4f, "
+                  "\"bad_speculation\": %.4f, \"backend\": %.4f}",
+                  r.name, td.ipc, td.retiring, td.frontend,
+                  td.bad_speculation, td.backend);
+    jrows += jrows.empty() ? "" : ",\n";
+    jrows += jbuf;
+    if (m.valid) {
+      std::snprintf(jbuf, sizeof(jbuf), ", \"hw\": {\"ipc\": %.3f", m.ipc());
+      jrows += jbuf;
+      if (m.backend_bound() >= 0) {
+        std::snprintf(jbuf, sizeof(jbuf), ", \"backend_bound\": %.4f",
+                      m.backend_bound());
+        jrows += jbuf;
+      }
+      jrows += "}";
+    }
+    jrows += "}";
     if (!hw) {
       std::printf("%-20s %6.2f %8.1f%% %5.1f%% %5.1f%% %7.1f%%\n", r.name,
                   td.ipc, 100 * td.retiring, 100 * td.frontend,
                   100 * td.bad_speculation, 100 * td.backend);
       continue;
     }
-    const auto m =
-        r.workload ? bench::hw::measure(r.workload) : obs::PmuReading{};
     std::printf("%-20s %6.2f %7.1f%% |", r.name, td.ipc, 100 * td.backend);
     if (m.valid) {
       std::printf(" %8.2f", m.ipc());
@@ -82,5 +109,10 @@ int main(int argc, char** argv) {
   bench::print_rule();
   std::printf("paper shape: fe/bs negligible for all modules; backend is the\n"
               "dominant stall; turbo decoding backend > 50%%\n");
+  bench::write_json(json_path,
+                    std::string("{\n  \"schema\": \"vran-fig05-v1\",\n") +
+                        "  \"meta\": " + bench::meta_json() + ",\n" +
+                        "  \"hw\": " + (hw ? "true" : "false") + ",\n" +
+                        "  \"rows\": [\n" + jrows + "\n  ]\n}");
   return 0;
 }

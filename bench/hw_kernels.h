@@ -16,6 +16,7 @@
 #include <cstdint>
 #include <functional>
 #include <random>
+#include <span>
 #include <vector>
 
 #include "common/aligned.h"
@@ -27,6 +28,7 @@
 #include "phy/ofdm/ofdm.h"
 #include "phy/ratematch/rate_match.h"
 #include "phy/scramble/scrambler.h"
+#include "phy/turbo/turbo_batch.h"
 #include "phy/turbo/turbo_decoder.h"
 #include "phy/turbo/turbo_encoder.h"
 
@@ -109,6 +111,53 @@ inline Workload wl_turbo_decode(IsaLevel isa, int k, int iterations,
   return [=] {
     dec->decode(*triples, *hard, /*force_full_iterations=*/true);
   };
+}
+
+/// Batched-lane turbo decode: lane_capacity(isa) same-K blocks, one per
+/// 8-state lane group, `iterations` full MAP iterations (forced — no
+/// early exit, so cycles are noise-independent). Counters cover
+/// decode_arranged() wholesale: batch transpose + recursions + hard
+/// decisions. Divide by lane_capacity(isa) for per-block numbers.
+inline Workload wl_turbo_decode_batch(IsaLevel isa, int k, int iterations,
+                                      bool radix4) {
+  const int nb = phy::TurboBatchDecoder::lane_capacity(isa);
+  const std::size_t kt = static_cast<std::size_t>(k) + phy::kTurboTail;
+  auto streams =
+      std::make_shared<std::vector<AlignedVector<std::int16_t>>>();
+  auto inputs = std::make_shared<std::vector<phy::TurboBatchInput>>();
+  auto outs = std::make_shared<std::vector<std::vector<std::uint8_t>>>(
+      static_cast<std::size_t>(nb));
+  auto out_spans = std::make_shared<std::vector<std::span<std::uint8_t>>>();
+  auto results = std::make_shared<std::vector<phy::TurboBatchResult>>(
+      static_cast<std::size_t>(nb));
+  auto force = std::make_shared<std::vector<std::uint8_t>>(
+      static_cast<std::size_t>(nb), std::uint8_t{1});
+  streams->reserve(static_cast<std::size_t>(3 * nb));
+  for (int b = 0; b < nb; ++b) {
+    std::vector<std::uint8_t> bits(static_cast<std::size_t>(k));
+    fill_bits(bits, 0x7D2u + static_cast<std::uint32_t>(b));
+    const auto cw = phy::TurboEncoder(k).encode(bits);
+    const std::uint8_t* d[3] = {cw.d0.data(), cw.d1.data(), cw.d2.data()};
+    for (int s = 0; s < 3; ++s) {
+      auto& v = streams->emplace_back(kt);
+      for (std::size_t i = 0; i < kt; ++i) {
+        v[i] = d[s][i] ? std::int16_t{-40} : std::int16_t{40};
+      }
+    }
+    (*outs)[static_cast<std::size_t>(b)].resize(static_cast<std::size_t>(k));
+  }
+  for (int b = 0; b < nb; ++b) {
+    inputs->push_back({(*streams)[static_cast<std::size_t>(3 * b)],
+                       (*streams)[static_cast<std::size_t>(3 * b + 1)],
+                       (*streams)[static_cast<std::size_t>(3 * b + 2)]});
+    out_spans->emplace_back((*outs)[static_cast<std::size_t>(b)]);
+  }
+  phy::TurboBatchConfig cfg;
+  cfg.isa = isa;
+  cfg.max_iterations = iterations;
+  cfg.radix4 = radix4;
+  auto dec = std::make_shared<phy::TurboBatchDecoder>(k, cfg);
+  return [=] { dec->decode_arranged(*inputs, *out_spans, *results, *force); };
 }
 
 /// Turbo encode of one size-k block.

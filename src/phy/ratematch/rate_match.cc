@@ -71,17 +71,19 @@ RateMatcher::RateMatcher(int k) : k_(k), map_(subblock_map(k + kTurboTail)) {
     const int d2 = y_to_d(map_.v2_src[static_cast<std::size_t>(j)]);
     if (d2 >= 0) w_src_[static_cast<std::size_t>(kp + 2 * j + 1)] = 3 * d2 + 2;
   }
+  for (const auto s : w_src_) usable_ += (s >= 0);
+  // Always 3*(K+4) for legal K (nulls never cover a whole stream), and
+  // the wrap-loop bounds below divide by it.
+  if (usable_ <= 0) {
+    throw std::invalid_argument("RateMatcher: no usable buffer positions");
+  }
 }
 
 int RateMatcher::buffer_size_for(int k) {
   return 3 * subblock_geometry(k + kTurboTail).kp;
 }
 
-int RateMatcher::usable_size() const {
-  int n = 0;
-  for (const auto s : w_src_) n += (s >= 0);
-  return n;
-}
+int RateMatcher::usable_size() const { return usable_; }
 
 int RateMatcher::k0(int rv) const {
   if (rv < 0 || rv > 3) throw std::invalid_argument("rv out of range");
@@ -97,14 +99,27 @@ std::vector<std::uint8_t> RateMatcher::match(const TurboCodeword& cw, int e,
     throw std::invalid_argument("RateMatcher::match: codeword size mismatch");
   }
   if (e <= 0) throw std::invalid_argument("RateMatcher::match: e <= 0");
+  // Every full circle of the wrap loop below emits exactly usable_
+  // bits, so bounding E bounds the loop. Without this, an absurd E
+  // spins ncb iterations per usable bit — and a (hypothetical) map with
+  // no usable slot would spin forever.
+  if (e > kMaxRepetition * usable_) {
+    throw std::invalid_argument(
+        "RateMatcher::match: e exceeds repetition cap");
+  }
 
   const int ncb = 3 * map_.geo.kp;
   const int start = k0(rv);
+  const std::int64_t max_steps =
+      static_cast<std::int64_t>(e / usable_ + 2) * ncb;
   std::vector<std::uint8_t> out;
   out.reserve(static_cast<std::size_t>(e));
   const std::uint8_t* streams[3] = {cw.d0.data(), cw.d1.data(), cw.d2.data()};
-  for (int j = 0; static_cast<int>(out.size()) < e; ++j) {
-    const int w = (start + j) % ncb;
+  for (std::int64_t j = 0; static_cast<int>(out.size()) < e; ++j) {
+    if (j >= max_steps) {
+      throw std::logic_error("RateMatcher::match: wrap loop did not advance");
+    }
+    const int w = static_cast<int>((start + j) % ncb);
     const std::int32_t src = w_src_[static_cast<std::size_t>(w)];
     if (src < 0) continue;  // pruned null
     out.push_back(streams[src % 3][src / 3]);
@@ -119,10 +134,27 @@ void RateMatcher::dematch_accumulate(std::span<const std::int16_t> llr,
   if (w_llr.size() != static_cast<std::size_t>(ncb)) {
     throw std::invalid_argument("dematch_accumulate: w_llr size mismatch");
   }
+  // Mirror of match(): each circle consumes exactly usable_ LLRs, so an
+  // input longer than the repetition cap can only come from a corrupted
+  // E — refuse it rather than wrap (near-)endlessly.
+  if (llr.size() >
+      static_cast<std::size_t>(kMaxRepetition) *
+          static_cast<std::size_t>(usable_)) {
+    throw std::invalid_argument(
+        "dematch_accumulate: llr length exceeds repetition cap");
+  }
   const int start = k0(rv);
+  const std::int64_t max_steps =
+      static_cast<std::int64_t>(llr.size() / static_cast<std::size_t>(usable_) +
+                                2) *
+      ncb;
   std::size_t used = 0;
-  for (int j = 0; used < llr.size(); ++j) {
-    const int w = (start + j) % ncb;
+  for (std::int64_t j = 0; used < llr.size(); ++j) {
+    if (j >= max_steps) {
+      throw std::logic_error(
+          "dematch_accumulate: wrap loop did not advance");
+    }
+    const int w = static_cast<int>((start + j) % ncb);
     if (w_src_[static_cast<std::size_t>(w)] < 0) continue;
     // Symmetric clamp (±32767), NOT paddsw: an accumulator pinned at
     // INT16_MIN could never be cancelled by +32767, biasing soft

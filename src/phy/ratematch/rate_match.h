@@ -90,11 +90,18 @@ class RateMatcher {
   void buffer_to_triples_into(std::span<const std::int16_t> w_llr,
                               std::span<std::int16_t> triples) const;
 
+  /// Hard ceiling on circular-buffer repetition: match()/dematch paths
+  /// refuse E > kMaxRepetition * usable_size() instead of spinning the
+  /// wrap loop essentially forever on absurd inputs. 36.212 practice is
+  /// E <= ~3 circles; 64 leaves generous headroom for stress tests.
+  static constexpr int kMaxRepetition = 64;
+
  private:
   int k_;
   SubblockMap map_;
   std::vector<std::int32_t> w_src_;   ///< buffer pos -> d-stream flat index
                                       ///< (3*k + stream), -1 for nulls
+  int usable_ = 0;                    ///< cached non-null position count
 };
 
 }  // namespace vran::phy

@@ -1,0 +1,149 @@
+// Shared implementation skeleton for the *batched* constituent
+// max-log-MAP kernels: one code block per 8-state lane group instead of
+// one window of a single block per group (turbo_map_impl.h). A 512-bit
+// register then advances four independent trellises per step, a 256-bit
+// register two, and the 128-bit form degenerates to the single-block
+// kernel.
+//
+// Because every lane group carries a whole block, each lane group gets
+// the block's *exact* boundary metrics — alpha from the known zero start
+// state, beta trained from that block's own termination tails — so every
+// lane is bit-identical to the scalar reference decoder, at every
+// register width. This is the key contrast with the windowed kernel,
+// whose equal-metric window boundaries are approximate for NW > 1.
+//
+// The caller owns the batch-transpose arrangement: operands arrive
+// step-major (`gs_step[step * NW + lane]`), boundary metrics arrive as
+// LN-wide packed arrays, and extrinsics leave lane-major
+// (`ext[lane * ext_stride + step]`). Keeping the data movement outside
+// the kernel lets the orchestrator rebuild lane assignments cheaply when
+// converged lanes are compacted away (turbo_batch.cc).
+//
+// The radix-4 option fuses two trellis steps per forward loop iteration
+// and stores alpha only at even steps; the backward pass recomputes the
+// odd-step alpha from the stored even one with the *identical* operation
+// sequence, so radix-4 output is bit-exact with radix-2 while halving
+// the alpha spill traffic (the dominant memory stream at K = 6144).
+#pragma once
+
+#include <cstdint>
+
+#include "common/saturate.h"
+#include "phy/turbo/turbo_map_impl.h"
+
+namespace vran::phy::turbo_internal {
+
+template <class V>
+void map_decode_batch_impl(std::size_t K, const std::int16_t* gs_step,
+                           const std::int16_t* gp_step,
+                           const std::int16_t* ainit,
+                           const std::int16_t* binit, std::int16_t* ext,
+                           std::size_t ext_stride, std::int16_t* alpha_ws,
+                           bool radix4) {
+  using reg = typename V::reg;
+  constexpr int NW = V::kWindows;
+  constexpr int LN = NW * 8;
+  static constexpr MapPatterns<NW> P = make_map_patterns<NW>();
+
+  const reg pred0 = V::pattern(P.pred_shuf[0]);
+  const reg pred1 = V::pattern(P.pred_shuf[1]);
+  const reg mu0 = V::mask(P.in_u_mask[0]);
+  const reg mu1 = V::mask(P.in_u_mask[1]);
+  const reg mp0 = V::mask(P.in_p_mask[0]);
+  const reg mp1 = V::mask(P.in_p_mask[1]);
+  const reg succ0 = V::pattern(P.succ_shuf[0]);
+  const reg succ1 = V::pattern(P.succ_shuf[1]);
+  const reg mq0 = V::mask(P.out_p_mask[0]);
+  const reg mq1 = V::mask(P.out_p_mask[1]);
+  const reg lane0 = V::pattern(P.lane0_shuf);
+
+  // One normalized alpha step (identical op sequence to the windowed
+  // kernel and, per lane, to the scalar reference).
+  const auto alpha_step = [&](reg alpha, reg gsv, reg gpv) -> reg {
+    const reg g0 = V::sat_add(V::and16(gsv, mu0), V::and16(gpv, mp0));
+    const reg g1 = V::sat_add(V::and16(gsv, mu1), V::and16(gpv, mp1));
+    const reg a0 = V::sat_add(V::shuffle(alpha, pred0), g0);
+    const reg a1 = V::sat_add(V::shuffle(alpha, pred1), g1);
+    reg nxt = V::max16(a0, a1);
+    return V::sat_sub(nxt, V::shuffle(nxt, lane0));
+  };
+  const auto beta_step = [&](reg beta, reg gsv, reg gpv) -> reg {
+    const reg g0 = V::and16(gpv, mq0);
+    const reg g1 = V::sat_add(gsv, V::and16(gpv, mq1));
+    const reg b0 = V::sat_add(V::shuffle(beta, succ0), g0);
+    const reg b1 = V::sat_add(V::shuffle(beta, succ1), g1);
+    reg nb = V::max16(b0, b1);
+    return V::sat_sub(nb, V::shuffle(nb, lane0));
+  };
+
+  // ---- Forward pass -------------------------------------------------------
+  reg alpha = V::load(ainit);
+  if (!radix4) {
+    for (std::size_t k = 0; k < K; ++k) {
+      V::store(alpha_ws + LN * k, alpha);
+      alpha = alpha_step(alpha, V::spread(gs_step + k * NW),
+                         V::spread(gp_step + k * NW));
+    }
+  } else {
+    // K is divisible by 8 for every legal size, so pairs always align.
+    for (std::size_t k = 0; k < K; k += 2) {
+      V::store(alpha_ws + LN * (k / 2), alpha);
+      alpha = alpha_step(alpha, V::spread(gs_step + k * NW),
+                         V::spread(gp_step + k * NW));
+      alpha = alpha_step(alpha, V::spread(gs_step + (k + 1) * NW),
+                         V::spread(gp_step + (k + 1) * NW));
+    }
+  }
+
+  // ---- Backward pass with extrinsic extraction ----------------------------
+  reg beta = V::load(binit);
+  alignas(64) std::int16_t m0buf[LN];
+  alignas(64) std::int16_t m1buf[LN];
+  const auto extract = [&](std::size_t k, reg a, reg gpv) {
+    // u = 0 branches: gamma = p ? gp : 0 (matches scalar op order; gs
+    // cancels in the extrinsic).
+    reg t0 = V::sat_add(V::sat_add(a, V::shuffle(beta, succ0)),
+                        V::and16(gpv, mq0));
+    reg t1 = V::sat_add(V::sat_add(a, V::shuffle(beta, succ1)),
+                        V::and16(gpv, mq1));
+    // Per-group horizontal max (tree over byte shifts).
+    t0 = V::max16(t0, V::template bsrli<8>(t0));
+    t0 = V::max16(t0, V::template bsrli<4>(t0));
+    t0 = V::max16(t0, V::template bsrli<2>(t0));
+    t1 = V::max16(t1, V::template bsrli<8>(t1));
+    t1 = V::max16(t1, V::template bsrli<4>(t1));
+    t1 = V::max16(t1, V::template bsrli<2>(t1));
+    V::store(m0buf, t0);
+    V::store(m1buf, t1);
+    for (int g = 0; g < NW; ++g) {
+      ext[static_cast<std::size_t>(g) * ext_stride + k] =
+          sat_sub16(m1buf[g * 8], m0buf[g * 8]);
+    }
+  };
+
+  if (!radix4) {
+    for (std::size_t k = K; k-- > 0;) {
+      const reg a = V::load(alpha_ws + LN * k);
+      const reg gpv = V::spread(gp_step + k * NW);
+      extract(k, a, gpv);
+      beta = beta_step(beta, V::spread(gs_step + k * NW), gpv);
+    }
+  } else {
+    for (std::size_t k = K; k >= 2; k -= 2) {
+      const std::size_t ke = k - 2;  // even step of the pair
+      const reg a_even = V::load(alpha_ws + LN * (ke / 2));
+      const reg gse = V::spread(gs_step + ke * NW);
+      const reg gpe = V::spread(gp_step + ke * NW);
+      // Recompute the odd-step alpha exactly as the forward pass did.
+      const reg a_odd = alpha_step(a_even, gse, gpe);
+      const reg gso = V::spread(gs_step + (ke + 1) * NW);
+      const reg gpo = V::spread(gp_step + (ke + 1) * NW);
+      extract(ke + 1, a_odd, gpo);
+      beta = beta_step(beta, gso, gpo);
+      extract(ke, a_even, gpe);
+      beta = beta_step(beta, gse, gpe);
+    }
+  }
+}
+
+}  // namespace vran::phy::turbo_internal

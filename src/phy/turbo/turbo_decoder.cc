@@ -96,6 +96,13 @@ using turbo_internal::kStates;
 
 TurboDecoder::TurboDecoder(int k, TurboDecodeConfig cfg)
     : k_(k), cfg_(cfg), interleaver_(k) {
+  if (cfg_.max_iterations < 1) {
+    // With zero iterations the MAP loop never runs and decode_arranged
+    // would copy whatever stale hard decisions the previous decode of
+    // this object left in hard_ (and CRC-check them). Reject the config
+    // outright instead of returning garbage that can even pass a CRC.
+    throw std::invalid_argument("TurboDecoder: max_iterations must be >= 1");
+  }
   if (cfg_.simd && cfg_.isa != IsaLevel::kScalar && cfg_.isa > best_isa()) {
     throw std::invalid_argument("TurboDecoder: requested ISA not available");
   }

@@ -1,0 +1,19 @@
+// AVX-512 (512-bit) batched MAP kernel: four independent code blocks,
+// one per 128-bit lane group, advanced by every full-width recursion
+// step.
+#include "phy/turbo/turbo_batch_impl.h"
+#include "phy/turbo/turbo_map_ops_avx512.h"
+
+namespace vran::phy::turbo_internal {
+
+void map_decode_batch_avx512(std::size_t K, const std::int16_t* gs_step,
+                             const std::int16_t* gp_step,
+                             const std::int16_t* ainit,
+                             const std::int16_t* binit, std::int16_t* ext,
+                             std::size_t ext_stride, std::int16_t* alpha_ws,
+                             bool radix4) {
+  map_decode_batch_impl<Avx512Ops>(K, gs_step, gp_step, ainit, binit, ext,
+                                   ext_stride, alpha_ws, radix4);
+}
+
+}  // namespace vran::phy::turbo_internal

@@ -1,0 +1,49 @@
+// VecOps implementation for 512-bit AVX-512 registers: four 8-state lane
+// groups. Include only from translation units compiled with
+// -mavx512f/-mavx512bw/-mavx512vl/-mavx512dq.
+#pragma once
+
+#include <immintrin.h>
+
+#include <cstdint>
+#include <cstring>
+
+namespace vran::phy::turbo_internal {
+
+struct Avx512Ops {
+  using reg = __m512i;
+  static constexpr int kWindows = 4;
+
+  static reg load(const void* p) { return _mm512_load_si512(p); }
+  static void store(void* p, reg v) { _mm512_store_si512(p, v); }
+  static reg pattern(const std::uint8_t* p) { return load(p); }
+  static reg mask(const std::uint16_t* p) { return load(p); }
+  static reg sat_add(reg a, reg b) { return _mm512_adds_epi16(a, b); }
+  static reg sat_sub(reg a, reg b) { return _mm512_subs_epi16(a, b); }
+  static reg max16(reg a, reg b) { return _mm512_max_epi16(a, b); }
+  static reg and16(reg a, reg b) { return _mm512_and_si512(a, b); }
+  static reg shuffle(reg v, reg pat) { return _mm512_shuffle_epi8(v, pat); }
+  static reg spread(const std::int16_t* p) {
+    // vpbroadcastq of the four values + per-lane byte shuffle selecting
+    // word g in lane group g.
+    alignas(64) static constexpr std::uint8_t kPick[64] = {
+        0, 1, 0, 1, 0, 1, 0, 1, 0, 1, 0, 1, 0, 1, 0, 1,
+        2, 3, 2, 3, 2, 3, 2, 3, 2, 3, 2, 3, 2, 3, 2, 3,
+        4, 5, 4, 5, 4, 5, 4, 5, 4, 5, 4, 5, 4, 5, 4, 5,
+        6, 7, 6, 7, 6, 7, 6, 7, 6, 7, 6, 7, 6, 7, 6, 7};
+    std::int64_t d;
+    std::memcpy(&d, p, sizeof(d));
+    return _mm512_shuffle_epi8(_mm512_set1_epi64(d),
+                               _mm512_load_si512(kPick));
+  }
+  template <int N>
+  static reg bsrli(reg v) {
+    return _mm512_bsrli_epi128(v, N);
+  }
+  template <int N>
+  static reg srai16(reg v) {
+    return _mm512_srai_epi16(v, N);
+  }
+};
+
+}  // namespace vran::phy::turbo_internal

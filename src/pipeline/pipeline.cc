@@ -443,13 +443,18 @@ DecodedTb phy_decode(const EncodedTb& enc, const PipelineConfig& cfg,
   const auto decoders = arena.make_span<phy::TurboDecoder*>(n_blocks);
   const DecoderSpec spec{cfg.arrange_method, cfg.isa,
                          cfg.max_turbo_iterations, multi};
+  // Batched-lane decoding: several same-K blocks share one MAP kernel
+  // call, one block per 8-state lane group. Only worthwhile when the
+  // tier has more than one lane group and there is more than one block.
+  const bool use_batch = cfg.batch_decode && multi &&
+                         phy::TurboBatchDecoder::lane_capacity(cfg.isa) > 1;
   for (std::size_t bi = 0; bi < n_blocks; ++bi) {
     const int k = enc.plan.block_size(static_cast<int>(bi));
     hard[bi] = arena.make_span<std::uint8_t>(static_cast<std::size_t>(k));
     triples[bi] = arena.make_span<std::int16_t>(
         3 * (static_cast<std::size_t>(k) + phy::kTurboTail));
     matchers[bi] = &ws.codecs().matcher(k);
-    decoders[bi] = &ws.lane(bi).decoder(k, spec);
+    if (!use_batch) decoders[bi] = &ws.lane(bi).decoder(k, spec);
     // Non-HARQ transmissions accumulate into a fresh zeroed buffer —
     // exactly RateMatcher::dematch — so both paths share one shape.
     w_bufs[bi] = harq != nullptr
@@ -458,7 +463,59 @@ DecodedTb phy_decode(const EncodedTb& enc, const PipelineConfig& cfg,
                            std::size_t>(phy::RateMatcher::buffer_size_for(k)));
   }
 
-  const auto decode_block = [&](std::size_t bi) {
+  // Batch-path state: per-block arranged streams, grouped same-K runs,
+  // and the per-group batch decoders — all resolved/carved pre-fork.
+  struct BatchGroup {
+    std::size_t first = 0;
+    std::size_t count = 0;
+    phy::TurboBatchDecoder* dec = nullptr;
+  };
+  std::span<std::span<std::int16_t>> arranged;  ///< 3 per block: sys/p1/p2
+  std::span<phy::TurboBatchInput> b_inputs;
+  std::span<phy::TurboBatchResult> b_results;
+  std::span<std::uint8_t> b_force;
+  std::span<BatchGroup> groups;
+  std::size_t n_groups = 0;
+  if (use_batch) {
+    arranged = arena.make_span<std::span<std::int16_t>>(3 * n_blocks);
+    b_inputs = arena.make_object_span<phy::TurboBatchInput>(n_blocks);
+    b_results = arena.make_object_span<phy::TurboBatchResult>(n_blocks);
+    b_force = arena.make_zero_span<std::uint8_t>(n_blocks);
+    groups = arena.make_object_span<BatchGroup>(n_blocks);
+    for (std::size_t bi = 0; bi < n_blocks; ++bi) {
+      const std::size_t nt =
+          static_cast<std::size_t>(enc.plan.block_size(static_cast<int>(bi))) +
+          phy::kTurboTail;
+      for (int s = 0; s < 3; ++s) {
+        arranged[3 * bi + static_cast<std::size_t>(s)] =
+            arena.make_span<std::int16_t>(nt);
+      }
+      b_inputs[bi] = {arranged[3 * bi], arranged[3 * bi + 1],
+                      arranged[3 * bi + 2]};
+    }
+    const std::size_t cap = static_cast<std::size_t>(
+        phy::TurboBatchDecoder::lane_capacity(cfg.isa));
+    std::size_t bi = 0;
+    while (bi < n_blocks) {
+      const int k = enc.plan.block_size(static_cast<int>(bi));
+      std::size_t run_end = bi;
+      while (run_end < n_blocks &&
+             enc.plan.block_size(static_cast<int>(run_end)) == k) {
+        ++run_end;
+      }
+      while (bi < run_end) {
+        const std::size_t count = std::min(cap, run_end - bi);
+        // Radix-4 halves the alpha-spill traffic and pays on multi-lane-
+        // group tiers; a 1-block group runs at one lane group where the
+        // fused step costs a few percent, so it keeps radix-2.
+        groups[n_groups++] = {
+            bi, count, &ws.lane(bi).batch_decoder(k, spec, count > 1)};
+        bi += count;
+      }
+    }
+  }
+
+  const auto dematch_block = [&](std::size_t bi) {
     const int i = static_cast<int>(bi);
     const auto tid = ThreadPool::current_worker_id();
     auto& ob = per_block[bi];
@@ -476,13 +533,22 @@ DecodedTb phy_decode(const EncodedTb& enc, const PipelineConfig& cfg,
     if (po.h.rate_dematch.ns != nullptr) {
       po.h.rate_dematch.ns->record(to_ns(ob.dematch_seconds));
     }
-    // Forced early-stop miss: the block burns max_iterations instead of
-    // exiting at CRC pass / repeat detection. Keyed per (packet, block),
-    // so which blocks miss is rerun- and worker-count-stable.
-    const bool miss_early_stop =
-        cfg.fault != nullptr &&
-        cfg.fault->fire(fault::FaultPoint::kTurboEarlyStopMiss,
-                        (fault_key(cfg, tti, enc.rv) << 7) ^ bi);
+  };
+
+  // Forced early-stop miss: the block burns max_iterations instead of
+  // exiting at CRC pass / repeat detection. Keyed per (packet, block),
+  // so which blocks miss is rerun- and worker-count-stable.
+  const auto miss_early_stop = [&](std::size_t bi) {
+    return cfg.fault != nullptr &&
+           cfg.fault->fire(fault::FaultPoint::kTurboEarlyStopMiss,
+                           (fault_key(cfg, tti, enc.rv) << 7) ^ bi);
+  };
+
+  const auto decode_block = [&](std::size_t bi) {
+    const int i = static_cast<int>(bi);
+    const auto tid = ThreadPool::current_worker_id();
+    auto& ob = per_block[bi];
+    dematch_block(bi);
     phy::TurboDecodeResult res;
     {
       obs::ScopedSpan span(po.trace, "turbo_block", po.tti, i, tid);
@@ -492,7 +558,7 @@ DecodedTb phy_decode(const EncodedTb& enc, const PipelineConfig& cfg,
       // from the decoder's own stopwatches); fig15 --hw measures the
       // arrangement kernel standalone for the isolated numbers.
       obs::PmuScope pmu(po.h.turbo_decode.pmu.ptr());
-      res = decoders[bi]->decode(triples[bi], hard[bi], miss_early_stop);
+      res = decoders[bi]->decode(triples[bi], hard[bi], miss_early_stop(bi));
     }
     ob.arrange_seconds = res.arrange_seconds;
     ob.compute_seconds = res.compute_seconds;
@@ -504,7 +570,77 @@ DecodedTb phy_decode(const EncodedTb& enc, const PipelineConfig& cfg,
     }
   };
 
-  if (pool != nullptr && n_blocks > 1) {
+  // Batch path stage A (per block, parallel): de-rate-match, then
+  // de-interleave the triples into per-stream arranged spans. Stage B
+  // (per group, parallel across groups): one batched MAP call decodes
+  // every block in the group; its wall clock is split evenly across the
+  // group's blocks for the stage accounting.
+  const auto arrange_block = [&](std::size_t bi) {
+    const int i = static_cast<int>(bi);
+    const auto tid = ThreadPool::current_worker_id();
+    auto& ob = per_block[bi];
+    dematch_block(bi);
+    b_force[bi] = miss_early_stop(bi) ? 1 : 0;
+    {
+      obs::ScopedSpan span(po.trace, "turbo_arrange", po.tti, i, tid);
+      // Attributed to pmu.stage.turbo_decode exactly like the fused
+      // arrange-and-decode of the per-block path.
+      obs::PmuScope pmu(po.h.turbo_decode.pmu.ptr());
+      Stopwatch sw;
+      arrange::Options opt;
+      opt.method = cfg.arrange_method;
+      opt.isa = cfg.isa;
+      opt.order = arrange::Order::kCanonical;
+      arrange::deinterleave3_i16(triples[bi], arranged[3 * bi],
+                                 arranged[3 * bi + 1], arranged[3 * bi + 2],
+                                 opt);
+      ob.arrange_seconds = sw.seconds();
+    }
+    if (po.h.arrange.ns != nullptr) {
+      po.h.arrange.ns->record(to_ns(ob.arrange_seconds));
+    }
+  };
+
+  const auto decode_group = [&](std::size_t gi) {
+    const auto& g = groups[gi];
+    const auto tid = ThreadPool::current_worker_id();
+    Stopwatch sw;
+    {
+      obs::ScopedSpan span(po.trace, "turbo_batch", po.tti,
+                           static_cast<int>(g.first), tid);
+      obs::PmuScope pmu(po.h.turbo_decode.pmu.ptr());
+      g.dec->decode_arranged(
+          std::span<const phy::TurboBatchInput>(
+              b_inputs.subspan(g.first, g.count)),
+          std::span<const std::span<std::uint8_t>>(
+              hard.subspan(g.first, g.count)),
+          b_results.subspan(g.first, g.count),
+          std::span<const std::uint8_t>(b_force.subspan(g.first, g.count)));
+    }
+    const double share = sw.seconds() / static_cast<double>(g.count);
+    for (std::size_t bi = g.first; bi < g.first + g.count; ++bi) {
+      auto& ob = per_block[bi];
+      ob.compute_seconds = share;
+      ob.crc_ok = b_results[bi].crc_ok;
+      ob.iterations = b_results[bi].iterations;
+      if (po.h.turbo_decode.ns != nullptr) {
+        po.h.turbo_decode.ns->record(to_ns(share));
+      }
+    }
+  };
+
+  if (use_batch) {
+    if (pool != nullptr && n_blocks > 1) {
+      pool->parallel_for(0, n_blocks, arrange_block);
+    } else {
+      for (std::size_t bi = 0; bi < n_blocks; ++bi) arrange_block(bi);
+    }
+    if (pool != nullptr && n_groups > 1) {
+      pool->parallel_for(0, n_groups, decode_group);
+    } else {
+      for (std::size_t gi = 0; gi < n_groups; ++gi) decode_group(gi);
+    }
+  } else if (pool != nullptr && n_blocks > 1) {
     pool->parallel_for(0, n_blocks, decode_block);
   } else {
     for (std::size_t bi = 0; bi < n_blocks; ++bi) decode_block(bi);

@@ -48,6 +48,14 @@ struct PipelineConfig {
   double snr_db = 18.0;
   IsaLevel isa = IsaLevel::kSse41;
   arrange::Method arrange_method = arrange::Method::kApcm;
+  /// Decode same-K code blocks of one transport block batched across
+  /// SIMD lanes — one whole trellis per 8-state lane group (see
+  /// phy/turbo/turbo_batch.h) — instead of window-splitting each block.
+  /// Engages only for multi-block TBs when `isa` is AVX2 or wider;
+  /// narrower tiers and single-block TBs keep the per-block windowed
+  /// decoder. Exact per-lane boundary metrics make the batched wide
+  /// tiers bit-identical to single-block SSE decoding.
+  bool batch_decode = true;
   std::uint16_t rnti = 0x1234;
   int cell_id = 1;
   std::uint32_t teid = 0xAB;

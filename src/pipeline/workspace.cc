@@ -5,7 +5,10 @@
 namespace vran::pipeline {
 
 CodecCache::CodecCache(std::size_t capacity)
-    : encoders_(capacity), matchers_(capacity), decoders_(capacity) {}
+    : encoders_(capacity),
+      matchers_(capacity),
+      decoders_(capacity),
+      batch_decoders_(capacity) {}
 
 phy::TurboEncoder& CodecCache::encoder(int k) {
   return encoders_.get(k,
@@ -32,13 +35,28 @@ phy::TurboDecoder& CodecCache::decoder(int k, const DecoderSpec& spec) {
   });
 }
 
+phy::TurboBatchDecoder& CodecCache::batch_decoder(int k,
+                                                  const DecoderSpec& spec,
+                                                  bool radix4) {
+  const BatchKey key{k, static_cast<int>(spec.isa), spec.max_iterations,
+                     spec.multi, radix4};
+  return batch_decoders_.get(key, [k, &spec, radix4] {
+    phy::TurboBatchConfig bc;
+    bc.max_iterations = spec.max_iterations;
+    bc.crc = spec.multi ? phy::CrcType::k24B : phy::CrcType::k24A;
+    bc.isa = spec.isa;
+    bc.radix4 = radix4;
+    return std::make_unique<phy::TurboBatchDecoder>(k, bc);
+  });
+}
+
 CodecCache::Stats CodecCache::stats() const {
   Stats s;
   s.encoders = encoders_.size();
   s.matchers = matchers_.size();
-  s.decoders = decoders_.size();
-  s.evictions =
-      encoders_.evictions() + matchers_.evictions() + decoders_.evictions();
+  s.decoders = decoders_.size() + batch_decoders_.size();
+  s.evictions = encoders_.evictions() + matchers_.evictions() +
+                decoders_.evictions() + batch_decoders_.evictions();
   return s;
 }
 

@@ -41,6 +41,7 @@
 #include "common/arena.h"
 #include "common/cpu_features.h"
 #include "phy/ratematch/rate_match.h"
+#include "phy/turbo/turbo_batch.h"
 #include "phy/turbo/turbo_decoder.h"
 #include "phy/turbo/turbo_encoder.h"
 
@@ -107,6 +108,14 @@ class CodecCache {
   phy::TurboEncoder& encoder(int k);
   phy::RateMatcher& matcher(int k);
   phy::TurboDecoder& decoder(int k, const DecoderSpec& spec);
+  /// Batched-lane decoder (one code block per SIMD lane group); keyed
+  /// without the arrangement method — batched decode consumes already-
+  /// arranged streams, so the arrangement mechanism never touches it.
+  /// `radix4` selects the fused two-step trellis kernel: it pays on
+  /// multi-lane-group tiers (halved alpha spill traffic) but costs a few
+  /// percent at one lane group, so the caller picks it per group size.
+  phy::TurboBatchDecoder& batch_decoder(int k, const DecoderSpec& spec,
+                                        bool radix4);
 
   struct Stats {
     std::size_t encoders = 0;
@@ -118,9 +127,12 @@ class CodecCache {
 
  private:
   using DecoderKey = std::tuple<int, int, int, int, bool>;
+  /// k, isa, iters, multi, radix4
+  using BatchKey = std::tuple<int, int, int, bool, bool>;
   LruCodecMap<int, phy::TurboEncoder> encoders_;
   LruCodecMap<int, phy::RateMatcher> matchers_;
   LruCodecMap<DecoderKey, phy::TurboDecoder> decoders_;
+  LruCodecMap<BatchKey, phy::TurboBatchDecoder> batch_decoders_;
 };
 
 /// Everything one pipeline's hot path owns: the per-TTI arena and the

@@ -284,6 +284,32 @@ Trace trace_turbo_decode(IsaLevel isa, int k, int iterations,
   return t;
 }
 
+Trace trace_turbo_decode_batch(IsaLevel isa, int k, int iterations) {
+  // One code block per 8-state lane group: the gamma/alpha/beta/ext
+  // recursions execute the full K trellis steps regardless of register
+  // width (each sub-trace emits k'/nw steps, so feed k*nw to pin the
+  // step count at k), and the batch amortizes that cost over nw blocks.
+  // No arrangement twin here — the batched decoder consumes pre-arranged
+  // streams; its transpose is folded into the gamma-phase loads.
+  const int nw = lanes_of(isa) / 8;
+  Trace t;
+  t.register_bits = register_bits(isa);
+  for (int it = 0; it < iterations; ++it) {
+    for (int half = 0; half < 2; ++half) {
+      append(t, trace_turbo_gamma(isa, k * nw));
+      append(t, trace_turbo_alpha_beta(isa, k * nw));
+      append(t, trace_turbo_ext(isa, k * nw));
+    }
+  }
+  // Working set: the alpha spill keeps one full-width register per
+  // trellis step, plus nw blocks' LLR/extrinsic streams.
+  t.working_set_bytes = static_cast<std::size_t>(k) *
+                            static_cast<std::size_t>(reg_bytes(isa)) +
+                        static_cast<std::size_t>(nw) *
+                            static_cast<std::size_t>(k) * 2 * 6;
+  return t;
+}
+
 Trace trace_turbo_encode(int k) {
   Trace t;
   t.register_bits = 64;

@@ -43,6 +43,11 @@ Trace trace_turbo_ext(IsaLevel isa, int k);
 /// Full decode: arrangement + `iterations` x 2 constituent passes.
 Trace trace_turbo_decode(IsaLevel isa, int k, int iterations,
                          arrange::Method method);
+/// Batched-lane decode: one whole code block per 8-state lane group, so
+/// every recursion runs the full K steps at any width while decoding
+/// lane_groups(isa) blocks at once. Cost is for the whole batch; divide
+/// by lanes_of(isa)/8 for the per-block prediction.
+Trace trace_turbo_decode_batch(IsaLevel isa, int k, int iterations);
 /// Bit-level turbo encoding (scalar shift/xor stream).
 Trace trace_turbo_encode(int k);
 

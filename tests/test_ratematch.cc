@@ -197,5 +197,69 @@ TEST(RateMatch, InputValidation) {
   EXPECT_THROW(rm.dematch_accumulate(llr, 0, w), std::invalid_argument);
 }
 
+TEST(RateMatch, WrapLoopBoundRejectsAbsurdE) {
+  // Regression: match()/dematch_accumulate() previously ran an unbounded
+  // wrap loop over the circular buffer — an absurd E (corrupted DCI,
+  // fuzzers) spun essentially forever. Both paths now refuse E beyond
+  // kMaxRepetition circles, and succeed right at the cap.
+  const int k = 40;
+  const RateMatcher rm(k);
+  const int usable = rm.usable_size();
+  const auto cw = turbo_encode(random_bits(static_cast<std::size_t>(k), 3));
+
+  const int at_cap = RateMatcher::kMaxRepetition * usable;
+  EXPECT_EQ(rm.match(cw, at_cap, 0).size(),
+            static_cast<std::size_t>(at_cap));
+  EXPECT_THROW(rm.match(cw, at_cap + 1, 0), std::invalid_argument);
+
+  AlignedVector<std::int16_t> w(static_cast<std::size_t>(rm.buffer_size()),
+                                0);
+  AlignedVector<std::int16_t> ok(static_cast<std::size_t>(at_cap),
+                                 std::int16_t{1});
+  rm.dematch_accumulate(ok, 0, w);  // at the cap: must complete
+  AlignedVector<std::int16_t> over(static_cast<std::size_t>(at_cap) + 1,
+                                   std::int16_t{1});
+  EXPECT_THROW(rm.dematch_accumulate(over, 0, w), std::invalid_argument);
+}
+
+TEST(RateMatch, ManyCircleRepetitionCombinesEvenly) {
+  // Property: when E is many times the circular-buffer usable size, every
+  // usable position is emitted either floor(E/usable) or floor+1 times,
+  // and soft-combining the repeated LLRs accumulates exactly that
+  // multiple per position — for every redundancy version.
+  const int k = 40;
+  const RateMatcher rm(k);
+  const int usable = rm.usable_size();
+  const auto bits = random_bits(static_cast<std::size_t>(k), 17);
+  const auto cw = turbo_encode(bits);
+  const std::uint8_t* streams[3] = {cw.d0.data(), cw.d1.data(), cw.d2.data()};
+
+  for (int rv = 0; rv < 4; ++rv) {
+    const int e = 10 * usable + 17;  // E >> ncb, not circle-aligned
+    const auto tx = rm.match(cw, e, rv);
+    ASSERT_EQ(tx.size(), static_cast<std::size_t>(e));
+
+    constexpr std::int16_t amp = 3;
+    AlignedVector<std::int16_t> llr(tx.size());
+    for (std::size_t i = 0; i < tx.size(); ++i) {
+      llr[i] = tx[i] ? amp : static_cast<std::int16_t>(-amp);
+    }
+    const auto triples = rm.dematch(llr, rv);
+
+    const int lo = e / usable;
+    int extras = 0;
+    for (std::size_t i = 0; i < triples.size(); ++i) {
+      const bool bit = streams[i % 3][i / 3] == 1;
+      const int reps = (bit ? triples[i] : -triples[i]) / amp;
+      ASSERT_EQ(reps * amp, bit ? triples[i] : -triples[i])
+          << "rv=" << rv << " i=" << i;
+      ASSERT_TRUE(reps == lo || reps == lo + 1)
+          << "rv=" << rv << " i=" << i << " reps=" << reps;
+      extras += (reps == lo + 1);
+    }
+    EXPECT_EQ(extras, e % usable) << "rv=" << rv;
+  }
+}
+
 }  // namespace
 }  // namespace vran::phy

@@ -7,6 +7,7 @@
 #include "common/rng.h"
 #include "phy/ratematch/rate_match.h"
 #include "phy/turbo/qpp_interleaver.h"
+#include "phy/turbo/turbo_batch.h"
 #include "phy/turbo/turbo_decoder.h"
 #include "phy/turbo/turbo_encoder.h"
 
@@ -72,6 +73,80 @@ TEST(AllSizes, NoiselessDecodeRoundTripWidest) {
     std::vector<std::uint8_t> out(static_cast<std::size_t>(k));
     dec.decode(llr, out);
     ASSERT_EQ(out, bits) << "K=" << k << " isa=" << isa_name(isa);
+  }
+}
+
+TEST(AllSizes, BatchedMatchesSingleEverySize) {
+  // Every legal K through the batched-lane decoder, with the batch size
+  // cycling 1..capacity so both full and ragged final batches occur.
+  // Inputs are noisy enough that iteration counts vary per block; the
+  // batched output must be bit-identical to the single-CB SSE decoder
+  // (which itself is bit-exact against the scalar reference).
+  const IsaLevel isa = best_isa();
+  const int cap = TurboBatchDecoder::lane_capacity(isa);
+
+  TurboDecodeConfig scfg;
+  scfg.isa = IsaLevel::kSse41;
+  scfg.max_iterations = 2;
+
+  TurboBatchConfig bcfg;
+  bcfg.isa = isa;
+  bcfg.max_iterations = 2;
+
+  int size_index = 0;
+  for (const int k : qpp_block_sizes()) {
+    const int nb = (size_index++ % cap) + 1;
+    const std::size_t nt = static_cast<std::size_t>(k) + kTurboTail;
+
+    std::vector<AlignedVector<std::int16_t>> streams;
+    std::vector<TurboBatchInput> inputs;
+    std::vector<std::vector<std::uint8_t>> outs(static_cast<std::size_t>(nb));
+    std::vector<std::span<std::uint8_t>> out_spans;
+    for (int b = 0; b < nb; ++b) {
+      const auto bits = random_bits(
+          static_cast<std::size_t>(k),
+          3000 + static_cast<std::uint64_t>(k) + static_cast<std::uint64_t>(b));
+      const auto cw = turbo_encode(bits);
+      Xoshiro256 noise(7000 + static_cast<std::uint64_t>(k) * 7 +
+                       static_cast<std::uint64_t>(b));
+      AlignedVector<std::int16_t> sys(nt), p1(nt), p2(nt);
+      const auto jitter = [&]() {
+        return static_cast<std::int16_t>(static_cast<int>(noise.next() % 19) -
+                                         9);
+      };
+      for (std::size_t t = 0; t < nt; ++t) {
+        sys[t] = static_cast<std::int16_t>((cw.d0[t] ? 6 : -6) + jitter());
+        p1[t] = static_cast<std::int16_t>((cw.d1[t] ? 6 : -6) + jitter());
+        p2[t] = static_cast<std::int16_t>((cw.d2[t] ? 6 : -6) + jitter());
+      }
+      streams.push_back(std::move(sys));
+      streams.push_back(std::move(p1));
+      streams.push_back(std::move(p2));
+      outs[static_cast<std::size_t>(b)].resize(static_cast<std::size_t>(k));
+    }
+    for (int b = 0; b < nb; ++b) {
+      inputs.push_back({streams[static_cast<std::size_t>(3 * b)],
+                        streams[static_cast<std::size_t>(3 * b + 1)],
+                        streams[static_cast<std::size_t>(3 * b + 2)]});
+      out_spans.emplace_back(outs[static_cast<std::size_t>(b)]);
+    }
+
+    TurboBatchDecoder bdec(k, bcfg);
+    std::vector<TurboBatchResult> results(static_cast<std::size_t>(nb));
+    bdec.decode_arranged(inputs, out_spans, results);
+
+    TurboDecoder sdec(k, scfg);
+    for (int b = 0; b < nb; ++b) {
+      std::vector<std::uint8_t> ref(static_cast<std::size_t>(k));
+      const auto rr =
+          sdec.decode_arranged(inputs[static_cast<std::size_t>(b)].sys,
+                               inputs[static_cast<std::size_t>(b)].p1,
+                               inputs[static_cast<std::size_t>(b)].p2, ref);
+      ASSERT_EQ(outs[static_cast<std::size_t>(b)], ref)
+          << "K=" << k << " nb=" << nb << " block " << b;
+      ASSERT_EQ(results[static_cast<std::size_t>(b)].iterations, rr.iterations)
+          << "K=" << k << " nb=" << nb << " block " << b;
+    }
   }
 }
 

@@ -16,6 +16,12 @@
 // that preserve the mismatch) and writes a reproducer dump (seed +
 // config JSON) that `--replay <file>` re-executes exactly.
 //
+// Each case randomizes batched-lane turbo decoding on/off alongside the
+// other knobs; `--batched` forces it ON for every case so a run's whole
+// budget differentially tests the batch kernels (batched wide tiers are
+// bit-exact with scalar by construction — any disagreement is a real
+// batch bug, not the windowed boundary-metric caveat).
+//
 // Determinism: all randomness derives from VRAN_SEED streams (rng.h), so
 // CI runs are reproducible; `--seed` overrides for ad-hoc exploration.
 // `--break-tier <isa>` simulates a broken kernel by flipping one egress
@@ -57,6 +63,11 @@ struct FuzzCase {
   bool with_channel = true;
   int harq_max_tx = 1;
   arrange::Method arrange_method = arrange::Method::kApcm;
+  /// Batched-lane turbo decoding (one code block per SIMD lane group).
+  /// Batched tiers are bit-exact with the scalar reference by
+  /// construction, so any disagreement is a real kernel bug — unlike the
+  /// windowed wide tiers, whose boundary metrics are approximate.
+  bool batch_decode = true;
   int num_workers = 1;
   std::uint64_t noise_seed = 99;
   std::uint16_t rnti = 0x1234;
@@ -87,6 +98,7 @@ TierResult run_tier(const FuzzCase& c, IsaLevel isa,
   cfg.snr_db = c.snr_db;
   cfg.isa = isa;
   cfg.arrange_method = c.arrange_method;
+  cfg.batch_decode = c.batch_decode;
   cfg.rnti = c.rnti;
   cfg.cell_id = c.cell_id;
   cfg.teid = c.teid;
@@ -155,6 +167,13 @@ FuzzCase minimize(FuzzCase c, const std::string& break_tier) {
     cand.num_workers = 1;
     if (still_fails(cand)) c = cand;
   }
+  if (c.batch_decode) {
+    // If the mismatch survives without batching, the batched path is
+    // exonerated and the reproducer points at the windowed kernels.
+    FuzzCase cand = c;
+    cand.batch_decode = false;
+    if (still_fails(cand)) c = cand;
+  }
   while (c.packet_bytes > 40) {
     FuzzCase cand = c;
     cand.packet_bytes = c.packet_bytes / 2;
@@ -183,6 +202,8 @@ std::string to_json(const FuzzCase& c, std::uint64_t base_seed,
   os << "  \"arrange_method\": \""
      << (c.arrange_method == arrange::Method::kApcm ? "apcm" : "extract")
      << "\",\n";
+  os << "  \"batch_decode\": " << (c.batch_decode ? "true" : "false")
+     << ",\n";
   os << "  \"num_workers\": " << c.num_workers << ",\n";
   os << "  \"noise_seed\": " << c.noise_seed << ",\n";
   os << "  \"rnti\": " << c.rnti << ",\n";
@@ -249,6 +270,11 @@ std::optional<FuzzCase> parse_dump(const std::string& text,
   c.rnti = static_cast<std::uint16_t>(std::stoul(*rnti));
   c.cell_id = std::stoi(*cell);
   c.teid = static_cast<std::uint32_t>(std::stoul(*teid));
+  // Absent in dumps from before the batched-lane decoder existed;
+  // default matches PipelineConfig.
+  if (const auto bd = json_field(text, "batch_decode")) {
+    c.batch_decode = *bd == "true";
+  }
   if (const auto bt = json_field(text, "break_tier")) break_tier = *bt;
   return c;
 }
@@ -280,6 +306,7 @@ FuzzCase random_case(Xoshiro256& rng) {
   c.harq_max_tx = 1 + static_cast<int>(rng.bounded(3));
   c.arrange_method =
       rng.coin() ? arrange::Method::kApcm : arrange::Method::kExtract;
+  c.batch_decode = rng.coin();  // cover the windowed path too
   c.num_workers = rng.coin() ? 2 : 1;
   c.noise_seed = rng.next();
   c.rnti = static_cast<std::uint16_t>(1 + rng.bounded(0xFFFE));
@@ -293,7 +320,11 @@ int usage() {
       stderr,
       "usage: fuzz_differential [--iters N] [--seed S] [--dump-dir DIR]\n"
       "                         [--break-tier ISA] [--expect-mismatch]\n"
-      "                         [--replay FILE] [--selftest] [--quiet]\n");
+      "                         [--replay FILE] [--selftest] [--quiet]\n"
+      "                         [--batched]\n"
+      "  --batched: force batched-lane decoding on for every generated\n"
+      "  case (instead of randomizing it), so every wide tier exercises\n"
+      "  the batch kernels against the scalar reference.\n");
   return 2;
 }
 
@@ -308,6 +339,7 @@ int main(int argc, char** argv) {
   bool expect_mismatch = false;
   bool selftest = false;
   bool quiet = false;
+  bool batched = false;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -334,6 +366,8 @@ int main(int argc, char** argv) {
       const char* v = value();
       if (v == nullptr) return usage();
       replay_file = v;
+    } else if (arg == "--batched") {
+      batched = true;
     } else if (arg == "--expect-mismatch") {
       expect_mismatch = true;
     } else if (arg == "--selftest") {
@@ -396,7 +430,8 @@ int main(int argc, char** argv) {
   for (std::uint64_t it = 0; it < iters; ++it) {
     Xoshiro256 rng(splitmix64(base_seed ^ splitmix64(it)));
     (void)seq;
-    const auto c = random_case(rng);
+    auto c = random_case(rng);
+    if (batched) c.batch_decode = true;
     const auto bad = mismatching_tiers(c, break_tier);
     if (bad.empty()) continue;
     ++mismatches;

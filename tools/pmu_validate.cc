@@ -82,6 +82,18 @@ int main(int argc, char** argv) {
                                      arrange::Method::kExtract),
                   bench::hw::wl_turbo_decode(IsaLevel::kSse41, k, 4,
                                              arrange::Method::kExtract)});
+  // Batched-lane decoder: one code block per 8-state lane group, full
+  // batch, 4 forced iterations — the port model predicts the IPC gain
+  // from filling the wide tiers' lanes with whole trellises; the
+  // measured row checks that prediction on this host.
+  for (const IsaLevel isa :
+       {IsaLevel::kSse41, IsaLevel::kAvx2, IsaLevel::kAvx512}) {
+    if (isa > best_isa()) continue;
+    rows.push_back({"turbo_decode_batch", isa,
+                    trace_turbo_decode_batch(isa, k, 4),
+                    bench::hw::wl_turbo_decode_batch(isa, k, 4,
+                                                     /*radix4=*/false)});
+  }
   rows.push_back({"turbo_encode", IsaLevel::kSse41, trace_turbo_encode(k),
                   bench::hw::wl_turbo_encode(k)});
   rows.push_back({"ofdm_rx", IsaLevel::kSse41, trace_ofdm(512, 4),
