@@ -45,7 +45,7 @@ int main() {
     double ipc;
   };
   const ModuleIpc ipcs[] = {
-      {"OFDM (rx)", ipc_of(sim::trace_ofdm(512, 4))},
+      {"OFDM (rx)", ipc_of(sim::trace_ofdm(IsaLevel::kSse41, 512, 4))},
       {"Descrambling", ipc_of(sim::trace_scramble(20000))},
       {"Rate dematch", ipc_of(sim::trace_rate_match(20000))},
       {"Data arrangement",
@@ -73,6 +73,18 @@ int main() {
     }
   }
   bench::print_rule();
+  // OFDM SIMD tiers: port-model IPC for the vectorized FFT at each
+  // width next to the scalar baseline (PR 7 kernels).
+  std::printf("\nOFDM (rx) port-model IPC by tier:\n");
+  std::printf("  %-8s %8s\n", "tier", "IPC");
+  std::printf("  %-8s %8.2f\n", "scalar",
+              ipc_of(sim::trace_ofdm(IsaLevel::kScalar, 512, 4)));
+  std::printf("  %-8s %8.2f\n", "sse128",
+              ipc_of(sim::trace_ofdm(IsaLevel::kSse41, 512, 4)));
+  std::printf("  %-8s %8.2f\n", "avx256",
+              ipc_of(sim::trace_ofdm(IsaLevel::kAvx2, 512, 4)));
+  std::printf("  %-8s %8.2f\n", "avx512",
+              ipc_of(sim::trace_ofdm(IsaLevel::kAvx512, 512, 4)));
   std::printf("paper shape: turbo decoding dominates CPU time (>50%% of the\n"
               "PHY), IPC ~2.1; DCI/rate-match/scrambling IPC near 4; OFDM ~3.8\n");
   return 0;

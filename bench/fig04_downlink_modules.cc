@@ -37,7 +37,7 @@ int main() {
     double ipc;
   };
   const ModuleIpc ipcs[] = {
-      {"OFDM (tx)", ipc_of(sim::trace_ofdm(512, 4))},
+      {"OFDM (tx)", ipc_of(sim::trace_ofdm(IsaLevel::kSse41, 512, 4))},
       {"Scrambling", ipc_of(sim::trace_scramble(20000))},
       {"Rate matching", ipc_of(sim::trace_rate_match(20000))},
       {"Turbo encoding", ipc_of(sim::trace_turbo_encode(6144))},
@@ -63,6 +63,18 @@ int main() {
     }
   }
   bench::print_rule();
+  // OFDM SIMD tiers: port-model IPC for the vectorized FFT at each
+  // width next to the scalar baseline (PR 7 kernels).
+  std::printf("\nOFDM (tx) port-model IPC by tier:\n");
+  std::printf("  %-8s %8s\n", "tier", "IPC");
+  std::printf("  %-8s %8.2f\n", "scalar",
+              ipc_of(sim::trace_ofdm(IsaLevel::kScalar, 512, 4)));
+  std::printf("  %-8s %8.2f\n", "sse128",
+              ipc_of(sim::trace_ofdm(IsaLevel::kSse41, 512, 4)));
+  std::printf("  %-8s %8.2f\n", "avx256",
+              ipc_of(sim::trace_ofdm(IsaLevel::kAvx2, 512, 4)));
+  std::printf("  %-8s %8.2f\n", "avx512",
+              ipc_of(sim::trace_ofdm(IsaLevel::kAvx512, 512, 4)));
   std::printf("paper shape: same module mix as uplink; UE-side turbo decode\n"
               "dominates, control modules (DCI/scrambling) near-ideal IPC\n");
   return 0;

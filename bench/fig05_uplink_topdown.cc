@@ -37,7 +37,8 @@ int main(int argc, char** argv) {
     bench::hw::Workload workload;  // null = no hardware counterpart
   };
   const Row rows[] = {
-      {"OFDM (rx)", trace_ofdm(512, 4), bench::hw::wl_ofdm_rx(512, 4)},
+      {"OFDM (rx)", trace_ofdm(IsaLevel::kSse41, 512, 4),
+       bench::hw::wl_ofdm_rx(IsaLevel::kSse41, 512, 4)},
       {"Descrambling", trace_scramble(20000), bench::hw::wl_descramble(20000)},
       {"Rate dematch", trace_rate_match(20000),
        bench::hw::wl_rate_dematch(k, 20000)},

@@ -36,7 +36,8 @@ int main(int argc, char** argv) {
       {"Rate matching", trace_rate_match(20000),
        bench::hw::wl_rate_match(k, 20000)},
       {"Scrambling", trace_scramble(20000), bench::hw::wl_scramble(20000)},
-      {"OFDM (tx)", trace_ofdm(512, 4), bench::hw::wl_ofdm_tx(512, 4)},
+      {"OFDM (tx)", trace_ofdm(IsaLevel::kSse41, 512, 4),
+       bench::hw::wl_ofdm_tx(IsaLevel::kSse41, 512, 4)},
       {"Turbo decoding (UE)",
        trace_turbo_decode(IsaLevel::kSse41, k, 4, arrange::Method::kExtract),
        bench::hw::wl_turbo_decode(IsaLevel::kSse41, k, 4,

@@ -12,6 +12,7 @@
 #include "common/aligned.h"
 #include "common/rng.h"
 #include "common/timer.h"
+#include "phy/ofdm/ofdm.h"
 #include "phy/turbo/turbo_batch.h"
 #include "phy/turbo/turbo_decoder.h"
 #include "phy/turbo/turbo_encoder.h"
@@ -161,5 +162,49 @@ int main() {
       "per-lane trellis boundaries, so wide tiers stay bit-identical to\n"
       "single-block SSE decoding while amortizing one kernel pass over B\n"
       "blocks.\n");
+
+  // OFDM tx/rx vs register width: the float FFT + Q12 convert kernels
+  // (PR 7), measured on the default 512-point / 300-subcarrier LTE
+  // geometry. Output is byte-identical at every tier (exactness
+  // contract, fft.h), so this is a pure speed comparison.
+  std::printf(
+      "\nOFDM modulate/demodulate vs register width (measured, 512-pt, "
+      "4 symbols)\n");
+  std::printf("%-10s %12s %12s\n", "isa", "tx_us", "rx_us");
+  bench::print_rule();
+  {
+    const OfdmConfig ocfg;
+    const int symbols = 4;
+    const std::size_t n_res =
+        static_cast<std::size_t>(ocfg.used_subcarriers) *
+        static_cast<std::size_t>(symbols);
+    std::vector<IqSample> res(n_res);
+    Xoshiro256 rng(23);
+    for (auto& re : res) {
+      re.i = static_cast<std::int16_t>(rng.bounded(2048));
+      re.q = static_cast<std::int16_t>(rng.bounded(2048));
+    }
+    for (auto isa : {IsaLevel::kScalar, IsaLevel::kSse41, IsaLevel::kAvx2,
+                     IsaLevel::kAvx512}) {
+      if (isa > best_isa()) {
+        std::printf("%-10s (unavailable on this CPU)\n", isa_name(isa));
+        continue;
+      }
+      const OfdmModulator ofdm(ocfg, isa);
+      const auto time = ofdm.modulate(res);
+      std::vector<IqSample> back(n_res);
+      std::vector<Cf> scratch(static_cast<std::size_t>(ocfg.nfft));
+      const int reps = 200;
+      Stopwatch tx_sw;
+      for (int r = 0; r < reps; ++r) ofdm.modulate(res);
+      const double tx_s = tx_sw.seconds() / reps;
+      Stopwatch rx_sw;
+      for (int r = 0; r < reps; ++r) ofdm.demodulate_into(time, back, scratch);
+      const double rx_s = rx_sw.seconds() / reps;
+      std::printf("%-10s %12.2f %12.2f\n", isa_name(isa), tx_s * 1e6,
+                  rx_s * 1e6);
+    }
+  }
+  bench::print_rule();
   return 0;
 }

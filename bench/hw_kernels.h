@@ -169,14 +169,15 @@ inline Workload wl_turbo_encode(int k) {
   return [=] { enc->encode(*bits); };
 }
 
-/// OFDM receive: demodulate `symbols` symbols of an nfft-point grid.
-inline Workload wl_ofdm_rx(int nfft, int symbols) {
+/// OFDM receive: demodulate `symbols` symbols of an nfft-point grid at
+/// the given kernel tier.
+inline Workload wl_ofdm_rx(IsaLevel isa, int nfft, int symbols) {
   phy::OfdmConfig cfg;
   cfg.nfft = nfft;
   const std::size_t n_res =
       static_cast<std::size_t>(cfg.used_subcarriers) *
       static_cast<std::size_t>(symbols);
-  auto ofdm = std::make_shared<phy::OfdmModulator>(cfg);
+  auto ofdm = std::make_shared<phy::OfdmModulator>(cfg, isa);
   std::vector<phy::IqSample> res(n_res);
   std::mt19937 rng(0x0FD0u);
   for (auto& re : res) {
@@ -187,14 +188,14 @@ inline Workload wl_ofdm_rx(int nfft, int symbols) {
   return [=] { ofdm->demodulate(*time, n_res); };
 }
 
-/// OFDM transmit: modulate the same grid.
-inline Workload wl_ofdm_tx(int nfft, int symbols) {
+/// OFDM transmit: modulate the same grid at the given kernel tier.
+inline Workload wl_ofdm_tx(IsaLevel isa, int nfft, int symbols) {
   phy::OfdmConfig cfg;
   cfg.nfft = nfft;
   const std::size_t n_res =
       static_cast<std::size_t>(cfg.used_subcarriers) *
       static_cast<std::size_t>(symbols);
-  auto ofdm = std::make_shared<phy::OfdmModulator>(cfg);
+  auto ofdm = std::make_shared<phy::OfdmModulator>(cfg, isa);
   auto res = std::make_shared<std::vector<phy::IqSample>>(n_res);
   std::mt19937 rng(0x0FD1u);
   for (auto& re : *res) {

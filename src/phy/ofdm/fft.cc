@@ -2,10 +2,56 @@
 
 #include <cmath>
 #include <map>
+#include <memory>
+#include <mutex>
 #include <numbers>
 #include <stdexcept>
 
+#include "phy/ofdm/ofdm_simd.h"
+
 namespace vran::phy {
+
+namespace {
+
+/// Scalar reference butterfly pass — the arithmetic schedule every SIMD
+/// tier reproduces bit-for-bit (see fft.h). Explicit float butterfly:
+/// std::complex operator* carries NaN/Inf fix-up branches that triple
+/// the cost of the hot loop, and its operation order is unspecified —
+/// spelling the mul/add sequence out is what pins the contract.
+void fft_pass_scalar(Cf* data, std::size_t n, const Cf* stage_tw,
+                     bool inverse) {
+  for (std::size_t half = 1; half < n; half <<= 1) {
+    const std::size_t len = half << 1;
+    const Cf* tw = stage_tw + (half - 1);
+    for (std::size_t start = 0; start < n; start += len) {
+      for (std::size_t k = 0; k < half; ++k) {
+        const Cf w = tw[k];
+        const float wr = w.real();
+        const float wi = inverse ? -w.imag() : w.imag();
+        const Cf x = data[start + k + half];
+        const float vr = x.real() * wr - x.imag() * wi;
+        const float vi = x.real() * wi + x.imag() * wr;
+        const Cf u = data[start + k];
+        data[start + k] = Cf(u.real() + vr, u.imag() + vi);
+        data[start + k + half] = Cf(u.real() - vr, u.imag() - vi);
+      }
+    }
+  }
+}
+
+/// Minimum transform size each tier's kernel supports (one full vector
+/// of complexes); below it the dispatcher falls back a tier.
+std::size_t min_complexes(IsaLevel isa) {
+  switch (isa) {
+    case IsaLevel::kAvx512: return simd::kAvx512ComplexLanes;
+    case IsaLevel::kAvx2: return simd::kAvx2ComplexLanes;
+    case IsaLevel::kSse41: return simd::kSseComplexLanes;
+    case IsaLevel::kScalar: return 1;
+  }
+  return 1;
+}
+
+}  // namespace
 
 FftPlan::FftPlan(std::size_t n) : n_(n) {
   if (n == 0 || (n & (n - 1)) != 0) {
@@ -21,54 +67,98 @@ FftPlan::FftPlan(std::size_t n) : n_(n) {
     }
     bitrev_[i] = r;
   }
-  twiddle_.resize(n / 2);
-  for (std::size_t k = 0; k < n / 2; ++k) {
-    const double ang = -2.0 * std::numbers::pi * double(k) / double(n);
-    twiddle_[k] = Cf(static_cast<float>(std::cos(ang)),
-                     static_cast<float>(std::sin(ang)));
+  // Per-stage contiguous twiddles: stage half h at offset h - 1, entry k
+  // is e^(-2*pi*i * k * step / n) with step = n / (2h) — the same double
+  // -> float values the radix-2 loop has always used, now laid out so
+  // every tier streams them with unit stride.
+  stage_tw_.resize(n > 1 ? n - 1 : 0);
+  for (std::size_t half = 1; half < n; half <<= 1) {
+    const std::size_t step = n / (half << 1);
+    for (std::size_t k = 0; k < half; ++k) {
+      const double ang =
+          -2.0 * std::numbers::pi * double(k * step) / double(n);
+      stage_tw_[half - 1 + k] = Cf(static_cast<float>(std::cos(ang)),
+                                   static_cast<float>(std::sin(ang)));
+    }
   }
 }
 
-void FftPlan::transform(std::span<Cf> data, bool inverse) const {
+void FftPlan::transform(std::span<Cf> data, bool inverse,
+                        IsaLevel isa) const {
   if (data.size() != n_) throw std::invalid_argument("FFT size mismatch");
   for (std::size_t i = 0; i < n_; ++i) {
     const std::size_t j = bitrev_[i];
     if (i < j) std::swap(data[i], data[j]);
   }
-  for (std::size_t len = 2; len <= n_; len <<= 1) {
-    const std::size_t half = len >> 1;
-    const std::size_t step = n_ / len;
-    for (std::size_t start = 0; start < n_; start += len) {
-      for (std::size_t k = 0; k < half; ++k) {
-        // Explicit float butterfly: std::complex operator* carries
-        // NaN/Inf fix-up branches that triple the cost of the hot loop.
-        const Cf w = twiddle_[k * step];
-        const float wr = w.real();
-        const float wi = inverse ? -w.imag() : w.imag();
-        const Cf x = data[start + k + half];
-        const float vr = x.real() * wr - x.imag() * wi;
-        const float vi = x.real() * wi + x.imag() * wr;
-        const Cf u = data[start + k];
-        data[start + k] = Cf(u.real() + vr, u.imag() + vi);
-        data[start + k + half] = Cf(u.real() - vr, u.imag() - vi);
-      }
-    }
+  // Clamp to what the CPU can execute (never SIGILL on a forced tier)
+  // and to the kernels' minimum vector count for tiny transforms.
+  IsaLevel tier = std::min(isa, cpu_features().best());
+  while (tier > IsaLevel::kScalar && n_ < min_complexes(tier)) {
+    tier = static_cast<IsaLevel>(static_cast<int>(tier) - 1);
+  }
+  Cf* d = data.data();
+  const Cf* tw = stage_tw_.data();
+  switch (tier) {
+    case IsaLevel::kAvx512:
+      simd::fft_pass_avx512(d, n_, tw, inverse);
+      break;
+    case IsaLevel::kAvx2:
+      simd::fft_pass_avx2(d, n_, tw, inverse);
+      break;
+    case IsaLevel::kSse41:
+      simd::fft_pass_sse(d, n_, tw, inverse);
+      break;
+    case IsaLevel::kScalar:
+      fft_pass_scalar(d, n_, tw, inverse);
+      break;
   }
   if (inverse) {
     const float inv = 1.0f / static_cast<float>(n_);
-    for (auto& x : data) x *= inv;
+    switch (tier) {
+      case IsaLevel::kAvx512:
+        simd::scale_avx512(d, n_, inv);
+        break;
+      case IsaLevel::kAvx2:
+        simd::scale_avx2(d, n_, inv);
+        break;
+      case IsaLevel::kSse41:
+        simd::scale_sse(d, n_, inv);
+        break;
+      case IsaLevel::kScalar:
+        for (std::size_t i = 0; i < n_; ++i) {
+          d[i] = Cf(d[i].real() * inv, d[i].imag() * inv);
+        }
+        break;
+    }
   }
 }
 
-void FftPlan::forward(std::span<Cf> data) const { transform(data, false); }
-void FftPlan::inverse(std::span<Cf> data) const { transform(data, true); }
+void FftPlan::forward(std::span<Cf> data) const {
+  transform(data, false, best_isa());
+}
+void FftPlan::inverse(std::span<Cf> data) const {
+  transform(data, true, best_isa());
+}
+void FftPlan::forward(std::span<Cf> data, IsaLevel isa) const {
+  transform(data, false, isa);
+}
+void FftPlan::inverse(std::span<Cf> data, IsaLevel isa) const {
+  transform(data, true, isa);
+}
 
 namespace {
+/// Process-wide plan cache: plans are immutable and never evicted, so a
+/// reference handed out under the lock stays valid for the process
+/// lifetime (map nodes are stable). Shared across threads — the old
+/// thread_local cache rebuilt every plan once per thread and its
+/// "thread-safe" story relied on that duplication.
 const FftPlan& cached_plan(std::size_t n) {
-  static thread_local std::map<std::size_t, FftPlan> plans;
-  auto it = plans.find(n);
-  if (it == plans.end()) it = plans.emplace(n, FftPlan(n)).first;
-  return it->second;
+  static std::mutex mu;
+  static std::map<std::size_t, std::unique_ptr<FftPlan>> plans;
+  const std::lock_guard<std::mutex> lock(mu);
+  auto& slot = plans[n];
+  if (!slot) slot = std::make_unique<FftPlan>(n);
+  return *slot;
 }
 }  // namespace
 

@@ -1,9 +1,18 @@
-// Iterative radix-2 complex FFT used by the OFDM modulator/demodulator.
+// Iterative radix-2 complex FFT used by the OFDM modulator/demodulator,
+// with SSE / AVX2 / AVX-512 butterfly kernels behind runtime ISA
+// dispatch.
 //
-// Deliberately scalar floating point: the paper observes that OAI's OFDM
-// ("do_ofdm") runs scalar code with near-ideal IPC (~3.8) and negligible
-// backend bound (§4.2) — this module reproduces that instruction-mix
-// profile rather than racing for throughput.
+// Exactness contract (see TESTING.md "Float-kernel exactness"): every
+// tier executes the SAME arithmetic schedule — the identical radix-2
+// stage decomposition, the identical per-stage twiddle values (one
+// table, precomputed once per plan, shared by all tiers), complex
+// multiplies as two mul + one add/sub per component in a fixed order,
+// and no FMA contraction anywhere (the SIMD translation units compile
+// with -ffp-contract=off). SIMD lanes only carry *independent*
+// butterflies, so each output element's rounding history is identical
+// at every tier: the tiers are float-bit-identical to the scalar path,
+// not merely close. That is what lets the OFDM harness assert
+// byte-identical Q12 output across tiers instead of a tolerance.
 #pragma once
 
 #include <complex>
@@ -11,35 +20,56 @@
 #include <span>
 #include <vector>
 
+#include "common/aligned.h"
+#include "common/cpu_features.h"
+
 namespace vran::phy {
 
 using Cf = std::complex<float>;
 
-/// Precomputed twiddle/bit-reversal plan for one power-of-two size.
+/// Precomputed bit-reversal + per-stage twiddle plan for one power-of-two
+/// size. Immutable after construction; safe to share across threads.
 class FftPlan {
  public:
   explicit FftPlan(std::size_t n);
 
   std::size_t size() const { return n_; }
 
-  /// In-place forward DFT (no normalization).
+  /// In-place forward DFT (no normalization), dispatched on best_isa().
   void forward(std::span<Cf> data) const;
-  /// In-place inverse DFT, normalized by 1/N.
+  /// In-place inverse DFT, normalized by 1/N, dispatched on best_isa().
   void inverse(std::span<Cf> data) const;
 
+  /// Explicit-tier variants (clamped to the executing CPU's capability;
+  /// narrow sizes additionally fall back until the kernel's minimum
+  /// vector count fits). Bit-identical across every tier by the
+  /// exactness contract above.
+  void forward(std::span<Cf> data, IsaLevel isa) const;
+  void inverse(std::span<Cf> data, IsaLevel isa) const;
+
+  /// Concatenated per-stage twiddle tables: the stage with half-length h
+  /// (h = 1, 2, 4, ..., n/2) starts at offset h - 1 and holds h entries
+  /// w[k] = e^(-2*pi*i * k * (n / 2h) / n), contiguous in k. One table
+  /// serves every tier and both directions (inverse conjugates at use).
+  std::span<const Cf> stage_twiddles() const { return stage_tw_; }
+
  private:
-  void transform(std::span<Cf> data, bool inverse) const;
+  void transform(std::span<Cf> data, bool inverse, IsaLevel isa) const;
 
   std::size_t n_;
   std::vector<std::size_t> bitrev_;
-  std::vector<Cf> twiddle_;      // forward twiddles, n/2 entries
+  AlignedVector<Cf> stage_tw_;   // n - 1 entries, see stage_twiddles()
 };
 
-/// One-shot helpers (plan cached per size, not thread-safe across sizes).
+/// One-shot helpers. The per-size plan cache is a process-wide
+/// mutex-guarded map (plans are immutable and never evicted, so returned
+/// references stay valid): safe to call concurrently from any number of
+/// threads over any mix of sizes (TSan-covered by test_ofdm_simd).
 void fft_forward(std::span<Cf> data);
 void fft_inverse(std::span<Cf> data);
 
-/// O(n^2) reference DFT for tests.
+/// O(n^2) reference DFT in double precision for tests (the independent
+/// oracle the ULP bounds are measured against).
 std::vector<Cf> dft_reference(std::span<const Cf> in, bool inverse);
 
 }  // namespace vran::phy

@@ -1,12 +1,68 @@
 #include "phy/ofdm/ofdm.h"
 
+#include <algorithm>
 #include <cmath>
+#include <cstring>
 #include <stdexcept>
+
+#include "phy/ofdm/ofdm_simd.h"
 
 namespace vran::phy {
 
-OfdmModulator::OfdmModulator(OfdmConfig cfg)
-    : cfg_(cfg), plan_(static_cast<std::size_t>(cfg.nfft)) {
+namespace {
+
+/// out[k] = { in[k].i * scale, in[k].q * scale } at the requested tier.
+/// The scalar loop is the reference schedule: int16 -> float (exact),
+/// one multiply per component — exactly what the SIMD kernels execute.
+void convert_q12_to_cf(IsaLevel isa, const IqSample* in, Cf* out,
+                       std::size_t n, float scale) {
+  switch (isa) {
+    case IsaLevel::kAvx512:
+      simd::q12_to_cf_avx512(in, out, n, scale);
+      return;
+    case IsaLevel::kAvx2:
+      simd::q12_to_cf_avx2(in, out, n, scale);
+      return;
+    case IsaLevel::kSse41:
+      simd::q12_to_cf_sse(in, out, n, scale);
+      return;
+    case IsaLevel::kScalar:
+      break;
+  }
+  for (std::size_t k = 0; k < n; ++k) {
+    out[k] = Cf(static_cast<float>(in[k].i) * scale,
+                static_cast<float>(in[k].q) * scale);
+  }
+}
+
+/// out[k] = quantize_q12(in[k] * unscale) per component.
+void convert_cf_to_q12(IsaLevel isa, const Cf* in, IqSample* out,
+                       std::size_t n, float unscale) {
+  switch (isa) {
+    case IsaLevel::kAvx512:
+      simd::cf_to_q12_avx512(in, out, n, unscale);
+      return;
+    case IsaLevel::kAvx2:
+      simd::cf_to_q12_avx2(in, out, n, unscale);
+      return;
+    case IsaLevel::kSse41:
+      simd::cf_to_q12_sse(in, out, n, unscale);
+      return;
+    case IsaLevel::kScalar:
+      break;
+  }
+  for (std::size_t k = 0; k < n; ++k) {
+    out[k] = IqSample{simd::quantize_q12(in[k].real() * unscale),
+                      simd::quantize_q12(in[k].imag() * unscale)};
+  }
+}
+
+}  // namespace
+
+OfdmModulator::OfdmModulator(OfdmConfig cfg, IsaLevel isa)
+    : cfg_(cfg),
+      plan_(static_cast<std::size_t>(cfg.nfft)),
+      isa_(std::min(isa, cpu_features().best())) {
   if (cfg_.used_subcarriers % 2 != 0 || cfg_.used_subcarriers >= cfg_.nfft) {
     throw std::invalid_argument("OfdmModulator: bad subcarrier count");
   }
@@ -15,33 +71,51 @@ OfdmModulator::OfdmModulator(OfdmConfig cfg)
   }
 }
 
+void OfdmModulator::modulate_symbol_into(std::span<const IqSample> res,
+                                         Cf* out, std::span<Cf> grid) const {
+  const std::size_t n = static_cast<std::size_t>(cfg_.nfft);
+  const std::size_t half =
+      static_cast<std::size_t>(cfg_.used_subcarriers / 2);
+  const std::span<Cf> g = grid.first(n);
+  std::fill(g.begin(), g.end(), Cf{0.0f, 0.0f});
+  // Subcarriers -nsc/2..-1 and +1..+nsc/2 around DC (DC unused): two
+  // contiguous runs, each one dispatched Q12->float convert.
+  //   positive bins 1..half      <- REs half..nsc-1
+  //   negative bins n-half..n-1  <- REs 0..half-1
+  convert_q12_to_cf(isa_, res.data() + half, g.data() + 1, half,
+                    cfg_.iq_scale);
+  convert_q12_to_cf(isa_, res.data(), g.data() + (n - half), half,
+                    cfg_.iq_scale);
+  plan_.inverse(g, isa_);
+
+  // Cyclic prefix insert: two straight copies.
+  const std::size_t cp = static_cast<std::size_t>(cfg_.cp_len);
+  std::memcpy(out, g.data() + (n - cp), cp * sizeof(Cf));
+  std::memcpy(out + cp, g.data(), n * sizeof(Cf));
+}
+
 std::vector<Cf> OfdmModulator::modulate_symbol(
     std::span<const IqSample> res) const {
   const int nsc = cfg_.used_subcarriers;
   if (res.size() != static_cast<std::size_t>(nsc)) {
     throw std::invalid_argument("modulate_symbol: RE count mismatch");
   }
-  const std::size_t n = static_cast<std::size_t>(cfg_.nfft);
-  std::vector<Cf> grid(n, Cf{0.0f, 0.0f});
-  // Subcarriers -nsc/2..-1 and +1..+nsc/2 around DC (DC unused).
-  const int half = nsc / 2;
-  for (int k = 0; k < half; ++k) {
-    // positive frequencies: bins 1..half  <- REs half..nsc-1
-    grid[static_cast<std::size_t>(1 + k)] =
-        Cf(res[static_cast<std::size_t>(half + k)].i * cfg_.iq_scale,
-           res[static_cast<std::size_t>(half + k)].q * cfg_.iq_scale);
-    // negative frequencies: bins nfft-half..nfft-1 <- REs 0..half-1
-    grid[n - static_cast<std::size_t>(half) + static_cast<std::size_t>(k)] =
-        Cf(res[static_cast<std::size_t>(k)].i * cfg_.iq_scale,
-           res[static_cast<std::size_t>(k)].q * cfg_.iq_scale);
-  }
-  plan_.inverse(grid);
-
-  std::vector<Cf> out;
-  out.reserve(static_cast<std::size_t>(ofdm_symbol_samples(cfg_)));
-  out.insert(out.end(), grid.end() - cfg_.cp_len, grid.end());
-  out.insert(out.end(), grid.begin(), grid.end());
+  std::vector<Cf> out(static_cast<std::size_t>(ofdm_symbol_samples(cfg_)));
+  std::vector<Cf> grid(static_cast<std::size_t>(cfg_.nfft));
+  modulate_symbol_into(res, out.data(), grid);
   return out;
+}
+
+void OfdmModulator::extract_res(const Cf* grid, IqSample* out,
+                                std::size_t count) const {
+  const std::size_t n = static_cast<std::size_t>(cfg_.nfft);
+  const std::size_t half =
+      static_cast<std::size_t>(cfg_.used_subcarriers / 2);
+  const float unscale = 1.0f / cfg_.iq_scale;
+  const std::size_t lo = std::min(half, count);
+  const std::size_t hi = count > half ? std::min(half, count - half) : 0;
+  if (lo > 0) convert_cf_to_q12(isa_, grid + (n - half), out, lo, unscale);
+  if (hi > 0) convert_cf_to_q12(isa_, grid + 1, out + half, hi, unscale);
 }
 
 std::vector<IqSample> OfdmModulator::demodulate_symbol(
@@ -49,40 +123,32 @@ std::vector<IqSample> OfdmModulator::demodulate_symbol(
   if (time.size() != static_cast<std::size_t>(ofdm_symbol_samples(cfg_))) {
     throw std::invalid_argument("demodulate_symbol: sample count mismatch");
   }
-  const std::size_t n = static_cast<std::size_t>(cfg_.nfft);
   std::vector<Cf> grid(time.begin() + cfg_.cp_len, time.end());
-  plan_.forward(grid);
-
-  const int nsc = cfg_.used_subcarriers;
-  const int half = nsc / 2;
-  const float unscale = 1.0f / cfg_.iq_scale;
-  std::vector<IqSample> res(static_cast<std::size_t>(nsc));
-  const auto to_q12 = [unscale](Cf v) {
-    const auto clamp = [](float x) {
-      return static_cast<std::int16_t>(
-          std::lround(std::fmin(std::fmax(x, -32768.0f), 32767.0f)));
-    };
-    return IqSample{clamp(v.real() * unscale), clamp(v.imag() * unscale)};
-  };
-  for (int k = 0; k < half; ++k) {
-    res[static_cast<std::size_t>(half + k)] =
-        to_q12(grid[static_cast<std::size_t>(1 + k)]);
-    res[static_cast<std::size_t>(k)] = to_q12(
-        grid[n - static_cast<std::size_t>(half) + static_cast<std::size_t>(k)]);
-  }
+  plan_.forward(grid, isa_);
+  std::vector<IqSample> res(
+      static_cast<std::size_t>(cfg_.used_subcarriers));
+  extract_res(grid.data(), res.data(), res.size());
   return res;
 }
 
 std::vector<Cf> OfdmModulator::modulate(std::span<const IqSample> res) const {
   const std::size_t cap = static_cast<std::size_t>(ofdm_symbol_capacity(cfg_));
-  std::vector<Cf> out;
-  for (std::size_t at = 0; at < res.size(); at += cap) {
+  const std::size_t samples =
+      static_cast<std::size_t>(ofdm_symbol_samples(cfg_));
+  const std::size_t nsym = res.empty() ? 0 : (res.size() + cap - 1) / cap;
+  std::vector<Cf> out(nsym * samples);
+  std::vector<Cf> grid(static_cast<std::size_t>(cfg_.nfft));
+  std::vector<IqSample> pad;  // zero-padded final partial symbol
+  for (std::size_t s = 0; s < nsym; ++s) {
+    const std::size_t at = s * cap;
     const std::size_t take = std::min(cap, res.size() - at);
-    std::vector<IqSample> sym(res.begin() + static_cast<std::ptrdiff_t>(at),
-                              res.begin() + static_cast<std::ptrdiff_t>(at + take));
-    sym.resize(cap);  // zero-pad the final symbol
-    const auto t = modulate_symbol(sym);
-    out.insert(out.end(), t.begin(), t.end());
+    std::span<const IqSample> sym = res.subspan(at, take);
+    if (take < cap) {
+      pad.assign(cap, IqSample{});
+      std::copy(sym.begin(), sym.end(), pad.begin());
+      sym = pad;
+    }
+    modulate_symbol_into(sym, out.data() + s * samples, grid);
   }
   return out;
 }
@@ -118,39 +184,18 @@ void OfdmModulator::demodulate_into(std::span<const Cf> time,
   }
   const std::span<Cf> grid = fft_scratch.first(n);
 
-  const int nsc = cfg_.used_subcarriers;
-  const int half = nsc / 2;
-  const float unscale = 1.0f / cfg_.iq_scale;
-  const auto to_q12 = [unscale](Cf v) {
-    const auto clamp = [](float x) {
-      return static_cast<std::int16_t>(
-          std::lround(std::fmin(std::fmax(x, -32768.0f), 32767.0f)));
-    };
-    return IqSample{clamp(v.real() * unscale), clamp(v.imag() * unscale)};
-  };
-
   std::size_t produced = 0;
   for (std::size_t at = 0; at < time.size() && produced < out.size();
        at += samples) {
-    const auto sym_time = time.subspan(at, samples);
-    for (std::size_t j = 0; j < n; ++j) {
-      grid[j] = sym_time[static_cast<std::size_t>(cfg_.cp_len) + j];
-    }
-    plan_.forward(grid);
+    // Cyclic prefix strip: one straight copy into the caller's scratch.
+    std::memcpy(grid.data(),
+                time.data() + at + static_cast<std::size_t>(cfg_.cp_len),
+                n * sizeof(Cf));
+    plan_.forward(grid, isa_);
     // Same extraction as demodulate_symbol, but only the REs that land
     // inside `out` (the final symbol is usually partial).
     const std::size_t remain = out.size() - produced;
-    for (int k = 0; k < half; ++k) {
-      const std::size_t lo = static_cast<std::size_t>(k);
-      const std::size_t hi = static_cast<std::size_t>(half + k);
-      if (lo < remain) {
-        out[produced + lo] = to_q12(
-            grid[n - static_cast<std::size_t>(half) + lo]);
-      }
-      if (hi < remain) {
-        out[produced + hi] = to_q12(grid[static_cast<std::size_t>(1 + k)]);
-      }
-    }
+    extract_res(grid.data(), out.data() + produced, std::min(cap, remain));
     produced += std::min(cap, remain);
   }
 }

@@ -2,12 +2,19 @@
 // prefix on transmit; CP removal, FFT and subcarrier extraction on
 // receive. Geometry follows LTE 5 MHz FDD (the paper's testbed
 // configuration): 25 PRBs = 300 used subcarriers, 512-point FFT.
+//
+// The whole chain is SIMD-dispatched (SSE / AVX2 / AVX-512) and bound
+// by the float exactness contract in fft.h: every tier produces
+// float-bit-identical grids and byte-identical Q12 output. The Q12
+// quantizer rounds half-to-even (matching CVTPS2DQ under the default
+// MXCSR); see TESTING.md "Float-kernel exactness".
 #pragma once
 
 #include <cstdint>
 #include <span>
 #include <vector>
 
+#include "common/cpu_features.h"
 #include "phy/modulation/modulation.h"
 #include "phy/ofdm/fft.h"
 
@@ -31,9 +38,13 @@ constexpr int ofdm_symbol_capacity(const OfdmConfig& c) {
 
 class OfdmModulator {
  public:
-  explicit OfdmModulator(OfdmConfig cfg);
+  /// `isa` selects the kernel tier for the FFT and the Q12 convert /
+  /// quantize paths; it is clamped to what the executing CPU supports.
+  /// Output is identical at every tier (exactness contract, fft.h).
+  explicit OfdmModulator(OfdmConfig cfg, IsaLevel isa = best_isa());
 
   const OfdmConfig& config() const { return cfg_; }
+  IsaLevel isa() const { return isa_; }
 
   /// Map `used_subcarriers` QAM samples onto one OFDM symbol (IFFT + CP).
   /// Output is nfft + cp_len complex time samples.
@@ -54,8 +65,21 @@ class OfdmModulator {
                        std::span<Cf> fft_scratch) const;
 
  private:
+  /// Quantize the first `count` used REs of a frequency grid into
+  /// `out`. The used subcarriers sit in two contiguous runs around DC
+  /// (negative bins nfft-half.. -> REs 0..half-1, positive bins 1.. ->
+  /// REs half..), so each run is one dispatched convert-kernel call.
+  void extract_res(const Cf* grid, IqSample* out, std::size_t count) const;
+
+  /// One full symbol (res.size() == used_subcarriers) into
+  /// out[0..ofdm_symbol_samples) using caller-owned `grid` (>= nfft)
+  /// scratch — the allocation-free core modulate/modulate_symbol share.
+  void modulate_symbol_into(std::span<const IqSample> res, Cf* out,
+                            std::span<Cf> grid) const;
+
   OfdmConfig cfg_;
   FftPlan plan_;
+  IsaLevel isa_;
 };
 
 }  // namespace vran::phy

@@ -1,0 +1,74 @@
+// Internal per-tier kernel entry points for the OFDM chain. Each tier
+// lives in its own translation unit with per-file ISA flags
+// (ofdm_simd_{sse,avx2,avx512}.cc) and is reached only through runtime
+// dispatch in fft.cc / ofdm.cc.
+//
+// Every kernel here is bound by the float exactness contract (fft.h /
+// TESTING.md): identical arithmetic schedule at every tier, no FMA
+// contraction, lanes carry independent elements only. The scalar
+// reference implementations live in fft.cc (butterflies) and ofdm.cc
+// (convert/quantize); a SIMD kernel plus its scalar tail must execute
+// the same per-element operation sequence as those references.
+#pragma once
+
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+
+#include "phy/modulation/modulation.h"
+#include "phy/ofdm/fft.h"
+
+namespace vran::phy::simd {
+
+/// The per-element Q12 quantizer every tier shares (scalar path and the
+/// SIMD kernels' remainder tails): clamp to the int16 range with fmax
+/// then fmin (NaN collapses to the lower bound, exactly like
+/// MAXPS/MINPS with the value in the first operand), then round
+/// half-to-even — nearbyintf under the default rounding mode computes
+/// the same result CVTPS2DQ does under the default MXCSR.
+inline std::int16_t quantize_q12(float v) {
+  v = std::fmax(v, -32768.0f);
+  v = std::fmin(v, 32767.0f);
+  return static_cast<std::int16_t>(
+      static_cast<std::int32_t>(std::nearbyintf(v)));
+}
+
+/// Complexes per vector register at each tier (the kernels' minimum n).
+inline constexpr std::size_t kSseComplexLanes = 2;
+inline constexpr std::size_t kAvx2ComplexLanes = 4;
+inline constexpr std::size_t kAvx512ComplexLanes = 8;
+
+// --- FFT butterfly passes ---------------------------------------------------
+// All log2(n) radix-2 stages over bit-reversed `data`, reading the
+// plan's concatenated per-stage twiddle table (fft.h stage_twiddles()).
+// Stages whose half-length fits inside one register run as in-register
+// shuffle butterflies; wider stages vectorize the contiguous inner k
+// loop. Requires n >= (complex lanes of the tier).
+
+void fft_pass_sse(Cf* data, std::size_t n, const Cf* stage_tw, bool inverse);
+void fft_pass_avx2(Cf* data, std::size_t n, const Cf* stage_tw, bool inverse);
+void fft_pass_avx512(Cf* data, std::size_t n, const Cf* stage_tw,
+                     bool inverse);
+
+// --- Elementwise helpers ----------------------------------------------------
+
+/// data[i] *= s for both components (inverse-FFT 1/N normalization).
+void scale_sse(Cf* data, std::size_t n, float s);
+void scale_avx2(Cf* data, std::size_t n, float s);
+void scale_avx512(Cf* data, std::size_t n, float s);
+
+/// out[i] = { in[i].i * scale, in[i].q * scale } — Q12 ingress convert
+/// (subcarrier map runs it once per contiguous half around DC).
+void q12_to_cf_sse(const IqSample* in, Cf* out, std::size_t n, float scale);
+void q12_to_cf_avx2(const IqSample* in, Cf* out, std::size_t n, float scale);
+void q12_to_cf_avx512(const IqSample* in, Cf* out, std::size_t n, float scale);
+
+/// out[i] = quantize(in[i] * unscale): clamp to int16 range then round
+/// half-to-even (matching the scalar quantizer in ofdm.cc and the
+/// vector cvtps rounding under the default FP environment).
+void cf_to_q12_sse(const Cf* in, IqSample* out, std::size_t n, float unscale);
+void cf_to_q12_avx2(const Cf* in, IqSample* out, std::size_t n, float unscale);
+void cf_to_q12_avx512(const Cf* in, IqSample* out, std::size_t n,
+                      float unscale);
+
+}  // namespace vran::phy::simd

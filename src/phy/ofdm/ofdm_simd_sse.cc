@@ -1,0 +1,123 @@
+// SSE4.1 tier of the OFDM kernels: 2 complex lanes per register.
+// Bound by the exactness contract in fft.h / ofdm_simd.h — every
+// per-element operation sequence below matches the scalar reference
+// bit-for-bit (this TU builds with -ffp-contract=off).
+#include <smmintrin.h>
+
+#include <cmath>
+#include <cstring>
+
+#include "phy/ofdm/ofdm_simd.h"
+
+namespace vran::phy::simd {
+namespace {
+
+constexpr int kNeg = static_cast<int>(0x80000000u);
+
+// Negate real (even) float lanes — turns the add in cmul into the
+// scalar schedule's subtract (a - b == a + (-b) exactly in IEEE).
+inline __m128 sign_even() { return _mm_castsi128_ps(_mm_setr_epi32(kNeg, 0, kNeg, 0)); }
+// Negate all lanes (inverse-transform twiddle conjugation).
+inline __m128 sign_all() { return _mm_castsi128_ps(_mm_set1_epi32(kNeg)); }
+// Negate the upper complex of each length-2 butterfly group.
+inline __m128 sign_hi2() { return _mm_castsi128_ps(_mm_setr_epi32(0, 0, kNeg, kNeg)); }
+
+/// v[j] = x[j] * w[j] (complex), as 2 muls + 1 add/sub per component in
+/// the fixed scalar order: vr = xr*wr - xi*wi, vi = xi*wr + xr*wi.
+inline __m128 cmul(__m128 x, __m128 w, __m128 conj, __m128 se) {
+  const __m128 wre = _mm_moveldup_ps(w);
+  const __m128 wim = _mm_xor_ps(_mm_movehdup_ps(w), conj);
+  const __m128 t1 = _mm_mul_ps(x, wre);
+  const __m128 xs = _mm_shuffle_ps(x, x, _MM_SHUFFLE(2, 3, 0, 1));
+  const __m128 t2 = _mm_mul_ps(xs, wim);
+  return _mm_add_ps(t1, _mm_xor_ps(t2, se));
+}
+
+}  // namespace
+
+void fft_pass_sse(Cf* data, std::size_t n, const Cf* stage_tw, bool inverse) {
+  float* f = reinterpret_cast<float*>(data);
+  const float* twf = reinterpret_cast<const float*>(stage_tw);
+  const __m128 conj = inverse ? sign_all() : _mm_setzero_ps();
+  const __m128 se = sign_even();
+
+  // Stage half = 1: one full length-2 butterfly group per register,
+  // computed in-register: OUT = U + (cmul(X, w0) ^ sign_hi).
+  {
+    double w0;
+    std::memcpy(&w0, twf, sizeof(w0));
+    const __m128 tw = _mm_castpd_ps(_mm_set1_pd(w0));
+    const __m128 sh = sign_hi2();
+    for (std::size_t i = 0; i < n; i += 2) {
+      const __m128 a = _mm_loadu_ps(f + 2 * i);
+      const __m128 u = _mm_shuffle_ps(a, a, _MM_SHUFFLE(1, 0, 1, 0));
+      const __m128 x = _mm_shuffle_ps(a, a, _MM_SHUFFLE(3, 2, 3, 2));
+      const __m128 v = cmul(x, tw, conj, se);
+      _mm_storeu_ps(f + 2 * i, _mm_add_ps(u, _mm_xor_ps(v, sh)));
+    }
+  }
+
+  // Wide stages (half >= 2 complex lanes): contiguous U/X/twiddle loads.
+  for (std::size_t half = 2; half < n; half <<= 1) {
+    const std::size_t len = half << 1;
+    const float* tws = twf + 2 * (half - 1);
+    for (std::size_t s = 0; s < n; s += len) {
+      for (std::size_t k = 0; k < half; k += 2) {
+        const __m128 w = _mm_loadu_ps(tws + 2 * k);
+        const __m128 u = _mm_loadu_ps(f + 2 * (s + k));
+        const __m128 x = _mm_loadu_ps(f + 2 * (s + k + half));
+        const __m128 v = cmul(x, w, conj, se);
+        _mm_storeu_ps(f + 2 * (s + k), _mm_add_ps(u, v));
+        _mm_storeu_ps(f + 2 * (s + k + half), _mm_sub_ps(u, v));
+      }
+    }
+  }
+}
+
+void scale_sse(Cf* data, std::size_t n, float s) {
+  float* f = reinterpret_cast<float*>(data);
+  const std::size_t m = 2 * n;
+  const __m128 vs = _mm_set1_ps(s);
+  std::size_t i = 0;
+  for (; i + 4 <= m; i += 4) {
+    _mm_storeu_ps(f + i, _mm_mul_ps(_mm_loadu_ps(f + i), vs));
+  }
+  for (; i < m; ++i) f[i] *= s;
+}
+
+void q12_to_cf_sse(const IqSample* in, Cf* out, std::size_t n, float scale) {
+  const std::int16_t* p = reinterpret_cast<const std::int16_t*>(in);
+  float* f = reinterpret_cast<float*>(out);
+  const std::size_t m = 2 * n;
+  const __m128 vs = _mm_set1_ps(scale);
+  std::size_t i = 0;
+  for (; i + 4 <= m; i += 4) {
+    const __m128i w16 =
+        _mm_loadl_epi64(reinterpret_cast<const __m128i*>(p + i));
+    const __m128 v = _mm_cvtepi32_ps(_mm_cvtepi16_epi32(w16));
+    _mm_storeu_ps(f + i, _mm_mul_ps(v, vs));
+  }
+  for (; i < m; ++i) f[i] = static_cast<float>(p[i]) * scale;
+}
+
+void cf_to_q12_sse(const Cf* in, IqSample* out, std::size_t n, float unscale) {
+  const float* f = reinterpret_cast<const float*>(in);
+  std::int16_t* p = reinterpret_cast<std::int16_t*>(out);
+  const std::size_t m = 2 * n;
+  const __m128 vu = _mm_set1_ps(unscale);
+  const __m128 lo = _mm_set1_ps(-32768.0f);
+  const __m128 hi = _mm_set1_ps(32767.0f);
+  std::size_t i = 0;
+  for (; i + 8 <= m; i += 8) {
+    const __m128 a = _mm_min_ps(
+        _mm_max_ps(_mm_mul_ps(_mm_loadu_ps(f + i), vu), lo), hi);
+    const __m128 b = _mm_min_ps(
+        _mm_max_ps(_mm_mul_ps(_mm_loadu_ps(f + i + 4), vu), lo), hi);
+    const __m128i packed =
+        _mm_packs_epi32(_mm_cvtps_epi32(a), _mm_cvtps_epi32(b));
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(p + i), packed);
+  }
+  for (; i < m; ++i) p[i] = quantize_q12(f[i] * unscale);
+}
+
+}  // namespace vran::phy::simd

@@ -697,7 +697,7 @@ std::unique_ptr<ThreadPool> make_decode_pool(const PipelineConfig& cfg) {
 
 UplinkPipeline::UplinkPipeline(PipelineConfig cfg)
     : cfg_(cfg),
-      ofdm_(cfg.ofdm),
+      ofdm_(cfg.ofdm, cfg.isa),
       channel_(time_domain_snr_db(cfg.snr_db, cfg.ofdm.nfft),
                cfg.noise_seed),
       pool_(make_decode_pool(cfg)),
@@ -802,7 +802,7 @@ PacketResult UplinkPipeline::send_packet(
 
 DownlinkPipeline::DownlinkPipeline(PipelineConfig cfg)
     : cfg_(cfg),
-      ofdm_(cfg.ofdm),
+      ofdm_(cfg.ofdm, cfg.isa),
       channel_(time_domain_snr_db(cfg.snr_db, cfg.ofdm.nfft),
                cfg.noise_seed + 1),
       pool_(make_decode_pool(cfg)),

@@ -413,6 +413,60 @@ Trace trace_ofdm(int nfft, int symbols) {
   return t;
 }
 
+Trace trace_ofdm(IsaLevel isa, int nfft, int symbols) {
+  if (isa == IsaLevel::kScalar) return trace_ofdm(nfft, symbols);
+  Trace t;
+  t.register_bits =
+      isa == IsaLevel::kAvx512 ? 512 : (isa == IsaLevel::kAvx2 ? 256 : 128);
+  t.working_set_bytes = static_cast<std::size_t>(nfft) * 8;
+  const int w = t.register_bits / 64;  // complex floats per register
+  const int reg_bytes = w * 8;
+  int stages = 0;
+  while ((1 << stages) < nfft) ++stages;
+  for (int s = 0; s < symbols; ++s) {
+    for (int st = 0; st < stages; ++st) {
+      const int half = 1 << st;
+      if (half < w) {
+        // Fused in-register stage: one register of w complexes holds
+        // whole butterfly groups. Load, two group permutes, the
+        // shuffle+mul/add complex multiply, sign flip, add, store.
+        for (int b = 0; b < nfft / w; ++b) {
+          const std::int32_t a = t.emit(UopClass::kLoad, -1, -1, reg_bytes);
+          const std::int32_t pu = t.emit(UopClass::kVecShuffle, a);
+          const std::int32_t px = t.emit(UopClass::kVecShuffle, a);
+          const std::int32_t xs = t.emit(UopClass::kVecShuffle, px);
+          const std::int32_t t1 = t.emit(UopClass::kVecAlu, px);
+          const std::int32_t t2 = t.emit(UopClass::kVecAlu, xs);
+          const std::int32_t v = t.emit(UopClass::kVecAlu, t1, t2);
+          const std::int32_t vn = t.emit(UopClass::kVecAlu, v);
+          const std::int32_t o = t.emit(UopClass::kVecAlu, pu, vn);
+          t.emit(UopClass::kStore, o, -1, reg_bytes);
+        }
+      } else {
+        // Wide stage: contiguous twiddle/U/X loads, w butterflies per
+        // iteration. Independent across iterations.
+        for (int b = 0; b < nfft / (2 * w); ++b) {
+          const std::int32_t wv = t.emit(UopClass::kLoad, -1, -1, reg_bytes);
+          const std::int32_t u = t.emit(UopClass::kLoad, -1, -1, reg_bytes);
+          const std::int32_t x = t.emit(UopClass::kLoad, -1, -1, reg_bytes);
+          const std::int32_t wre = t.emit(UopClass::kVecShuffle, wv);
+          const std::int32_t wim = t.emit(UopClass::kVecShuffle, wv);
+          const std::int32_t xs = t.emit(UopClass::kVecShuffle, x);
+          const std::int32_t t1 = t.emit(UopClass::kVecAlu, x, wre);
+          const std::int32_t t2 = t.emit(UopClass::kVecAlu, xs, wim);
+          const std::int32_t v = t.emit(UopClass::kVecAlu, t1, t2);
+          const std::int32_t oa = t.emit(UopClass::kVecAlu, u, v);
+          const std::int32_t ob = t.emit(UopClass::kVecAlu, u, v);
+          t.emit(UopClass::kStore, oa, -1, reg_bytes);
+          t.emit(UopClass::kStore, ob, -1, reg_bytes);
+        }
+      }
+      t.emit(UopClass::kBranch);
+    }
+  }
+  return t;
+}
+
 Trace trace_scramble(std::size_t n_bits) {
   Trace t;
   t.register_bits = 64;

@@ -67,6 +67,13 @@ Trace trace_vec_extract(IsaLevel isa, std::size_t n_elems,
 
 /// Scalar radix-2 FFT butterflies ("do_ofdm").
 Trace trace_ofdm(int nfft, int symbols);
+/// SIMD radix-2 FFT at the given tier: early stages whose butterfly
+/// group fits in one register run as in-register shuffle butterflies
+/// (one load / one store per register of complexes); wide stages
+/// vectorize the contiguous inner loop (3 loads, shuffle + mul/add
+/// complex multiply, 2 stores per iteration). kScalar falls through to
+/// the scalar trace above.
+Trace trace_ofdm(IsaLevel isa, int nfft, int symbols);
 /// Gold-sequence scrambling (scalar LFSR + xor stream).
 Trace trace_scramble(std::size_t n_bits);
 /// Rate (de)matching: index arithmetic + narrow scatter stores.

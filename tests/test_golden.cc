@@ -13,8 +13,11 @@
 // _sse128 / _avx256 / _avx512 all replay the same checked-in FNV
 // digest). Set VRAN_UPDATE_VECTORS=1 to rewrite chain_fnv.txt after an
 // intentional chain change.
+#include <bit>
+#include <cmath>
 #include <cstdint>
 #include <cstdlib>
+#include <cstring>
 #include <fstream>
 #include <sstream>
 #include <string>
@@ -25,6 +28,7 @@
 #include "common/cpu_features.h"
 #include "net/pktgen.h"
 #include "phy/crc/crc.h"
+#include "phy/ofdm/ofdm.h"
 #include "phy/ratematch/rate_match.h"
 #include "phy/scramble/scrambler.h"
 #include "phy/segmentation/segmentation.h"
@@ -265,6 +269,146 @@ TEST(GoldenChain, UplinkEgressIdenticalAcrossIsaLevels) {
             << "isa " << isa_name(static_cast<IsaLevel>(level)) << " method "
             << static_cast<int>(method);
       }
+    }
+  }
+}
+
+// --- OFDM golden vectors (tests/vectors/ofdm.txt) -----------------------
+//
+// Independent double-precision DFT reference from generate_vectors.py.
+// Float samples travel as raw IEEE-754 bit patterns, so the replay sees
+// exactly the values Python produced. Contract (TESTING.md "Float-kernel
+// exactness"): the frequency grid is ULP-banded against the reference,
+// while the quantized Q12 egress is byte-exact — at every ISA tier.
+
+struct OfdmGoldenCase {
+  phy::OfdmConfig cfg;
+  std::vector<phy::IqSample> res;  // original Q12 integers
+  std::vector<phy::Cf> time;     // ideal modulated symbol (CP + body)
+  std::vector<phy::Cf> grid;     // double DFT of the time body
+};
+
+std::vector<phy::Cf> parse_cf_hex(std::istringstream& ss, std::size_t n) {
+  std::vector<phy::Cf> out;
+  out.reserve(n);
+  std::string re_hex, im_hex;
+  for (std::size_t i = 0; i < n; ++i) {
+    ss >> re_hex >> im_hex;
+    const auto re = static_cast<std::uint32_t>(
+        std::stoul(re_hex, nullptr, 16));
+    const auto im = static_cast<std::uint32_t>(
+        std::stoul(im_hex, nullptr, 16));
+    out.emplace_back(std::bit_cast<float>(re), std::bit_cast<float>(im));
+  }
+  return out;
+}
+
+std::vector<OfdmGoldenCase> ofdm_golden_cases() {
+  const auto lines = data_lines("ofdm.txt");
+  std::vector<OfdmGoldenCase> cases;
+  for (std::size_t i = 0; i + 3 < lines.size(); i += 4) {
+    OfdmGoldenCase c;
+    std::istringstream head(lines[i]);
+    std::string tag;
+    head >> tag >> c.cfg.nfft >> c.cfg.used_subcarriers >> c.cfg.cp_len;
+    EXPECT_EQ(tag, "case");
+    std::istringstream res_ss(lines[i + 1]);
+    res_ss >> tag;
+    EXPECT_EQ(tag, "res");
+    for (int k = 0; k < c.cfg.used_subcarriers; ++k) {
+      int iv = 0, qv = 0;
+      res_ss >> iv >> qv;
+      c.res.push_back({static_cast<std::int16_t>(iv),
+                       static_cast<std::int16_t>(qv)});
+    }
+    std::istringstream time_ss(lines[i + 2]);
+    time_ss >> tag;
+    EXPECT_EQ(tag, "time");
+    c.time = parse_cf_hex(
+        time_ss, static_cast<std::size_t>(ofdm_symbol_samples(c.cfg)));
+    std::istringstream grid_ss(lines[i + 3]);
+    grid_ss >> tag;
+    EXPECT_EQ(tag, "grid");
+    c.grid = parse_cf_hex(grid_ss, static_cast<std::size_t>(c.cfg.nfft));
+    cases.push_back(std::move(c));
+  }
+  EXPECT_EQ(cases.size(), 3u);
+  return cases;
+}
+
+/// Monotonic int mapping: adjacent floats differ by 1 everywhere,
+/// including across the +/-0 boundary.
+std::int64_t float_ordered(float v) {
+  const auto i = std::bit_cast<std::int32_t>(v);
+  return i >= 0 ? std::int64_t{i}
+                : std::int64_t{INT32_MIN} - std::int64_t{i};
+}
+
+void expect_ulp_close(std::span<const phy::Cf> got,
+                      std::span<const phy::Cf> want, double abs_band,
+                      std::int64_t max_ulp, const char* what) {
+  ASSERT_EQ(got.size(), want.size());
+  for (std::size_t k = 0; k < got.size(); ++k) {
+    const float g[2] = {got[k].real(), got[k].imag()};
+    const float w[2] = {want[k].real(), want[k].imag()};
+    for (int c = 0; c < 2; ++c) {
+      if (std::fabs(double{g[c]} - double{w[c]}) <= abs_band) continue;
+      const auto ulp = std::llabs(float_ordered(g[c]) - float_ordered(w[c]));
+      EXPECT_LE(ulp, max_ulp) << what << " bin " << k << (c ? " im" : " re")
+                              << " got " << g[c] << " want " << w[c];
+    }
+  }
+}
+
+double rms_of(std::span<const phy::Cf> v) {
+  double acc = 0;
+  for (const auto& s : v) {
+    acc += double{s.real()} * s.real() + double{s.imag()} * s.imag();
+  }
+  return std::sqrt(acc / (2.0 * static_cast<double>(v.size())));
+}
+
+TEST(GoldenOfdm, ForwardFftWithinUlpOfIndependentReference) {
+  for (const auto& c : ofdm_golden_cases()) {
+    const auto n = static_cast<std::size_t>(c.cfg.nfft);
+    const double abs_band = 1e-4 * rms_of(c.grid);
+    for (int level = 0; level <= static_cast<int>(best_isa()); ++level) {
+      std::vector<phy::Cf> body(c.time.begin() + c.cfg.cp_len, c.time.end());
+      ASSERT_EQ(body.size(), n);
+      const phy::FftPlan plan(n);
+      plan.forward(body, static_cast<IsaLevel>(level));
+      expect_ulp_close(body, c.grid, abs_band, 128,
+                       isa_name(static_cast<IsaLevel>(level)));
+    }
+  }
+}
+
+TEST(GoldenOfdm, ModulateWithinUlpOfIndependentReference) {
+  for (const auto& c : ofdm_golden_cases()) {
+    const double abs_band = 1e-4 * rms_of(c.time);
+    for (int level = 0; level <= static_cast<int>(best_isa()); ++level) {
+      const phy::OfdmModulator ofdm(c.cfg, static_cast<IsaLevel>(level));
+      const auto got = ofdm.modulate_symbol(c.res);
+      expect_ulp_close(got, c.time, abs_band, 128,
+                       isa_name(static_cast<IsaLevel>(level)));
+    }
+  }
+}
+
+TEST(GoldenOfdm, DemodulatedQ12EgressByteExactEveryTier) {
+  // The reference REs are integers and the reconstruction error is far
+  // below half an LSB (asserted at generation time), so after the
+  // half-to-even quantizer every tier must return the original integers
+  // exactly — byte-exact, not merely within tolerance.
+  for (const auto& c : ofdm_golden_cases()) {
+    for (int level = 0; level <= static_cast<int>(best_isa()); ++level) {
+      const phy::OfdmModulator ofdm(c.cfg, static_cast<IsaLevel>(level));
+      const auto got = ofdm.demodulate_symbol(c.time);
+      ASSERT_EQ(got.size(), c.res.size());
+      EXPECT_EQ(0, std::memcmp(got.data(), c.res.data(),
+                               got.size() * sizeof(phy::IqSample)))
+          << "tier " << isa_name(static_cast<IsaLevel>(level)) << " nfft "
+          << c.cfg.nfft;
     }
   }
 }

@@ -216,6 +216,28 @@ TEST(ModuleTraces, OfdmIsNearIdealScalar) {
   EXPECT_LT(td.backend, 0.15);
 }
 
+TEST(ModuleTraces, OfdmSimdShrinksUopCountWithWidth) {
+  // The SIMD OFDM trace models the vector butterfly kernels: each width
+  // doubling halves the number of register-blocks per FFT stage, so the
+  // total uop count must fall monotonically (the per-iteration shape is
+  // fixed). The scalar overload must agree with the 2-arg generator.
+  const auto scalar = trace_ofdm(IsaLevel::kScalar, 512, 2);
+  EXPECT_EQ(scalar.uops.size(), trace_ofdm(512, 2).uops.size());
+  const auto sse = trace_ofdm(IsaLevel::kSse41, 512, 2);
+  const auto avx2 = trace_ofdm(IsaLevel::kAvx2, 512, 2);
+  const auto avx512 = trace_ofdm(IsaLevel::kAvx512, 512, 2);
+  EXPECT_LT(sse.uops.size(), scalar.uops.size());
+  EXPECT_LT(avx2.uops.size(), sse.uops.size());
+  EXPECT_LT(avx512.uops.size(), avx2.uops.size());
+  EXPECT_EQ(sse.register_bits, 128);
+  EXPECT_EQ(avx2.register_bits, 256);
+  EXPECT_EQ(avx512.register_bits, 512);
+  // Butterflies are independent within a stage, so the port model should
+  // still see healthy ILP on a beefy core.
+  const auto td = beefy_sim().run(avx512);
+  EXPECT_GT(td.ipc, 1.5);
+}
+
 TEST(ModuleTraces, GammaIsElementwiseFast) {
   const auto td = beefy_sim().run(trace_turbo_gamma(IsaLevel::kSse41, 6144));
   EXPECT_GT(td.ipc, 2.3);
@@ -304,6 +326,9 @@ TEST(TraceInvariants, DependenciesPointBackward) {
                     arrange::Order::kBatched, 512),
       trace_turbo_decode(IsaLevel::kSse41, 512, 2, arrange::Method::kApcm),
       trace_ofdm(256, 1),
+      trace_ofdm(IsaLevel::kSse41, 256, 1),
+      trace_ofdm(IsaLevel::kAvx2, 512, 1),
+      trace_ofdm(IsaLevel::kAvx512, 512, 1),
       trace_scramble(1000),
       trace_rate_match(1000),
       trace_dci(27),

@@ -12,8 +12,10 @@ The outputs are deterministic; a diff after regeneration means either
 this script or the spec interpretation changed.
 """
 
+import cmath
 import os
 import random
+import struct
 
 OUT_DIR = os.path.dirname(os.path.abspath(__file__))
 
@@ -105,6 +107,77 @@ def turbo_encode(bits):
     return d0, d1, d2
 
 
+# --- OFDM (36.211 section 6.12 shape; double-precision reference) --------
+#
+# Independent oracle for the SIMD float FFT / OFDM chain.  Everything is
+# computed with O(n^2) double-precision DFT sums -- no FFT algorithm is
+# shared with src/phy/ofdm.  Floats are emitted as raw IEEE-754 bit
+# patterns (8 hex chars, little-endian value order re/im interleaved) so
+# the C++ replay reads exactly the values this script produced.
+
+
+def f32(v):
+    """Round a Python float (double) to IEEE binary32."""
+    return struct.unpack("<f", struct.pack("<f", v))[0]
+
+
+def f32_hex(v):
+    return format(struct.unpack("<I", struct.pack("<f", v))[0], "08x")
+
+
+def dft(x, inverse):
+    """O(n^2) DFT; forward unnormalized, inverse carries 1/n."""
+    n = len(x)
+    sign = 1.0 if inverse else -1.0
+    root = [cmath.exp(sign * 2j * cmath.pi * m / n) for m in range(n)]
+    out = []
+    for k in range(n):
+        acc = 0j
+        for t in range(n):
+            acc += x[t] * root[(k * t) % n]
+        out.append(acc / n if inverse else acc)
+    return out
+
+
+def ofdm_case(rng, nfft, used, cp, iq_scale=1.0 / 4096.0):
+    """One golden OFDM symbol: integer REs -> ideal time signal -> grid.
+
+    Returns (res, time32, grid32) where time32 is the binary32-rounded
+    ideal modulated symbol (CP + body) and grid32 is the binary32-rounded
+    double DFT of that *rounded* body -- i.e. the exact signal the C++
+    forward FFT transforms, so the ULP band measures FFT error only.
+    """
+    half = used // 2
+    res = [(rng.randrange(-2048, 2048), rng.randrange(-2048, 2048))
+           for _ in range(used)]
+    grid = [0j] * nfft
+    # Mapping mirrors src/phy/ofdm: positive bins 1..half <- REs half..,
+    # negative bins nfft-half..nfft-1 <- REs 0..half-1, DC unused.
+    for k in range(half):
+        i, q = res[half + k]
+        grid[1 + k] = complex(i * iq_scale, q * iq_scale)
+        i, q = res[k]
+        grid[nfft - half + k] = complex(i * iq_scale, q * iq_scale)
+    body = dft(grid, inverse=True)
+    body32 = [complex(f32(s.real), f32(s.imag)) for s in body]
+    time32 = body32[nfft - cp:] + body32
+    grid32 = dft(body32, inverse=False)
+    # The round trip must land far from every Q12 rounding boundary so the
+    # C++ egress (float FFT, then half-to-even quantize) is byte-exact.
+    for k in range(half):
+        for bin_idx, (i, q) in ((1 + k, res[half + k]),
+                                (nfft - half + k, res[k])):
+            err = max(abs(grid32[bin_idx].real / iq_scale - i),
+                      abs(grid32[bin_idx].imag / iq_scale - q))
+            assert err < 0.25, (nfft, bin_idx, err)
+    grid32 = [complex(f32(s.real), f32(s.imag)) for s in grid32]
+    return res, time32, grid32
+
+
+def cf_hex(samples):
+    return " ".join(f32_hex(p) for s in samples for p in (s.real, s.imag))
+
+
 # --- Emission ------------------------------------------------------------
 
 
@@ -157,6 +230,26 @@ def main():
             + " ".join(str(p) for p in pi)
             + "\n",
         )
+
+    # OFDM golden symbols: the paper's 5 MHz LTE geometry plus two
+    # smaller grids with odd per-side subcarrier counts (tail coverage
+    # for the SIMD convert kernels).
+    lines = [
+        "# OFDM golden vectors (double-precision reference, see",
+        "# generate_vectors.py).  Per case:",
+        "#   case <nfft> <used_subcarriers> <cp_len>",
+        "#   res  <i q> * used            (Q12 integers)",
+        "#   time <hex f32 bits> * 2*(nfft+cp)   (re im interleaved)",
+        "#   grid <hex f32 bits> * 2*nfft        (DFT of time body)",
+    ]
+    ofdm_rng = random.Random(20260807)  # own stream: keep older vectors stable
+    for nfft, used, cp in [(512, 300, 36), (256, 150, 18), (64, 38, 8)]:
+        res, time32, grid32 = ofdm_case(ofdm_rng, nfft, used, cp)
+        lines.append(f"case {nfft} {used} {cp}")
+        lines.append("res " + " ".join(f"{i} {q}" for i, q in res))
+        lines.append("time " + cf_hex(time32))
+        lines.append("grid " + cf_hex(grid32))
+    write("ofdm.txt", "\n".join(lines) + "\n")
 
     # Turbo codeword, K = 40.
     bits = [rng.randrange(2) for _ in range(40)]

@@ -168,6 +168,7 @@ struct PmuStage {
 
 struct Config {
   double p50_us = 0, p99_us = 0, allocs_per_tti = 0;
+  std::map<std::string, double> stages_us;     // stages_us_per_tti
   std::map<std::string, PmuStage> pmu_stages;  // empty without --hw data
 };
 
@@ -215,6 +216,13 @@ bool load(const char* path, std::map<std::string, Config>& out,
       cfg.p99_us = tti->num_or("p99", 0);
     }
     cfg.allocs_per_tti = c.num_or("allocs_per_tti", 0);
+    if (const auto* stages = c.find("stages_us_per_tti")) {
+      for (const auto& [name, v] : stages->object) {
+        if (v.type == JsonValue::Type::kNumber) {
+          cfg.stages_us.emplace(name, v.number);
+        }
+      }
+    }
     if (const auto* pmu = c.find("pmu")) {
       if (const auto* stages = pmu->find("stages")) {
         for (const auto& [name, v] : stages->object) {
@@ -236,6 +244,7 @@ int main(int argc, char** argv) {
   const char* baseline_path = nullptr;
   const char* current_path = nullptr;
   double max_regress = 15.0;
+  std::vector<std::string> stage_gate;  // stage names from --stage-gate
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--baseline") == 0 && i + 1 < argc) {
       baseline_path = argv[++i];
@@ -243,10 +252,19 @@ int main(int argc, char** argv) {
       current_path = argv[++i];
     } else if (std::strcmp(argv[i], "--max-regress") == 0 && i + 1 < argc) {
       max_regress = std::atof(argv[++i]);
+    } else if (std::strcmp(argv[i], "--stage-gate") == 0 && i + 1 < argc) {
+      std::stringstream names(argv[++i]);
+      std::string name;
+      while (std::getline(names, name, ',')) {
+        if (!name.empty()) stage_gate.push_back(name);
+      }
     } else {
       std::fprintf(stderr,
                    "usage: bench_compare --baseline A.json --current B.json "
-                   "[--max-regress PCT]\n");
+                   "[--max-regress PCT] [--stage-gate name1,name2]\n"
+                   "  --stage-gate: also gate the listed stages_us_per_tti\n"
+                   "  entries (wall-clock per stage, e.g. ofdm_tx,ofdm_rx)\n"
+                   "  when both files carry them.\n");
       return 2;
     }
   }
@@ -290,6 +308,22 @@ int main(int argc, char** argv) {
                 b.allocs_per_tti, c.allocs_per_tti,
                 lat_fail ? "  LATENCY-REGRESSION" : "",
                 alloc_fail ? "  ALLOC-REGRESSION" : "");
+    // Stage wall-clock gate (--stage-gate): only stages BOTH runs report.
+    // Absolute slack of 0.5us/TTI keeps sub-microsecond stages from
+    // tripping the percentage gate on timer noise.
+    bool stage_fail = false;
+    for (const auto& gated : stage_gate) {
+      const auto bit = b.stages_us.find(gated);
+      const auto cit = c.stages_us.find(gated);
+      if (bit == b.stages_us.end() || cit == c.stages_us.end()) continue;
+      const double bs = bit->second, cs = cit->second;
+      const bool fail = cs > bs * (1.0 + max_regress / 100.0) + 0.5;
+      if (fail) stage_fail = true;
+      std::printf("  stage %-8s %10.2fus %10.2fus %+8.1f%%%s\n",
+                  gated.c_str(), bs, cs,
+                  bs > 0 ? (cs - bs) / bs * 100.0 : 0.0,
+                  fail ? "  STAGE-REGRESSION" : "");
+    }
     // Measured-counter gate: only for stages BOTH runs measured (a
     // fallback run or an old baseline simply has no pmu stages).
     bool pmu_fail = false;
@@ -310,7 +344,7 @@ int main(int argc, char** argv) {
                     bb_fail ? "  BACKEND-BOUND-REGRESSION" : "");
       }
     }
-    failures += (lat_fail || alloc_fail || pmu_fail) ? 1 : 0;
+    failures += (lat_fail || alloc_fail || stage_fail || pmu_fail) ? 1 : 0;
   }
   for (const auto& [key, c] : cur) {
     (void)c;

@@ -96,10 +96,17 @@ int main(int argc, char** argv) {
   }
   rows.push_back({"turbo_encode", IsaLevel::kSse41, trace_turbo_encode(k),
                   bench::hw::wl_turbo_encode(k)});
-  rows.push_back({"ofdm_rx", IsaLevel::kSse41, trace_ofdm(512, 4),
-                  bench::hw::wl_ofdm_rx(512, 4)});
-  rows.push_back({"ofdm_tx", IsaLevel::kSse41, trace_ofdm(512, 4),
-                  bench::hw::wl_ofdm_tx(512, 4)});
+  // OFDM tx/rx per tier: the float FFT + convert kernels. The workload
+  // runs the whole (de)modulate path, the trace models the FFT
+  // butterflies that dominate it.
+  for (const IsaLevel isa :
+       {IsaLevel::kSse41, IsaLevel::kAvx2, IsaLevel::kAvx512}) {
+    if (isa > best_isa()) continue;
+    rows.push_back({"ofdm_rx", isa, trace_ofdm(isa, 512, 4),
+                    bench::hw::wl_ofdm_rx(isa, 512, 4)});
+    rows.push_back({"ofdm_tx", isa, trace_ofdm(isa, 512, 4),
+                    bench::hw::wl_ofdm_tx(isa, 512, 4)});
+  }
   rows.push_back({"scramble", IsaLevel::kSse41, trace_scramble(20000),
                   bench::hw::wl_scramble(20000)});
   rows.push_back({"rate_match", IsaLevel::kSse41, trace_rate_match(20000),
