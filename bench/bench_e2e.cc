@@ -79,6 +79,9 @@ struct ConfigResult {
   double allocs_per_tti = 0;
   double crc_ok_rate = 0;
   std::vector<pipeline::StageTimes::Entry> stages;  // seconds, whole run
+  /// Cross-TB decode-scheduler delta over the measured window: SIMD lane
+  /// fill and grouping shape (see DecodeScheduler::Stats).
+  pipeline::DecodeScheduler::Stats sched;
   int ttis = 0;
   bool hw = false;            // --hw requested
   bool pmu_available = false; // counters actually delivered
@@ -144,6 +147,7 @@ ConfigResult run_config(IsaLevel isa, int workers, int ttis, int flows,
   for (int i = 0; i < warmup; ++i) runner.run_tti(packets, results);
 
   const auto stages_before = runner.aggregate_times();
+  const auto sched_before = runner.decode_scheduler()->stats();
   const obs::Snapshot pmu_before = hw ? reg.snapshot() : obs::Snapshot{};
   std::vector<double> samples(static_cast<std::size_t>(ttis));
   std::uint64_t allocs = 0, ok = 0, sent = 0;
@@ -158,6 +162,24 @@ ConfigResult run_config(IsaLevel isa, int workers, int ttis, int flows,
     }
   }
   const auto stages_after = runner.aggregate_times();
+  {
+    const auto& sa = runner.decode_scheduler()->stats();
+    out.sched.blocks = sa.blocks - sched_before.blocks;
+    out.sched.batch_groups = sa.batch_groups - sched_before.batch_groups;
+    out.sched.windowed_blocks =
+        sa.windowed_blocks - sched_before.windowed_blocks;
+    out.sched.lanes_filled = sa.lanes_filled - sched_before.lanes_filled;
+    out.sched.lanes_available =
+        sa.lanes_available - sched_before.lanes_available;
+    out.sched.smallk_rerouted =
+        sa.smallk_rerouted - sched_before.smallk_rerouted;
+    for (const auto& [k, groups] : sa.groups_per_k) {
+      const auto it = sched_before.groups_per_k.find(k);
+      const std::uint64_t base =
+          it == sched_before.groups_per_k.end() ? 0 : it->second;
+      if (groups > base) out.sched.groups_per_k[k] = groups - base;
+    }
+  }
 
   std::sort(samples.begin(), samples.end());
   const auto at = [&](double q) {
@@ -232,6 +254,26 @@ std::string to_json(const std::vector<ConfigResult>& rows, int ttis,
       j += buf;
     }
     j += "}";
+    // Cross-TB decode-scheduler shape over the measured window.
+    std::snprintf(buf, sizeof(buf),
+                  ",\n     \"decode_sched\": {\"batch_fill\": %.4f, "
+                  "\"blocks\": %llu, \"batch_groups\": %llu, "
+                  "\"windowed_blocks\": %llu, \"smallk_rerouted\": %llu, "
+                  "\"groups_per_k\": {",
+                  r.sched.fill(),
+                  static_cast<unsigned long long>(r.sched.blocks),
+                  static_cast<unsigned long long>(r.sched.batch_groups),
+                  static_cast<unsigned long long>(r.sched.windowed_blocks),
+                  static_cast<unsigned long long>(r.sched.smallk_rerouted));
+    j += buf;
+    bool first_k = true;
+    for (const auto& [k, groups] : r.sched.groups_per_k) {
+      std::snprintf(buf, sizeof(buf), "%s\"%d\": %llu", first_k ? "" : ", ",
+                    k, static_cast<unsigned long long>(groups));
+      j += buf;
+      first_k = false;
+    }
+    j += "}}";
     if (r.hw) {
       std::snprintf(buf, sizeof(buf), ",\n     \"pmu\": {\"available\": %s, "
                     "\"stages\": {",
@@ -303,6 +345,14 @@ int main(int argc, char** argv) {
       std::printf("%-8s %-8d %10.1f %10.1f %10.1f %12.3f %8.4f\n",
                   isa_name(isa), workers, r.p50_us, r.p99_us, r.mean_us,
                   r.allocs_per_tti, r.crc_ok_rate);
+      if (r.sched.batch_groups > 0) {
+        std::printf("    sched fill=%.0f%% groups=%llu windowed=%llu "
+                    "rerouted=%llu\n",
+                    100 * r.sched.fill(),
+                    static_cast<unsigned long long>(r.sched.batch_groups),
+                    static_cast<unsigned long long>(r.sched.windowed_blocks),
+                    static_cast<unsigned long long>(r.sched.smallk_rerouted));
+      }
       if (hw && !r.pmu_stages.empty()) {
         for (const auto& [name, m] : r.pmu_stages) {
           std::printf("    pmu %-18s ipc=%.2f", name.c_str(), m.ipc());

@@ -128,6 +128,14 @@ int TurboBatchDecoder::lane_capacity(IsaLevel isa) {
   }
 }
 
+bool windowed_window_too_short(int k, IsaLevel isa) {
+  // Windows per block of the windowed decoder: the 8 trellis states fill
+  // one 128-bit lane, wider registers split the block into equal windows.
+  // Same 1/2/4 window progression the windowed decoder uses per tier.
+  const int nw = TurboBatchDecoder::lane_capacity(isa);
+  return nw > 1 && k / nw < kMinWindowSteps;
+}
+
 TurboBatchDecoder::TurboBatchDecoder(int k, TurboBatchConfig cfg)
     : k_(k),
       capacity_(lane_capacity(cfg.isa)),

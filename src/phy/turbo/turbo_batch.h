@@ -62,6 +62,23 @@ struct TurboBatchInput {
   std::span<const std::int16_t> sys, p1, p2;
 };
 
+/// Minimum trellis steps per register window for the windowed
+/// (single-block) decoder's equal-metric boundary approximation to be
+/// trusted. Below this the windows have too little run-in to converge
+/// and can corrupt even noiseless blocks — fuzzing caught windowed
+/// AVX-512 failing a clean K=816 block (204 steps/window) at MCS 28,
+/// where heavy rate-matching puncturing starves the boundaries further.
+/// 256 covers that observed failure with margin; blocks under the
+/// threshold must be decoded by a batched-lane kernel instead (exact
+/// full-K recursions at any width).
+constexpr int kMinWindowSteps = 256;
+
+/// True when windowed decoding of a K=`k` block at `isa` would run an
+/// approximate multi-window kernel (NW > 1, i.e. AVX2/AVX-512) with
+/// fewer than kMinWindowSteps trellis steps per window. Such blocks are
+/// rerouted to TurboBatchDecoder by the pipeline's decode scheduler.
+bool windowed_window_too_short(int k, IsaLevel isa);
+
 class TurboBatchDecoder {
  public:
   explicit TurboBatchDecoder(int k, TurboBatchConfig cfg = {});

@@ -19,6 +19,18 @@
 // Determinism: every flow's pipeline consumes only its own packet and its
 // own noise stream, so results are bit-identical to driving the flows
 // sequentially, for any worker count.
+//
+// Cross-TB batched decode (uplink, default on): instead of each flow
+// decoding its own code blocks inside send_packet, the runner drives the
+// flows through the staged TTI API (pipeline.h) and funnels every active
+// flow's arranged blocks into ONE shared DecodeScheduler round per
+// transmission. Same-K blocks from different UEs then share SIMD lane
+// groups — the cross-UE aggregation of the paper's batching idea — while
+// per-flow HARQ state, noise streams and CRC semantics stay with their
+// pipelines. Because the batched kernel is bit-exact per block at every
+// width and grouping never reorders a block's own data, egress bytes and
+// HARQ counters are identical to per-TB decoding for any flow mix and
+// worker count; only the grouping (and thus throughput) changes.
 #pragma once
 
 #include <cstdint>
@@ -37,8 +49,10 @@ class BatchRunner {
   /// One pipeline per entry of `flow_cfgs` (a flow = one UE's RNTI,
   /// MCS, ...). `num_workers` is the TOTAL concurrency including the
   /// calling thread; 1 runs the flows sequentially on the caller.
+  /// `cross_tb_batch` enables the shared cross-UE decode scheduler for
+  /// uplink runners (see header comment); downlink always runs legacy.
   BatchRunner(Direction dir, std::vector<PipelineConfig> flow_cfgs,
-              int num_workers);
+              int num_workers, bool cross_tb_batch = true);
 
   std::size_t flows() const { return configs_.size(); }
   int num_workers() const { return num_workers_; }
@@ -69,13 +83,29 @@ class BatchRunner {
   /// Per-stage CPU time summed over all flows since construction.
   StageTimes aggregate_times() const;
 
+  /// The shared cross-UE scheduler (its Stats expose lane fill and
+  /// per-K group counts); nullptr when cross-TB batching is off.
+  const DecodeScheduler* decode_scheduler() const { return sched_.get(); }
+  bool cross_tb_batch() const { return sched_ != nullptr; }
+
  private:
+  void run_tti_cross(const std::vector<std::vector<std::uint8_t>>& packets,
+                     std::vector<PacketResult>& results);
+
   Direction dir_;
   int num_workers_;
   std::vector<PipelineConfig> configs_;
   std::vector<std::unique_ptr<UplinkPipeline>> uplinks_;
   std::vector<std::unique_ptr<DownlinkPipeline>> downlinks_;
   std::unique_ptr<ThreadPool> pool_;  ///< nullptr when num_workers <= 1
+
+  // Cross-TB batching state (uplink only; null when disabled). The
+  // scheduler's staging and lane-group decoder caches live in a
+  // runner-owned workspace so cross-flow groups never touch a single
+  // flow's arena; job buffers they point INTO stay flow-owned.
+  std::unique_ptr<DecodeScheduler> sched_;
+  std::unique_ptr<PipelineWorkspace> sched_ws_;
+  std::vector<std::uint8_t> active_;  ///< per-flow in-flight marks (grow-only)
 
   // Metric handles (null when flow 0 disabled metrics).
   obs::Histogram* tti_ns_ = nullptr;

@@ -263,6 +263,13 @@ Modulation mod_of(int mcs) {
   }
 }
 
+}  // namespace
+
+// The structs below are held (directly or via DecodeCtx) by
+// detail::UplinkTti, whose definition pipeline.h forward-declares —
+// external linkage keeps GCC's -Wsubobject-linkage quiet. Their names
+// are TU-local by convention only.
+
 /// A prepared transport block: segmentation plan + per-block turbo
 /// codewords; transmittable at any redundancy version.
 struct PreparedTb {
@@ -378,12 +385,44 @@ struct DecodedTb {
   std::span<const std::uint8_t> pdu;
 };
 
-DecodedTb phy_decode(const EncodedTb& enc, const PipelineConfig& cfg,
-                     std::uint32_t tti, PacketObs& po,
-                     const phy::OfdmModulator& ofdm, HarqBuffers* harq,
-                     ThreadPool* pool, PipelineWorkspace& ws) {
+/// Per-block receive-side accounting, shared between the decode phases.
+struct BlockOutcome {
+  double dematch_seconds = 0;
+  double arrange_seconds = 0;
+  DecodeOutcome decode;  ///< written by the DecodeScheduler
+};
+
+/// Decode-front output held across the scheduler run: the per-block
+/// state the back phase folds into the packet. Spans point into the
+/// workspace arena (valid until the pipeline's next packet).
+struct DecodeCtx {
+  const EncodedTb* enc = nullptr;
+  std::span<BlockOutcome> per_block;
+  std::span<std::span<std::uint8_t>> hard;
+  std::uint64_t allocs = 0;  ///< front-phase heap allocations
+};
+
+/// Receive front: OFDM rx -> soft demap -> descramble -> per-block
+/// de-rate-match + data arrangement, ending with one DecodeJob per code
+/// block appended to `jobs` (decoded later by a DecodeScheduler — the
+/// pipeline's own for per-TB grouping, or BatchRunner's shared one for
+/// cross-TB/cross-UE grouping).
+///
+/// Code blocks are independent after segmentation, so with a pool the
+/// dematch+arrange stage runs one block per worker. The driving thread
+/// resolves every codec object and carves every buffer BEFORE the fork;
+/// workers receive raw pointers and disjoint spans and never touch the
+/// workspace. The flat StageTimes are recorded per block and folded in
+/// block order by the back phase — totals are bit-identical for any
+/// worker count. Histograms and trace spans, by contrast, are recorded
+/// directly from the workers: histogram shards fold on snapshot
+/// (order-independent) and spans carry the worker id that ran the block.
+void phy_decode_front(const EncodedTb& enc, const PipelineConfig& cfg,
+                      std::uint32_t tti, PacketObs& po,
+                      const phy::OfdmModulator& ofdm, HarqBuffers* harq,
+                      ThreadPool* pool, PipelineWorkspace& ws,
+                      std::vector<DecodeJob>& jobs, DecodeCtx& ctx) {
   const std::uint64_t news0 = alloc_stats::news();
-  DecodedTb out;
   MonotonicArena& arena = ws.arena();
 
   const auto symbols = arena.make_span<phy::IqSample>(enc.n_symbols);
@@ -414,105 +453,31 @@ DecodedTb phy_decode(const EncodedTb& enc, const PipelineConfig& cfg,
 
   apply_llr_faults(cfg, tti, enc.rv, llr);
 
-  // Per-block de-rate-match + data arrangement + turbo decode: the decode
-  // hot path. Code blocks are independent after segmentation, so with a
-  // pool they run one block per worker. The driving thread resolves every
-  // codec object and carves every buffer BEFORE the fork; workers receive
-  // raw pointers and disjoint spans and never touch the workspace. The
-  // matcher is shared (decode-side methods are const and stateless);
-  // decoders come from the per-lane caches, so two blocks never share
-  // decoder scratch. The flat StageTimes are recorded per block and
-  // folded in block order after the join — totals are bit-identical for
-  // any worker count. Histograms and trace spans, by contrast, are
-  // recorded directly from the workers: histogram shards fold on snapshot
-  // (order-independent) and spans carry the worker id that ran the block.
   const bool multi = enc.plan.c > 1;
   const std::size_t n_blocks = static_cast<std::size_t>(enc.plan.c);
-  struct BlockOutcome {
-    double dematch_seconds = 0;
-    double arrange_seconds = 0;
-    double compute_seconds = 0;
-    bool crc_ok = false;
-    int iterations = 0;
-  };
   const auto per_block = arena.make_object_span<BlockOutcome>(n_blocks);
   const auto hard = arena.make_span<std::span<std::uint8_t>>(n_blocks);
   const auto w_bufs = arena.make_span<std::span<std::int16_t>>(n_blocks);
   const auto triples = arena.make_span<std::span<std::int16_t>>(n_blocks);
   const auto matchers = arena.make_span<const phy::RateMatcher*>(n_blocks);
-  const auto decoders = arena.make_span<phy::TurboDecoder*>(n_blocks);
-  const DecoderSpec spec{cfg.arrange_method, cfg.isa,
-                         cfg.max_turbo_iterations, multi};
-  // Batched-lane decoding: several same-K blocks share one MAP kernel
-  // call, one block per 8-state lane group. Only worthwhile when the
-  // tier has more than one lane group and there is more than one block.
-  const bool use_batch = cfg.batch_decode && multi &&
-                         phy::TurboBatchDecoder::lane_capacity(cfg.isa) > 1;
+  const auto arranged =
+      arena.make_span<std::span<std::int16_t>>(3 * n_blocks);
   for (std::size_t bi = 0; bi < n_blocks; ++bi) {
     const int k = enc.plan.block_size(static_cast<int>(bi));
     hard[bi] = arena.make_span<std::uint8_t>(static_cast<std::size_t>(k));
-    triples[bi] = arena.make_span<std::int16_t>(
-        3 * (static_cast<std::size_t>(k) + phy::kTurboTail));
+    const std::size_t nt = static_cast<std::size_t>(k) + phy::kTurboTail;
+    triples[bi] = arena.make_span<std::int16_t>(3 * nt);
+    for (int s = 0; s < 3; ++s) {
+      arranged[3 * bi + static_cast<std::size_t>(s)] =
+          arena.make_span<std::int16_t>(nt);
+    }
     matchers[bi] = &ws.codecs().matcher(k);
-    if (!use_batch) decoders[bi] = &ws.lane(bi).decoder(k, spec);
     // Non-HARQ transmissions accumulate into a fresh zeroed buffer —
     // exactly RateMatcher::dematch — so both paths share one shape.
     w_bufs[bi] = harq != nullptr
                      ? harq->w[bi]
                      : arena.make_zero_span<std::int16_t>(static_cast<
                            std::size_t>(phy::RateMatcher::buffer_size_for(k)));
-  }
-
-  // Batch-path state: per-block arranged streams, grouped same-K runs,
-  // and the per-group batch decoders — all resolved/carved pre-fork.
-  struct BatchGroup {
-    std::size_t first = 0;
-    std::size_t count = 0;
-    phy::TurboBatchDecoder* dec = nullptr;
-  };
-  std::span<std::span<std::int16_t>> arranged;  ///< 3 per block: sys/p1/p2
-  std::span<phy::TurboBatchInput> b_inputs;
-  std::span<phy::TurboBatchResult> b_results;
-  std::span<std::uint8_t> b_force;
-  std::span<BatchGroup> groups;
-  std::size_t n_groups = 0;
-  if (use_batch) {
-    arranged = arena.make_span<std::span<std::int16_t>>(3 * n_blocks);
-    b_inputs = arena.make_object_span<phy::TurboBatchInput>(n_blocks);
-    b_results = arena.make_object_span<phy::TurboBatchResult>(n_blocks);
-    b_force = arena.make_zero_span<std::uint8_t>(n_blocks);
-    groups = arena.make_object_span<BatchGroup>(n_blocks);
-    for (std::size_t bi = 0; bi < n_blocks; ++bi) {
-      const std::size_t nt =
-          static_cast<std::size_t>(enc.plan.block_size(static_cast<int>(bi))) +
-          phy::kTurboTail;
-      for (int s = 0; s < 3; ++s) {
-        arranged[3 * bi + static_cast<std::size_t>(s)] =
-            arena.make_span<std::int16_t>(nt);
-      }
-      b_inputs[bi] = {arranged[3 * bi], arranged[3 * bi + 1],
-                      arranged[3 * bi + 2]};
-    }
-    const std::size_t cap = static_cast<std::size_t>(
-        phy::TurboBatchDecoder::lane_capacity(cfg.isa));
-    std::size_t bi = 0;
-    while (bi < n_blocks) {
-      const int k = enc.plan.block_size(static_cast<int>(bi));
-      std::size_t run_end = bi;
-      while (run_end < n_blocks &&
-             enc.plan.block_size(static_cast<int>(run_end)) == k) {
-        ++run_end;
-      }
-      while (bi < run_end) {
-        const std::size_t count = std::min(cap, run_end - bi);
-        // Radix-4 halves the alpha-spill traffic and pays on multi-lane-
-        // group tiers; a 1-block group runs at one lane group where the
-        // fused step costs a few percent, so it keeps radix-2.
-        groups[n_groups++] = {
-            bi, count, &ws.lane(bi).batch_decoder(k, spec, count > 1)};
-        bi += count;
-      }
-    }
   }
 
   const auto dematch_block = [&](std::size_t bi) {
@@ -544,47 +509,23 @@ DecodedTb phy_decode(const EncodedTb& enc, const PipelineConfig& cfg,
                            (fault_key(cfg, tti, enc.rv) << 7) ^ bi);
   };
 
-  const auto decode_block = [&](std::size_t bi) {
-    const int i = static_cast<int>(bi);
-    const auto tid = ThreadPool::current_worker_id();
-    auto& ob = per_block[bi];
-    dematch_block(bi);
-    phy::TurboDecodeResult res;
-    {
-      obs::ScopedSpan span(po.trace, "turbo_block", po.tti, i, tid);
-      // decode() interleaves data arrangement with the MAP iterations,
-      // so its hardware counters are attributed wholesale to
-      // pmu.stage.turbo_decode (the wall-clock split below still comes
-      // from the decoder's own stopwatches); fig15 --hw measures the
-      // arrangement kernel standalone for the isolated numbers.
-      obs::PmuScope pmu(po.h.turbo_decode.pmu.ptr());
-      res = decoders[bi]->decode(triples[bi], hard[bi], miss_early_stop(bi));
-    }
-    ob.arrange_seconds = res.arrange_seconds;
-    ob.compute_seconds = res.compute_seconds;
-    ob.crc_ok = res.crc_ok;
-    ob.iterations = res.iterations;
-    if (po.h.arrange.ns != nullptr) {
-      po.h.arrange.ns->record(to_ns(res.arrange_seconds));
-      po.h.turbo_decode.ns->record(to_ns(res.compute_seconds));
-    }
-  };
-
-  // Batch path stage A (per block, parallel): de-rate-match, then
-  // de-interleave the triples into per-stream arranged spans. Stage B
-  // (per group, parallel across groups): one batched MAP call decodes
-  // every block in the group; its wall clock is split evenly across the
-  // group's blocks for the stage accounting.
+  // Stage A (per block, parallel): de-rate-match, then de-interleave the
+  // triples into per-stream arranged spans. Every route consumes
+  // arranged streams now — the windowed decoder via decode_arranged
+  // (bit-identical to its fused decode(); the arrangement mechanism
+  // still honours cfg.arrange_method) and the batched kernels natively —
+  // so one stage serves both and the scheduler only ever sees arranged
+  // blocks.
   const auto arrange_block = [&](std::size_t bi) {
     const int i = static_cast<int>(bi);
     const auto tid = ThreadPool::current_worker_id();
     auto& ob = per_block[bi];
     dematch_block(bi);
-    b_force[bi] = miss_early_stop(bi) ? 1 : 0;
     {
       obs::ScopedSpan span(po.trace, "turbo_arrange", po.tti, i, tid);
       // Attributed to pmu.stage.turbo_decode exactly like the fused
-      // arrange-and-decode of the per-block path.
+      // arrange-and-decode used to be; fig15 --hw measures the
+      // arrangement kernel standalone for the isolated numbers.
       obs::PmuScope pmu(po.h.turbo_decode.pmu.ptr());
       Stopwatch sw;
       arrange::Options opt;
@@ -601,60 +542,65 @@ DecodedTb phy_decode(const EncodedTb& enc, const PipelineConfig& cfg,
     }
   };
 
-  const auto decode_group = [&](std::size_t gi) {
-    const auto& g = groups[gi];
-    const auto tid = ThreadPool::current_worker_id();
-    Stopwatch sw;
-    {
-      obs::ScopedSpan span(po.trace, "turbo_batch", po.tti,
-                           static_cast<int>(g.first), tid);
-      obs::PmuScope pmu(po.h.turbo_decode.pmu.ptr());
-      g.dec->decode_arranged(
-          std::span<const phy::TurboBatchInput>(
-              b_inputs.subspan(g.first, g.count)),
-          std::span<const std::span<std::uint8_t>>(
-              hard.subspan(g.first, g.count)),
-          b_results.subspan(g.first, g.count),
-          std::span<const std::uint8_t>(b_force.subspan(g.first, g.count)));
-    }
-    const double share = sw.seconds() / static_cast<double>(g.count);
-    for (std::size_t bi = g.first; bi < g.first + g.count; ++bi) {
-      auto& ob = per_block[bi];
-      ob.compute_seconds = share;
-      ob.crc_ok = b_results[bi].crc_ok;
-      ob.iterations = b_results[bi].iterations;
-      if (po.h.turbo_decode.ns != nullptr) {
-        po.h.turbo_decode.ns->record(to_ns(share));
-      }
-    }
-  };
-
-  if (use_batch) {
-    if (pool != nullptr && n_blocks > 1) {
-      pool->parallel_for(0, n_blocks, arrange_block);
-    } else {
-      for (std::size_t bi = 0; bi < n_blocks; ++bi) arrange_block(bi);
-    }
-    if (pool != nullptr && n_groups > 1) {
-      pool->parallel_for(0, n_groups, decode_group);
-    } else {
-      for (std::size_t gi = 0; gi < n_groups; ++gi) decode_group(gi);
-    }
-  } else if (pool != nullptr && n_blocks > 1) {
-    pool->parallel_for(0, n_blocks, decode_block);
+  if (pool != nullptr && n_blocks > 1) {
+    pool->parallel_for(0, n_blocks, arrange_block);
   } else {
-    for (std::size_t bi = 0; bi < n_blocks; ++bi) decode_block(bi);
+    for (std::size_t bi = 0; bi < n_blocks; ++bi) arrange_block(bi);
   }
+
+  // One DecodeJob per block (driving thread). Batching is offered to the
+  // scheduler for multi-block TBs on multi-lane-group tiers — the same
+  // policy the per-TB grouping used — but the scheduler may also widen a
+  // group with other TBs' blocks (cross-TB mode) or force a windowed-
+  // unsafe small-K block onto the exact batched kernel.
+  const bool batch_ok = cfg.batch_decode && multi &&
+                        phy::TurboBatchDecoder::lane_capacity(cfg.isa) > 1;
+  for (std::size_t bi = 0; bi < n_blocks; ++bi) {
+    DecodeJob j;
+    j.k = enc.plan.block_size(static_cast<int>(bi));
+    j.isa = cfg.isa;
+    j.max_iterations = cfg.max_turbo_iterations;
+    j.crc_multi = multi;
+    j.arrange_method = cfg.arrange_method;
+    j.batch_ok = batch_ok;
+    j.force_full = miss_early_stop(bi);
+    j.in = {arranged[3 * bi], arranged[3 * bi + 1], arranged[3 * bi + 2]};
+    j.hard = hard[bi];
+    j.out = &per_block[bi].decode;
+    j.trace = po.trace;
+    j.tti = po.tti;
+    j.block = static_cast<std::int32_t>(bi);
+    j.turbo_ns = po.h.turbo_decode.ns;
+    j.pmu = po.h.turbo_decode.pmu.ptr();
+    jobs.push_back(j);
+  }
+
+  ctx.enc = &enc;
+  ctx.per_block = per_block;
+  ctx.hard = hard;
+  ctx.allocs = alloc_stats::news() - news0;
+}
+
+/// Receive back: fold the per-block outcomes (the scheduler has filled
+/// per_block[..].decode by now) into the stage accumulators, then
+/// desegment and check the TB CRC.
+DecodedTb phy_decode_back(PacketObs& po, PipelineWorkspace& ws,
+                          DecodeCtx& ctx) {
+  const std::uint64_t news0 = alloc_stats::news();
+  DecodedTb out;
+  MonotonicArena& arena = ws.arena();
+  const EncodedTb& enc = *ctx.enc;
+  const std::size_t n_blocks = ctx.hard.size();
 
   bool all_ok = true;
   int max_iters = 0;
-  for (const auto& ob : per_block) {
+  for (const auto& ob : ctx.per_block) {
     po.t.rate_dematch.add(ob.dematch_seconds);
     po.t.arrange.add(ob.arrange_seconds);
-    po.t.turbo_decode.add(ob.compute_seconds);
+    po.t.turbo_decode.add(ob.decode.compute_seconds);
     out.arrange_seconds += ob.arrange_seconds;
-    all_ok = all_ok && ob.crc_ok;
-    max_iters = std::max(max_iters, ob.iterations);
+    all_ok = all_ok && ob.decode.crc_ok;
+    max_iters = std::max(max_iters, ob.decode.iterations);
   }
   out.turbo_iterations = max_iters;
 
@@ -663,7 +609,7 @@ DecodedTb phy_decode(const EncodedTb& enc, const PipelineConfig& cfg,
     StageScope st(po, po.t.desegmentation, po.h.desegmentation, "deseg");
     const auto views =
         arena.make_span<std::span<const std::uint8_t>>(n_blocks);
-    for (std::size_t bi = 0; bi < n_blocks; ++bi) views[bi] = hard[bi];
+    for (std::size_t bi = 0; bi < n_blocks; ++bi) views[bi] = ctx.hard[bi];
     const auto bits =
         arena.make_span<std::uint8_t>(static_cast<std::size_t>(enc.plan.b));
     const bool seg_ok = phy::desegment_bits(views, enc.plan, bits);
@@ -680,7 +626,7 @@ DecodedTb phy_decode(const EncodedTb& enc, const PipelineConfig& cfg,
       out.pdu = pdu;
     }
   }
-  out.allocs = alloc_stats::news() - news0;
+  out.allocs = ctx.allocs + (alloc_stats::news() - news0);
   return out;
 }
 
@@ -693,7 +639,29 @@ std::unique_ptr<ThreadPool> make_decode_pool(const PipelineConfig& cfg) {
                                       cfg.fault, cfg.pmu);
 }
 
-}  // namespace
+/// HARQ redundancy-version sequence (36.212): 0 -> 2 -> 3 -> 1.
+constexpr int kRvSeq[4] = {0, 2, 3, 1};
+
+namespace detail {
+
+/// One staged packet in flight (see the "Staged TTI API" in pipeline.h):
+/// everything send_packet used to keep on its stack, held across phases
+/// so BatchRunner can interleave many flows around a shared scheduler.
+struct UplinkTti {
+  PacketResult res;
+  std::uint32_t tti = 0;
+  PreparedTb tb;
+  HarqBuffers harq;
+  bool use_harq = false;
+  int tx = 0;        ///< transmissions completed (collected)
+  bool active = false;
+  EncodedTb enc;
+  DecodeCtx ctx;
+  DecodedTb dec;
+  std::optional<obs::ScopedSpan> span;  ///< "packet" trace span
+};
+
+}  // namespace detail
 
 UplinkPipeline::UplinkPipeline(PipelineConfig cfg)
     : cfg_(cfg),
@@ -702,27 +670,52 @@ UplinkPipeline::UplinkPipeline(PipelineConfig cfg)
                cfg.noise_seed),
       pool_(make_decode_pool(cfg)),
       obs_(std::make_unique<detail::PipelineObs>(cfg.metrics, cfg.pmu)),
-      ws_(cfg.codec_cache_capacity) {}
+      ws_(cfg.codec_cache_capacity),
+      sched_(std::make_unique<DecodeScheduler>(cfg.metrics)),
+      state_(std::make_unique<detail::UplinkTti>()) {}
 
 UplinkPipeline::~UplinkPipeline() = default;
 
 PacketResult UplinkPipeline::send_packet(
     std::span<const std::uint8_t> ip_packet) {
-  Stopwatch total;
-  PacketResult res;
-  const std::uint32_t tti = tti_++;
-  // One arena frame per packet: everything the decode chain carves below
+  tti_begin(ip_packet);
+  while (!tti_done()) {
+    sched_->begin();
+    tti_transmit();
+    sched_->submit(pending_jobs());
+    {
+      Stopwatch ssw;
+      const std::uint64_t a0 = alloc_stats::news();
+      sched_->run(ws_, pool_.get());
+      tti_add_decode_allocs(alloc_stats::news() - a0);
+      tti_add_latency(ssw.seconds());
+    }
+    tti_collect();
+  }
+  return tti_finish();
+}
+
+void UplinkPipeline::tti_begin(std::span<const std::uint8_t> ip_packet) {
+  auto& st = *state_;
+  Stopwatch phase;
+  st.res = PacketResult{};
+  st.tti = tti_++;
+  st.tx = 0;
+  st.active = true;
+  st.ctx = DecodeCtx{};
+  st.dec = DecodedTb{};
+  // One arena frame per packet: everything the decode chain carves
   // (including HARQ soft buffers, reused across retransmissions) lives
   // until this packet completes; the next packet rewinds it in O(1).
   ws_.arena().reset();
-  PacketObs po{times_, *obs_, cfg_.trace, tti};
-  obs::ScopedSpan packet_span(cfg_.trace, "packet", tti);
+  PacketObs po{times_, *obs_, cfg_.trace, st.tti};
+  st.span.emplace(cfg_.trace, "packet", st.tti);
 
   // UE MAC: size the transport block to the packet.
   std::vector<std::uint8_t> pdu;
   int n_prb = 0;
   {
-    StageScope st(po, times_.mac, obs_->mac, "mac");
+    StageScope stage(po, times_.mac, obs_->mac, "mac");
     const int payload_bits =
         static_cast<int>(ip_packet.size() + mac::kMacHeaderBytes) * 8;
     n_prb = mac::prbs_for_payload(payload_bits, cfg_.mcs, cfg_.max_prb);
@@ -732,72 +725,105 @@ PacketResult UplinkPipeline::send_packet(
     sdu.data.assign(ip_packet.begin(), ip_packet.end());
     pdu = mac::mac_build_pdu(sdu, static_cast<std::size_t>(tbs / 8));
   }
-  res.tb_bytes = pdu.size();
+  st.res.tb_bytes = pdu.size();
 
-  const auto tb = prepare_tb(pdu, cfg_, po, n_prb, ws_);
-  res.code_blocks = static_cast<std::size_t>(tb.plan.c);
+  st.tb = prepare_tb(pdu, cfg_, po, n_prb, ws_);
+  st.res.code_blocks = static_cast<std::size_t>(st.tb.plan.c);
 
-  // HARQ loop: rv sequence 0 -> 2 -> 3 -> 1, soft-combining at the
-  // receiver until the transport block passes CRC or attempts run out.
-  static constexpr int kRvSeq[4] = {0, 2, 3, 1};
-  HarqBuffers harq;
-  const bool use_harq = cfg_.harq_max_tx > 1;
-  if (use_harq) harq.prepare(tb.plan, ws_);
+  st.use_harq = cfg_.harq_max_tx > 1;
+  if (st.use_harq) st.harq.prepare(st.tb.plan, ws_);
+  st.res.latency_seconds += phase.seconds();
+}
 
-  DecodedTb dec;
-  for (int tx = 0; tx < std::max(1, cfg_.harq_max_tx); ++tx) {
-    res.transmissions = tx + 1;
-    auto enc = phy_transmit(tb, cfg_, tti, po, ofdm_, kRvSeq[tx % 4], ws_);
-    if (cfg_.with_channel) {
-      Stopwatch csw;
-      StageScope st(po, times_.channel, obs_->channel, "channel");
-      channel_.apply(std::span<phy::Cf>(enc.time));
-      res.channel_seconds += csw.seconds();
-    }
-    dec = phy_decode(enc, cfg_, tti, po, ofdm_,
-                     use_harq ? &harq : nullptr, pool_.get(), ws_);
-    res.arrange_seconds += dec.arrange_seconds;
-    res.decode_allocs += dec.allocs;
-    if (dec.crc_ok) break;
+bool UplinkPipeline::tti_done() const {
+  const auto& st = *state_;
+  return !st.active || st.dec.crc_ok ||
+         st.tx >= std::max(1, cfg_.harq_max_tx);
+}
+
+void UplinkPipeline::tti_transmit() {
+  auto& st = *state_;
+  Stopwatch phase;
+  PacketObs po{times_, *obs_, cfg_.trace, st.tti};
+  st.res.transmissions = st.tx + 1;
+  st.enc =
+      phy_transmit(st.tb, cfg_, st.tti, po, ofdm_, kRvSeq[st.tx % 4], ws_);
+  if (cfg_.with_channel) {
+    Stopwatch csw;
+    StageScope stage(po, times_.channel, obs_->channel, "channel");
+    channel_.apply(std::span<phy::Cf>(st.enc.time));
+    st.res.channel_seconds += csw.seconds();
   }
-  res.crc_ok = dec.crc_ok;
-  res.turbo_iterations = dec.turbo_iterations;
+  jobs_.clear();
+  phy_decode_front(st.enc, cfg_, st.tti, po, ofdm_,
+                   st.use_harq ? &st.harq : nullptr, pool_.get(), ws_,
+                   jobs_, st.ctx);
+  st.res.latency_seconds += phase.seconds();
+}
+
+void UplinkPipeline::tti_collect() {
+  auto& st = *state_;
+  Stopwatch phase;
+  PacketObs po{times_, *obs_, cfg_.trace, st.tti};
+  st.dec = phy_decode_back(po, ws_, st.ctx);
+  st.res.arrange_seconds += st.dec.arrange_seconds;
+  st.res.decode_allocs += st.dec.allocs;
+  ++st.tx;
+  st.res.latency_seconds += phase.seconds();
+}
+
+PacketResult UplinkPipeline::tti_finish() {
+  auto& st = *state_;
+  Stopwatch phase;
+  PacketObs po{times_, *obs_, cfg_.trace, st.tti};
+  st.res.crc_ok = st.dec.crc_ok;
+  st.res.turbo_iterations = st.dec.turbo_iterations;
 
   // eNB MAC + GTP-U toward the EPC.
-  if (dec.crc_ok) {
+  if (st.dec.crc_ok) {
     std::optional<mac::MacSdu> sdu;
     {
-      StageScope st(po, times_.mac, obs_->mac, "mac");
-      sdu = mac::mac_parse_pdu(dec.pdu);
+      StageScope stage(po, times_.mac, obs_->mac, "mac");
+      sdu = mac::mac_parse_pdu(st.dec.pdu);
     }
     if (sdu.has_value()) {
-      StageScope st(po, times_.gtpu, obs_->gtpu, "gtpu");
-      res.egress = net::gtpu_encapsulate(cfg_.teid, sdu->data);
+      StageScope stage(po, times_.gtpu, obs_->gtpu, "gtpu");
+      st.res.egress = net::gtpu_encapsulate(cfg_.teid, sdu->data);
       // Wire mangling on the S1-U leg: the frame still egresses
       // (delivered = true from the eNB's perspective); the EPC side
       // drops it and counts "net.gtpu.decap_drop".
       if (cfg_.fault != nullptr) {
-        net::gtpu_apply_fault(res.egress, *cfg_.fault,
-                              fault_key(cfg_, tti, 0));
+        net::gtpu_apply_fault(st.res.egress, *cfg_.fault,
+                              fault_key(cfg_, st.tti, 0));
       }
-      res.delivered = true;
+      st.res.delivered = true;
     }
   }
-  res.latency_seconds = total.seconds();
+  st.res.latency_seconds += phase.seconds();
+  st.span.reset();
+  st.active = false;
 
   if (obs_->packets != nullptr) {
     obs_->packets->add();
-    if (res.delivered) obs_->delivered->add();
-    if (!res.crc_ok) obs_->crc_fail->add();
-    if (res.transmissions > 1) {
+    if (st.res.delivered) obs_->delivered->add();
+    if (!st.res.crc_ok) obs_->crc_fail->add();
+    if (st.res.transmissions > 1) {
       obs_->harq_retx->add(
-          static_cast<std::uint64_t>(res.transmissions - 1));
+          static_cast<std::uint64_t>(st.res.transmissions - 1));
     }
-    obs_->latency_ns->record(to_ns(res.latency_seconds));
+    obs_->latency_ns->record(to_ns(st.res.latency_seconds));
     obs_->proc_ns->record(
-        to_ns(res.latency_seconds - res.channel_seconds));
+        to_ns(st.res.latency_seconds - st.res.channel_seconds));
   }
-  return res;
+  return std::move(st.res);
+}
+
+void UplinkPipeline::tti_add_latency(double seconds) {
+  state_->res.latency_seconds += seconds;
+}
+
+void UplinkPipeline::tti_add_decode_allocs(std::uint64_t allocs) {
+  state_->res.decode_allocs += allocs;
 }
 
 DownlinkPipeline::DownlinkPipeline(PipelineConfig cfg)
@@ -807,7 +833,8 @@ DownlinkPipeline::DownlinkPipeline(PipelineConfig cfg)
                cfg.noise_seed + 1),
       pool_(make_decode_pool(cfg)),
       obs_(std::make_unique<detail::PipelineObs>(cfg.metrics, cfg.pmu)),
-      ws_(cfg.codec_cache_capacity) {}
+      ws_(cfg.codec_cache_capacity),
+      sched_(std::make_unique<DecodeScheduler>(cfg.metrics)) {}
 
 DownlinkPipeline::~DownlinkPipeline() = default;
 
@@ -880,8 +907,18 @@ PacketResult DownlinkPipeline::send_packet(
     res.channel_seconds = csw.seconds();
   }
 
-  const auto dec =
-      phy_decode(enc, cfg_, tti, po, ofdm_, nullptr, pool_.get(), ws_);
+  sched_->begin();
+  jobs_.clear();
+  DecodeCtx ctx;
+  phy_decode_front(enc, cfg_, tti, po, ofdm_, nullptr, pool_.get(), ws_,
+                   jobs_, ctx);
+  sched_->submit(jobs_);
+  {
+    const std::uint64_t a0 = alloc_stats::news();
+    sched_->run(ws_, pool_.get());
+    ctx.allocs += alloc_stats::news() - a0;
+  }
+  const auto dec = phy_decode_back(po, ws_, ctx);
   res.crc_ok = dec.crc_ok;
   res.turbo_iterations = dec.turbo_iterations;
   res.arrange_seconds = dec.arrange_seconds;

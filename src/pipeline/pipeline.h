@@ -37,6 +37,7 @@
 #include "phy/scramble/scrambler.h"
 #include "phy/segmentation/segmentation.h"
 #include "phy/turbo/turbo_decoder.h"
+#include "pipeline/decode_scheduler.h"
 #include "pipeline/workspace.h"
 
 namespace vran::pipeline {
@@ -149,6 +150,9 @@ namespace detail {
 /// internal to pipeline.cc; owned per pipeline so name lookups happen
 /// once at construction.
 struct PipelineObs;
+/// In-flight staged-TTI state (see UplinkPipeline::tti_begin) —
+/// internal to pipeline.cc.
+struct UplinkTti;
 }  // namespace detail
 
 struct PacketResult {
@@ -184,8 +188,43 @@ class UplinkPipeline {
   const PipelineWorkspace& workspace() const { return ws_; }
 
   /// Carry one IP packet UE -> eNB -> EPC. Transport-block geometry is
-  /// derived from the packet size and the configured MCS.
+  /// derived from the packet size and the configured MCS. Exactly the
+  /// staged-TTI sequence below, driven with the pipeline's own decode
+  /// scheduler (per-TB grouping).
   PacketResult send_packet(std::span<const std::uint8_t> ip_packet);
+
+  /// --- Staged TTI API -------------------------------------------------
+  /// Splits one packet's HARQ loop into phases so a caller (BatchRunner)
+  /// can interleave MANY flows' phases around one shared DecodeScheduler
+  /// and batch same-K code blocks across transport blocks/UEs:
+  ///
+  ///   tti_begin(pkt);                       // MAC + segment + encode
+  ///   while (!tti_done()) {
+  ///     tti_transmit();                     // tx chain + channel +
+  ///                                         //   receive front (OFDM rx
+  ///                                         //   .. arrangement)
+  ///     sched.submit(pending_jobs());       // <- cross-flow gathering
+  ///     sched.run(...);                     // (caller-owned)
+  ///     tti_collect();                      // desegment + TB CRC,
+  ///                                         //   advance HARQ state
+  ///   }
+  ///   PacketResult r = tti_finish();        // MAC parse + GTP-U
+  ///
+  /// One packet may be staged at a time per pipeline. latency_seconds
+  /// accumulates the flow's own phase wall times (the shared decode
+  /// window is attributed by the caller via tti_add_latency).
+  void tti_begin(std::span<const std::uint8_t> ip_packet);
+  bool tti_done() const;
+  void tti_transmit();
+  /// Decode jobs produced by the last tti_transmit(); spans stay valid
+  /// until this pipeline's next tti_begin().
+  std::span<const DecodeJob> pending_jobs() const { return jobs_; }
+  void tti_collect();
+  PacketResult tti_finish();
+  /// Fold a share of caller-side work (the shared scheduler's wall time
+  /// / heap allocations) into the staged packet's result.
+  void tti_add_latency(double seconds);
+  void tti_add_decode_allocs(std::uint64_t allocs);
 
  private:
   PipelineConfig cfg_;
@@ -195,6 +234,9 @@ class UplinkPipeline {
   std::unique_ptr<ThreadPool> pool_;  ///< nullptr when num_workers <= 1
   std::unique_ptr<detail::PipelineObs> obs_;
   PipelineWorkspace ws_;
+  std::unique_ptr<DecodeScheduler> sched_;  ///< per-TB mode (send_packet)
+  std::vector<DecodeJob> jobs_;  ///< decode-front output, reused per TTI
+  std::unique_ptr<detail::UplinkTti> state_;
   std::uint32_t tti_ = 0;
 };
 
@@ -219,6 +261,8 @@ class DownlinkPipeline {
   std::unique_ptr<ThreadPool> pool_;  ///< nullptr when num_workers <= 1
   std::unique_ptr<detail::PipelineObs> obs_;
   PipelineWorkspace ws_;
+  std::unique_ptr<DecodeScheduler> sched_;
+  std::vector<DecodeJob> jobs_;  ///< decode-front output, reused per TTI
   std::uint32_t tti_ = 0;
 };
 

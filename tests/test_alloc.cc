@@ -19,6 +19,7 @@
 #include "common/alloc_stats.h"
 #include "common/cpu_features.h"
 #include "net/pktgen.h"
+#include "pipeline/batch_runner.h"
 #include "pipeline/pipeline.h"
 
 namespace vran::pipeline {
@@ -100,6 +101,49 @@ TEST(AllocSteadyState, HarqBuffersComeFromArena) {
   // HarqBuffers::prepare; noiseless means one transmission per packet,
   // so the profile stays deterministic.
   expect_zero_alloc_steady_state(best_isa(), 1, 1500, 4);
+}
+
+TEST(AllocSteadyState, CrossTbSchedulerIsZeroAlloc) {
+  // The shared DecodeScheduler's staging comes from the runner-owned
+  // workspace arena and its job buffers are grow-only, so cross-UE
+  // scheduling rounds must allocate nothing once warm. The alloc
+  // counters are process-wide, so exact-zero brackets need either a
+  // serial runner (many flows, 1 worker: cross-UE grouping) or a single
+  // flow (1 flow, 4 workers: pool-dispatched decode units) — with
+  // several flows AND workers, one flow's bracket legitimately observes
+  // another flow's concurrent MAC/GTP-U allocations.
+  if (!alloc_stats::interposed()) {
+    GTEST_SKIP() << "counting allocator not linked (sanitizer build)";
+  }
+  struct Shape {
+    std::size_t flows;
+    int workers;
+  };
+  for (const auto [flows, workers] : {Shape{2, 1}, Shape{1, 4}}) {
+    std::vector<PipelineConfig> cfgs(flows, alloc_config(best_isa(), 1));
+    for (std::size_t f = 0; f < flows; ++f) {
+      cfgs[f].rnti = static_cast<std::uint16_t>(0x4321 + f);
+    }
+    BatchRunner runner(BatchRunner::Direction::kUplink, cfgs, workers,
+                       /*cross_tb_batch=*/true);
+    const std::vector<std::vector<std::uint8_t>> packets(
+        flows, make_packet(1500));
+    std::vector<PacketResult> results;
+    runner.run_tti(packets, results);  // warmup: codecs + arenas grow
+    ASSERT_TRUE(results[0].crc_ok);
+    ASSERT_GE(results[0].code_blocks, 2u);
+
+    std::uint64_t total = 0;
+    for (int i = 0; i < 50; ++i) {
+      runner.run_tti(packets, results);
+      for (std::size_t f = 0; f < flows; ++f) {
+        ASSERT_TRUE(results[f].crc_ok);
+        total += results[f].decode_allocs;
+      }
+    }
+    EXPECT_EQ(total, 0u) << "cross-TB scheduler allocated in steady state ("
+                         << flows << " flows, " << workers << " workers)";
+  }
 }
 
 TEST(AllocSteadyState, DownlinkDecodeIsZeroAlloc) {

@@ -371,10 +371,14 @@ int usage() {
       "usage: fuzz_differential [--iters N] [--seed S] [--dump-dir DIR]\n"
       "                         [--break-tier ISA] [--expect-mismatch]\n"
       "                         [--replay FILE] [--selftest] [--quiet]\n"
-      "                         [--batched]\n"
+      "                         [--batched] [--smallk-bias PCT]\n"
       "  --batched: force batched-lane decoding on for every generated\n"
       "  case (instead of randomizing it), so every wide tier exercises\n"
-      "  the batch kernels against the scalar reference.\n");
+      "  the batch kernels against the scalar reference.\n"
+      "  --smallk-bias: percent of iterations reshaped into tiny\n"
+      "  noiseless single-block transport blocks (<= 64 bytes), the\n"
+      "  geometry where the windowed wide tiers' per-window run-in gets\n"
+      "  short (ROADMAP open item 1 found at such a case). Default 10.\n");
   return 2;
 }
 
@@ -390,6 +394,7 @@ int main(int argc, char** argv) {
   bool selftest = false;
   bool quiet = false;
   bool batched = false;
+  int smallk_bias = 10;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -418,6 +423,11 @@ int main(int argc, char** argv) {
       replay_file = v;
     } else if (arg == "--batched") {
       batched = true;
+    } else if (arg == "--smallk-bias") {
+      const char* v = value();
+      if (v == nullptr) return usage();
+      smallk_bias = std::atoi(v);
+      if (smallk_bias < 0 || smallk_bias > 100) return usage();
     } else if (arg == "--expect-mismatch") {
       expect_mismatch = true;
     } else if (arg == "--selftest") {
@@ -481,6 +491,17 @@ int main(int argc, char** argv) {
     Xoshiro256 rng(splitmix64(base_seed ^ splitmix64(it)));
     (void)seq;
     auto c = random_case(rng);
+    if (smallk_bias > 0 &&
+        rng.bounded(100) < static_cast<std::uint64_t>(smallk_bias)) {
+      // Reshape into the small-K corner: a tiny noiseless TB is one code
+      // block whose windowed decode splits into short per-window run-ins
+      // on the wide tiers. Noiseless, so any tier disagreement is a
+      // kernel bug, never the waterfall caveat. Drawn AFTER random_case
+      // so unbiased iterations keep their historical case stream.
+      c.packet_bytes = 16 + static_cast<int>(rng.bounded(49));  // 16..64
+      c.mcs = 20 + static_cast<int>(rng.bounded(9));            // 20..28
+      c.with_channel = false;
+    }
     if (batched) c.batch_decode = true;
     const auto bad = mismatching_tiers(c, break_tier);
     if (bad.empty()) continue;
