@@ -1,0 +1,220 @@
+// Multi-cell soak benchmark: the scale-out capacity measurement for the
+// MultiCellRunner (DESIGN.md §6).
+//
+// A calibrated open-loop LoadGenerator offers packets at a fixed total
+// rate across `cells x flows` UE flows while a worker pool drains the
+// cell shards (cross-cell stealing on by default) under the TTI deadline
+// scheduler. Reported per run:
+//   * sustained UEs/host — configured UEs discounted by the offered-
+//     packet acceptance ratio and the deadline-miss rate (a UE only
+//     counts as served when its packets are admitted AND processed in
+//     budget),
+//   * packets/s through the full uplink PHY chain,
+//   * TTI latency p50 / p99 / p99.9 (merged per-cell cell.tti_ns
+//     histograms) and the TTI deadline-miss rate,
+//   * degrade ladder activity (degraded / dropped TTIs, steals).
+//
+// `--json <path>` writes the "vran-bench-soak-v1" document gated in CI
+// by tools/bench_compare against bench/baselines/BENCH_PR9.json: p99.9
+// latency (percentage regression), deadline-miss rate (absolute slack),
+// and packets/s (floor). The JSON carries the standard "meta"
+// provenance block (bench_util.h).
+//
+// Flags: --cells N (4)   --flows N per cell (32)  --workers N (2)
+//        --seconds S (2) --rate PPS total (2000)  --payload BYTES (400)
+//        --budget-us US (1000)  --no-steal  --no-degrade  --json PATH
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "bench/bench_util.h"
+#include "pipeline/multicell.h"
+
+using namespace vran;
+
+namespace {
+
+bool has_flag(int argc, char** argv, const char* name) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], name) == 0) return true;
+  }
+  return false;
+}
+
+int int_flag(int argc, char** argv, const char* name, int def) {
+  const std::size_t len = std::strlen(name);
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], name) == 0 && i + 1 < argc) {
+      return std::atoi(argv[i + 1]);
+    }
+    if (std::strncmp(argv[i], name, len) == 0 && argv[i][len] == '=') {
+      return std::atoi(argv[i] + len + 1);
+    }
+  }
+  return def;
+}
+
+double double_flag(int argc, char** argv, const char* name, double def) {
+  const std::size_t len = std::strlen(name);
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], name) == 0 && i + 1 < argc) {
+      return std::atof(argv[i + 1]);
+    }
+    if (std::strncmp(argv[i], name, len) == 0 && argv[i][len] == '=') {
+      return std::atof(argv[i] + len + 1);
+    }
+  }
+  return def;
+}
+
+struct SoakResult {
+  std::string key;
+  int ues = 0;
+  double sustained_ues = 0;
+  double packets_per_sec = 0;
+  double miss_rate = 0;
+  double p50_us = 0, p99_us = 0, p999_us = 0;
+  pipeline::MultiCellRunner::Totals totals;
+  pipeline::LoadGenerator::Stats gen;
+  std::uint64_t delivered = 0, crc_ok = 0;
+};
+
+std::string to_json(const SoakResult& r, const pipeline::MultiCellConfig& mc,
+                    const pipeline::LoadGenerator::Config& lg) {
+  std::string j;
+  char buf[512];
+  j += "{\n  \"schema\": \"vran-bench-soak-v1\",\n";
+  j += "  \"meta\": " + bench::meta_json(mc.workers) + ",\n";
+  std::snprintf(buf, sizeof(buf),
+                "  \"cells\": %d,\n  \"flows_per_cell\": %d,\n"
+                "  \"workers\": %d,\n  \"steal\": %s,\n  \"degrade\": %s,\n"
+                "  \"seconds\": %.3f,\n  \"rate_pps\": %.1f,\n"
+                "  \"payload_bytes\": %d,\n  \"tti_budget_us\": %.1f,\n",
+                mc.cells, mc.flows_per_cell, mc.workers,
+                mc.steal ? "true" : "false", mc.degrade ? "true" : "false",
+                lg.seconds, lg.rate_pps, lg.packet_bytes,
+                static_cast<double>(mc.tti_budget_ns) / 1e3);
+  j += buf;
+  j += "  \"configs\": [\n";
+  std::snprintf(buf, sizeof(buf),
+                "    {\"key\": \"%s\", \"ues\": %d, "
+                "\"sustained_ues\": %.2f, \"packets_per_sec\": %.1f, "
+                "\"deadline_miss_rate\": %.6f,\n"
+                "     \"tti_us\": {\"p50\": %.2f, \"p99\": %.2f, "
+                "\"p999\": %.2f},\n",
+                r.key.c_str(), r.ues, r.sustained_ues, r.packets_per_sec,
+                r.miss_rate, r.p50_us, r.p99_us, r.p999_us);
+  j += buf;
+  std::snprintf(
+      buf, sizeof(buf),
+      "     \"ttis\": %llu, \"packets\": %llu, \"offered\": %llu, "
+      "\"accepted\": %llu, \"dropped\": %llu, \"delivered\": %llu, "
+      "\"crc_ok\": %llu,\n"
+      "     \"degraded_ttis\": %llu, \"dropped_ttis\": %llu, "
+      "\"dropped_packets\": %llu, \"offer_fails\": %llu, \"steals\": %llu}\n",
+      static_cast<unsigned long long>(r.totals.ttis),
+      static_cast<unsigned long long>(r.totals.packets),
+      static_cast<unsigned long long>(r.gen.offered),
+      static_cast<unsigned long long>(r.gen.accepted),
+      static_cast<unsigned long long>(r.gen.dropped),
+      static_cast<unsigned long long>(r.delivered),
+      static_cast<unsigned long long>(r.crc_ok),
+      static_cast<unsigned long long>(r.totals.degraded),
+      static_cast<unsigned long long>(r.totals.dropped_ttis),
+      static_cast<unsigned long long>(r.totals.dropped_packets),
+      static_cast<unsigned long long>(r.totals.offer_fails),
+      static_cast<unsigned long long>(r.totals.steals));
+  j += buf;
+  j += "  ]\n}";
+  return j;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  pipeline::MultiCellConfig mc;
+  mc.cells = int_flag(argc, argv, "--cells", 4);
+  mc.flows_per_cell = int_flag(argc, argv, "--flows", 32);
+  mc.workers = int_flag(argc, argv, "--workers", 2);
+  mc.steal = !has_flag(argc, argv, "--no-steal");
+  mc.degrade = !has_flag(argc, argv, "--no-degrade");
+  mc.tti_budget_ns = static_cast<std::uint64_t>(
+      int_flag(argc, argv, "--budget-us", 1000)) * 1000ull;
+
+  pipeline::LoadGenerator::Config lg;
+  lg.seconds = double_flag(argc, argv, "--seconds", 2.0);
+  lg.rate_pps = double_flag(argc, argv, "--rate", 2000.0);
+  lg.packet_bytes = int_flag(argc, argv, "--payload", 400);
+  const std::string json_path = bench::json_out_path(argc, argv);
+
+  std::printf("bench_soak: %d cells x %d flows, %d workers, steal=%s, "
+              "degrade=%s\n",
+              mc.cells, mc.flows_per_cell, mc.workers,
+              mc.steal ? "on" : "off", mc.degrade ? "on" : "off");
+  std::printf("            %.1f pps open-loop for %.1fs, %dB payload, "
+              "budget %.0fus\n",
+              lg.rate_pps, lg.seconds, lg.packet_bytes,
+              static_cast<double>(mc.tti_budget_ns) / 1e3);
+
+  pipeline::MultiCellRunner runner(mc);
+  runner.start();
+  const auto gen = pipeline::LoadGenerator::run(runner, lg);
+  runner.stop();
+
+  SoakResult r;
+  char key[64];
+  std::snprintf(key, sizeof(key), "c%dxf%d/w%d/%s", mc.cells,
+                mc.flows_per_cell, mc.workers,
+                mc.steal ? "steal" : "nosteal");
+  r.key = key;
+  r.ues = mc.cells * mc.flows_per_cell;
+  r.gen = gen;
+  r.totals = runner.totals();
+  for (int c = 0; c < runner.cells(); ++c) {
+    for (const auto& fs : runner.shard(c).stats().flow) {
+      r.delivered += fs.delivered;
+      r.crc_ok += fs.crc_ok;
+    }
+  }
+  const auto h = runner.tti_histogram();
+  r.p50_us = h.quantile(0.50) / 1e3;
+  r.p99_us = h.quantile(0.99) / 1e3;
+  r.p999_us = h.quantile(0.999) / 1e3;
+  r.miss_rate = r.totals.ttis == 0
+                    ? 0.0
+                    : static_cast<double>(r.totals.deadline_miss) /
+                          static_cast<double>(r.totals.ttis);
+  const double accept = gen.offered == 0
+                            ? 0.0
+                            : static_cast<double>(gen.accepted) /
+                                  static_cast<double>(gen.offered);
+  r.sustained_ues = static_cast<double>(r.ues) * accept * (1.0 - r.miss_rate);
+  r.packets_per_sec = gen.elapsed_s <= 0
+                          ? 0.0
+                          : static_cast<double>(r.totals.packets) /
+                                gen.elapsed_s;
+
+  std::printf("\n%-20s %12s %12s %10s %10s %10s %10s\n", "config",
+              "sustained_ues", "pkts/s", "p50_us", "p99_us", "p999_us",
+              "miss");
+  std::printf("%-20s %12.1f %12.1f %10.1f %10.1f %10.1f %9.4f%%\n",
+              r.key.c_str(), r.sustained_ues, r.packets_per_sec, r.p50_us,
+              r.p99_us, r.p999_us, 100.0 * r.miss_rate);
+  std::printf("offered=%llu accepted=%llu dropped=%llu ttis=%llu "
+              "packets=%llu delivered=%llu\n",
+              static_cast<unsigned long long>(gen.offered),
+              static_cast<unsigned long long>(gen.accepted),
+              static_cast<unsigned long long>(gen.dropped),
+              static_cast<unsigned long long>(r.totals.ttis),
+              static_cast<unsigned long long>(r.totals.packets),
+              static_cast<unsigned long long>(r.delivered));
+  std::printf("degraded_ttis=%llu dropped_ttis=%llu offer_fails=%llu "
+              "steals=%llu\n",
+              static_cast<unsigned long long>(r.totals.degraded),
+              static_cast<unsigned long long>(r.totals.dropped_ttis),
+              static_cast<unsigned long long>(r.totals.offer_fails),
+              static_cast<unsigned long long>(r.totals.steals));
+
+  bench::write_json(json_path, to_json(r, mc, lg));
+  return 0;
+}

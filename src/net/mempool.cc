@@ -1,5 +1,7 @@
 #include "net/mempool.h"
 
+#include <algorithm>
+#include <cassert>
 #include <chrono>
 #include <stdexcept>
 #include <thread>
@@ -18,6 +20,7 @@ struct PoolMetrics {
   obs::Counter& allocs;
   obs::Counter& exhausted;
   obs::Counter& retries;
+  obs::Counter& backoff_us;
 };
 
 PoolMetrics& pool_metrics() {
@@ -25,7 +28,8 @@ PoolMetrics& pool_metrics() {
   static PoolMetrics p{m.gauge("net.mempool.in_use"),
                        m.counter("net.mempool.alloc"),
                        m.counter("net.mempool.exhausted"),
-                       m.counter("net.mempool.retry")};
+                       m.counter("net.mempool.retry"),
+                       m.counter("net.mempool.backoff_us")};
   return p;
 }
 
@@ -51,7 +55,24 @@ PacketPool::~PacketPool() {
   if (outstanding > 0) pool_metrics().in_use.add(-outstanding);
 }
 
+#ifndef NDEBUG
+void PacketPool::assert_owner() {
+  // Lazy binding: the first alloc/free claims the pool for its thread
+  // (CAS so even a racy misuse binds exactly once and the loser trips
+  // the assert instead of corrupting free_/in_use_ silently).
+  std::thread::id expected{};
+  const std::thread::id self = std::this_thread::get_id();
+  if (owner_.compare_exchange_strong(expected, self)) return;
+  assert(expected == self &&
+         "PacketPool is single-threaded: alloc/free from the owning "
+         "thread only (route cross-thread returns through an SpscRing)");
+}
+#endif
+
 std::optional<PacketBuf> PacketPool::alloc() {
+#ifndef NDEBUG
+  assert_owner();
+#endif
   if (fault_ != nullptr &&
       fault_->fire(fault::FaultPoint::kMempoolAllocFail)) {
     // Injected allocation failure: indistinguishable from a real empty
@@ -71,18 +92,31 @@ std::optional<PacketBuf> PacketPool::alloc() {
   return PacketBuf{idx, 0};
 }
 
-std::optional<PacketBuf> PacketPool::alloc_retry(int max_retries) {
+std::optional<PacketBuf> PacketPool::alloc_retry(int max_retries,
+                                                 std::int64_t backoff_budget_us) {
   auto buf = alloc();
+  std::int64_t remaining_us = backoff_budget_us;
   for (int attempt = 0; !buf.has_value() && attempt < max_retries;
        ++attempt) {
+    if (remaining_us <= 0) break;  // budget spent: fail fast, never stall
+    // Exponential backoff, clamped so the last sleep never overshoots
+    // the budget (total wall time <= backoff_budget_us by construction).
+    const std::int64_t delay_us =
+        std::min<std::int64_t>(std::int64_t{1} << std::min(attempt, 62),
+                               remaining_us);
     pool_metrics().retries.add();
-    std::this_thread::sleep_for(std::chrono::microseconds(1L << attempt));
+    pool_metrics().backoff_us.add(static_cast<std::uint64_t>(delay_us));
+    std::this_thread::sleep_for(std::chrono::microseconds(delay_us));
+    remaining_us -= delay_us;
     buf = alloc();
   }
   return buf;
 }
 
 void PacketPool::free(PacketBuf buf) {
+#ifndef NDEBUG
+  assert_owner();
+#endif
   if (buf.index >= count_ || !in_use_[buf.index]) {
     throw std::invalid_argument("PacketPool::free: invalid or double free");
   }
@@ -111,7 +145,11 @@ SpscRing::SpscRing(std::size_t capacity_pow2)
 bool SpscRing::push(PacketBuf buf) {
   const std::size_t tail = tail_.load(std::memory_order_relaxed);
   const std::size_t head = head_.load(std::memory_order_acquire);
-  if (tail - head > mask_) return false;  // full (one slot reserved)
+  // Full only once all capacity() slots hold un-popped handles: the
+  // free-running head/tail counters disambiguate full (tail - head ==
+  // capacity) from empty (tail == head), so no slot is sacrificed —
+  // matching the header contract.
+  if (tail - head > mask_) return false;
   slots_[tail & mask_] = buf;
   tail_.store(tail + 1, std::memory_order_release);
   return true;
@@ -135,6 +173,11 @@ bool SpscRing::full() const {
   return tail_.load(std::memory_order_acquire) -
              head_.load(std::memory_order_acquire) >
          mask_;
+}
+
+std::size_t SpscRing::size() const {
+  return tail_.load(std::memory_order_acquire) -
+         head_.load(std::memory_order_acquire);
 }
 
 }  // namespace vran::net

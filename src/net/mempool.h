@@ -9,6 +9,7 @@
 #include <cstdint>
 #include <optional>
 #include <span>
+#include <thread>
 #include <vector>
 
 #include "common/aligned.h"
@@ -16,12 +17,29 @@
 
 namespace vran::net {
 
+/// Default total sleep budget of PacketPool::alloc_retry, microseconds.
+/// Deliberately well under one TTI (1000 us): a caller that burns the
+/// whole budget has lost at most a tenth of its deadline, and the
+/// deadline scheduler treats the failed alloc as a degrade signal
+/// instead of blocking further (see pipeline/cell_shard.h).
+inline constexpr std::int64_t kDefaultAllocBackoffBudgetUs = 100;
+
 /// Handle to one packet buffer inside a PacketPool.
 struct PacketBuf {
   std::uint32_t index = 0;
   std::uint32_t length = 0;
 };
 
+/// Thread contract: a PacketPool is SINGLE-THREADED. `free_`/`in_use_`
+/// are deliberately unsynchronized (the hot path is one vector pop/push,
+/// no atomics), so exactly one thread — the pool's owner — may call
+/// alloc()/alloc_retry()/free(). Ownership binds lazily to the first
+/// thread that allocates or frees (construction on a different thread is
+/// fine) and is enforced by a debug-build assert. Cross-thread packet
+/// flow goes through SpscRing pairs instead: the owner allocates and
+/// pushes handles into an ingest ring; the consumer pops, processes, and
+/// returns spent handles through a recycle ring for the owner to free
+/// (the cell-shard pattern, DESIGN.md §6).
 class PacketPool {
  public:
   PacketPool(std::size_t buf_size, std::size_t count);
@@ -40,11 +58,18 @@ class PacketPool {
   std::optional<PacketBuf> alloc();
 
   /// alloc() with bounded retries: on failure, backs off (1us doubling
-  /// per attempt) and re-tries up to `max_retries` times, counting
-  /// "net.mempool.retry". The graceful-degradation path for transient
-  /// exhaustion and injected allocation faults; nullopt only after the
-  /// retry budget is spent.
-  std::optional<PacketBuf> alloc_retry(int max_retries = 3);
+  /// per attempt, each sleep counted into "net.mempool.backoff_us") and
+  /// re-tries up to `max_retries` times, counting "net.mempool.retry".
+  /// The TOTAL sleep is additionally capped by `backoff_budget_us`
+  /// regardless of `max_retries` — under sustained exhaustion the call
+  /// returns nullopt once the budget is spent instead of stalling the
+  /// caller unboundedly (a deadline killer on the TTI path; callers
+  /// treat the failure as a degrade/backpressure signal). The graceful-
+  /// degradation path for transient exhaustion and injected allocation
+  /// faults; nullopt only after the retry or backoff budget is spent.
+  std::optional<PacketBuf> alloc_retry(
+      int max_retries = 3,
+      std::int64_t backoff_budget_us = kDefaultAllocBackoffBudgetUs);
 
   void free(PacketBuf buf);
 
@@ -55,12 +80,21 @@ class PacketPool {
   void set_fault_injector(fault::FaultInjector* f) { fault_ = f; }
 
  private:
+#ifndef NDEBUG
+  /// Debug-build enforcement of the single-threaded contract: the first
+  /// alloc/free binds the owning thread; any other thread asserts.
+  void assert_owner();
+#endif
+
   std::size_t buf_size_;
   std::size_t count_;
   AlignedVector<std::uint8_t> storage_;
   std::vector<std::uint32_t> free_;
   std::vector<bool> in_use_;
   fault::FaultInjector* fault_ = nullptr;
+#ifndef NDEBUG
+  std::atomic<std::thread::id> owner_{};  ///< unbound until first use
+#endif
 };
 
 /// Lock-free single-producer single-consumer ring of packet handles,
@@ -77,6 +111,10 @@ class SpscRing {
   std::size_t capacity() const { return slots_.size(); }
   bool empty() const;
   bool full() const;
+  /// Occupancy snapshot. Exact from either endpoint thread; from a third
+  /// thread it is a consistent point-in-time bound (each counter is read
+  /// atomically, the pair is not a cut).
+  std::size_t size() const;
 
  private:
   std::size_t mask_;

@@ -166,6 +166,10 @@ void BatchRunner::run_tti_cross(
   }
 }
 
+void BatchRunner::set_quality(int harq_max_tx, int max_turbo_iterations) {
+  for (auto& p : uplinks_) p->set_quality(harq_max_tx, max_turbo_iterations);
+}
+
 StageTimes BatchRunner::aggregate_times() const {
   StageTimes agg;
   for (const auto& p : uplinks_) agg.merge(p->times());

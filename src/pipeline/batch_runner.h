@@ -83,6 +83,12 @@ class BatchRunner {
   /// Per-stage CPU time summed over all flows since construction.
   StageTimes aggregate_times() const;
 
+  /// Degrade every uplink flow's quality knobs (HARQ transmission budget
+  /// + turbo iteration cap) for subsequent TTIs — the deadline
+  /// scheduler's ladder (see pipeline/cell_shard.h). Must be called
+  /// between run_tti() calls; no-op for downlink runners.
+  void set_quality(int harq_max_tx, int max_turbo_iterations);
+
   /// The shared cross-UE scheduler (its Stats expose lane fill and
   /// per-K group counts); nullptr when cross-TB batching is off.
   const DecodeScheduler* decode_scheduler() const { return sched_.get(); }

@@ -1,0 +1,208 @@
+// One cell of the multi-cell scale-out runtime (see multicell.h and
+// DESIGN.md §6).
+//
+// A CellShard owns everything one cell needs to serve its UE flows:
+//   * the flows' uplink pipelines, driven through a cell-local
+//     BatchRunner in cross-TB mode, so all of the cell's code blocks per
+//     TTI share one DecodeScheduler round (the PR 8 batching, per cell);
+//   * a PacketPool + two SpscRings — ingest (producer -> shard) and
+//     recycle (shard -> producer). The pool is single-threaded by
+//     contract (net/mempool.h): only the producer thread allocates and
+//     frees; the draining worker returns spent handles through the
+//     recycle ring. Handles carry a 2-byte flow tag ahead of the
+//     payload so one ring serves all of the cell's flows in FIFO order;
+//   * a deadline scheduler enforcing the TTI budget with a degrade
+//     ladder (below);
+//   * a private MetricsRegistry, so per-cell stage.* histograms and the
+//     cell.* counters are isolated per shard and snapshotable per cell.
+//
+// Concurrency model: the shard has exactly two sides. The PRODUCER side
+// (offer/recycle/ingest_depth) belongs to one thread — the load
+// generator. The CONSUMER side (run_tti) is claim-guarded: any worker
+// may drain the shard, but only one at a time (try_claim/release, an
+// acquire-release handoff), which is what makes cross-cell work stealing
+// safe — a stolen shard's TTIs still execute sequentially, in ring
+// order, with all shard state handed off through the claim flag.
+//
+// Determinism: a flow's packets are consumed in ring order and each
+// flow's pipeline state advances only on its own packets, so per-flow
+// egress bytes and HARQ counters are bit-identical to driving that
+// flow's packet sequence through a lone pipeline — for ANY worker count,
+// shard count, steal setting, or TTI grouping (the cross-TB scheduler is
+// bit-exact per block; see batch_runner.h). The only sanctioned source
+// of divergence is the degrade ladder, which trades quality for deadline
+// compliance by design; disable it (`degrade = false`) when asserting
+// bit-identity.
+//
+// Degrade ladder (per TTI, driven by measured TTI wall time vs budget
+// and by producer-side mempool pressure):
+//   level 0  configured quality (HARQ budget + full turbo iterations)
+//   level 1  skip retransmission combining (harq_max_tx = 1)
+//   level 2  additionally halve the turbo iteration cap
+//   drop     after `drop_after_misses` consecutive misses at level 2 the
+//            next TTI's packets are dropped unprocessed (counted, ring
+//            drained, pool handles recycled) — shedding the backlog
+//            rather than letting every subsequent TTI start late.
+// A TTI that finishes under `recover_fraction` of the budget steps the
+// ladder back down one level. Producer-side alloc_retry budget
+// exhaustion (net.mempool.backoff_us) raises the level the same way a
+// miss does: pool starvation means the shard is behind, and degrading is
+// the bounded response where blocking in the allocator was not.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "net/mempool.h"
+#include "obs/metrics.h"
+#include "pipeline/batch_runner.h"
+
+namespace vran::pipeline {
+
+struct CellShardConfig {
+  int cell_id = 0;
+  /// One uplink pipeline per entry. The shard overrides each entry's
+  /// `metrics` with its own registry (per-cell stage.* histograms).
+  std::vector<PipelineConfig> flows;
+  /// Ingest/recycle ring capacity (power of two) and pool geometry.
+  /// `pool_buffers` 0 = 2 * ring_capacity; `buffer_bytes` bounds the
+  /// flow tag + payload.
+  std::size_t ring_capacity = 256;
+  std::size_t pool_buffers = 0;
+  std::size_t buffer_bytes = 2048;
+  /// TTI deadline budget (the LTE slot is 1 ms).
+  std::uint64_t tti_budget_ns = 1'000'000;
+  /// Deadline scheduler: degrade/drop when behind (see header comment).
+  /// false = fixed configured quality, never drop (misses still count).
+  bool degrade = true;
+  double recover_fraction = 0.5;
+  int drop_after_misses = 3;
+  /// Producer-side alloc_retry bounds (see PacketPool::alloc_retry).
+  int alloc_retries = 8;
+  std::int64_t alloc_backoff_budget_us = 20;
+  /// Armed on the shard's pool (kMempoolAllocFail); nullptr = none.
+  fault::FaultInjector* fault = nullptr;
+};
+
+class CellShard {
+ public:
+  explicit CellShard(CellShardConfig cfg);
+
+  int cell_id() const { return cfg_.cell_id; }
+  std::size_t flows() const { return runner_.flows(); }
+  /// Per-cell registry: the flows' stage.* histograms plus the shard's
+  /// cell.* counters ("cell.tti", "cell.packets", "cell.deadline_miss",
+  /// "cell.degraded", "cell.dropped", "cell.tti_ns").
+  obs::MetricsRegistry& metrics() { return reg_; }
+  const BatchRunner& runner() const { return runner_; }
+
+  // --- Producer side: ONE thread (the pool's owner). ----------------
+  /// Stage one packet for `flow`: pool alloc (bounded retry/backoff),
+  /// copy, push onto the ingest ring. false = dropped at the door (pool
+  /// starved past the backoff budget, or ring full) — counted in
+  /// stats().offer_fails and raised to the deadline scheduler as a
+  /// degrade signal. Throws if the payload exceeds buffer_bytes - 2.
+  bool offer(std::size_t flow, std::span<const std::uint8_t> payload);
+  /// Drain the recycle ring, returning spent buffers to the pool.
+  void recycle();
+  std::size_t ingest_depth() const { return ingest_.size(); }
+
+  // --- Consumer side: claim-guarded, one worker at a time. -----------
+  bool try_claim() {
+    bool expected = false;
+    return claimed_.compare_exchange_strong(expected, true,
+                                            std::memory_order_acq_rel);
+  }
+  void release() { claimed_.store(false, std::memory_order_release); }
+  /// Ingest backlog visible without claiming (workers poll this before
+  /// contending on the claim flag; stealing workers scan it cross-cell).
+  bool has_work() const {
+    return !ingest_.empty() || has_held_.load(std::memory_order_acquire);
+  }
+  /// Drain one TTI: pop up to one packet per flow (FIFO; a second packet
+  /// for an already-served flow is held for the next TTI), apply the
+  /// degrade ladder, run the cell's BatchRunner round, settle deadline
+  /// accounting, recycle spent handles. Caller must hold the claim.
+  /// Returns false when the ring was empty (nothing ran).
+  bool run_tti();
+
+  /// No backlog, nothing held, not claimed — safe to read stats() and,
+  /// once every shard reports idle, to stop the workers.
+  bool idle() const {
+    return ingest_.empty() && !has_held_.load(std::memory_order_acquire) &&
+           !claimed_.load(std::memory_order_acquire);
+  }
+
+  struct FlowStats {
+    std::uint64_t packets = 0;        ///< packets this flow consumed
+    std::uint64_t delivered = 0;
+    std::uint64_t crc_ok = 0;
+    std::uint64_t transmissions = 0;  ///< HARQ attempts summed
+    std::uint64_t egress_bytes = 0;
+    /// FNV-1a chained over every egress frame (length-delimited), in
+    /// order — the bit-identity fingerprint tests compare.
+    std::uint64_t egress_hash = 0xcbf29ce484222325ull;
+  };
+  struct Stats {
+    std::uint64_t ttis = 0;
+    std::uint64_t packets = 0;
+    std::uint64_t deadline_miss = 0;   ///< TTIs over budget
+    std::uint64_t degraded = 0;        ///< TTIs run at level > 0
+    std::uint64_t dropped_ttis = 0;
+    std::uint64_t dropped_packets = 0;
+    std::uint64_t offer_fails = 0;     ///< producer-side drops at the door
+    int degrade_level = 0;             ///< ladder position right now
+    std::vector<FlowStats> flow;
+  };
+  /// Quiesced read: exact once the shard is idle() / workers joined (the
+  /// fields are plain counters owned by whichever side writes them).
+  Stats stats() const;
+
+ private:
+  void apply_quality(int level);
+  void drop_tti(std::size_t n_popped);
+  void recycle_spent();
+
+  CellShardConfig cfg_;
+  obs::MetricsRegistry reg_;  ///< declared before runner_: pipelines
+                              ///< resolve metric handles from it
+  BatchRunner runner_;
+  net::PacketPool pool_;
+  net::SpscRing ingest_;
+  net::SpscRing recycle_;
+
+  // Producer-side state.
+  std::uint64_t offer_fails_ = 0;
+  std::atomic<std::uint64_t> alloc_pressure_{0};  ///< producer -> scheduler
+
+  // Consumer-side state (guarded by the claim flag).
+  std::atomic<bool> claimed_{false};
+  std::optional<net::PacketBuf> held_;  ///< next-TTI packet (flow repeat)
+  std::atomic<bool> has_held_{false};
+  std::vector<std::vector<std::uint8_t>> staged_;  ///< per-flow payloads
+  std::vector<net::PacketBuf> spent_;
+  std::vector<std::uint8_t> got_;  ///< per-flow served-this-TTI marks
+  std::vector<PacketResult> results_;
+  int level_ = 0;
+  int applied_level_ = 0;
+  int consecutive_misses_ = 0;
+  int base_harq_;
+  int base_iters_;
+  std::uint64_t ttis_ = 0, packets_ = 0, miss_ = 0, degraded_ = 0;
+  std::uint64_t dropped_ttis_ = 0, dropped_packets_ = 0;
+  std::vector<FlowStats> flow_stats_;
+
+  // Metric handles (per-cell registry, resolved once).
+  obs::Counter& m_tti_;
+  obs::Counter& m_packets_;
+  obs::Counter& m_miss_;
+  obs::Counter& m_degraded_;
+  obs::Counter& m_dropped_;
+  obs::Histogram& m_tti_ns_;
+};
+
+}  // namespace vran::pipeline

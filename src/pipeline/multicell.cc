@@ -1,0 +1,238 @@
+#include "pipeline/multicell.h"
+
+#include <chrono>
+#include <stdexcept>
+
+#include "net/pktgen.h"
+
+#if defined(__linux__)
+#include <pthread.h>
+#include <sched.h>
+#endif
+
+namespace vran::pipeline {
+
+PipelineConfig MultiCellRunner::flow_config(const MultiCellConfig& cfg,
+                                            int cell, int flow) {
+  PipelineConfig p = cfg.flow_template;
+  const int idx = cell * cfg.flows_per_cell + flow;
+  p.cell_id = cell + 1;
+  p.rnti = static_cast<std::uint16_t>(p.rnti + idx);
+  p.teid = p.teid + static_cast<std::uint32_t>(idx);
+  // Distinct odd strides keep every flow's noise stream independent
+  // without colliding for any (cell, flow) in range.
+  p.noise_seed = p.noise_seed + 1000003ull * static_cast<std::uint64_t>(cell) +
+                 7919ull * static_cast<std::uint64_t>(flow);
+  return p;
+}
+
+MultiCellRunner::MultiCellRunner(MultiCellConfig cfg) : cfg_(std::move(cfg)) {
+  if (cfg_.cells < 1 || cfg_.flows_per_cell < 1) {
+    throw std::invalid_argument("MultiCellRunner: cells/flows must be >= 1");
+  }
+  if (cfg_.workers < 1) cfg_.workers = 1;
+  shards_.reserve(static_cast<std::size_t>(cfg_.cells));
+  for (int c = 0; c < cfg_.cells; ++c) {
+    CellShardConfig sc;
+    sc.cell_id = c;
+    sc.flows.reserve(static_cast<std::size_t>(cfg_.flows_per_cell));
+    for (int f = 0; f < cfg_.flows_per_cell; ++f) {
+      sc.flows.push_back(flow_config(cfg_, c, f));
+    }
+    sc.ring_capacity = cfg_.ring_capacity;
+    sc.pool_buffers = cfg_.pool_buffers;
+    sc.buffer_bytes = cfg_.buffer_bytes;
+    sc.tti_budget_ns = cfg_.tti_budget_ns;
+    sc.degrade = cfg_.degrade;
+    sc.recover_fraction = cfg_.recover_fraction;
+    sc.drop_after_misses = cfg_.drop_after_misses;
+    sc.alloc_retries = cfg_.alloc_retries;
+    sc.alloc_backoff_budget_us = cfg_.alloc_backoff_budget_us;
+    sc.fault = cfg_.fault;
+    shards_.push_back(std::make_unique<CellShard>(std::move(sc)));
+  }
+}
+
+MultiCellRunner::~MultiCellRunner() { stop(); }
+
+void MultiCellRunner::start() {
+  if (running_.exchange(true, std::memory_order_acq_rel)) return;
+  threads_.reserve(static_cast<std::size_t>(cfg_.workers));
+  for (int w = 0; w < cfg_.workers; ++w) {
+    threads_.emplace_back([this, w] { worker_loop(w); });
+#if defined(__linux__)
+    if (cfg_.pin_workers) {
+      const unsigned ncpu = std::max(1u, std::thread::hardware_concurrency());
+      cpu_set_t set;
+      CPU_ZERO(&set);
+      CPU_SET(static_cast<unsigned>(w) % ncpu, &set);
+      // Best effort: an unpinnable worker still works, just unpinned.
+      pthread_setaffinity_np(threads_.back().native_handle(), sizeof(set),
+                             &set);
+    }
+#endif
+  }
+}
+
+void MultiCellRunner::stop() {
+  if (!running_.exchange(false, std::memory_order_acq_rel)) return;
+  for (auto& t : threads_) t.join();
+  threads_.clear();
+}
+
+std::size_t MultiCellRunner::backlog() const {
+  std::size_t n = 0;
+  for (const auto& s : shards_) n += s->ingest_depth();
+  return n;
+}
+
+bool MultiCellRunner::drain(int timeout_ms) {
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(timeout_ms);
+  for (;;) {
+    recycle_all();
+    bool idle = true;
+    for (const auto& s : shards_) idle = idle && s->idle();
+    if (idle) {
+      recycle_all();  // pick up handles recycled since the last pass
+      return true;
+    }
+    if (std::chrono::steady_clock::now() >= deadline) return false;
+    std::this_thread::sleep_for(std::chrono::microseconds(100));
+  }
+}
+
+MultiCellRunner::Totals MultiCellRunner::totals() const {
+  Totals t;
+  for (const auto& s : shards_) {
+    const auto st = s->stats();
+    t.ttis += st.ttis;
+    t.packets += st.packets;
+    t.deadline_miss += st.deadline_miss;
+    t.degraded += st.degraded;
+    t.dropped_ttis += st.dropped_ttis;
+    t.dropped_packets += st.dropped_packets;
+    t.offer_fails += st.offer_fails;
+  }
+  t.steals = steals_.load(std::memory_order_relaxed);
+  return t;
+}
+
+obs::HistogramStats MultiCellRunner::tti_histogram() {
+  obs::HistogramStats agg;
+  for (auto& s : shards_) {
+    agg.merge(s->metrics().histogram("cell.tti_ns").stats());
+  }
+  return agg;
+}
+
+bool MultiCellRunner::try_drain(CellShard& shard, bool stolen) {
+  if (!shard.has_work()) return false;
+  if (!shard.try_claim()) return false;  // someone else is on it
+  bool any = false;
+  while (shard.run_tti()) {
+    any = true;
+    if (stolen) steals_.fetch_add(1, std::memory_order_relaxed);
+  }
+  shard.release();
+  return any;
+}
+
+void MultiCellRunner::worker_loop(int w) {
+  std::vector<int> home;
+  for (int i = 0; i < cells(); ++i) {
+    if (i % cfg_.workers == w) home.push_back(i);
+  }
+  int idle_spins = 0;
+  while (running_.load(std::memory_order_acquire)) {
+    bool did = false;
+    for (const int i : home) {
+      if (try_drain(*shards_[static_cast<std::size_t>(i)], /*stolen=*/false)) {
+        did = true;
+      }
+    }
+    if (!did && cfg_.steal) {
+      for (int i = 0; i < cells(); ++i) {
+        if (i % cfg_.workers == w) continue;
+        if (try_drain(*shards_[static_cast<std::size_t>(i)],
+                      /*stolen=*/true)) {
+          did = true;
+        }
+      }
+    }
+    if (did) {
+      idle_spins = 0;
+      continue;
+    }
+    // Idle backoff: yield first (cheap on the oversubscribed single-core
+    // CI hosts, where the producer needs the core), then sleep.
+    if (++idle_spins < 64) {
+      std::this_thread::yield();
+    } else {
+      std::this_thread::sleep_for(std::chrono::microseconds(50));
+    }
+  }
+}
+
+LoadGenerator::Stats LoadGenerator::run(MultiCellRunner& runner,
+                                        const Config& cfg,
+                                        int drain_timeout_ms) {
+  const int cells = runner.cells();
+  const int fpc = static_cast<int>(runner.shard(0).flows());
+  std::vector<net::PacketGenerator> gens;
+  gens.reserve(static_cast<std::size_t>(cells * fpc));
+  for (int c = 0; c < cells; ++c) {
+    for (int f = 0; f < fpc; ++f) {
+      net::FlowConfig fc;
+      fc.packet_bytes = cfg.packet_bytes;
+      fc.src_port = static_cast<std::uint16_t>(40000 + f);
+      fc.seed = cfg.seed + 100000ull * static_cast<std::uint64_t>(c) +
+                static_cast<std::uint64_t>(f);
+      gens.emplace_back(fc);
+    }
+  }
+
+  Stats st;
+  const std::uint64_t total =
+      static_cast<std::uint64_t>(cfg.rate_pps * cfg.seconds);
+  const double period_ns = 1e9 / cfg.rate_pps;
+  const auto t0 = std::chrono::steady_clock::now();
+  for (std::uint64_t k = 0; k < total; ++k) {
+    // Open loop: hold the ideal schedule t_k = k / rate. Sleep for the
+    // bulk of the wait, yield-spin the last stretch (a plain sleep
+    // overshoots by the scheduler quantum and would under-drive the
+    // target rate).
+    const auto target = t0 + std::chrono::nanoseconds(static_cast<
+        std::uint64_t>(static_cast<double>(k) * period_ns));
+    auto now = std::chrono::steady_clock::now();
+    if (target - now > std::chrono::microseconds(200)) {
+      std::this_thread::sleep_for(target - now -
+                                  std::chrono::microseconds(100));
+    }
+    while (std::chrono::steady_clock::now() < target) {
+      std::this_thread::yield();
+    }
+    const int cell = static_cast<int>(k % static_cast<std::uint64_t>(cells));
+    const int flow = static_cast<int>(
+        (k / static_cast<std::uint64_t>(cells)) %
+        static_cast<std::uint64_t>(fpc));
+    const auto pkt = gens[static_cast<std::size_t>(cell * fpc + flow)].next();
+    ++st.offered;
+    if (runner.offer(cell, flow, pkt)) {
+      ++st.accepted;
+    } else {
+      ++st.dropped;
+    }
+    // offer() recycles its own shard; sweep the others now and then so
+    // no pool starves just because its cell's turn in the round-robin
+    // is far away.
+    if ((k & 0x3F) == 0) runner.recycle_all();
+  }
+  st.elapsed_s = std::chrono::duration<double>(
+                     std::chrono::steady_clock::now() - t0)
+                     .count();
+  runner.drain(drain_timeout_ms);
+  return st;
+}
+
+}  // namespace vran::pipeline

@@ -1,0 +1,158 @@
+// Multi-cell scale-out runtime: N CellShards drained by a worker pool,
+// fed by a calibrated open-loop load generator (DESIGN.md §6).
+//
+// Topology:
+//
+//   LoadGenerator (1 producer thread)
+//     | offer()                      ^ recycle ring (spent handles)
+//     v                              |
+//   CellShard[0..cells) -- ingest SpscRing + PacketPool each
+//     ^ try_claim / run_tti / release
+//   worker threads [0..workers)
+//
+// Each worker owns a HOME set of shards (round-robin by index: shard i
+// belongs to worker i % workers) and drains them in order. When every
+// home shard's ring runs dry and stealing is enabled, the worker scans
+// ALL shards and drains any with backlog — the claim flag on each shard
+// makes this safe (one drainer at a time, acquire-release handoff), and
+// per-flow determinism survives because packets are consumed in ring
+// order regardless of WHICH worker pops them (cell_shard.h).
+//
+// The deadline scheduler lives inside each shard (degrade ladder +
+// drop); this layer only decides who drains what, so scheduling policy
+// stays testable on a lone shard.
+//
+// Thread roles — matching the mempool single-thread contract:
+//   * exactly one producer thread calls offer()/recycle_all()/drain()
+//     (pool alloc + free both happen here);
+//   * workers only pop ingest rings, run TTIs, and push spent handles
+//     onto recycle rings.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "pipeline/cell_shard.h"
+
+namespace vran::pipeline {
+
+struct MultiCellConfig {
+  int cells = 4;
+  int flows_per_cell = 32;
+  /// Drain workers (threads). Home shards are dealt round-robin.
+  int workers = 2;
+  /// Cross-cell work stealing when a worker's home rings run dry.
+  bool steal = true;
+  /// Pin worker w to CPU w % hw_concurrency (Linux only; no-op
+  /// elsewhere). Off by default: the CI hosts are single-core.
+  bool pin_workers = false;
+  /// Per-shard deadline scheduling (see cell_shard.h). The remaining
+  /// fields mirror CellShardConfig and are applied per shard.
+  bool degrade = true;
+  std::uint64_t tti_budget_ns = 1'000'000;
+  double recover_fraction = 0.5;
+  int drop_after_misses = 3;
+  std::size_t ring_capacity = 256;
+  std::size_t pool_buffers = 0;  ///< 0 = 2 * ring_capacity
+  std::size_t buffer_bytes = 2048;
+  int alloc_retries = 8;
+  std::int64_t alloc_backoff_budget_us = 20;
+  /// Template for every flow's pipeline; per-flow identity (rnti,
+  /// cell_id, teid, noise_seed) is derived by flow_config(). The
+  /// template's `metrics` is ignored — shards install their own.
+  PipelineConfig flow_template;
+  fault::FaultInjector* fault = nullptr;
+};
+
+class MultiCellRunner {
+ public:
+  explicit MultiCellRunner(MultiCellConfig cfg);
+  ~MultiCellRunner();  ///< stops workers if still running
+
+  MultiCellRunner(const MultiCellRunner&) = delete;
+  MultiCellRunner& operator=(const MultiCellRunner&) = delete;
+
+  /// The exact per-flow config a shard runs — exposed so bit-identity
+  /// tests can drive the same config through a lone sequential pipeline.
+  static PipelineConfig flow_config(const MultiCellConfig& cfg, int cell,
+                                    int flow);
+
+  int cells() const { return static_cast<int>(shards_.size()); }
+  CellShard& shard(int cell) { return *shards_.at(cell); }
+  const CellShard& shard(int cell) const { return *shards_.at(cell); }
+
+  void start();  ///< spawn workers (idempotent)
+  void stop();   ///< join workers (idempotent); shards keep their stats
+
+  // --- Producer-thread API. ------------------------------------------
+  bool offer(int cell, int flow, std::span<const std::uint8_t> payload) {
+    return shards_.at(cell)->offer(static_cast<std::size_t>(flow), payload);
+  }
+  void recycle_all() {
+    for (auto& s : shards_) s->recycle();
+  }
+  std::size_t backlog() const;
+  /// Block (recycling) until every shard is idle or `timeout_ms` passes.
+  /// Workers must be running. Returns true when fully drained.
+  bool drain(int timeout_ms);
+
+  struct Totals {
+    std::uint64_t ttis = 0;
+    std::uint64_t packets = 0;
+    std::uint64_t deadline_miss = 0;
+    std::uint64_t degraded = 0;
+    std::uint64_t dropped_ttis = 0;
+    std::uint64_t dropped_packets = 0;
+    std::uint64_t offer_fails = 0;
+    std::uint64_t steals = 0;  ///< TTIs run by a non-home worker
+  };
+  /// Exact after stop() or a successful drain() (shard stats are
+  /// quiesced reads; see CellShard::stats).
+  Totals totals() const;
+
+  /// Merge of every shard's "cell.tti_ns" histogram — the host-wide TTI
+  /// latency distribution (p99.9 feeds the soak bench gate).
+  obs::HistogramStats tti_histogram();
+
+ private:
+  void worker_loop(int w);
+  bool try_drain(CellShard& shard, bool stolen);
+
+  MultiCellConfig cfg_;
+  std::vector<std::unique_ptr<CellShard>> shards_;
+  std::vector<std::thread> threads_;
+  std::atomic<bool> running_{false};
+  std::atomic<std::uint64_t> steals_{0};
+};
+
+/// Calibrated open-loop source: emits packets on the ideal schedule
+/// t_k = k / rate_pps regardless of how the runner keeps up (the
+/// producer never blocks on the system under test — offer() failures are
+/// drops, not back-pressure). One thread, round-robin over (cell, flow),
+/// one deterministic PacketGenerator per flow.
+class LoadGenerator {
+ public:
+  struct Config {
+    double rate_pps = 8000;   ///< total across all cells
+    double seconds = 1.0;     ///< open-loop emission window
+    int packet_bytes = 400;   ///< on-the-wire size per packet
+    std::uint64_t seed = 1;
+  };
+  struct Stats {
+    std::uint64_t offered = 0;   ///< schedule slots fired
+    std::uint64_t accepted = 0;  ///< offer() == true
+    std::uint64_t dropped = 0;   ///< shed at the door (pool/ring full)
+    double elapsed_s = 0.0;      ///< wall time of the emission loop
+  };
+
+  /// Run the open-loop schedule against `runner` from the CALLING thread
+  /// (which becomes the producer thread for every shard's pool), then
+  /// drain. Workers must already be started.
+  static Stats run(MultiCellRunner& runner, const Config& cfg,
+                   int drain_timeout_ms = 5000);
+};
+
+}  // namespace vran::pipeline

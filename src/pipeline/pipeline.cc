@@ -818,6 +818,15 @@ PacketResult UplinkPipeline::tti_finish() {
   return std::move(st.res);
 }
 
+void UplinkPipeline::set_quality(int harq_max_tx, int max_turbo_iterations) {
+  if (state_->active) {
+    throw std::logic_error(
+        "UplinkPipeline::set_quality: packet staged (call between TTIs)");
+  }
+  cfg_.harq_max_tx = std::max(1, harq_max_tx);
+  cfg_.max_turbo_iterations = std::max(1, max_turbo_iterations);
+}
+
 void UplinkPipeline::tti_add_latency(double seconds) {
   state_->res.latency_seconds += seconds;
 }

@@ -226,6 +226,13 @@ class UplinkPipeline {
   void tti_add_latency(double seconds);
   void tti_add_decode_allocs(std::uint64_t allocs);
 
+  /// Degrade knob for deadline scheduling (see pipeline/cell_shard.h):
+  /// override the configured HARQ transmission budget and turbo
+  /// iteration cap. Values clamp to >= 1; takes effect at the next
+  /// tti_begin(). Throws std::logic_error while a packet is staged —
+  /// changing quality mid-HARQ-loop would make tti_done() inconsistent.
+  void set_quality(int harq_max_tx, int max_turbo_iterations);
+
  private:
   PipelineConfig cfg_;
   StageTimes times_;

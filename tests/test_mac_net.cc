@@ -6,6 +6,8 @@
 #include <thread>
 
 #include "common/rng.h"
+#include "common/timer.h"
+#include "fault/fault.h"
 #include "mac/mac_pdu.h"
 #include "mac/rlc.h"
 #include "mac/scheduler.h"
@@ -311,6 +313,132 @@ TEST(SpscRing, FifoOrder) {
 TEST(SpscRing, RejectsNonPowerOfTwo) {
   EXPECT_THROW(net::SpscRing(0), std::invalid_argument);
   EXPECT_THROW(net::SpscRing(6), std::invalid_argument);
+}
+
+TEST(SpscRing, AllCapacitySlotsUsableAcrossWrap) {
+  // Contract regression (PR 9): the push-site comment claimed one slot
+  // was reserved; the header contract is that free-running counters make
+  // ALL capacity() slots usable. Pin it, including across index wraps.
+  net::SpscRing ring(8);
+  for (std::uint32_t lap = 0; lap < 3; ++lap) {
+    // Stagger the start offset so laps 1-2 fill across the mask wrap.
+    for (std::uint32_t i = 0; i < 5; ++i) {
+      EXPECT_TRUE(ring.push({i + 100, 0}));
+    }
+    for (std::uint32_t i = 0; i < 5; ++i) {
+      EXPECT_EQ(ring.pop()->index, i + 100);
+    }
+    EXPECT_TRUE(ring.empty());
+    EXPECT_EQ(ring.size(), 0u);
+    for (std::uint32_t i = 0; i < 8; ++i) {
+      EXPECT_TRUE(ring.push({i, 0}));
+      EXPECT_EQ(ring.size(), i + 1);
+    }
+    EXPECT_TRUE(ring.full());
+    EXPECT_FALSE(ring.push({99, 0}));  // full() rejects losslessly
+    for (std::uint32_t i = 0; i < 8; ++i) {
+      const auto b = ring.pop();
+      ASSERT_TRUE(b.has_value());
+      EXPECT_EQ(b->index, i);
+    }
+    EXPECT_TRUE(ring.empty());
+    EXPECT_FALSE(ring.pop().has_value());
+  }
+}
+
+TEST(Mempool, AllocRetryBackoffBudgetIsBounded) {
+  // Satellite regression (PR 9): alloc_retry used to back off for as
+  // long as the retry count allowed, which could stall a producer for a
+  // large fraction of a TTI. The total sleep is now capped by an
+  // explicit budget, counted in net.mempool.backoff_us, and exhaustion
+  // returns nullopt instead of blocking on.
+  auto& reg = obs::MetricsRegistry::global();
+  fault::FaultPlan plan;
+  plan.enable(fault::FaultPoint::kMempoolAllocFail, 1.0);
+  fault::FaultInjector inj(plan);
+  net::PacketPool pool(64, 4);
+  pool.set_fault_injector(&inj);
+
+  const auto backoff0 = reg.counter("net.mempool.backoff_us").value();
+  Stopwatch sw;
+  EXPECT_FALSE(pool.alloc_retry(/*max_retries=*/1000,
+                                /*backoff_budget_us=*/200)
+                   .has_value());
+  const double elapsed = sw.seconds();
+  const auto slept = reg.counter("net.mempool.backoff_us").value() - backoff0;
+  EXPECT_GT(slept, 0u);
+  EXPECT_LE(slept, 200u);  // counted sleep never exceeds the budget
+  // Wall-time bound: 200us of budgeted sleep must not balloon into a
+  // stall even with generous scheduler overshoot per sleep_for call.
+  EXPECT_LT(elapsed, 0.5);
+
+  // Zero budget = fail fast: no sleeps at all, regardless of retries.
+  const auto backoff1 = reg.counter("net.mempool.backoff_us").value();
+  EXPECT_FALSE(pool.alloc_retry(1000, 0).has_value());
+  EXPECT_EQ(reg.counter("net.mempool.backoff_us").value(), backoff1);
+
+  pool.set_fault_injector(nullptr);
+  EXPECT_TRUE(pool.alloc().has_value());  // the pool was never empty
+}
+
+#ifndef NDEBUG
+TEST(MempoolDeathTest, CrossThreadAllocFreeAssertsInDebug) {
+  // The single-threaded pool contract is enforced in debug builds: the
+  // first alloc/free binds the owning thread, any other thread trips
+  // the assert (cross-thread returns must go through an SpscRing).
+  testing::GTEST_FLAG(death_test_style) = "threadsafe";
+  EXPECT_DEATH(
+      {
+        net::PacketPool pool(64, 2);
+        const auto b = pool.alloc();  // binds the owner to this thread
+        std::thread other([&] { pool.free(*b); });
+        other.join();
+      },
+      "single-threaded");
+}
+#endif
+
+TEST(SpscRing, ShardPatternProducerConsumerStress) {
+  // The cell-shard recycle pattern (DESIGN.md §6) under TSan: a
+  // single-threaded pool plus two SPSC rings. The producer allocs,
+  // writes the payload, pushes, and frees what comes back on the
+  // recycle ring; the consumer only pops, reads, and returns handles.
+  // TSan checks that the rings' release/acquire pairs make the payload
+  // writes visible without any other synchronization.
+  constexpr std::uint32_t kN = 20000;
+  net::PacketPool pool(64, 8);
+  net::SpscRing ingest(8);
+  net::SpscRing recycle(8);
+  std::thread consumer([&] {
+    std::uint32_t expected = 0;
+    while (expected < kN) {
+      const auto b = ingest.pop();
+      if (!b.has_value()) {
+        std::this_thread::yield();
+        continue;
+      }
+      EXPECT_EQ(b->length, expected % 64u);
+      EXPECT_EQ(pool.data(*b)[0], static_cast<std::uint8_t>(expected));
+      ++expected;
+      while (!recycle.push(*b)) std::this_thread::yield();
+    }
+  });
+  std::uint32_t sent = 0;
+  while (sent < kN) {
+    while (const auto spent = recycle.pop()) pool.free(*spent);
+    auto b = pool.alloc();
+    if (!b.has_value()) {
+      std::this_thread::yield();
+      continue;
+    }
+    b->length = sent % 64u;
+    pool.data(*b)[0] = static_cast<std::uint8_t>(sent);
+    while (!ingest.push(*b)) std::this_thread::yield();
+    ++sent;
+  }
+  consumer.join();
+  while (const auto spent = recycle.pop()) pool.free(*spent);
+  EXPECT_EQ(pool.available(), 8u);
 }
 
 TEST(SpscRing, CrossThreadTransfer) {

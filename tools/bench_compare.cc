@@ -1,10 +1,23 @@
-// CI regression gate over two bench_e2e JSON documents.
+// CI regression gate over two bench JSON documents.
 //
 //   bench_compare --baseline bench/baselines/BENCH_PR4.json
 //                 --current BENCH_NOW.json [--max-regress 15]
 //
-// Configurations are matched by (isa, workers). For each pair present in
-// both files the gate fails (exit 1) when:
+// Two schemas are understood; baseline and current must carry the same
+// one:
+//
+// "vran-bench-soak-v1" (bench_soak): configurations are matched by their
+// "key" string. For each pair present in both files the gate fails when:
+//   * current p99.9 TTI latency exceeds baseline by more than
+//     --max-regress percent, or
+//   * the TTI deadline-miss rate exceeds baseline by more than 0.001
+//     absolute (the smoke baseline is 0, so any systematic missing
+//     fails; the slack absorbs a single noise-miss on loaded runners), or
+//   * packets/s fell below baseline by more than --max-regress percent.
+//
+// "vran-bench-e2e-v1" (bench_e2e): configurations are matched by
+// (isa, workers). For each pair present in both files the gate fails
+// (exit 1) when:
 //   * current p99 TTI latency exceeds baseline by more than
 //     --max-regress percent, or
 //   * allocations/TTI grew by more than 0.5 while the current run had
@@ -170,10 +183,15 @@ struct Config {
   double p50_us = 0, p99_us = 0, allocs_per_tti = 0;
   std::map<std::string, double> stages_us;     // stages_us_per_tti
   std::map<std::string, PmuStage> pmu_stages;  // empty without --hw data
+  // Soak-schema fields (vran-bench-soak-v1 only).
+  bool soak = false;
+  double p999_us = 0;
+  double miss_rate = 0;
+  double packets_per_sec = 0;
 };
 
 bool load(const char* path, std::map<std::string, Config>& out,
-          bool& counting, std::string& cpu_model) {
+          bool& counting, std::string& cpu_model, std::string& schema_out) {
   std::ifstream in(path);
   if (!in) {
     std::fprintf(stderr, "bench_compare: cannot open %s\n", path);
@@ -189,10 +207,13 @@ bool load(const char* path, std::map<std::string, Config>& out,
     return false;
   }
   const auto* schema = root.find("schema");
-  if (!schema || schema->str != "vran-bench-e2e-v1") {
+  if (!schema || (schema->str != "vran-bench-e2e-v1" &&
+                  schema->str != "vran-bench-soak-v1")) {
     std::fprintf(stderr, "bench_compare: %s: unexpected schema\n", path);
     return false;
   }
+  schema_out = schema->str;
+  const bool soak = schema->str == "vran-bench-soak-v1";
   const auto* counting_v = root.find("alloc_counting");
   counting = counting_v && counting_v->boolean;
   cpu_model.clear();
@@ -205,16 +226,26 @@ bool load(const char* path, std::map<std::string, Config>& out,
     return false;
   }
   for (const auto& c : configs->array) {
-    const auto* isa = c.find("isa");
-    if (!isa) continue;
-    const std::string key =
-        isa->str + "/w" +
-        std::to_string(static_cast<int>(c.num_or("workers", 0)));
+    std::string key;
+    if (soak) {
+      const auto* k = c.find("key");
+      if (!k) continue;
+      key = k->str;
+    } else {
+      const auto* isa = c.find("isa");
+      if (!isa) continue;
+      key = isa->str + "/w" +
+            std::to_string(static_cast<int>(c.num_or("workers", 0)));
+    }
     Config cfg;
+    cfg.soak = soak;
     if (const auto* tti = c.find("tti_us")) {
       cfg.p50_us = tti->num_or("p50", 0);
       cfg.p99_us = tti->num_or("p99", 0);
+      cfg.p999_us = tti->num_or("p999", 0);
     }
+    cfg.miss_rate = c.num_or("deadline_miss_rate", 0);
+    cfg.packets_per_sec = c.num_or("packets_per_sec", 0);
     cfg.allocs_per_tti = c.num_or("allocs_per_tti", 0);
     if (const auto* stages = c.find("stages_us_per_tti")) {
       for (const auto& [name, v] : stages->object) {
@@ -276,9 +307,16 @@ int main(int argc, char** argv) {
 
   std::map<std::string, Config> base, cur;
   bool base_counting = false, cur_counting = false;
-  std::string base_cpu, cur_cpu;
-  if (!load(baseline_path, base, base_counting, base_cpu) ||
-      !load(current_path, cur, cur_counting, cur_cpu)) {
+  std::string base_cpu, cur_cpu, base_schema, cur_schema;
+  if (!load(baseline_path, base, base_counting, base_cpu, base_schema) ||
+      !load(current_path, cur, cur_counting, cur_cpu, cur_schema)) {
+    return 2;
+  }
+  if (base_schema != cur_schema) {
+    std::fprintf(stderr,
+                 "bench_compare: schema mismatch — baseline %s vs current "
+                 "%s\n",
+                 base_schema.c_str(), cur_schema.c_str());
     return 2;
   }
   if (!base_cpu.empty() && !cur_cpu.empty() && base_cpu != cur_cpu) {
@@ -288,6 +326,55 @@ int main(int argc, char** argv) {
   }
 
   int failures = 0, compared = 0;
+  if (base_schema == "vran-bench-soak-v1") {
+    // Soak gate: p99.9 latency (relative), deadline-miss rate (absolute
+    // slack of 0.001), packets/s floor (relative).
+    std::printf("%-22s %12s %12s %9s   %s\n", "config", "base_p999",
+                "cur_p999", "delta", "miss / pkts-per-s (base -> cur)");
+    for (const auto& [key, b] : base) {
+      const auto it = cur.find(key);
+      if (it == cur.end()) {
+        std::printf("%-22s missing in current run (skipped)\n", key.c_str());
+        continue;
+      }
+      const auto& c = it->second;
+      ++compared;
+      const double delta_pct =
+          b.p999_us > 0 ? (c.p999_us - b.p999_us) / b.p999_us * 100.0 : 0.0;
+      const bool lat_fail = delta_pct > max_regress;
+      const bool miss_fail = c.miss_rate > b.miss_rate + 0.001;
+      const bool tput_fail =
+          c.packets_per_sec <
+          b.packets_per_sec * (1.0 - max_regress / 100.0);
+      std::printf("%-22s %10.1fus %10.1fus %+8.1f%%   %.4f -> %.4f, "
+                  "%.0f -> %.0f%s%s%s\n",
+                  key.c_str(), b.p999_us, c.p999_us, delta_pct, b.miss_rate,
+                  c.miss_rate, b.packets_per_sec, c.packets_per_sec,
+                  lat_fail ? "  P999-LATENCY-REGRESSION" : "",
+                  miss_fail ? "  DEADLINE-MISS-REGRESSION" : "",
+                  tput_fail ? "  THROUGHPUT-REGRESSION" : "");
+      failures += (lat_fail || miss_fail || tput_fail) ? 1 : 0;
+    }
+    for (const auto& [key, c] : cur) {
+      (void)c;
+      if (base.find(key) == base.end()) {
+        std::printf("%-22s new config, no baseline (skipped)\n", key.c_str());
+      }
+    }
+    if (compared == 0) {
+      std::fprintf(stderr, "bench_compare: no overlapping configs\n");
+      return 2;
+    }
+    if (failures > 0) {
+      std::fprintf(stderr,
+                   "bench_compare: %d config(s) regressed beyond %.0f%%\n",
+                   failures, max_regress);
+      return 1;
+    }
+    std::printf("bench_compare: OK (%d configs within %.0f%%)\n", compared,
+                max_regress);
+    return 0;
+  }
   std::printf("%-16s %12s %12s %9s   %s\n", "config", "base_p99", "cur_p99",
               "delta", "allocs (base -> cur)");
   for (const auto& [key, b] : base) {

@@ -326,11 +326,13 @@ FuzzCase random_case(Xoshiro256& rng) {
   } else if (qm == 4) {
     c.snr_db = 16.0 + rng.uniform() * 8.0;
   } else {
-    // 64-QAM needs the most margin: at 22 dB a rare noise draw can leave
-    // one block genuinely marginal, where the windowed tiers' boundary
-    // metrics may legitimately split (observed ~1/500 once the OFDM
-    // geometry — and with it the noise realization — was randomized).
-    c.snr_db = 23.0 + rng.uniform() * 5.0;
+    // 64-QAM floor: 22 dB. PR 7 raised this to 23 dB to keep the
+    // windowed-AVX-512 small-K waterfall defect out of the sample space;
+    // PR 8's windowed_window_too_short reroute fixed that defect at the
+    // routing layer, so the band is reopened — the 22-23 dB slice is
+    // exactly where small marginal blocks live, and dodging it would
+    // just hide coverage (verified clean over a 500-iteration sweep).
+    c.snr_db = 22.0 + rng.uniform() * 6.0;
   }
   // Bound the packet so the TB fits 100 PRBs at this MCS.
   const int max_bytes = mac::transport_block_bits(c.mcs, 100) / 8 - 16;
