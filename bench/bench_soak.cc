@@ -20,14 +20,31 @@
 // and packets/s (floor). The JSON carries the standard "meta"
 // provenance block (bench_util.h).
 //
+// The live telemetry publisher (DESIGN.md §8) runs by default at 100 ms:
+// every soak is observable while it runs (--telemetry-socket to serve
+// vran_top / telemetry_check over a Unix socket, --postmortem-dir to
+// dump deadline-miss flight-recorder postmortems). The JSON records the
+// publisher configuration under "telemetry" so bench_compare can warn
+// when runs with mismatched enablement are compared.
+//
 // Flags: --cells N (4)   --flows N per cell (32)  --workers N (2)
 //        --seconds S (2) --rate PPS total (2000)  --payload BYTES (400)
 //        --budget-us US (1000)  --no-steal  --no-degrade  --json PATH
+//        --no-telemetry  --telemetry-socket PATH  --telemetry-period MS
+//        --postmortem-dir DIR  --fault-turbo-miss
+//
+// --fault-turbo-miss arms a deterministic turbo early-stop miss on every
+// code block (fault/fault.h): the decoder burns its full iteration
+// budget, so with a tight --budget-us every TTI misses with the time
+// sunk in turbo decode — the CI recipe for a postmortem whose window
+// identifies the injected stage (telemetry_check --expect-stage).
 #include <cstdio>
 #include <cstring>
+#include <memory>
 #include <string>
 
 #include "bench/bench_util.h"
+#include "fault/fault.h"
 #include "pipeline/multicell.h"
 
 using namespace vran;
@@ -67,6 +84,20 @@ double double_flag(int argc, char** argv, const char* name, double def) {
   return def;
 }
 
+std::string string_flag(int argc, char** argv, const char* name,
+                        const char* def) {
+  const std::size_t len = std::strlen(name);
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], name) == 0 && i + 1 < argc) {
+      return argv[i + 1];
+    }
+    if (std::strncmp(argv[i], name, len) == 0 && argv[i][len] == '=') {
+      return argv[i] + len + 1;
+    }
+  }
+  return def;
+}
+
 struct SoakResult {
   std::string key;
   int ues = 0;
@@ -77,6 +108,7 @@ struct SoakResult {
   pipeline::MultiCellRunner::Totals totals;
   pipeline::LoadGenerator::Stats gen;
   std::uint64_t delivered = 0, crc_ok = 0;
+  std::uint64_t telemetry_ticks = 0, postmortems = 0;
 };
 
 std::string to_json(const SoakResult& r, const pipeline::MultiCellConfig& mc,
@@ -94,6 +126,14 @@ std::string to_json(const SoakResult& r, const pipeline::MultiCellConfig& mc,
                 mc.steal ? "true" : "false", mc.degrade ? "true" : "false",
                 lg.seconds, lg.rate_pps, lg.packet_bytes,
                 static_cast<double>(mc.tti_budget_ns) / 1e3);
+  j += buf;
+  std::snprintf(buf, sizeof(buf),
+                "  \"telemetry\": {\"enabled\": %s, \"period_ms\": %d, "
+                "\"ticks\": %llu, \"postmortems\": %llu},\n",
+                mc.telemetry.enabled ? "true" : "false",
+                mc.telemetry.period_ms,
+                static_cast<unsigned long long>(r.telemetry_ticks),
+                static_cast<unsigned long long>(r.postmortems));
   j += buf;
   j += "  \"configs\": [\n";
   std::snprintf(buf, sizeof(buf),
@@ -140,6 +180,20 @@ int main(int argc, char** argv) {
   mc.degrade = !has_flag(argc, argv, "--no-degrade");
   mc.tti_budget_ns = static_cast<std::uint64_t>(
       int_flag(argc, argv, "--budget-us", 1000)) * 1000ull;
+  mc.telemetry.enabled = !has_flag(argc, argv, "--no-telemetry");
+  mc.telemetry.socket_path =
+      string_flag(argc, argv, "--telemetry-socket", "");
+  mc.telemetry.period_ms = int_flag(argc, argv, "--telemetry-period", 100);
+  mc.telemetry.postmortem_dir =
+      string_flag(argc, argv, "--postmortem-dir", "");
+
+  std::unique_ptr<fault::FaultInjector> turbo_fault;
+  if (has_flag(argc, argv, "--fault-turbo-miss")) {
+    fault::FaultPlan plan;
+    plan.enable(fault::FaultPoint::kTurboEarlyStopMiss, 1.0);
+    turbo_fault = std::make_unique<fault::FaultInjector>(plan);
+    mc.flow_template.fault = turbo_fault.get();
+  }
 
   pipeline::LoadGenerator::Config lg;
   lg.seconds = double_flag(argc, argv, "--seconds", 2.0);
@@ -155,6 +209,15 @@ int main(int argc, char** argv) {
               "budget %.0fus\n",
               lg.rate_pps, lg.seconds, lg.packet_bytes,
               static_cast<double>(mc.tti_budget_ns) / 1e3);
+
+  if (mc.telemetry.enabled) {
+    std::printf("            telemetry: period %dms%s%s%s%s\n",
+                mc.telemetry.period_ms,
+                mc.telemetry.socket_path.empty() ? "" : ", socket ",
+                mc.telemetry.socket_path.c_str(),
+                mc.telemetry.postmortem_dir.empty() ? "" : ", postmortems ",
+                mc.telemetry.postmortem_dir.c_str());
+  }
 
   pipeline::MultiCellRunner runner(mc);
   runner.start();
@@ -175,6 +238,12 @@ int main(int argc, char** argv) {
       r.delivered += fs.delivered;
       r.crc_ok += fs.crc_ok;
     }
+  }
+  if (auto* tel = runner.telemetry()) {
+    r.telemetry_ticks = tel->ticks();
+    // Publisher stopped with the runner, so the exact read is safe.
+    r.postmortems =
+        tel->self_metrics().snapshot().counter("telemetry.postmortems");
   }
   const auto h = runner.tti_histogram();
   r.p50_us = h.quantile(0.50) / 1e3;

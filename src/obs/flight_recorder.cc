@@ -1,0 +1,253 @@
+#include "obs/flight_recorder.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+
+namespace vran::obs {
+
+namespace {
+
+std::int64_t steady_ms() {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+void append_u64(std::string& out, std::uint64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%llu", static_cast<unsigned long long>(v));
+  out += buf;
+}
+
+}  // namespace
+
+FlightRecorder::FlightRecorder(FlightRecorderConfig cfg)
+    : cfg_(std::move(cfg)) {
+  if (cfg_.capacity == 0) cfg_.capacity = 1;
+  if (cfg_.window_before < 0) cfg_.window_before = 0;
+  if (cfg_.window_after < 0) cfg_.window_after = 0;
+  // The frozen window must fit the ring, or the "before" part would be
+  // partially overwritten by its own aftermath.
+  const std::size_t need = static_cast<std::size_t>(cfg_.window_before) + 1 +
+                           static_cast<std::size_t>(cfg_.window_after);
+  cfg_.capacity = std::max(cfg_.capacity, need);
+  ring_.resize(cfg_.capacity);
+}
+
+void FlightRecorder::record(const TtiFlightRecord& r) {
+  ring_[next_] = r;
+  next_ = (next_ + 1) % cfg_.capacity;
+  ++written_;
+  records_.fetch_add(1, std::memory_order_relaxed);
+  if (r.miss) misses_.fetch_add(1, std::memory_order_relaxed);
+  if (armed_) {
+    // Every record after the arming one — miss or not — counts toward
+    // the aftermath, so a storm of back-to-back misses still freezes
+    // after window_after records instead of staying armed forever.
+    if (aftermath_left_ > 0) --aftermath_left_;
+  } else if (r.miss) {
+    // Arm only when this miss could actually freeze: rate limit and
+    // lifetime cap are checked up front so a suppressed miss doesn't
+    // hold the recorder armed.
+    const std::int64_t now = steady_ms();
+    const bool limited = last_freeze_ms_ >= 0 &&
+                         now - last_freeze_ms_ < cfg_.min_dump_interval_ms;
+    const bool capped = cfg_.max_dumps >= 0 &&
+                        frozen_.load(std::memory_order_relaxed) >=
+                            static_cast<std::uint64_t>(cfg_.max_dumps);
+    if (limited || capped) {
+      suppressed_.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      armed_ = true;
+      armed_seq_ = r.seq;
+      aftermath_left_ = cfg_.window_after;
+      last_freeze_ms_ = now;
+    }
+  }
+  if (armed_ && aftermath_left_ == 0) {
+    freeze(armed_seq_);
+    armed_ = false;
+  }
+}
+
+void FlightRecorder::flush() {
+  if (armed_) {
+    freeze(armed_seq_);
+    armed_ = false;
+  }
+}
+
+void FlightRecorder::freeze(std::uint64_t miss_seq) {
+  // Oldest-first copy of the retained tail of the ring, trimmed to the
+  // configured window around the miss.
+  const std::size_t have =
+      static_cast<std::size_t>(std::min<std::uint64_t>(written_, cfg_.capacity));
+  std::vector<TtiFlightRecord> window;
+  window.reserve(have);
+  const std::size_t start = written_ <= cfg_.capacity ? 0 : next_;
+  for (std::size_t i = 0; i < have; ++i) {
+    window.push_back(ring_[(start + i) % cfg_.capacity]);
+  }
+  // Trim: keep window_before records ahead of the miss record.
+  std::size_t miss_idx = 0;
+  for (std::size_t i = 0; i < window.size(); ++i) {
+    if (window[i].seq == miss_seq) {
+      miss_idx = i;
+      break;
+    }
+  }
+  const std::size_t first =
+      miss_idx > static_cast<std::size_t>(cfg_.window_before)
+          ? miss_idx - static_cast<std::size_t>(cfg_.window_before)
+          : 0;
+  if (first > 0) window.erase(window.begin(), window.begin() + long(first));
+
+  std::lock_guard<std::mutex> lk(mu_);
+  if (has_pending_) {
+    // Previous window not yet taken: drop this one rather than block the
+    // writer or grow unbounded.
+    suppressed_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  pending_.miss_seq = miss_seq;
+  pending_.window = std::move(window);
+  has_pending_ = true;
+  frozen_.fetch_add(1, std::memory_order_relaxed);
+}
+
+bool FlightRecorder::take_pending(Postmortem& out) {
+  std::lock_guard<std::mutex> lk(mu_);
+  if (!has_pending_) return false;
+  out = std::move(pending_);
+  pending_ = Postmortem{};
+  has_pending_ = false;
+  return true;
+}
+
+std::string FlightRecorder::poll_and_dump() {
+  Postmortem pm;
+  if (!take_pending(pm)) return "";
+  if (cfg_.dir.empty()) return "";
+  char name[128];
+  std::snprintf(name, sizeof(name), "/postmortem_cell%d_seq%llu.json",
+                cfg_.cell_id, static_cast<unsigned long long>(pm.miss_seq));
+  const std::string path = cfg_.dir + name;
+  const std::string json = to_json(pm);
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    dump_failures_.fetch_add(1, std::memory_order_relaxed);
+    return "";
+  }
+  const bool ok = std::fwrite(json.data(), 1, json.size(), f) == json.size();
+  if (std::fclose(f) != 0 || !ok) {
+    dump_failures_.fetch_add(1, std::memory_order_relaxed);
+    return "";
+  }
+  dumps_.fetch_add(1, std::memory_order_relaxed);
+  return path;
+}
+
+std::string FlightRecorder::to_json(const Postmortem& pm) const {
+  std::string out;
+  out.reserve(4096 + pm.window.size() * 256);
+  out += "{\"schema\":\"vran-postmortem-v1\",\"cell\":";
+  append_u64(out, static_cast<std::uint64_t>(cfg_.cell_id));
+  out += ",\"miss_seq\":";
+  append_u64(out, pm.miss_seq);
+  out += ",\"budget_ns\":";
+  append_u64(out, cfg_.budget_ns);
+  out += ",\"stages\":[";
+  bool first_name = true;
+  for (int s = 0; s < kFlightStages; ++s) {
+    if (cfg_.stage_names[static_cast<std::size_t>(s)] == nullptr) continue;
+    if (!first_name) out += ',';
+    first_name = false;
+    out += '"';
+    out += cfg_.stage_names[static_cast<std::size_t>(s)];
+    out += '"';
+  }
+  out += "],\"records\":[";
+  for (std::size_t i = 0; i < pm.window.size(); ++i) {
+    const auto& r = pm.window[i];
+    if (i) out += ',';
+    out += "{\"seq\":";
+    append_u64(out, r.seq);
+    out += ",\"tti_ns\":";
+    append_u64(out, r.tti_ns);
+    out += ",\"packets\":";
+    append_u64(out, r.packets);
+    out += ",\"degrade_level\":";
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%d", r.degrade_level);
+    out += buf;
+    out += ",\"alloc_pressure\":";
+    append_u64(out, r.alloc_pressure);
+    out += ",\"ingest_depth\":";
+    append_u64(out, r.ingest_depth);
+    out += ",\"miss\":";
+    out += r.miss ? "true" : "false";
+    out += ",\"dropped\":";
+    out += r.dropped ? "true" : "false";
+    if (r.ipc_milli != 0) {
+      std::snprintf(buf, sizeof(buf), ",\"ipc\":%.3f",
+                    double(r.ipc_milli) / 1e3);
+      out += buf;
+    }
+    out += ",\"stage_ns\":[";
+    bool first_stage = true;
+    for (int s = 0; s < kFlightStages; ++s) {
+      if (cfg_.stage_names[static_cast<std::size_t>(s)] == nullptr) continue;
+      if (!first_stage) out += ',';
+      first_stage = false;
+      append_u64(out, r.stage_ns[static_cast<std::size_t>(s)]);
+    }
+    out += "]}";
+  }
+  // A Chrome-trace slice synthesized from the records: each TTI is a
+  // "ph":"X" span on the cell's track, each stage a nested span laid out
+  // end-to-end inside it (the recorder keeps durations, not offsets, so
+  // the intra-TTI layout is schematic; inter-TTI timing uses wall_ns).
+  out += "],\"traceEvents\":[";
+  bool first_ev = true;
+  for (const auto& r : pm.window) {
+    char buf[224];
+    std::snprintf(buf, sizeof(buf),
+                  "%s{\"name\":\"tti_%llu%s\",\"ph\":\"X\",\"pid\":%d,"
+                  "\"tid\":0,\"ts\":%.3f,\"dur\":%.3f}",
+                  first_ev ? "" : ",",
+                  static_cast<unsigned long long>(r.seq),
+                  r.miss ? "_MISS" : "", cfg_.cell_id,
+                  double(r.wall_ns) / 1e3, double(r.tti_ns) / 1e3);
+    out += buf;
+    first_ev = false;
+    std::uint64_t off = r.wall_ns;
+    for (int s = 0; s < kFlightStages; ++s) {
+      const char* nm = cfg_.stage_names[static_cast<std::size_t>(s)];
+      const std::uint64_t ns = r.stage_ns[static_cast<std::size_t>(s)];
+      if (nm == nullptr || ns == 0) continue;
+      std::snprintf(buf, sizeof(buf),
+                    ",{\"name\":\"%s\",\"ph\":\"X\",\"pid\":%d,\"tid\":1,"
+                    "\"ts\":%.3f,\"dur\":%.3f,\"args\":{\"tti\":%llu}}",
+                    nm, cfg_.cell_id, double(off) / 1e3, double(ns) / 1e3,
+                    static_cast<unsigned long long>(r.seq));
+      out += buf;
+      off += ns;
+    }
+  }
+  out += "],\"displayTimeUnit\":\"ns\"}";
+  return out;
+}
+
+FlightRecorder::Stats FlightRecorder::stats() const {
+  Stats s;
+  s.records = records_.load(std::memory_order_relaxed);
+  s.misses = misses_.load(std::memory_order_relaxed);
+  s.frozen = frozen_.load(std::memory_order_relaxed);
+  s.suppressed = suppressed_.load(std::memory_order_relaxed);
+  s.dumps = dumps_.load(std::memory_order_relaxed);
+  s.dump_failures = dump_failures_.load(std::memory_order_relaxed);
+  return s;
+}
+
+}  // namespace vran::obs

@@ -1,0 +1,151 @@
+// Per-cell TTI flight recorder: a fixed-size ring of compact per-TTI
+// records that freezes a window around every deadline miss and hands the
+// frozen window off for a postmortem dump (DESIGN.md §8).
+//
+// The deadline ladder (pipeline/cell_shard.h) tells you *that* a cell
+// fell behind; this recorder tells you *why*: for every TTI it keeps the
+// per-stage nanosecond breakdown, the degrade level the TTI ran at, the
+// producer-side alloc pressure, the ingest queue depth, and — when the
+// pipelines run with PMU attribution — the measured IPC over the TTI
+// window. When a TTI misses its budget the recorder arms, waits for
+// `window_after` more records so the aftermath is captured too, then
+// freezes `window_before + 1 + window_after` records into a pending
+// postmortem. A publisher thread (obs/telemetry.h) — or teardown — takes
+// the pending window and writes the "vran-postmortem-v1" JSON (records
+// plus a synthesized Chrome-trace slice) to the configured directory.
+//
+// Concurrency: record()/flush() form the single-writer side — exactly
+// one thread at a time calls them (in the multi-cell runtime that is
+// whichever worker holds the shard's claim flag; the claim's acq-rel
+// handoff orders successive writers). take_pending()/poll_and_dump()/
+// stats() may run on any thread concurrently with the writer: the
+// handoff is a small mutex taken only when a window freezes (cold path)
+// and by the taker. The hot path — one record per TTI — is a handful of
+// plain stores into the writer-owned ring plus one mutex-free armed
+// check.
+//
+// File I/O never happens on the writer side: freezing copies at most
+// `capacity` compact records under the mutex; the dump itself (JSON
+// serialization + fopen/fwrite) runs on whoever calls poll_and_dump().
+// Dumps are rate-limited (min interval + max total) so a miss storm
+// costs a bounded number of files and freezes.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace vran::obs {
+
+/// Fixed per-record stage slots. The slot -> stage-name mapping is
+/// configured once (FlightRecorderConfig::stage_names) and serialized
+/// into every postmortem, so records stay POD.
+inline constexpr int kFlightStages = 8;
+
+/// One TTI's worth of evidence. Plain data; copied wholesale when a
+/// window freezes.
+struct TtiFlightRecord {
+  std::uint64_t seq = 0;       ///< TTI sequence number within the cell
+  std::uint64_t wall_ns = 0;   ///< TTI start, on the recorder's clock
+  std::uint64_t tti_ns = 0;    ///< measured TTI wall time (0 = dropped)
+  std::uint32_t packets = 0;   ///< packets the TTI consumed
+  std::int32_t degrade_level = 0;   ///< ladder position the TTI ran at
+  std::uint32_t alloc_pressure = 0; ///< producer-side pool-starve events
+  std::uint32_t ingest_depth = 0;   ///< ring backlog when the TTI began
+  bool miss = false;     ///< tti_ns exceeded the budget
+  bool dropped = false;  ///< shed whole by the degrade ladder
+  /// Measured instructions-per-cycle over the TTI's stage scopes, in
+  /// thousandths (0 = PMU off/unavailable).
+  std::uint32_t ipc_milli = 0;
+  /// Per-stage nanoseconds, indexed by the configured stage_names slot.
+  std::array<std::uint64_t, kFlightStages> stage_ns{};
+};
+
+struct FlightRecorderConfig {
+  int cell_id = 0;
+  std::uint64_t budget_ns = 0;  ///< serialized into postmortems
+  std::size_t capacity = 256;   ///< ring size (records retained)
+  int window_before = 8;        ///< records kept ahead of the miss
+  int window_after = 4;         ///< records awaited after the miss
+  /// Postmortem output directory; empty = capture-only (windows still
+  /// freeze and can be take_pending()'d, nothing is written to disk).
+  std::string dir;
+  int max_dumps = 8;  ///< lifetime cap on frozen windows
+  std::int64_t min_dump_interval_ms = 500;  ///< rate limit between freezes
+  /// Slot -> stage name for stage_ns; nullptr slots are unused.
+  std::array<const char*, kFlightStages> stage_names{};
+};
+
+class FlightRecorder {
+ public:
+  explicit FlightRecorder(FlightRecorderConfig cfg);
+
+  const FlightRecorderConfig& config() const { return cfg_; }
+
+  // --- Single-writer side (the shard's claiming worker). --------------
+  /// Append one TTI record; on a miss, arm the window freeze (subject to
+  /// the rate limit); when an armed window has its aftermath, freeze it
+  /// into the pending slot.
+  void record(const TtiFlightRecord& r);
+  /// Freeze an armed-but-incomplete window with whatever aftermath
+  /// exists (call when the shard goes idle / the runtime stops, so a
+  /// miss on the last TTI still yields a postmortem).
+  void flush();
+
+  // --- Any-thread side. ------------------------------------------------
+  struct Postmortem {
+    std::uint64_t miss_seq = 0;  ///< seq of the triggering record
+    std::vector<TtiFlightRecord> window;  ///< oldest first
+  };
+  /// Move the pending postmortem out, if any. One pending slot: a new
+  /// window cannot freeze until the previous one is taken (suppressions
+  /// are counted).
+  bool take_pending(Postmortem& out);
+  /// take_pending() and, when `dir` is configured, write the
+  /// "vran-postmortem-v1" JSON there. Returns the written path, "" when
+  /// nothing was pending or dir is empty (the window is still consumed),
+  /// and counts write failures.
+  std::string poll_and_dump();
+  /// Serialize a postmortem (records + Chrome-trace slice).
+  std::string to_json(const Postmortem& pm) const;
+
+  struct Stats {
+    std::uint64_t records = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t frozen = 0;      ///< windows captured
+    std::uint64_t suppressed = 0;  ///< rate-limited / pending-occupied
+    std::uint64_t dumps = 0;       ///< files written
+    std::uint64_t dump_failures = 0;
+  };
+  Stats stats() const;
+
+ private:
+  void freeze(std::uint64_t miss_seq);
+
+  FlightRecorderConfig cfg_;
+
+  // Writer-owned state (claim-serialized; see header comment).
+  std::vector<TtiFlightRecord> ring_;
+  std::size_t next_ = 0;
+  std::uint64_t written_ = 0;
+  bool armed_ = false;
+  std::uint64_t armed_seq_ = 0;
+  int aftermath_left_ = 0;
+  std::int64_t last_freeze_ms_ = -1;  ///< steady-clock ms of last freeze
+
+  // Cross-thread handoff + counters.
+  mutable std::mutex mu_;
+  bool has_pending_ = false;
+  Postmortem pending_;
+  std::atomic<std::uint64_t> records_{0};
+  std::atomic<std::uint64_t> misses_{0};
+  std::atomic<std::uint64_t> frozen_{0};
+  std::atomic<std::uint64_t> suppressed_{0};
+  std::atomic<std::uint64_t> dumps_{0};
+  std::atomic<std::uint64_t> dump_failures_{0};
+};
+
+}  // namespace vran::obs

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <bit>
+#include <cassert>
 #include <cstdio>
 
 namespace vran::obs {
@@ -52,24 +53,75 @@ void Histogram::record(std::uint64_t value) {
   while (value > cur &&
          !s.max.compare_exchange_weak(cur, value, std::memory_order_relaxed)) {
   }
+  // Publish: a live sampler that sees the epoch unchanged across its
+  // shard read knows no record completed inside the read window.
+  s.epoch.fetch_add(1, std::memory_order_release);
 }
 
-HistogramStats Histogram::stats() const {
+HistogramStats Histogram::fold(bool live) const {
   HistogramStats out;
   std::uint64_t min = ~std::uint64_t{0};
+  std::uint64_t counted = 0;  ///< fold of the count fields
   for (const auto& s : shards_) {
+    std::array<std::uint64_t, kHistogramBuckets> buckets{};
+    std::uint64_t count = 0, sum = 0, shard_min = ~std::uint64_t{0},
+                  shard_max = 0;
+    // Bounded retry until the shard's epoch is quiet across the read.
+    // Each field load is individually atomic either way; the retry only
+    // shrinks the window for cross-field skew (a bucket counted but its
+    // sum not yet added). After the retries run out the last read is
+    // accepted — the sample stays monotone, merely slightly skewed.
+    for (int attempt = 0; attempt < 4; ++attempt) {
+      const std::uint64_t e0 = s.epoch.load(std::memory_order_acquire);
+      for (int b = 0; b < kHistogramBuckets; ++b) {
+        buckets[static_cast<std::size_t>(b)] =
+            s.buckets[static_cast<std::size_t>(b)].load(
+                std::memory_order_relaxed);
+      }
+      count = s.count.load(std::memory_order_relaxed);
+      sum = s.sum.load(std::memory_order_relaxed);
+      shard_min = s.min.load(std::memory_order_relaxed);
+      shard_max = s.max.load(std::memory_order_relaxed);
+      if (!live || s.epoch.load(std::memory_order_acquire) == e0) break;
+    }
     for (int b = 0; b < kHistogramBuckets; ++b) {
       out.buckets[static_cast<std::size_t>(b)] +=
-          s.buckets[static_cast<std::size_t>(b)].load(
-              std::memory_order_relaxed);
+          buckets[static_cast<std::size_t>(b)];
     }
-    out.count += s.count.load(std::memory_order_relaxed);
-    out.sum += s.sum.load(std::memory_order_relaxed);
-    min = std::min(min, s.min.load(std::memory_order_relaxed));
-    out.max = std::max(out.max, s.max.load(std::memory_order_relaxed));
+    counted += count;
+    out.sum += sum;
+    min = std::min(min, shard_min);
+    out.max = std::max(out.max, shard_max);
+  }
+  std::uint64_t bucket_total = 0;
+  for (const auto b : out.buckets) bucket_total += b;
+  if (live) {
+    // Derive the total from the buckets themselves so quantiles over a
+    // live sample are always internally consistent with the bucket
+    // array, whatever the interleaving with writers was.
+    out.count = bucket_total;
+  } else {
+    // Exactness contract: after writers join, the folded count and the
+    // folded buckets agree. Tripping this assert means snapshot()/
+    // stats() was called while writers were live — use sample().
+    assert(counted == bucket_total &&
+           "Histogram::stats() while writers run; use sample()");
+    out.count = counted;
   }
   out.min = out.count ? min : 0;
   return out;
+}
+
+HistogramStats Histogram::stats() const { return fold(/*live=*/false); }
+
+HistogramStats Histogram::sample() const { return fold(/*live=*/true); }
+
+std::uint64_t Histogram::live_sum() const {
+  std::uint64_t total = 0;
+  for (const auto& s : shards_) {
+    total += s.sum.load(std::memory_order_relaxed);
+  }
+  return total;
 }
 
 void Histogram::reset() {
@@ -79,6 +131,9 @@ void Histogram::reset() {
     s.sum.store(0, std::memory_order_relaxed);
     s.min.store(~std::uint64_t{0}, std::memory_order_relaxed);
     s.max.store(0, std::memory_order_relaxed);
+    // The epoch itself is NOT reset — it is a publication tick, not a
+    // value; bumping it tells in-flight samplers the shard moved.
+    s.epoch.fetch_add(1, std::memory_order_release);
   }
 }
 
@@ -144,7 +199,7 @@ Histogram& MetricsRegistry::histogram(std::string_view name) {
   return *it->second;
 }
 
-Snapshot MetricsRegistry::snapshot() const {
+Snapshot MetricsRegistry::fold(bool live) const {
   std::lock_guard<std::mutex> lk(mu_);
   Snapshot s;
   s.counters.reserve(counters_.size());
@@ -153,10 +208,14 @@ Snapshot MetricsRegistry::snapshot() const {
   for (const auto& [name, g] : gauges_) s.gauges.emplace_back(name, g->value());
   s.histograms.reserve(histograms_.size());
   for (const auto& [name, h] : histograms_) {
-    s.histograms.emplace_back(name, h->stats());
+    s.histograms.emplace_back(name, live ? h->sample() : h->stats());
   }
   return s;
 }
+
+Snapshot MetricsRegistry::snapshot() const { return fold(/*live=*/false); }
+
+Snapshot MetricsRegistry::sample() const { return fold(/*live=*/true); }
 
 void MetricsRegistry::clear() {
   std::lock_guard<std::mutex> lk(mu_);
@@ -175,6 +234,48 @@ void MetricsRegistry::reset() {
 MetricsRegistry& MetricsRegistry::global() {
   static MetricsRegistry r;
   return r;
+}
+
+Snapshot SampleCursor::advance(const MetricsRegistry& reg) {
+  Snapshot cur = reg.sample();
+  Snapshot delta;
+  delta.gauges = cur.gauges;  // instantaneous: no meaningful difference
+  delta.counters.reserve(cur.counters.size());
+  for (const auto& [name, v] : cur.counters) {
+    const std::uint64_t prev = prev_.counter(name);
+    delta.counters.emplace_back(name, v >= prev ? v - prev : v);
+  }
+  delta.histograms.reserve(cur.histograms.size());
+  for (const auto& [name, h] : cur.histograms) {
+    const HistogramStats* prev = prev_.histogram(name);
+    HistogramStats d;
+    int lo = -1, hi = -1;
+    for (int b = 0; b < kHistogramBuckets; ++b) {
+      const std::uint64_t cb = h.buckets[static_cast<std::size_t>(b)];
+      const std::uint64_t pb =
+          prev != nullptr ? prev->buckets[static_cast<std::size_t>(b)] : 0;
+      const std::uint64_t db = cb >= pb ? cb - pb : cb;
+      d.buckets[static_cast<std::size_t>(b)] = db;
+      if (db != 0) {
+        if (lo < 0) lo = b;
+        hi = b;
+      }
+      d.count += db;
+    }
+    const std::uint64_t prev_sum = prev != nullptr ? prev->sum : 0;
+    d.sum = h.sum >= prev_sum ? h.sum - prev_sum : h.sum;
+    // min/max of the window are unknowable from cumulative extremes;
+    // bound them by the populated delta buckets' edges so quantile()'s
+    // clamp stays sound for the window.
+    if (d.count > 0) {
+      d.min = histogram_bucket_low(lo);
+      const std::uint64_t high = histogram_bucket_high(hi);
+      d.max = high == ~std::uint64_t{0} ? high : high - 1;
+    }
+    delta.histograms.emplace_back(name, d);
+  }
+  prev_ = std::move(cur);
+  return delta;
 }
 
 const HistogramStats* Snapshot::histogram(std::string_view name) const {

@@ -11,11 +11,28 @@
 // recording is lock-free. Every Counter/Histogram is split into
 // cache-line-padded per-thread shards; a thread records into its own
 // shard with relaxed atomics and never contends with other writers.
-// snapshot() folds the shards — called after the writers have joined
-// (end of a bench run, end of a TTI batch) it observes exact totals, the
-// same merge-after-join contract as StageTimes. A snapshot taken while
-// writers are still running is a consistent *lower bound* per metric
-// (each shard is read atomically) but not a cross-metric atomic cut.
+//
+// Two-tier read model:
+//
+//   * snapshot() — EXACT, requires writers to have joined first (end of
+//     a bench run, end of a TTI batch): the same merge-after-join
+//     contract as StageTimes. Debug builds assert the contract (a
+//     histogram whose folded count disagrees with its folded bucket sum
+//     was snapshot mid-write); call sample() instead if writers may
+//     still be running.
+//   * sample() — LIVE, safe while writers run: every field is read with
+//     a relaxed atomic load, so sampled values are monotone in time
+//     (counters and histogram buckets only ever grow) and never torn.
+//     Histogram totals are derived from the bucket array itself — count
+//     is the fold of the sampled buckets, not the separate count field —
+//     so quantiles computed from a live sample are always internally
+//     consistent. Each histogram shard publishes an epoch that record()
+//     bumps after its field updates; sample() retries a bounded number
+//     of times until it sees a quiet epoch, which makes cross-field skew
+//     (count vs sum) rare, though a sample is still not a cross-metric
+//     atomic cut. Use SampleCursor to turn successive sample() calls
+//     into non-negative deltas (windowed rates and quantiles for live
+//     telemetry; see obs/telemetry.h).
 //
 // Registry lookups (counter()/histogram()/gauge()) take a mutex and
 // return a stable reference; hot paths look up once and keep the pointer.
@@ -104,11 +121,21 @@ struct HistogramStats {
 
 /// Fixed-bucket log2 histogram of unsigned 64-bit samples (the pipeline
 /// records nanoseconds). Recording is one relaxed fetch_add per field on
-/// the caller's shard.
+/// the caller's shard, plus one release epoch bump that publishes the
+/// record to live samplers.
 class Histogram {
  public:
   void record(std::uint64_t value);
+  /// Exact fold — writers must have joined (debug-asserted; see the
+  /// header comment's two-tier read model).
   HistogramStats stats() const;
+  /// Live fold, safe while writers run: count derives from the sampled
+  /// buckets (internally consistent quantiles), each shard read retries
+  /// on epoch movement a bounded number of times. Monotone in time.
+  HistogramStats sample() const;
+  /// Live fold of the shard sums alone (one relaxed load per shard) —
+  /// the cheap per-TTI stage-time delta read the flight recorder makes.
+  std::uint64_t live_sum() const;
   void reset();
 
  private:
@@ -118,7 +145,11 @@ class Histogram {
     std::atomic<std::uint64_t> sum{0};
     std::atomic<std::uint64_t> min{~std::uint64_t{0}};
     std::atomic<std::uint64_t> max{0};
+    /// Bumped (release) after every record's field updates — the
+    /// publication tick sample() keys its bounded retry on.
+    std::atomic<std::uint64_t> epoch{0};
   };
+  HistogramStats fold(bool live) const;
   std::array<Shard, kShards> shards_;
 };
 
@@ -153,7 +184,15 @@ class MetricsRegistry {
   Gauge& gauge(std::string_view name);
   Histogram& histogram(std::string_view name);
 
+  /// Exact point-in-time fold. Contract: concurrent writers have joined
+  /// (debug-asserted per histogram). For a live read use sample().
   Snapshot snapshot() const;
+  /// Live fold, safe while writers run (see the two-tier read model in
+  /// the header comment): values are monotone lower bounds, histogram
+  /// stats come from Histogram::sample(). The registry mutex held during
+  /// the fold guards only the name maps — writers never take it on the
+  /// record path, so sampling cannot stall them.
+  Snapshot sample() const;
 
   /// Drop every metric. Invalidates previously returned references — not
   /// usable while a pipeline still holds resolved pointers; prefer
@@ -170,10 +209,34 @@ class MetricsRegistry {
   static MetricsRegistry& global();
 
  private:
+  Snapshot fold(bool live) const;
+
   mutable std::mutex mu_;
   std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
   std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
   std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+};
+
+/// Turns successive live sample() calls into per-window deltas — the
+/// telemetry publisher's read primitive. Counter deltas and histogram
+/// bucket deltas are clamped non-negative (sample() is monotone, so a
+/// clamp only ever absorbs a metric that was reset between samples);
+/// gauges pass through as their current value (an instantaneous reading
+/// has no meaningful difference). Delta histograms re-derive count from
+/// the delta buckets and bound min/max by the populated buckets' edges,
+/// so windowed quantiles stay internally consistent.
+///
+/// Not thread-safe: one cursor belongs to one sampling thread.
+class SampleCursor {
+ public:
+  /// Live-sample `reg` and return the delta since the previous advance
+  /// (first call: delta from zero, i.e. the cumulative sample).
+  Snapshot advance(const MetricsRegistry& reg);
+  /// The cumulative sample the last advance() was computed against.
+  const Snapshot& cumulative() const { return prev_; }
+
+ private:
+  Snapshot prev_;
 };
 
 }  // namespace vran::obs

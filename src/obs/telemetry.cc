@@ -1,0 +1,439 @@
+#include "obs/telemetry.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+
+#include "obs/flight_recorder.h"
+
+#if defined(__unix__) || defined(__APPLE__)
+#define VRAN_TELEMETRY_SOCKETS 1
+#include <fcntl.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+#else
+#define VRAN_TELEMETRY_SOCKETS 0
+#endif
+
+namespace vran::obs {
+
+namespace {
+
+/// Prometheus metric-name mangling: dots (our namespace separator)
+/// become underscores, everything else in our names is already legal.
+std::string prom_name(std::string_view name) {
+  std::string out = "vran_";
+  for (char c : name) out += (c == '.') ? '_' : c;
+  return out;
+}
+
+void append_u64(std::string& out, std::uint64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%llu", static_cast<unsigned long long>(v));
+  out += buf;
+}
+
+void append_i64(std::string& out, std::int64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(v));
+  out += buf;
+}
+
+void append_double(std::string& out, double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.3f", v);
+  out += buf;
+}
+
+}  // namespace
+
+TelemetryPublisher::TelemetryPublisher(TelemetryOptions opts)
+    : opts_(std::move(opts)) {
+  if (opts_.period_ms < 1) opts_.period_ms = 1;
+  c_ticks_ = &self_.counter("telemetry.ticks");
+  c_clients_ = &self_.counter("telemetry.clients");
+  c_send_errors_ = &self_.counter("telemetry.send_errors");
+  c_postmortems_ = &self_.counter("telemetry.postmortems");
+  add_source("telemetry", &self_);
+}
+
+TelemetryPublisher::~TelemetryPublisher() { stop(); }
+
+void TelemetryPublisher::add_source(std::string name,
+                                    const MetricsRegistry* reg) {
+  Source s;
+  s.name = std::move(name);
+  s.reg = reg;
+  sources_.push_back(std::move(s));
+}
+
+void TelemetryPublisher::add_flight_recorder(FlightRecorder* fr) {
+  recorders_.push_back(fr);
+}
+
+void TelemetryPublisher::tick() {
+  c_ticks_->add();
+  tick_postmortems_.clear();
+  for (FlightRecorder* fr : recorders_) {
+    std::string path = fr->poll_and_dump();
+    if (!path.empty()) {
+      c_postmortems_->add();
+      tick_postmortems_.push_back(std::move(path));
+    }
+  }
+  for (Source& s : sources_) {
+    s.delta = s.cursor.advance(*s.reg);
+    s.cumulative = s.cursor.cumulative();
+  }
+  ticks_.fetch_add(1, std::memory_order_relaxed);
+  render();
+}
+
+void TelemetryPublisher::render() {
+  // --- Prometheus text exposition (cumulative values). ----------------
+  std::string prom;
+  prom.reserve(8192);
+  std::vector<std::string> typed;  // names whose # TYPE line was emitted
+  auto emit_type = [&](const std::string& pname, const char* kind) {
+    for (const auto& t : typed) {
+      if (t == pname) return;
+    }
+    typed.push_back(pname);
+    prom += "# TYPE ";
+    prom += pname;
+    prom += ' ';
+    prom += kind;
+    prom += '\n';
+  };
+  for (const Source& s : sources_) {
+    for (const auto& [name, v] : s.cumulative.counters) {
+      const std::string pname = prom_name(name);
+      emit_type(pname, "counter");
+      prom += pname;
+      prom += "{source=\"" + s.name + "\"} ";
+      append_u64(prom, v);
+      prom += '\n';
+    }
+    for (const auto& [name, v] : s.cumulative.gauges) {
+      const std::string pname = prom_name(name);
+      emit_type(pname, "gauge");
+      prom += pname;
+      prom += "{source=\"" + s.name + "\"} ";
+      append_i64(prom, v);
+      prom += '\n';
+    }
+    for (const auto& [name, h] : s.cumulative.histograms) {
+      const std::string pname = prom_name(name);
+      emit_type(pname, "summary");
+      static constexpr struct {
+        const char* label;
+        double q;
+      } kQuantiles[] = {{"0.5", 0.5}, {"0.95", 0.95}, {"0.99", 0.99}};
+      for (const auto& [label, q] : kQuantiles) {
+        prom += pname;
+        prom += "{source=\"" + s.name + "\",quantile=\"";
+        prom += label;
+        prom += "\"} ";
+        append_double(prom, h.quantile(q));
+        prom += '\n';
+      }
+      prom += pname + "_sum{source=\"" + s.name + "\"} ";
+      append_u64(prom, h.sum);
+      prom += '\n';
+      prom += pname + "_count{source=\"" + s.name + "\"} ";
+      append_u64(prom, h.count);
+      prom += '\n';
+    }
+  }
+
+  // --- NDJSON telemetry line (cumulative counters + windowed deltas;
+  // metric and source names are dot/alnum identifiers, so no JSON string
+  // escaping is needed). ------------------------------------------------
+  std::string js;
+  js.reserve(8192);
+  js += "{\"schema\":\"vran-telemetry-v1\",\"tick\":";
+  append_u64(js, ticks_.load(std::memory_order_relaxed));
+  js += ",\"period_ms\":";
+  append_i64(js, opts_.period_ms);
+  if (!tick_postmortems_.empty()) {
+    js += ",\"postmortems\":[";
+    for (std::size_t i = 0; i < tick_postmortems_.size(); ++i) {
+      if (i) js += ',';
+      js += '"';
+      js += tick_postmortems_[i];
+      js += '"';
+    }
+    js += ']';
+  }
+  js += ",\"sources\":{";
+  for (std::size_t si = 0; si < sources_.size(); ++si) {
+    const Source& s = sources_[si];
+    if (si) js += ',';
+    js += '"';
+    js += s.name;
+    js += "\":{\"counters\":{";
+    for (std::size_t i = 0; i < s.cumulative.counters.size(); ++i) {
+      if (i) js += ',';
+      js += '"';
+      js += s.cumulative.counters[i].first;
+      js += "\":";
+      append_u64(js, s.cumulative.counters[i].second);
+    }
+    js += "},\"deltas\":{";
+    for (std::size_t i = 0; i < s.delta.counters.size(); ++i) {
+      if (i) js += ',';
+      js += '"';
+      js += s.delta.counters[i].first;
+      js += "\":";
+      append_u64(js, s.delta.counters[i].second);
+    }
+    js += "},\"gauges\":{";
+    for (std::size_t i = 0; i < s.delta.gauges.size(); ++i) {
+      if (i) js += ',';
+      js += '"';
+      js += s.delta.gauges[i].first;
+      js += "\":";
+      append_i64(js, s.delta.gauges[i].second);
+    }
+    // Histograms: windowed (delta) stats, so quantiles describe the last
+    // sampling period, not the whole run.
+    js += "},\"histograms\":{";
+    for (std::size_t i = 0; i < s.delta.histograms.size(); ++i) {
+      const auto& [name, h] = s.delta.histograms[i];
+      if (i) js += ',';
+      js += '"';
+      js += name;
+      js += "\":{\"count\":";
+      append_u64(js, h.count);
+      js += ",\"sum\":";
+      append_u64(js, h.sum);
+      js += ",\"p50\":";
+      append_double(js, h.quantile(0.5));
+      js += ",\"p95\":";
+      append_double(js, h.quantile(0.95));
+      js += ",\"p99\":";
+      append_double(js, h.quantile(0.99));
+      js += ",\"max\":";
+      append_u64(js, h.count ? h.max : 0);
+      js += '}';
+    }
+    js += "}}";
+  }
+  js += "}}";
+
+  std::lock_guard<std::mutex> lk(render_mu_);
+  prometheus_ = std::move(prom);
+  json_ = std::move(js);
+}
+
+std::string TelemetryPublisher::prometheus_text() const {
+  std::lock_guard<std::mutex> lk(render_mu_);
+  return prometheus_;
+}
+
+std::string TelemetryPublisher::json_line() const {
+  std::lock_guard<std::mutex> lk(render_mu_);
+  return json_;
+}
+
+#if VRAN_TELEMETRY_SOCKETS
+
+namespace {
+
+bool send_all(int fd, const std::string& data) {
+  std::size_t off = 0;
+  while (off < data.size()) {
+    const ssize_t n = ::send(fd, data.data() + off, data.size() - off,
+                             MSG_NOSIGNAL);
+    if (n <= 0) return false;  // EAGAIN on a slow client counts as failure
+    off += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+bool TelemetryPublisher::start() {
+  if (running()) return true;
+  stop_.store(false, std::memory_order_relaxed);
+  listen_fd_ = -1;
+  if (!opts_.socket_path.empty()) {
+    sockaddr_un addr{};
+    if (opts_.socket_path.size() >= sizeof(addr.sun_path)) return false;
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0) return false;
+    addr.sun_family = AF_UNIX;
+    std::memcpy(addr.sun_path, opts_.socket_path.c_str(),
+                opts_.socket_path.size() + 1);
+    ::unlink(opts_.socket_path.c_str());  // stale socket from a dead run
+    if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+            0 ||
+        ::listen(fd, 8) != 0) {
+      ::close(fd);
+      return false;
+    }
+    ::fcntl(fd, F_SETFL, O_NONBLOCK);
+    listen_fd_ = fd;
+  }
+  running_.store(true, std::memory_order_release);
+  thread_ = std::thread([this] { server_loop(); });
+  return true;
+}
+
+void TelemetryPublisher::stop() {
+  if (!running()) return;
+  stop_.store(true, std::memory_order_release);
+  thread_.join();
+  running_.store(false, std::memory_order_release);
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    ::unlink(opts_.socket_path.c_str());
+  }
+  // Final tick so everything recorded up to stop() — including a flight
+  // window frozen by the last TTI — is sampled and dumped.
+  tick();
+}
+
+void TelemetryPublisher::server_loop() {
+  struct Client {
+    int fd = -1;
+    std::string inbuf;
+    bool streaming = false;
+  };
+  std::vector<Client> clients;
+  auto close_client = [](Client& c) {
+    ::close(c.fd);
+    c.fd = -1;
+  };
+
+  auto next_tick = std::chrono::steady_clock::now() +
+                   std::chrono::milliseconds(opts_.period_ms);
+  while (!stop_.load(std::memory_order_acquire)) {
+    const auto now = std::chrono::steady_clock::now();
+    int timeout_ms = static_cast<int>(
+        std::chrono::duration_cast<std::chrono::milliseconds>(next_tick - now)
+            .count());
+    if (timeout_ms < 0) timeout_ms = 0;
+
+    std::vector<pollfd> pfds;
+    if (listen_fd_ >= 0) pfds.push_back({listen_fd_, POLLIN, 0});
+    for (const Client& c : clients) pfds.push_back({c.fd, POLLIN, 0});
+    if (pfds.empty()) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(timeout_ms));
+    } else if (::poll(pfds.data(), static_cast<nfds_t>(pfds.size()),
+                      timeout_ms) > 0) {
+      std::size_t p = 0;
+      if (listen_fd_ >= 0) {
+        if (pfds[p].revents & POLLIN) {
+          const int cfd = ::accept(listen_fd_, nullptr, nullptr);
+          if (cfd >= 0) {
+            ::fcntl(cfd, F_SETFL, O_NONBLOCK);
+            clients.push_back({cfd, {}, false});
+            c_clients_->add();
+          }
+        }
+        ++p;
+      }
+      // pfds[p..] map onto the clients vector before any accepts above.
+      const std::size_t had = pfds.size() - p;
+      for (std::size_t i = 0; i < had; ++i, ++p) {
+        Client& c = clients[i];
+        if (pfds[p].revents & (POLLERR | POLLHUP)) {
+          if (!c.streaming || (pfds[p].revents & POLLERR)) close_client(c);
+          // Streaming clients that half-close their write side stay
+          // subscribed; a failed send below reaps them.
+          if (c.fd < 0) continue;
+        }
+        if (!(pfds[p].revents & POLLIN)) continue;
+        char buf[256];
+        const ssize_t n = ::recv(c.fd, buf, sizeof(buf), 0);
+        if (n <= 0) {
+          if (!c.streaming) close_client(c);
+          continue;
+        }
+        if (c.streaming) continue;  // ignore extra input on a stream
+        c.inbuf.append(buf, static_cast<std::size_t>(n));
+        const std::size_t nl = c.inbuf.find('\n');
+        if (nl == std::string::npos) {
+          if (c.inbuf.size() > 256) close_client(c);  // no request line
+          continue;
+        }
+        std::string req = c.inbuf.substr(0, nl);
+        if (!req.empty() && req.back() == '\r') req.pop_back();
+        if (req == "stream") {
+          c.streaming = true;
+          std::string line = json_line();
+          if (!line.empty()) {
+            line += '\n';
+            if (!send_all(c.fd, line)) {
+              c_send_errors_->add();
+              close_client(c);
+            }
+          }
+        } else {
+          std::string out =
+              (req == "metrics") ? prometheus_text() : json_line();
+          out += '\n';
+          if (!send_all(c.fd, out)) c_send_errors_->add();
+          close_client(c);
+        }
+      }
+      clients.erase(std::remove_if(clients.begin(), clients.end(),
+                                   [](const Client& c) { return c.fd < 0; }),
+                    clients.end());
+    }
+
+    if (std::chrono::steady_clock::now() >= next_tick) {
+      tick();
+      next_tick += std::chrono::milliseconds(opts_.period_ms);
+      // Push the fresh line to every streaming client; drop slow ones.
+      std::string line = json_line();
+      line += '\n';
+      for (Client& c : clients) {
+        if (!c.streaming) continue;
+        if (!send_all(c.fd, line)) {
+          c_send_errors_->add();
+          close_client(c);
+        }
+      }
+      clients.erase(std::remove_if(clients.begin(), clients.end(),
+                                   [](const Client& c) { return c.fd < 0; }),
+                    clients.end());
+    }
+  }
+  for (Client& c : clients) ::close(c.fd);
+}
+
+#else  // !VRAN_TELEMETRY_SOCKETS
+
+bool TelemetryPublisher::start() {
+  if (running()) return true;
+  if (!opts_.socket_path.empty()) return false;  // no socket support here
+  stop_.store(false, std::memory_order_relaxed);
+  running_.store(true, std::memory_order_release);
+  thread_ = std::thread([this] {
+    while (!stop_.load(std::memory_order_acquire)) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(opts_.period_ms));
+      tick();
+    }
+  });
+  return true;
+}
+
+void TelemetryPublisher::stop() {
+  if (!running()) return;
+  stop_.store(true, std::memory_order_release);
+  thread_.join();
+  running_.store(false, std::memory_order_release);
+  tick();
+}
+
+void TelemetryPublisher::server_loop() {}
+
+#endif  // VRAN_TELEMETRY_SOCKETS
+
+}  // namespace vran::obs

@@ -1,0 +1,129 @@
+// Live telemetry publisher: one background thread that samples metric
+// registries every period, renders the result as Prometheus-style text
+// exposition and as newline-delimited JSON ("vran-telemetry-v1"), and
+// serves both over a Unix domain socket — no HTTP stack, no external
+// dependencies (DESIGN.md §8).
+//
+// The publisher is strictly an observer. It reads registries through the
+// live MetricsRegistry::sample() path (relaxed atomic loads; never the
+// writer-joined snapshot() contract), keeps one SampleCursor per source
+// so every tick also yields windowed deltas (rates, per-window
+// quantiles), and polls registered FlightRecorders so postmortem JSON is
+// written off the worker threads. Workers never block on it and it never
+// blocks on workers.
+//
+// Socket protocol (SOCK_STREAM, request-line based): the client sends
+// one line, the publisher answers:
+//
+//   "metrics\n"  -> latest Prometheus text exposition, then close.
+//   "json\n"     -> latest telemetry line (one JSON object), then close.
+//   "stream\n"   -> one telemetry line per sampling tick until the
+//                   client disconnects (what vran_top consumes).
+//
+// An empty request line means "json". Slow stream consumers are dropped
+// rather than buffered: a client that can't keep up costs one failed
+// send, not publisher memory.
+//
+// Threading: add_source()/add_flight_recorder() happen before start();
+// after start() only the publisher thread touches the cursors and the
+// socket. tick()/prometheus_text()/json_line() are public so tests can
+// drive a publisher without a thread or socket — tick() must then be the
+// caller's only sampling thread.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace vran::obs {
+
+class FlightRecorder;
+
+struct TelemetryOptions {
+  /// Unix-domain socket path; empty = no socket server (the sampling
+  /// thread still runs: cursors advance, flight recorders get polled).
+  std::string socket_path;
+  int period_ms = 100;  ///< sampling period
+};
+
+class TelemetryPublisher {
+ public:
+  explicit TelemetryPublisher(TelemetryOptions opts);
+  ~TelemetryPublisher();  ///< stop()s if still running
+  TelemetryPublisher(const TelemetryPublisher&) = delete;
+  TelemetryPublisher& operator=(const TelemetryPublisher&) = delete;
+
+  const TelemetryOptions& options() const { return opts_; }
+
+  /// Register a registry to sample under `name` (e.g. "cell0",
+  /// "runner"). The registry must outlive the publisher. Before start()
+  /// only.
+  void add_source(std::string name, const MetricsRegistry* reg);
+  /// Register a flight recorder to poll_and_dump() each tick. Before
+  /// start() only.
+  void add_flight_recorder(FlightRecorder* fr);
+
+  /// Spawn the sampling thread (and socket server when socket_path is
+  /// set). Returns false if the socket could not be bound — the thread
+  /// is then NOT started.
+  bool start();
+  /// Join the thread, close clients, unlink the socket. Idempotent.
+  void stop();
+  bool running() const { return running_.load(std::memory_order_acquire); }
+
+  /// One sampling tick: advance every source cursor, poll flight
+  /// recorders, rebuild the cached renderings. Test entry point — the
+  /// running publisher thread calls this itself.
+  void tick();
+
+  /// Latest cached renderings (empty before the first tick).
+  std::string prometheus_text() const;
+  std::string json_line() const;
+  std::uint64_t ticks() const { return ticks_.load(std::memory_order_relaxed); }
+
+  /// The publisher's own counters ("telemetry.ticks", ".clients",
+  /// ".send_errors", ".postmortems") — registered as source "telemetry"
+  /// so the publisher is visible through itself.
+  MetricsRegistry& self_metrics() { return self_; }
+
+ private:
+  struct Source {
+    std::string name;
+    const MetricsRegistry* reg;
+    SampleCursor cursor;
+    Snapshot cumulative;  ///< refreshed each tick
+    Snapshot delta;       ///< windowed delta for the last tick
+  };
+
+  void server_loop();
+  void render();  ///< rebuild cached strings from sources' cumulative/delta
+
+  TelemetryOptions opts_;
+  MetricsRegistry self_;
+  std::vector<Source> sources_;
+  std::vector<FlightRecorder*> recorders_;
+  std::vector<std::string> tick_postmortems_;  ///< paths dumped this tick
+
+  std::thread thread_;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stop_{false};
+  std::atomic<std::uint64_t> ticks_{0};
+  int listen_fd_ = -1;
+
+  mutable std::mutex render_mu_;
+  std::string prometheus_;
+  std::string json_;
+
+  Counter* c_ticks_ = nullptr;
+  Counter* c_clients_ = nullptr;
+  Counter* c_send_errors_ = nullptr;
+  Counter* c_postmortems_ = nullptr;
+};
+
+}  // namespace vran::obs

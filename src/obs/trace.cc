@@ -16,6 +16,9 @@ TraceRecorder::TraceRecorder(std::size_t capacity, MetricsRegistry* metrics)
   ring_.reserve(capacity);
   if (metrics != nullptr) {
     dropped_counter_ = &metrics->counter("trace.dropped");
+    used_gauge_ = &metrics->gauge("trace.ring_used");
+    metrics->gauge("trace.ring_capacity")
+        .set(static_cast<std::int64_t>(capacity));
   }
 }
 
@@ -30,6 +33,9 @@ void TraceRecorder::record(const TraceEvent& ev) {
   std::lock_guard<std::mutex> lk(mu_);
   if (ring_.size() < capacity_) {
     ring_.push_back(ev);
+    if (used_gauge_ != nullptr) {
+      used_gauge_->set(static_cast<std::int64_t>(ring_.size()));
+    }
   } else {
     ring_[next_] = ev;
     if (dropped_counter_ != nullptr) dropped_counter_->add();
@@ -53,6 +59,7 @@ void TraceRecorder::clear() {
   ring_.clear();
   next_ = 0;
   written_ = 0;
+  if (used_gauge_ != nullptr) used_gauge_->set(0);
 }
 
 std::vector<TraceEvent> TraceRecorder::events() const {

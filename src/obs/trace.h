@@ -23,6 +23,7 @@
 namespace vran::obs {
 
 class Counter;
+class Gauge;
 class MetricsRegistry;
 
 struct TraceEvent {
@@ -40,8 +41,12 @@ class TraceRecorder {
   /// With a `metrics` registry, every keep-latest eviction also bumps the
   /// "trace.dropped" counter there — so silent span loss shows up in the
   /// same exports as everything else, not only in a dropped() call the
-  /// exporter never made. nullptr = registry export off (dropped() still
-  /// counts).
+  /// exporter never made — and the recorder keeps the "trace.ring_used" /
+  /// "trace.ring_capacity" gauges current, so the live sample path
+  /// (MetricsRegistry::sample(), the telemetry publisher, vran_top) sees
+  /// ring occupancy and span loss while the run is still hot instead of
+  /// only in the final chrome JSON. nullptr = registry export off
+  /// (dropped() still counts).
   explicit TraceRecorder(std::size_t capacity = 1 << 16,
                          MetricsRegistry* metrics = nullptr);
 
@@ -74,6 +79,7 @@ class TraceRecorder {
   std::size_t next_ = 0;       ///< ring_[next_] is the next write slot
   std::uint64_t written_ = 0;  ///< total record() calls
   Counter* dropped_counter_ = nullptr;  ///< "trace.dropped"; may be null
+  Gauge* used_gauge_ = nullptr;         ///< "trace.ring_used"; may be null
 };
 
 /// RAII span: times its scope and records on destruction. A null

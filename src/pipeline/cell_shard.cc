@@ -4,14 +4,24 @@
 #include <cassert>
 #include <cstring>
 #include <stdexcept>
+#include <string>
 
 #include "common/timer.h"
+#include "obs/pmu.h"
 
 namespace vran::pipeline {
 
 namespace {
 
 constexpr std::size_t kFlowTagBytes = 2;
+
+/// Flight-recorder stage slots: the uplink chain's stages, heaviest
+/// (turbo decode) included, in pipeline order. Every flow of the cell
+/// folds into the same per-cell "stage.<name>_ns" histogram, so one
+/// live_sum delta per slot covers the whole cell's TTI.
+constexpr std::array<const char*, obs::kFlightStages> kFlightStageNames = {
+    "ofdm_rx",      "demodulation",   "descramble", "rate_dematch",
+    "arrange",      "turbo_decode",   "desegmentation", "gtpu"};
 
 std::uint64_t fnv1a(std::uint64_t h, std::span<const std::uint8_t> bytes) {
   for (const std::uint8_t b : bytes) {
@@ -73,7 +83,10 @@ CellShard::CellShard(CellShardConfig cfg)
       m_miss_(reg_.counter("cell.deadline_miss")),
       m_degraded_(reg_.counter("cell.degraded")),
       m_dropped_(reg_.counter("cell.dropped")),
-      m_tti_ns_(reg_.histogram("cell.tti_ns")) {
+      m_tti_ns_(reg_.histogram("cell.tti_ns")),
+      m_level_(reg_.gauge("cell.degrade_level")),
+      m_depth_(reg_.gauge("cell.ingest_depth")),
+      epoch_(std::chrono::steady_clock::now()) {
   if (cfg_.buffer_bytes <= kFlowTagBytes) {
     throw std::invalid_argument("CellShard: buffer_bytes too small");
   }
@@ -82,6 +95,62 @@ CellShard::CellShard(CellShardConfig cfg)
   got_.resize(flows());
   flow_stats_.resize(flows());
   spent_.reserve(flows());
+  if (cfg_.flight.has_value()) {
+    obs::FlightRecorderConfig fc = *cfg_.flight;
+    fc.cell_id = cfg_.cell_id;
+    fc.budget_ns = cfg_.tti_budget_ns;
+    fc.stage_names = kFlightStageNames;
+    flight_ = std::make_unique<obs::FlightRecorder>(std::move(fc));
+    for (int s = 0; s < obs::kFlightStages; ++s) {
+      const std::string name = kFlightStageNames[static_cast<std::size_t>(s)];
+      fl_stage_[static_cast<std::size_t>(s)] =
+          &reg_.histogram("stage." + name + "_ns");
+      // PMU counters exist only when the flows attribute hardware
+      // counters per stage; resolving them otherwise would export
+      // all-zero pmu.* series.
+      if (cfg_.flows.front().pmu && obs::pmu_available()) {
+        fl_pmu_cycles_.push_back(
+            &reg_.counter("pmu.stage." + name + ".cycles"));
+        fl_pmu_instr_.push_back(
+            &reg_.counter("pmu.stage." + name + ".instructions"));
+      }
+    }
+  }
+}
+
+void CellShard::record_flight(std::uint64_t wall_ns, std::uint64_t elapsed_ns,
+                              std::size_t n, std::uint32_t depth,
+                              std::uint64_t pressure, bool miss,
+                              bool dropped) {
+  obs::TtiFlightRecord r;
+  r.seq = tti_seq_;
+  r.wall_ns = wall_ns;
+  r.tti_ns = elapsed_ns;
+  r.packets = static_cast<std::uint32_t>(n);
+  r.degrade_level = applied_level_;
+  r.alloc_pressure = static_cast<std::uint32_t>(pressure);
+  r.ingest_depth = depth;
+  r.miss = miss;
+  r.dropped = dropped;
+  for (int s = 0; s < obs::kFlightStages; ++s) {
+    const auto i = static_cast<std::size_t>(s);
+    const std::uint64_t cur = fl_stage_[i]->live_sum();
+    r.stage_ns[i] = cur - fl_stage_prev_[i];
+    fl_stage_prev_[i] = cur;
+  }
+  if (!fl_pmu_cycles_.empty()) {
+    std::uint64_t cycles = 0, instr = 0;
+    for (const obs::Counter* c : fl_pmu_cycles_) cycles += c->value();
+    for (const obs::Counter* c : fl_pmu_instr_) instr += c->value();
+    const std::uint64_t dc = cycles - fl_cycles_prev_;
+    const std::uint64_t di = instr - fl_instr_prev_;
+    fl_cycles_prev_ = cycles;
+    fl_instr_prev_ = instr;
+    if (dc > 0) {
+      r.ipc_milli = static_cast<std::uint32_t>((di * 1000) / dc);
+    }
+  }
+  flight_->record(r);
 }
 
 bool CellShard::offer(std::size_t flow, std::span<const std::uint8_t> payload) {
@@ -148,6 +217,11 @@ void CellShard::recycle_spent() {
 }
 
 bool CellShard::run_tti() {
+  const auto depth0 = static_cast<std::uint32_t>(ingest_.size());
+  const auto wall_ns = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - epoch_)
+          .count());
   // Gather up to one packet per flow, FIFO. A packet for a flow already
   // served this TTI closes the window and is held for the next one.
   std::fill(got_.begin(), got_.end(), std::uint8_t{0});
@@ -185,8 +259,9 @@ bool CellShard::run_tti() {
 
   // Producer-side pool starvation is a degrade signal: the shard is not
   // keeping buffers moving, so shed quality before shedding packets.
-  if (alloc_pressure_.exchange(0, std::memory_order_relaxed) > 0 &&
-      cfg_.degrade) {
+  const std::uint64_t pressure =
+      alloc_pressure_.exchange(0, std::memory_order_relaxed);
+  if (pressure > 0 && cfg_.degrade) {
     level_ = std::min(2, level_ + 1);
   }
 
@@ -197,6 +272,13 @@ bool CellShard::run_tti() {
       consecutive_misses_ >= cfg_.drop_after_misses) {
     drop_tti(n);
     consecutive_misses_ = 0;
+    if (flight_ != nullptr) {
+      record_flight(wall_ns, 0, n, depth0, pressure, /*miss=*/false,
+                    /*dropped=*/true);
+    }
+    ++tti_seq_;
+    m_level_.set(level_);
+    m_depth_.set(static_cast<std::int64_t>(ingest_.size()));
     return true;
   }
 
@@ -229,7 +311,8 @@ bool CellShard::run_tti() {
   }
 
   // Deadline accounting + ladder movement for the NEXT TTI.
-  if (elapsed_ns > cfg_.tti_budget_ns) {
+  const bool miss = elapsed_ns > cfg_.tti_budget_ns;
+  if (miss) {
     ++miss_;
     m_miss_.add();
     ++consecutive_misses_;
@@ -242,6 +325,14 @@ bool CellShard::run_tti() {
       level_ = std::max(0, level_ - 1);
     }
   }
+
+  if (flight_ != nullptr) {
+    record_flight(wall_ns, elapsed_ns, n, depth0, pressure, miss,
+                  /*dropped=*/false);
+  }
+  ++tti_seq_;
+  m_level_.set(level_);
+  m_depth_.set(static_cast<std::int64_t>(ingest_.size()));
 
   recycle_spent();
   return true;

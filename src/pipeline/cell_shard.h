@@ -50,7 +50,9 @@
 // the bounded response where blocking in the allocator was not.
 #pragma once
 
+#include <array>
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <memory>
 #include <optional>
@@ -58,6 +60,7 @@
 #include <vector>
 
 #include "net/mempool.h"
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 #include "pipeline/batch_runner.h"
 
@@ -86,6 +89,11 @@ struct CellShardConfig {
   std::int64_t alloc_backoff_budget_us = 20;
   /// Armed on the shard's pool (kMempoolAllocFail); nullptr = none.
   fault::FaultInjector* fault = nullptr;
+  /// Per-cell TTI flight recorder (obs/flight_recorder.h); nullopt = off.
+  /// cell_id, budget_ns, and the stage-slot names are filled in by the
+  /// shard (the dominant uplink stages); the caller sets ring/window/
+  /// rate-limit geometry and the postmortem directory.
+  std::optional<obs::FlightRecorderConfig> flight;
 };
 
 class CellShard {
@@ -96,9 +104,18 @@ class CellShard {
   std::size_t flows() const { return runner_.flows(); }
   /// Per-cell registry: the flows' stage.* histograms plus the shard's
   /// cell.* counters ("cell.tti", "cell.packets", "cell.deadline_miss",
-  /// "cell.degraded", "cell.dropped", "cell.tti_ns").
+  /// "cell.degraded", "cell.dropped", "cell.tti_ns") and the live-read
+  /// gauges ("cell.degrade_level", "cell.ingest_depth") the telemetry
+  /// publisher samples while the shard runs.
   obs::MetricsRegistry& metrics() { return reg_; }
   const BatchRunner& runner() const { return runner_; }
+  /// nullptr unless cfg.flight was set.
+  obs::FlightRecorder* flight() { return flight_.get(); }
+  /// Freeze any armed-but-incomplete miss window (writer side: call only
+  /// with the claim held or after workers joined).
+  void flush_flight() {
+    if (flight_ != nullptr) flight_->flush();
+  }
 
   // --- Producer side: ONE thread (the pool's owner). ----------------
   /// Stage one packet for `flow`: pool alloc (bounded retry/backoff),
@@ -166,6 +183,9 @@ class CellShard {
   void apply_quality(int level);
   void drop_tti(std::size_t n_popped);
   void recycle_spent();
+  void record_flight(std::uint64_t wall_ns, std::uint64_t elapsed_ns,
+                     std::size_t n, std::uint32_t depth,
+                     std::uint64_t pressure, bool miss, bool dropped);
 
   CellShardConfig cfg_;
   obs::MetricsRegistry reg_;  ///< declared before runner_: pipelines
@@ -203,6 +223,23 @@ class CellShard {
   obs::Counter& m_degraded_;
   obs::Counter& m_dropped_;
   obs::Histogram& m_tti_ns_;
+  obs::Gauge& m_level_;  ///< "cell.degrade_level": ladder position now
+  obs::Gauge& m_depth_;  ///< "cell.ingest_depth": backlog at last TTI
+
+  // Flight recorder (consumer-side except the recorder's own handoff).
+  std::unique_ptr<obs::FlightRecorder> flight_;
+  std::chrono::steady_clock::time_point epoch_;  ///< wall_ns origin
+  std::uint64_t tti_seq_ = 0;
+  /// Stage-slot histograms ("stage.<name>_ns", all flows fold into the
+  /// same per-cell instance) and their last live_sum — the cheap per-TTI
+  /// stage-time delta read.
+  std::array<obs::Histogram*, obs::kFlightStages> fl_stage_{};
+  std::array<std::uint64_t, obs::kFlightStages> fl_stage_prev_{};
+  /// PMU cycle/instruction counters summed over the stage slots, for the
+  /// per-TTI IPC field; empty when PMU attribution is off.
+  std::vector<obs::Counter*> fl_pmu_cycles_;
+  std::vector<obs::Counter*> fl_pmu_instr_;
+  std::uint64_t fl_cycles_prev_ = 0, fl_instr_prev_ = 0;
 };
 
 }  // namespace vran::pipeline

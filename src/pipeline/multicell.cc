@@ -2,6 +2,7 @@
 
 #include <chrono>
 #include <stdexcept>
+#include <string>
 
 #include "net/pktgen.h"
 
@@ -49,7 +50,31 @@ MultiCellRunner::MultiCellRunner(MultiCellConfig cfg) : cfg_(std::move(cfg)) {
     sc.alloc_retries = cfg_.alloc_retries;
     sc.alloc_backoff_budget_us = cfg_.alloc_backoff_budget_us;
     sc.fault = cfg_.fault;
+    if (cfg_.telemetry.enabled && cfg_.telemetry.flight) {
+      obs::FlightRecorderConfig fc;
+      fc.capacity = cfg_.telemetry.flight_capacity;
+      fc.window_before = cfg_.telemetry.window_before;
+      fc.window_after = cfg_.telemetry.window_after;
+      fc.dir = cfg_.telemetry.postmortem_dir;
+      fc.max_dumps = cfg_.telemetry.max_dumps;
+      fc.min_dump_interval_ms = cfg_.telemetry.min_dump_interval_ms;
+      sc.flight = fc;
+    }
     shards_.push_back(std::make_unique<CellShard>(std::move(sc)));
+  }
+  if (cfg_.telemetry.enabled) {
+    obs::TelemetryOptions to;
+    to.socket_path = cfg_.telemetry.socket_path;
+    to.period_ms = cfg_.telemetry.period_ms;
+    publisher_ = std::make_unique<obs::TelemetryPublisher>(std::move(to));
+    publisher_->add_source("runner", &runner_reg_);
+    for (int c = 0; c < cfg_.cells; ++c) {
+      auto& shard = *shards_[static_cast<std::size_t>(c)];
+      publisher_->add_source("cell" + std::to_string(c), &shard.metrics());
+      if (shard.flight() != nullptr) {
+        publisher_->add_flight_recorder(shard.flight());
+      }
+    }
   }
 }
 
@@ -57,6 +82,9 @@ MultiCellRunner::~MultiCellRunner() { stop(); }
 
 void MultiCellRunner::start() {
   if (running_.exchange(true, std::memory_order_acq_rel)) return;
+  // Telemetry is best-effort: a socket that fails to bind leaves the
+  // runtime fully functional, just unobserved over the socket.
+  if (publisher_ != nullptr) publisher_->start();
   threads_.reserve(static_cast<std::size_t>(cfg_.workers));
   for (int w = 0; w < cfg_.workers; ++w) {
     threads_.emplace_back([this, w] { worker_loop(w); });
@@ -78,6 +106,11 @@ void MultiCellRunner::stop() {
   if (!running_.exchange(false, std::memory_order_acq_rel)) return;
   for (auto& t : threads_) t.join();
   threads_.clear();
+  // Workers joined: flushing the flight recorders is now safe (a miss on
+  // the final TTI still yields a postmortem), and the publisher's
+  // stopping tick samples + dumps what the flush froze.
+  for (auto& s : shards_) s->flush_flight();
+  if (publisher_ != nullptr) publisher_->stop();
 }
 
 std::size_t MultiCellRunner::backlog() const {
@@ -132,7 +165,10 @@ bool MultiCellRunner::try_drain(CellShard& shard, bool stolen) {
   bool any = false;
   while (shard.run_tti()) {
     any = true;
-    if (stolen) steals_.fetch_add(1, std::memory_order_relaxed);
+    if (stolen) {
+      steals_.fetch_add(1, std::memory_order_relaxed);
+      c_steals_.add();  // same count, live-sampleable via "runner"
+    }
   }
   shard.release();
   return any;

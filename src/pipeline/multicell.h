@@ -32,9 +32,11 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
+#include <string>
 #include <thread>
 #include <vector>
 
+#include "obs/telemetry.h"
 #include "pipeline/cell_shard.h"
 
 namespace vran::pipeline {
@@ -65,6 +67,30 @@ struct MultiCellConfig {
   /// template's `metrics` is ignored — shards install their own.
   PipelineConfig flow_template;
   fault::FaultInjector* fault = nullptr;
+
+  /// Live telemetry (DESIGN.md §8). When enabled the runner owns a
+  /// TelemetryPublisher sampling every cell's registry (sources "cell0",
+  /// "cell1", ... plus "runner") and, when `flight` is also set, gives
+  /// every shard a TTI flight recorder the publisher polls for
+  /// deadline-miss postmortems. All of it is observer-only: workers
+  /// never block on the publisher.
+  struct Telemetry {
+    bool enabled = false;
+    /// Unix socket the publisher serves; empty = sample-only (vran_top
+    /// has nothing to connect to, but flight recorders still dump).
+    std::string socket_path;
+    int period_ms = 100;
+    /// Per-cell flight recorders (obs/flight_recorder.h).
+    bool flight = true;
+    /// Postmortem JSON directory; empty = capture-only.
+    std::string postmortem_dir;
+    std::size_t flight_capacity = 256;
+    int window_before = 8;
+    int window_after = 4;
+    int max_dumps = 8;
+    std::int64_t min_dump_interval_ms = 500;
+  };
+  Telemetry telemetry;
 };
 
 class MultiCellRunner {
@@ -83,6 +109,11 @@ class MultiCellRunner {
   int cells() const { return static_cast<int>(shards_.size()); }
   CellShard& shard(int cell) { return *shards_.at(cell); }
   const CellShard& shard(int cell) const { return *shards_.at(cell); }
+  /// nullptr unless cfg.telemetry.enabled.
+  obs::TelemetryPublisher* telemetry() { return publisher_.get(); }
+  /// Runner-level registry ("runner.steals"), sampled as source
+  /// "runner" by the publisher.
+  obs::MetricsRegistry& runner_metrics() { return runner_reg_; }
 
   void start();  ///< spawn workers (idempotent)
   void stop();   ///< join workers (idempotent); shards keep their stats
@@ -126,6 +157,9 @@ class MultiCellRunner {
   std::vector<std::thread> threads_;
   std::atomic<bool> running_{false};
   std::atomic<std::uint64_t> steals_{0};
+  obs::MetricsRegistry runner_reg_;
+  obs::Counter& c_steals_ = runner_reg_.counter("runner.steals");
+  std::unique_ptr<obs::TelemetryPublisher> publisher_;
 };
 
 /// Calibrated open-loop source: emits packets on the ideal schedule

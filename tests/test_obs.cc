@@ -166,6 +166,113 @@ TEST(ObsConcurrency, CounterAndHistogramTotalsExactAfterJoin) {
   }
 }
 
+// --- live sampling: sample() and SampleCursor while writers run ----------
+
+// The TSan-facing probe for the two-tier read model (obs/metrics.h): a
+// sampler thread live-reads the registry while 8 writers hammer it. No
+// torn totals (histogram count always equals its bucket fold), monotone
+// cumulative values, non-negative deltas summing to the exact final
+// totals, and the final cursor position agrees with the exact
+// post-join snapshot().
+TEST(ObsLiveSample, SampleWhileWritersRunIsMonotoneAndConsistent) {
+  obs::MetricsRegistry reg;
+  auto& counter = reg.counter("live.count");
+  auto& hist = reg.histogram("live.hist");
+  reg.gauge("live.gauge").set(42);
+
+  constexpr int kWriters = 8;
+  constexpr int kPerThread = 20000;
+  std::atomic<bool> go{false};
+  std::atomic<int> done{0};
+  std::vector<std::thread> writers;
+  for (int t = 0; t < kWriters; ++t) {
+    writers.emplace_back([&, t] {
+      while (!go.load(std::memory_order_acquire)) std::this_thread::yield();
+      Xoshiro256 rng(std::uint64_t(t) + 1);
+      for (int i = 0; i < kPerThread; ++i) {
+        counter.add(3);
+        hist.record(rng.bounded(1 << 20));
+      }
+      done.fetch_add(1, std::memory_order_release);
+    });
+  }
+
+  obs::SampleCursor cursor;
+  std::uint64_t prev_count = 0, prev_hist_count = 0;
+  std::uint64_t delta_count_sum = 0, delta_hist_count = 0;
+  int samples = 0;
+  go.store(true, std::memory_order_release);
+  const auto probe = [&](const obs::Snapshot& delta) {
+    const auto& cum = cursor.cumulative();
+    ++samples;
+    // Monotone cumulative values.
+    const std::uint64_t c = cum.counter("live.count");
+    EXPECT_GE(c, prev_count);
+    prev_count = c;
+    const auto* h = cum.histogram("live.hist");
+    ASSERT_NE(h, nullptr);
+    EXPECT_GE(h->count, prev_hist_count);
+    prev_hist_count = h->count;
+    // No torn totals: the live count IS the bucket fold, by contract.
+    std::uint64_t bucket_total = 0;
+    for (const auto b : h->buckets) bucket_total += b;
+    EXPECT_EQ(h->count, bucket_total);
+    if (h->count > 0) {
+      EXPECT_LE(h->min, h->max);
+      const double p99 = h->quantile(0.99);
+      EXPECT_GE(p99, double(h->min));
+      EXPECT_LE(p99, double(h->max));
+    }
+    // Deltas accumulate to the totals checked after join.
+    delta_count_sum += delta.counter("live.count");
+    const auto* dh = delta.histogram("live.hist");
+    ASSERT_NE(dh, nullptr);
+    delta_hist_count += dh->count;
+    // Gauges pass through as-is.
+    EXPECT_EQ(delta.gauges.front().second, 42);
+  };
+  while (done.load(std::memory_order_acquire) < kWriters) {
+    probe(cursor.advance(reg));
+  }
+  for (auto& w : writers) w.join();
+  probe(cursor.advance(reg));  // pick up the tail after the join
+
+  EXPECT_GT(samples, 1);
+  const auto snap = reg.snapshot();  // exact: writers joined
+  const std::uint64_t expect_records = std::uint64_t(kWriters) * kPerThread;
+  EXPECT_EQ(snap.counter("live.count"), expect_records * 3);
+  EXPECT_EQ(delta_count_sum, expect_records * 3);
+  EXPECT_EQ(delta_hist_count, expect_records);
+  // The cursor's final cumulative position agrees with the exact fold.
+  EXPECT_EQ(cursor.cumulative().counter("live.count"), expect_records * 3);
+  const auto* final_h = cursor.cumulative().histogram("live.hist");
+  ASSERT_NE(final_h, nullptr);
+  EXPECT_EQ(final_h->count, snap.histogram("live.hist")->count);
+  EXPECT_EQ(final_h->sum, snap.histogram("live.hist")->sum);
+}
+
+TEST(ObsLiveSample, CursorFirstAdvanceIsCumulativeAndResetClamps) {
+  obs::MetricsRegistry reg;
+  reg.counter("c").add(7);
+  reg.histogram("h").record(100);
+  obs::SampleCursor cursor;
+  const auto first = cursor.advance(reg);
+  EXPECT_EQ(first.counter("c"), 7u);  // delta from zero = cumulative
+  EXPECT_EQ(first.histogram("h")->count, 1u);
+
+  reg.counter("c").add(2);
+  const auto second = cursor.advance(reg);
+  EXPECT_EQ(second.counter("c"), 2u);
+  EXPECT_EQ(second.histogram("h")->count, 0u);  // no new records
+
+  // A reset between samples must clamp, not underflow: the next delta is
+  // the post-reset value.
+  reg.reset();
+  reg.counter("c").add(4);
+  const auto third = cursor.advance(reg);
+  EXPECT_EQ(third.counter("c"), 4u);
+}
+
 // --- registry / snapshot / exporters ------------------------------------
 
 TEST(ObsRegistry, StableAddressesAndReset) {

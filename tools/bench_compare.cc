@@ -35,12 +35,13 @@
 // When both files carry a "meta" provenance block with different CPU
 // models the tool WARNS — latency numbers from different silicon are
 // not comparable — but does not fail; the gate thresholds are wide
-// enough for same-machine noise only.
+// enough for same-machine noise only. The same warn-don't-fail policy
+// applies when soak documents disagree on live-telemetry enablement
+// ("telemetry".enabled): the publisher's sampling costs a little, so a
+// telemetry-on run vs a telemetry-off baseline is a biased comparison,
+// but not automatically a regression.
 //
-// The parser below handles exactly the JSON subset bench_e2e emits
-// (objects, arrays, strings without escapes beyond \", numbers, bools);
-// it is not a general-purpose JSON library and does not try to be.
-#include <cctype>
+// JSON parsing is the shared tools/json_mini.h subset reader.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -50,127 +51,12 @@
 #include <string>
 #include <vector>
 
+#include "tools/json_mini.h"
+
 namespace {
 
-// ---------------------------------------------------------------- JSON --
-struct JsonValue {
-  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject } type =
-      Type::kNull;
-  bool boolean = false;
-  double number = 0;
-  std::string str;
-  std::vector<JsonValue> array;
-  std::map<std::string, JsonValue> object;
-
-  const JsonValue* find(const std::string& key) const {
-    const auto it = object.find(key);
-    return it == object.end() ? nullptr : &it->second;
-  }
-  double num_or(const std::string& key, double def) const {
-    const auto* v = find(key);
-    return (v && v->type == Type::kNumber) ? v->number : def;
-  }
-};
-
-class JsonParser {
- public:
-  explicit JsonParser(const std::string& text) : s_(text) {}
-
-  bool parse(JsonValue& out) {
-    skip_ws();
-    return value(out) && (skip_ws(), pos_ == s_.size());
-  }
-
- private:
-  void skip_ws() {
-    while (pos_ < s_.size() &&
-           std::isspace(static_cast<unsigned char>(s_[pos_]))) {
-      ++pos_;
-    }
-  }
-  bool consume(char c) {
-    skip_ws();
-    if (pos_ < s_.size() && s_[pos_] == c) {
-      ++pos_;
-      return true;
-    }
-    return false;
-  }
-  bool literal(const char* lit) {
-    const std::size_t n = std::strlen(lit);
-    if (s_.compare(pos_, n, lit) != 0) return false;
-    pos_ += n;
-    return true;
-  }
-  bool string(std::string& out) {
-    if (!consume('"')) return false;
-    out.clear();
-    while (pos_ < s_.size() && s_[pos_] != '"') {
-      if (s_[pos_] == '\\' && pos_ + 1 < s_.size()) ++pos_;
-      out += s_[pos_++];
-    }
-    return pos_ < s_.size() && s_[pos_++] == '"';
-  }
-  bool value(JsonValue& out) {
-    skip_ws();
-    if (pos_ >= s_.size()) return false;
-    const char c = s_[pos_];
-    if (c == '{') return object(out);
-    if (c == '[') return array(out);
-    if (c == '"') {
-      out.type = JsonValue::Type::kString;
-      return string(out.str);
-    }
-    if (literal("true")) {
-      out.type = JsonValue::Type::kBool;
-      out.boolean = true;
-      return true;
-    }
-    if (literal("false")) {
-      out.type = JsonValue::Type::kBool;
-      out.boolean = false;
-      return true;
-    }
-    if (literal("null")) {
-      out.type = JsonValue::Type::kNull;
-      return true;
-    }
-    char* end = nullptr;
-    out.number = std::strtod(s_.c_str() + pos_, &end);
-    if (end == s_.c_str() + pos_) return false;
-    pos_ = static_cast<std::size_t>(end - s_.c_str());
-    out.type = JsonValue::Type::kNumber;
-    return true;
-  }
-  bool object(JsonValue& out) {
-    out.type = JsonValue::Type::kObject;
-    if (!consume('{')) return false;
-    if (consume('}')) return true;
-    do {
-      std::string key;
-      skip_ws();
-      if (!string(key) || !consume(':')) return false;
-      JsonValue v;
-      if (!value(v)) return false;
-      out.object.emplace(std::move(key), std::move(v));
-    } while (consume(','));
-    return consume('}');
-  }
-  bool array(JsonValue& out) {
-    out.type = JsonValue::Type::kArray;
-    if (!consume('[')) return false;
-    if (consume(']')) return true;
-    do {
-      JsonValue v;
-      if (!value(v)) return false;
-      out.array.push_back(std::move(v));
-    } while (consume(','));
-    return consume(']');
-  }
-
-  const std::string& s_;
-  std::size_t pos_ = 0;
-};
+using vran::tools::JsonParser;
+using vran::tools::JsonValue;
 
 // ---------------------------------------------------------------- gate --
 struct PmuStage {
@@ -191,7 +77,8 @@ struct Config {
 };
 
 bool load(const char* path, std::map<std::string, Config>& out,
-          bool& counting, std::string& cpu_model, std::string& schema_out) {
+          bool& counting, std::string& cpu_model, std::string& schema_out,
+          int& telemetry) {  // -1 = no "telemetry" block, else 0/1
   std::ifstream in(path);
   if (!in) {
     std::fprintf(stderr, "bench_compare: cannot open %s\n", path);
@@ -219,6 +106,12 @@ bool load(const char* path, std::map<std::string, Config>& out,
   cpu_model.clear();
   if (const auto* meta = root.find("meta")) {
     if (const auto* model = meta->find("cpu_model")) cpu_model = model->str;
+  }
+  telemetry = -1;
+  if (const auto* tel = root.find("telemetry")) {
+    if (const auto* enabled = tel->find("enabled")) {
+      telemetry = enabled->boolean ? 1 : 0;
+    }
   }
   const auto* configs = root.find("configs");
   if (!configs || configs->type != JsonValue::Type::kArray) {
@@ -308,8 +201,10 @@ int main(int argc, char** argv) {
   std::map<std::string, Config> base, cur;
   bool base_counting = false, cur_counting = false;
   std::string base_cpu, cur_cpu, base_schema, cur_schema;
-  if (!load(baseline_path, base, base_counting, base_cpu, base_schema) ||
-      !load(current_path, cur, cur_counting, cur_cpu, cur_schema)) {
+  int base_tel = -1, cur_tel = -1;
+  if (!load(baseline_path, base, base_counting, base_cpu, base_schema,
+            base_tel) ||
+      !load(current_path, cur, cur_counting, cur_cpu, cur_schema, cur_tel)) {
     return 2;
   }
   if (base_schema != cur_schema) {
@@ -323,6 +218,20 @@ int main(int argc, char** argv) {
     std::printf("WARNING: CPU model mismatch — baseline \"%s\" vs current "
                 "\"%s\"; latency deltas below are not like-for-like\n",
                 base_cpu.c_str(), cur_cpu.c_str());
+  }
+  // Telemetry enablement mismatch: the live publisher samples every
+  // registry on a background thread, so a telemetry-on run carries a
+  // small observer cost a telemetry-off run doesn't. Warn, don't fail —
+  // a pre-telemetry baseline (no block at all) vs a telemetry-on current
+  // is the expected upgrade path and the thresholds absorb the delta.
+  if (base_schema == "vran-bench-soak-v1" && base_tel != cur_tel) {
+    const auto describe = [](int t) {
+      return t < 0 ? "absent" : (t == 0 ? "off" : "on");
+    };
+    std::printf("WARNING: telemetry publisher mismatch — baseline %s vs "
+                "current %s; the publisher's sampling overhead makes these "
+                "runs not strictly like-for-like\n",
+                describe(base_tel), describe(cur_tel));
   }
 
   int failures = 0, compared = 0;

@@ -1,0 +1,136 @@
+// Minimal JSON reader shared by the repo's tools (bench_compare,
+// vran_top, telemetry_check). Handles exactly the subset the repo's own
+// emitters produce — objects, arrays, strings without escapes beyond
+// \", numbers, bools, null — it is not a general-purpose JSON library
+// and does not try to be. Header-only so the tools stay single-file.
+#pragma once
+
+#include <cctype>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace vran::tools {
+
+struct JsonValue {
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject } type =
+      Type::kNull;
+  bool boolean = false;
+  double number = 0;
+  std::string str;
+  std::vector<JsonValue> array;
+  std::map<std::string, JsonValue> object;
+
+  const JsonValue* find(const std::string& key) const {
+    const auto it = object.find(key);
+    return it == object.end() ? nullptr : &it->second;
+  }
+  double num_or(const std::string& key, double def) const {
+    const auto* v = find(key);
+    return (v && v->type == Type::kNumber) ? v->number : def;
+  }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& text) : s_(text) {}
+
+  bool parse(JsonValue& out) {
+    skip_ws();
+    return value(out) && (skip_ws(), pos_ == s_.size());
+  }
+
+ private:
+  void skip_ws() {
+    while (pos_ < s_.size() &&
+           std::isspace(static_cast<unsigned char>(s_[pos_]))) {
+      ++pos_;
+    }
+  }
+  bool consume(char c) {
+    skip_ws();
+    if (pos_ < s_.size() && s_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+  bool literal(const char* lit) {
+    const std::size_t n = std::strlen(lit);
+    if (s_.compare(pos_, n, lit) != 0) return false;
+    pos_ += n;
+    return true;
+  }
+  bool string(std::string& out) {
+    if (!consume('"')) return false;
+    out.clear();
+    while (pos_ < s_.size() && s_[pos_] != '"') {
+      if (s_[pos_] == '\\' && pos_ + 1 < s_.size()) ++pos_;
+      out += s_[pos_++];
+    }
+    return pos_ < s_.size() && s_[pos_++] == '"';
+  }
+  bool value(JsonValue& out) {
+    skip_ws();
+    if (pos_ >= s_.size()) return false;
+    const char c = s_[pos_];
+    if (c == '{') return object(out);
+    if (c == '[') return array(out);
+    if (c == '"') {
+      out.type = JsonValue::Type::kString;
+      return string(out.str);
+    }
+    if (literal("true")) {
+      out.type = JsonValue::Type::kBool;
+      out.boolean = true;
+      return true;
+    }
+    if (literal("false")) {
+      out.type = JsonValue::Type::kBool;
+      out.boolean = false;
+      return true;
+    }
+    if (literal("null")) {
+      out.type = JsonValue::Type::kNull;
+      return true;
+    }
+    char* end = nullptr;
+    out.number = std::strtod(s_.c_str() + pos_, &end);
+    if (end == s_.c_str() + pos_) return false;
+    pos_ = static_cast<std::size_t>(end - s_.c_str());
+    out.type = JsonValue::Type::kNumber;
+    return true;
+  }
+  bool object(JsonValue& out) {
+    out.type = JsonValue::Type::kObject;
+    if (!consume('{')) return false;
+    if (consume('}')) return true;
+    do {
+      std::string key;
+      skip_ws();
+      if (!string(key) || !consume(':')) return false;
+      JsonValue v;
+      if (!value(v)) return false;
+      out.object.emplace(std::move(key), std::move(v));
+    } while (consume(','));
+    return consume('}');
+  }
+  bool array(JsonValue& out) {
+    out.type = JsonValue::Type::kArray;
+    if (!consume('[')) return false;
+    if (consume(']')) return true;
+    do {
+      JsonValue v;
+      if (!value(v)) return false;
+      out.array.push_back(std::move(v));
+    } while (consume(','));
+    return consume(']');
+  }
+
+  const std::string& s_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace vran::tools

@@ -1,0 +1,277 @@
+// telemetry_check: CI validator for the live-telemetry surfaces.
+//
+//   telemetry_check --socket /tmp/vran.sock
+//       Scrape a running TelemetryPublisher: request the Prometheus
+//       exposition and validate its line grammar (every line is a
+//       "# TYPE <name> <kind>" header or "<name>{labels} <value>"
+//       sample, with the vran_ prefix and at least one cell series),
+//       then request the JSON line and validate the
+//       "vran-telemetry-v1" schema (sources object carrying the
+//       publisher's self-source and at least one cell).
+//
+//   telemetry_check --postmortem FILE [--expect-stage NAME]
+//       Validate a flight-recorder postmortem: "vran-postmortem-v1"
+//       schema, non-empty record window containing the miss, a
+//       Chrome-trace slice, and — with --expect-stage — that the named
+//       stage dominates the miss window's stage time (how CI asserts a
+//       fault injected into turbo decode is actually identified by the
+//       postmortem).
+//
+// Exit 0 = all checks passed, 1 = validation failure, 2 = usage/IO.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "tools/json_mini.h"
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+#else
+#error "telemetry_check needs Unix domain sockets"
+#endif
+
+namespace {
+
+using vran::tools::JsonParser;
+using vran::tools::JsonValue;
+
+int failures = 0;
+
+void check(bool ok, const char* what) {
+  std::printf("%s %s\n", ok ? "ok  " : "FAIL", what);
+  if (!ok) ++failures;
+}
+
+std::string request(const char* path, const char* req) {
+  sockaddr_un addr{};
+  if (std::strlen(path) >= sizeof(addr.sun_path)) return "";
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) return "";
+  addr.sun_family = AF_UNIX;
+  std::strcpy(addr.sun_path, path);
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    ::close(fd);
+    return "";
+  }
+  std::string out;
+  if (::send(fd, req, std::strlen(req), 0) >= 0) {
+    char chunk[4096];
+    ssize_t n;
+    while ((n = ::recv(fd, chunk, sizeof(chunk), 0)) > 0) {
+      out.append(chunk, static_cast<std::size_t>(n));
+    }
+  }
+  ::close(fd);
+  return out;
+}
+
+bool valid_metric_char(char c, bool first) {
+  if ((c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_') return true;
+  return !first && c >= '0' && c <= '9';
+}
+
+/// One exposition line: "name{label="v",...} number" or "name number".
+bool valid_sample_line(const std::string& line) {
+  std::size_t i = 0;
+  if (i >= line.size() || !valid_metric_char(line[i], true)) return false;
+  while (i < line.size() && valid_metric_char(line[i], false)) ++i;
+  if (i < line.size() && line[i] == '{') {
+    const std::size_t close = line.find('}', i);
+    if (close == std::string::npos) return false;
+    i = close + 1;
+  }
+  if (i >= line.size() || line[i] != ' ') return false;
+  char* end = nullptr;
+  std::strtod(line.c_str() + i + 1, &end);
+  return end != line.c_str() + i + 1 &&
+         static_cast<std::size_t>(end - line.c_str()) == line.size();
+}
+
+void check_exposition(const std::string& text) {
+  check(!text.empty(), "exposition: non-empty response");
+  std::istringstream in(text);
+  std::string line;
+  int samples = 0, types = 0;
+  bool grammar_ok = true, cell_series = false, quantile = false;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    if (line.rfind("# TYPE ", 0) == 0) {
+      ++types;
+      continue;
+    }
+    if (!valid_sample_line(line)) {
+      if (grammar_ok) std::printf("     bad line: %s\n", line.c_str());
+      grammar_ok = false;
+      continue;
+    }
+    ++samples;
+    if (line.rfind("vran_cell_tti", 0) == 0) cell_series = true;
+    if (line.find("quantile=") != std::string::npos) quantile = true;
+  }
+  check(grammar_ok, "exposition: every line parses as TYPE or sample");
+  check(types > 0, "exposition: has # TYPE headers");
+  check(samples > 0, "exposition: has samples");
+  check(cell_series, "exposition: has vran_cell_tti series");
+  check(quantile, "exposition: has summary quantile series");
+  std::printf("     %d samples, %d metric types\n", samples, types);
+}
+
+void check_telemetry_json(const std::string& text) {
+  check(!text.empty(), "json: non-empty response");
+  // The response is one line of JSON plus the trailing newline.
+  std::string line = text;
+  while (!line.empty() && (line.back() == '\n' || line.back() == '\r')) {
+    line.pop_back();
+  }
+  JsonValue root;
+  if (!JsonParser(line).parse(root)) {
+    check(false, "json: parses");
+    return;
+  }
+  check(true, "json: parses");
+  const auto* schema = root.find("schema");
+  check(schema != nullptr && schema->str == "vran-telemetry-v1",
+        "json: schema is vran-telemetry-v1");
+  const auto* sources = root.find("sources");
+  if (sources == nullptr || sources->type != JsonValue::Type::kObject) {
+    check(false, "json: has sources object");
+    return;
+  }
+  check(true, "json: has sources object");
+  check(sources->find("telemetry") != nullptr,
+        "json: publisher self-source present");
+  int cells = 0;
+  bool shape_checked = false;
+  for (const auto& [name, src] : sources->object) {
+    if (name.rfind("cell", 0) != 0) continue;
+    ++cells;
+    if (!shape_checked) {
+      shape_checked = true;
+      check(src.find("counters") != nullptr &&
+                src.find("deltas") != nullptr &&
+                src.find("gauges") != nullptr &&
+                src.find("histograms") != nullptr,
+            "json: cell source has counters/deltas/gauges/histograms");
+    }
+  }
+  check(cells > 0, "json: at least one cell source");
+  std::printf("     %d cell source(s), tick %.0f\n", cells,
+              root.num_or("tick", 0));
+}
+
+void check_postmortem(const char* path, const char* expect_stage) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "telemetry_check: cannot open %s\n", path);
+    ++failures;
+    return;
+  }
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  JsonValue root;
+  if (!JsonParser(ss.str()).parse(root)) {
+    check(false, "postmortem: parses");
+    return;
+  }
+  check(true, "postmortem: parses");
+  const auto* schema = root.find("schema");
+  check(schema != nullptr && schema->str == "vran-postmortem-v1",
+        "postmortem: schema is vran-postmortem-v1");
+
+  const auto* stages = root.find("stages");
+  const auto* records = root.find("records");
+  const auto* trace = root.find("traceEvents");
+  check(stages != nullptr && stages->type == JsonValue::Type::kArray &&
+            !stages->array.empty(),
+        "postmortem: has stage-name table");
+  check(trace != nullptr && trace->type == JsonValue::Type::kArray &&
+            !trace->array.empty(),
+        "postmortem: has Chrome-trace slice");
+  if (records == nullptr || records->type != JsonValue::Type::kArray ||
+      records->array.empty()) {
+    check(false, "postmortem: has records");
+    return;
+  }
+  check(true, "postmortem: has records");
+
+  const double miss_seq = root.num_or("miss_seq", -1);
+  bool has_miss = false;
+  std::vector<double> stage_totals(stages ? stages->array.size() : 0, 0.0);
+  for (const auto& r : records->array) {
+    if (const auto* m = r.find("miss")) {
+      if (m->boolean && r.num_or("seq", -2) == miss_seq) has_miss = true;
+    }
+    if (const auto* sn = r.find("stage_ns")) {
+      for (std::size_t s = 0;
+           s < sn->array.size() && s < stage_totals.size(); ++s) {
+        stage_totals[s] += sn->array[s].number;
+      }
+    }
+  }
+  check(has_miss, "postmortem: window contains the triggering miss record");
+
+  std::size_t hot = 0;
+  for (std::size_t s = 1; s < stage_totals.size(); ++s) {
+    if (stage_totals[s] > stage_totals[hot]) hot = s;
+  }
+  const std::string hot_name =
+      stage_totals.empty() ? "" : stages->array[hot].str;
+  std::printf("     %zu records, miss_seq %.0f, dominant stage: %s\n",
+              records->array.size(), miss_seq,
+              hot_name.empty() ? "-" : hot_name.c_str());
+  if (expect_stage != nullptr) {
+    check(hot_name == expect_stage,
+          "postmortem: expected stage dominates the window");
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const char* socket_path = nullptr;
+  const char* postmortem = nullptr;
+  const char* expect_stage = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--socket") == 0 && i + 1 < argc) {
+      socket_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--postmortem") == 0 && i + 1 < argc) {
+      postmortem = argv[++i];
+    } else if (std::strcmp(argv[i], "--expect-stage") == 0 && i + 1 < argc) {
+      expect_stage = argv[++i];
+    } else {
+      std::fprintf(stderr,
+                   "usage: telemetry_check [--socket PATH] "
+                   "[--postmortem FILE [--expect-stage NAME]]\n");
+      return 2;
+    }
+  }
+  if (socket_path == nullptr && postmortem == nullptr) {
+    std::fprintf(stderr,
+                 "telemetry_check: need --socket and/or --postmortem\n");
+    return 2;
+  }
+  if (socket_path != nullptr) {
+    const std::string prom = request(socket_path, "metrics\n");
+    if (prom.empty()) {
+      std::fprintf(stderr, "telemetry_check: no response from %s\n",
+                   socket_path);
+      return 2;
+    }
+    check_exposition(prom);
+    check_telemetry_json(request(socket_path, "json\n"));
+  }
+  if (postmortem != nullptr) check_postmortem(postmortem, expect_stage);
+  if (failures > 0) {
+    std::fprintf(stderr, "telemetry_check: %d check(s) failed\n", failures);
+    return 1;
+  }
+  std::printf("telemetry_check: all checks passed\n");
+  return 0;
+}

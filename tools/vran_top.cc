@@ -1,0 +1,186 @@
+// vran_top: live terminal dashboard for a running multi-cell soak.
+//
+//   vran_top --socket /tmp/vran.sock          # live, one frame per tick
+//   vran_top --socket /tmp/vran.sock --once   # one frame, no ANSI, exit
+//
+// Connects to the TelemetryPublisher's Unix socket (obs/telemetry.h),
+// subscribes to the "stream" feed (one "vran-telemetry-v1" JSON line per
+// sampling tick) and renders, per cell: packets/s and TTIs/s over the
+// window, the windowed TTI p99, deadline misses (per window and
+// cumulative), the degrade-ladder level, the ingest-ring backlog, and
+// the window's hottest pipeline stage with its p99 — the at-a-glance
+// "which cell is in trouble and in which stage" view. Runner-level
+// steals and the publisher's own tick/postmortem counters ride along in
+// the header. Exits when the publisher closes the socket (run over) or
+// on ^C.
+//
+// Plain read-only observer: connecting costs the publisher one client
+// slot; rendering happens entirely here.
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <string>
+
+#include "tools/json_mini.h"
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+#else
+#error "vran_top needs Unix domain sockets"
+#endif
+
+namespace {
+
+using vran::tools::JsonParser;
+using vran::tools::JsonValue;
+
+int connect_unix(const char* path) {
+  sockaddr_un addr{};
+  if (std::strlen(path) >= sizeof(addr.sun_path)) return -1;
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  addr.sun_family = AF_UNIX;
+  std::strcpy(addr.sun_path, path);
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+double delta_of(const JsonValue& src, const char* name) {
+  const auto* deltas = src.find("deltas");
+  return deltas ? deltas->num_or(name, 0) : 0;
+}
+
+double gauge_of(const JsonValue& src, const char* name) {
+  const auto* gauges = src.find("gauges");
+  return gauges ? gauges->num_or(name, 0) : 0;
+}
+
+double counter_of(const JsonValue& src, const char* name) {
+  const auto* counters = src.find("counters");
+  return counters ? counters->num_or(name, 0) : 0;
+}
+
+void render(const JsonValue& root, bool ansi) {
+  const double period_ms = root.num_or("period_ms", 100);
+  const double window_s = period_ms / 1000.0;
+  const auto* sources = root.find("sources");
+  if (sources == nullptr) return;
+
+  if (ansi) std::printf("\x1b[H\x1b[J");
+  double steals = 0, ticks = 0, postmortems = 0;
+  if (const auto* runner = sources->find("runner")) {
+    steals = counter_of(*runner, "runner.steals");
+  }
+  if (const auto* self = sources->find("telemetry")) {
+    ticks = counter_of(*self, "telemetry.ticks");
+    postmortems = counter_of(*self, "telemetry.postmortems");
+  }
+  std::printf("vran_top — tick %.0f, window %.0fms, steals %.0f, "
+              "postmortems %.0f\n\n",
+              ticks, period_ms, steals, postmortems);
+  std::printf("%-7s %9s %8s %10s %7s %8s %5s %6s  %s\n", "cell", "pkts/s",
+              "tti/s", "p99_us", "miss/w", "missΣ", "lvl", "depth",
+              "hot stage (p99 us)");
+
+  for (const auto& [name, src] : sources->object) {
+    if (name.rfind("cell", 0) != 0) continue;
+    const double pkts = delta_of(src, "cell.packets") / window_s;
+    const double ttis = delta_of(src, "cell.tti") / window_s;
+    const double miss_w = delta_of(src, "cell.deadline_miss");
+    const double miss_total = counter_of(src, "cell.deadline_miss");
+    const double level = gauge_of(src, "cell.degrade_level");
+    const double depth = gauge_of(src, "cell.ingest_depth");
+
+    double tti_p99 = 0, hot_p99 = 0;
+    std::string hot = "-";
+    if (const auto* hists = src.find("histograms")) {
+      if (const auto* tti = hists->find("cell.tti_ns")) {
+        tti_p99 = tti->num_or("p99", 0) / 1e3;
+      }
+      for (const auto& [hname, h] : hists->object) {
+        // "stage.<x>_ns" entries: find the window's hottest stage.
+        if (hname.rfind("stage.", 0) != 0 || h.num_or("count", 0) == 0) {
+          continue;
+        }
+        const double p99 = h.num_or("p99", 0) / 1e3;
+        if (p99 > hot_p99) {
+          hot_p99 = p99;
+          hot = hname.substr(6);
+          if (hot.size() > 3 && hot.compare(hot.size() - 3, 3, "_ns") == 0) {
+            hot.resize(hot.size() - 3);
+          }
+        }
+      }
+    }
+    std::printf("%-7s %9.0f %8.0f %10.1f %7.0f %8.0f %5.0f %6.0f  "
+                "%s (%.1f)\n",
+                name.c_str(), pkts, ttis, tti_p99, miss_w, miss_total, level,
+                depth, hot.c_str(), hot_p99);
+  }
+  std::fflush(stdout);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const char* socket_path = nullptr;
+  bool once = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--socket") == 0 && i + 1 < argc) {
+      socket_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--once") == 0) {
+      once = true;
+    } else {
+      std::fprintf(stderr, "usage: vran_top --socket PATH [--once]\n");
+      return 2;
+    }
+  }
+  if (socket_path == nullptr) {
+    std::fprintf(stderr, "vran_top: --socket is required\n");
+    return 2;
+  }
+  const int fd = connect_unix(socket_path);
+  if (fd < 0) {
+    std::fprintf(stderr, "vran_top: cannot connect to %s\n", socket_path);
+    return 1;
+  }
+  const char* req = once ? "json\n" : "stream\n";
+  if (::send(fd, req, std::strlen(req), 0) < 0) {
+    std::fprintf(stderr, "vran_top: request failed\n");
+    ::close(fd);
+    return 1;
+  }
+
+  // Read newline-delimited frames until the publisher goes away.
+  std::string buf;
+  char chunk[4096];
+  int frames = 0;
+  for (;;) {
+    const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n <= 0) break;
+    buf.append(chunk, static_cast<std::size_t>(n));
+    std::size_t nl;
+    while ((nl = buf.find('\n')) != std::string::npos) {
+      const std::string line = buf.substr(0, nl);
+      buf.erase(0, nl + 1);
+      if (line.empty()) continue;
+      JsonValue root;
+      if (!JsonParser(line).parse(root)) continue;  // torn line: skip
+      render(root, /*ansi=*/!once);
+      ++frames;
+    }
+    if (once && frames > 0) break;
+  }
+  ::close(fd);
+  if (frames == 0) {
+    std::fprintf(stderr, "vran_top: no telemetry frames received\n");
+    return 1;
+  }
+  return 0;
+}
